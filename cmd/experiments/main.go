@@ -1,0 +1,35 @@
+// Command experiments regenerates every experiment of DESIGN.md's
+// per-experiment index (E1–E12), reproducing the paper's figures and the
+// cited empirical results. Run with no arguments for all experiments, or
+// pass experiment ids (e.g. "E1 E9") to select.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"incdb/internal/exp"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [E1 ... E12]\n\nExperiments:\n")
+		for _, e := range exp.All() {
+			fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.ID, e.Title)
+		}
+	}
+	flag.Parse()
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+	for _, e := range exp.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("══ %s — %s ══\n\n", e.ID, e.Title)
+		fmt.Println(e.Run())
+	}
+}

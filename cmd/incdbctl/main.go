@@ -1,0 +1,127 @@
+// Command incdbctl evaluates a relational algebra query over an incomplete
+// database stored in the raparse text format, under any of the evaluation
+// procedures the library implements:
+//
+//	incdbctl -db data.idb -mode sql    "proj(0, sel(not(in(0, proj(1, Payments))), Orders))"
+//	incdbctl -db data.idb -mode cert   "minus(proj(0, Customers), proj(0, Payments))"
+//	incdbctl -db data.idb -mode plus   "..."   (the Q⁺ rewriting of Figure 2(b))
+//	incdbctl -db data.idb -mode report "..."   (all procedures side by side)
+//
+// Modes: sql, naive, cert (cert⊥), inter (cert∩), plus, poss, qt, qf,
+// ctable-eager|semi|lazy|aware, report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"incdb/internal/algebra"
+	"incdb/internal/certain"
+	"incdb/internal/core"
+	"incdb/internal/ctable"
+	"incdb/internal/raparse"
+	"incdb/internal/relation"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (raparse format)")
+	mode := flag.String("mode", "report", "evaluation mode")
+	maxWorlds := flag.Int("maxworlds", 0, "certainty oracle world bound (0 = default)")
+	flag.Parse()
+	if *dbPath == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dbPath, *mode, flag.Arg(0), *maxWorlds); err != nil {
+		fmt.Fprintln(os.Stderr, "incdbctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, mode, querySrc string, maxWorlds int) error {
+	f, err := os.Open(dbPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := raparse.ParseDatabase(f)
+	if err != nil {
+		return err
+	}
+	q, err := raparse.ParseQuery(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := algebra.Validate(q, db); err != nil {
+		return err
+	}
+	opts := certain.Options{MaxWorlds: maxWorlds}
+
+	show := func(name string, r *relation.Relation, err error) {
+		switch {
+		case err != nil:
+			fmt.Printf("%-8s error: %v\n", name, err)
+		case r == nil:
+			fmt.Printf("%-8s (not applicable: outside the Figure 2 fragment)\n", name)
+		default:
+			fmt.Printf("%-8s %s\n", name, r.Rename(name))
+		}
+	}
+
+	switch mode {
+	case "sql":
+		show("sql", core.SQL(db, q), nil)
+	case "naive":
+		show("naive", core.Naive(db, q), nil)
+	case "cert":
+		r, err := core.CertainWithNulls(db, q, opts)
+		show("cert⊥", r, err)
+	case "inter":
+		r, err := core.CertainIntersection(db, q, opts)
+		show("cert∩", r, err)
+	case "plus":
+		r, err := core.ApproxPlus(db, q)
+		show("Q+", r, err)
+	case "poss":
+		r, err := core.ApproxPossible(db, q)
+		show("Q?", r, err)
+	case "qt", "qf":
+		qt, qf, err := core.ApproxTrueFalse(db, q)
+		if err != nil {
+			return err
+		}
+		if mode == "qt" {
+			show("Qt", qt, nil)
+		} else {
+			show("Qf", qf, nil)
+		}
+	case "ctable-eager", "ctable-semi", "ctable-lazy", "ctable-aware":
+		strat := map[string]ctable.Strategy{
+			"ctable-eager": ctable.Eager,
+			"ctable-semi":  ctable.SemiEager,
+			"ctable-lazy":  ctable.Lazy,
+			"ctable-aware": ctable.Aware,
+		}[mode]
+		cpart, ppart, err := core.CTableAnswers(db, q, strat)
+		if err != nil {
+			return err
+		}
+		show("certain", cpart, nil)
+		show("possible", ppart, nil)
+	case "report":
+		rep := core.Analyze(db, q, opts)
+		show("sql", rep.SQLAnswers, nil)
+		show("naive", rep.NaiveAnswers, nil)
+		show("Q+", rep.Plus, nil)
+		show("Q?", rep.Poss, nil)
+		show("cert⊥", rep.Certain, rep.CertainErr)
+		if rep.Certain != nil {
+			fmt.Printf("SQL false positives: %v\n", rep.FalsePositives)
+			fmt.Printf("SQL false negatives: %v\n", rep.FalseNegatives)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// The Figure 1 walkthrough: the paper's Orders / Payments / Customers
+// database, where a single NULL makes SQL both miss certain answers and
+// invent wrong ones.
+package main
+
+import (
+	"fmt"
+
+	"incdb"
+)
+
+func buildDB(withNull bool) *incdb.Database {
+	db := incdb.NewDatabase()
+	orders := incdb.NewRelation("Orders", "oid", "title", "price")
+	orders.Add(incdb.Consts("o1", "Big Data", "30"))
+	orders.Add(incdb.Consts("o2", "SQL", "35"))
+	orders.Add(incdb.Consts("o3", "Logic", "50"))
+	db.Add(orders)
+	payments := incdb.NewRelation("Payments", "cid", "oid")
+	payments.Add(incdb.Consts("c1", "o1"))
+	if withNull {
+		payments.Add(incdb.T(incdb.Const("c2"), db.FreshNull()))
+	} else {
+		payments.Add(incdb.Consts("c2", "o2"))
+	}
+	db.Add(payments)
+	customers := incdb.NewRelation("Customers", "cid", "name")
+	customers.Add(incdb.Consts("c1", "John"))
+	customers.Add(incdb.Consts("c2", "Mary"))
+	db.Add(customers)
+	return db
+}
+
+func main() {
+	// Q1: unpaid orders — SELECT oid FROM Orders WHERE oid NOT IN
+	//     (SELECT oid FROM Payments).
+	unpaid := incdb.Proj(incdb.Sel(incdb.R("Orders"),
+		incdb.CNot(incdb.CIn(incdb.Proj(incdb.R("Payments"), 1), 0))), 0)
+
+	// Q2: customers without a paid order — the NOT EXISTS query, as
+	//     π_cid(Customers) − π_cid(σ_{P.oid=O.oid}(Payments × Orders)).
+	paid := incdb.Proj(incdb.Sel(
+		incdb.Times(incdb.R("Payments"), incdb.R("Orders")),
+		incdb.CEq(1, 2)), 0)
+	noPaid := incdb.Minus(incdb.Proj(incdb.R("Customers"), 0), paid)
+
+	// Q3: SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'.
+	taut := incdb.Proj(incdb.Sel(incdb.R("Payments"), incdb.COr(
+		incdb.CEqC(1, incdb.Const("o2")),
+		incdb.CNeqC(1, incdb.Const("o2")))), 0)
+
+	for _, withNull := range []bool{false, true} {
+		db := buildDB(withNull)
+		label := "complete database"
+		if withNull {
+			label = "with Payments(c2, NULL)"
+		}
+		fmt.Printf("=== %s ===\n", label)
+		for _, q := range []struct {
+			name string
+			e    incdb.Expr
+		}{{"unpaid orders", unpaid}, {"no paid order", noPaid}, {"tautology", taut}} {
+			rep := incdb.Analyze(db, q.e, incdb.CertainOptions{})
+			fmt.Printf("%-14s SQL=%v cert⊥=%v", q.name, rep.SQLAnswers.Tuples(), rep.Certain.Tuples())
+			if len(rep.FalsePositives) > 0 {
+				fmt.Printf("  FALSE POSITIVES %v", rep.FalsePositives)
+			}
+			if len(rep.FalseNegatives) > 0 {
+				fmt.Printf("  FALSE NEGATIVES %v", rep.FalseNegatives)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nBecause of a single null, SQL both misses answers and makes up new ones.")
+}

@@ -1,0 +1,170 @@
+// Package incdb is a library for querying incomplete relational databases
+// with correctness guarantees, reproducing the framework surveyed in
+// Console, Guagliardo, Libkin and Toussaint, "Coping with Incomplete Data:
+// Recent Advances" (PODS 2020).
+//
+// The library provides:
+//
+//   - a relational engine over constants and marked nulls, with set and
+//     bag semantics, naive evaluation and SQL-style three-valued
+//     evaluation (internal/algebra, internal/relation, internal/value);
+//   - exact certain answers — cert⊥ and cert∩ — as a guarded exponential
+//     oracle (internal/certain);
+//   - the two polynomial approximation schemes of Figure 2, (Qᵗ, Qᶠ) and
+//     (Q⁺, Q?) (internal/translate), and the four c-table evaluation
+//     strategies of Greco et al. (internal/ctable);
+//   - the probabilistic framework of Section 4.3: µᵏ, asymptotic µ, the
+//     0–1 law, and conditional probabilities under FDs and INDs as exact
+//     rationals (internal/prob, internal/constraint);
+//   - the many-valued logics of Section 5: Kleene's L3v, the derived
+//     six-valued L6v, the assertion operator, the FO semantics ⟦·⟧bool,
+//     ⟦·⟧unif, ⟦·⟧nullfree, ⟦·⟧sql, and the Boolean-FO compilation of
+//     Theorems 5.4/5.5 (internal/logic, internal/fo).
+//
+// This package is the public facade: it re-exports the types and
+// operations that examples and downstream users need, so that a typical
+// program imports only "incdb".
+package incdb
+
+import (
+	"math/big"
+
+	"incdb/internal/algebra"
+	"incdb/internal/certain"
+	"incdb/internal/constraint"
+	"incdb/internal/core"
+	"incdb/internal/ctable"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// Data model.
+type (
+	// Database is an incomplete relational instance over Const ∪ Null.
+	Database = relation.Database
+	// Relation is a multiset of tuples of fixed arity.
+	Relation = relation.Relation
+	// Tuple is a row.
+	Tuple = value.Tuple
+	// Value is a constant or a marked null.
+	Value = value.Value
+	// Valuation maps nulls to constants.
+	Valuation = value.Valuation
+)
+
+// Queries.
+type (
+	// Expr is a relational algebra expression.
+	Expr = algebra.Expr
+	// Cond is a selection condition.
+	Cond = algebra.Cond
+	// CertainOptions bounds the exact certain-answer oracle.
+	CertainOptions = certain.Options
+	// Strategy selects a c-table evaluation strategy.
+	Strategy = ctable.Strategy
+	// Constraints is a set of integrity constraints (FDs/INDs).
+	Constraints = constraint.Set
+	// FD is a functional dependency; IND an inclusion dependency.
+	FD = constraint.FD
+	// IND is an inclusion dependency.
+	IND = constraint.IND
+	// Report compares all evaluation procedures on one query.
+	Report = core.Report
+)
+
+// The four c-table strategies of Theorem 4.9.
+const (
+	Eager     = ctable.Eager
+	SemiEager = ctable.SemiEager
+	Lazy      = ctable.Lazy
+	Aware     = ctable.Aware
+)
+
+// Value constructors.
+var (
+	// Const builds a constant value.
+	Const = value.Const
+	// Int builds a numeric constant value.
+	Int = value.Int
+	// Null builds the marked null ⊥id.
+	Null = value.Null
+	// T builds a tuple.
+	T = value.T
+	// Consts builds a tuple of constants.
+	Consts = value.Consts
+)
+
+// Database constructors.
+var (
+	// NewDatabase creates an empty incomplete database.
+	NewDatabase = relation.NewDatabase
+	// NewRelation creates an empty relation with named attributes.
+	NewRelation = relation.New
+	// Codd renumbers every null occurrence freshly (SQL's non-repeating
+	// nulls).
+	Codd = relation.Codd
+)
+
+// Query constructors (relational algebra).
+var (
+	// R references a database relation; Sel, Proj, Join, Times, Un,
+	// Minus, Inter, Div build σ, π, ⋈, ×, ∪, −, ∩, ÷.
+	R     = algebra.R
+	Sel   = algebra.Sel
+	Proj  = algebra.Proj
+	Join  = algebra.Join
+	Times = algebra.Times
+	Un    = algebra.Un
+	Minus = algebra.Minus
+	Inter = algebra.Inter
+	Div   = algebra.Div
+
+	// Condition builders: =, ≠, <, >, const/null tests, ∧, ∨, ¬, IN.
+	CEq       = algebra.CEq
+	CEqC      = algebra.CEqC
+	CNeq      = algebra.CNeq
+	CNeqC     = algebra.CNeqC
+	CLess     = algebra.CLess
+	CLessC    = algebra.CLessC
+	CGreaterC = algebra.CGreaterC
+	CNull     = algebra.CNull
+	CConst    = algebra.CConst
+	CAnd      = algebra.CAnd
+	COr       = algebra.COr
+	CNot      = algebra.CNot
+	CIn       = algebra.CIn
+)
+
+// Evaluation procedures (see package core for details).
+var (
+	// SQL is three-valued SQL evaluation; Naive treats nulls as fresh
+	// constants; the Bag variants follow SQL's multiset arithmetic.
+	SQL      = core.SQL
+	Naive    = core.Naive
+	SQLBag   = core.SQLBag
+	NaiveBag = core.NaiveBag
+
+	// CertainWithNulls and CertainIntersection are the exact (guarded
+	// exponential) certainty oracles.
+	CertainWithNulls    = core.CertainWithNulls
+	CertainIntersection = core.CertainIntersection
+
+	// ApproxPlus/ApproxPossible evaluate the Figure 2(b) rewritings;
+	// ApproxTrueFalse the Figure 2(a) ones.
+	ApproxPlus      = core.ApproxPlus
+	ApproxPossible  = core.ApproxPossible
+	ApproxTrueFalse = core.ApproxTrueFalse
+
+	// CTableAnswers evaluates via conditional tables under a strategy.
+	CTableAnswers = core.CTableAnswers
+
+	// AlmostCertainlyTrue and Mu are the probabilistic answers of §4.3.
+	AlmostCertainlyTrue = core.AlmostCertainlyTrue
+	Mu                  = core.Mu
+
+	// Analyze runs everything and classifies SQL's errors.
+	Analyze = core.Analyze
+)
+
+// MuRat is a convenience alias for the exact rational probabilities.
+type MuRat = big.Rat

@@ -1,0 +1,89 @@
+package algebra
+
+import "incdb/internal/value"
+
+// Constructor helpers. The struct types are the canonical AST, but
+// composite literals for imported structs are unwieldy; these builders keep
+// query definitions compact in client packages (and enforce keyed
+// construction discipline via go vet).
+
+// R references the named database relation.
+func R(name string) Rel { return Rel{Name: name} }
+
+// Minus builds L − R.
+func Minus(l, r Expr) Expr { return Diff{L: l, R: r} }
+
+// Times builds L × R.
+func Times(l, r Expr) Expr { return Product{L: l, R: r} }
+
+// Un builds L ∪ R.
+func Un(l, r Expr) Expr { return Union{L: l, R: r} }
+
+// Inter builds L ∩ R.
+func Inter(l, r Expr) Expr { return Intersect{L: l, R: r} }
+
+// Div builds L ÷ R.
+func Div(l, r Expr) Expr { return Divide{L: l, R: r} }
+
+// AntiJoin builds the unifiability anti-semijoin L ⋉⇑ R.
+func AntiJoin(l, r Expr) Expr { return AntiUnify{L: l, R: r} }
+
+// DomK builds the k-fold active-domain power Dom^k.
+func DomK(k int) Expr { return Dom{K: k} }
+
+// CEq builds #i = #j.
+func CEq(i, j int) Cond { return Eq{I: i, J: j} }
+
+// CEqC builds #i = c.
+func CEqC(i int, c value.Value) Cond { return EqConst{I: i, C: c} }
+
+// CNeq builds #i ≠ #j.
+func CNeq(i, j int) Cond { return Neq{I: i, J: j} }
+
+// CNeqC builds #i ≠ c.
+func CNeqC(i int, c value.Value) Cond { return NeqConst{I: i, C: c} }
+
+// CLess builds #i < #j.
+func CLess(i, j int) Cond { return Less{I: i, J: j} }
+
+// CLessC builds #i < c.
+func CLessC(i int, c value.Value) Cond { return LessConst{I: i, C: c} }
+
+// CGreaterC builds #i > c.
+func CGreaterC(i int, c value.Value) Cond { return GreaterConst{I: i, C: c} }
+
+// CNull builds null(#i).
+func CNull(i int) Cond { return IsNull{I: i} }
+
+// CConst builds const(#i).
+func CConst(i int) Cond { return IsConst{I: i} }
+
+// CAnd folds conjunction over its arguments (true when empty).
+func CAnd(cs ...Cond) Cond {
+	if len(cs) == 0 {
+		return True{}
+	}
+	acc := cs[0]
+	for _, c := range cs[1:] {
+		acc = And{L: acc, R: c}
+	}
+	return acc
+}
+
+// COr folds disjunction over its arguments (false when empty).
+func COr(cs ...Cond) Cond {
+	if len(cs) == 0 {
+		return False{}
+	}
+	acc := cs[0]
+	for _, c := range cs[1:] {
+		acc = Or{L: acc, R: c}
+	}
+	return acc
+}
+
+// CNot negates a condition through the evaluation logic's ¬.
+func CNot(c Cond) Cond { return Not{C: c} }
+
+// CIn builds the (cols) IN sub test.
+func CIn(sub Expr, cols ...int) Cond { return InSub{Cols: cols, Sub: sub} }

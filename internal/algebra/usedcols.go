@@ -1,0 +1,131 @@
+package algebra
+
+// UsedColumns computes, for each base relation the query reads, which
+// columns can influence the query's set-semantics result. A valuation
+// change confined to nulls in unused columns leaves Q(v(D)) unchanged:
+// operators either never look at those positions (projections drop them,
+// conditions do not mention them) or force full usage (difference,
+// intersection, division, ⋉⇑ and IN compare entire tuples, so their
+// subtrees mark every column used). The certain-answer oracle uses this to
+// shrink its valuation space.
+//
+// The analysis is sound for set semantics only: under bag semantics,
+// changing an unused column can collapse two source tuples and alter
+// multiplicities downstream.
+func UsedColumns(e Expr, cat Catalog) map[string][]bool {
+	out := map[string][]bool{}
+	markUsed(e, allNeeded(Arity(e, cat)), cat, out)
+	return out
+}
+
+func allNeeded(n int) []bool {
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = true
+	}
+	return m
+}
+
+// markUsed propagates the needed-columns mask of e's output down to the
+// base relations.
+func markUsed(e Expr, needed []bool, cat Catalog, out map[string][]bool) {
+	switch e := e.(type) {
+	case Rel:
+		m := out[e.Name]
+		if m == nil {
+			m = make([]bool, cat.Arity(e.Name))
+			out[e.Name] = m
+		}
+		for i, b := range needed {
+			if b {
+				m[i] = true
+			}
+		}
+
+	case Dom:
+		// Dom reads every value of every relation.
+		// (Handled by the caller: RelationsOf reports usesDom.)
+
+	case Select:
+		n := append([]bool(nil), needed...)
+		markCondUsed(e.Cond, n, cat, out)
+		markUsed(e.In, n, cat, out)
+
+	case Project:
+		inAr := Arity(e.In, cat)
+		n := make([]bool, inAr)
+		for i, col := range e.Cols {
+			if needed[i] {
+				n[col] = true
+			}
+		}
+		markUsed(e.In, n, cat, out)
+
+	case Product:
+		la := Arity(e.L, cat)
+		markUsed(e.L, needed[:la], cat, out)
+		markUsed(e.R, needed[la:], cat, out)
+
+	case Union:
+		markUsed(e.L, needed, cat, out)
+		markUsed(e.R, needed, cat, out)
+
+	case Diff:
+		// Whole tuples are compared: everything is used.
+		full := allNeeded(Arity(e.L, cat))
+		markUsed(e.L, full, cat, out)
+		markUsed(e.R, full, cat, out)
+
+	case Intersect:
+		full := allNeeded(Arity(e.L, cat))
+		markUsed(e.L, full, cat, out)
+		markUsed(e.R, full, cat, out)
+
+	case Divide:
+		markUsed(e.L, allNeeded(Arity(e.L, cat)), cat, out)
+		markUsed(e.R, allNeeded(Arity(e.R, cat)), cat, out)
+
+	case AntiUnify:
+		full := allNeeded(Arity(e.L, cat))
+		markUsed(e.L, full, cat, out)
+		markUsed(e.R, full, cat, out)
+	}
+}
+
+// markCondUsed adds the columns a condition reads to the mask, and marks
+// IN-subqueries fully used.
+func markCondUsed(c Cond, needed []bool, cat Catalog, out map[string][]bool) {
+	switch c := c.(type) {
+	case Eq:
+		needed[c.I], needed[c.J] = true, true
+	case Neq:
+		needed[c.I], needed[c.J] = true, true
+	case Less:
+		needed[c.I], needed[c.J] = true, true
+	case EqConst:
+		needed[c.I] = true
+	case NeqConst:
+		needed[c.I] = true
+	case LessConst:
+		needed[c.I] = true
+	case GreaterConst:
+		needed[c.I] = true
+	case IsNull:
+		needed[c.I] = true
+	case IsConst:
+		needed[c.I] = true
+	case And:
+		markCondUsed(c.L, needed, cat, out)
+		markCondUsed(c.R, needed, cat, out)
+	case Or:
+		markCondUsed(c.L, needed, cat, out)
+		markCondUsed(c.R, needed, cat, out)
+	case Not:
+		markCondUsed(c.C, needed, cat, out)
+	case InSub:
+		for _, col := range c.Cols {
+			needed[col] = true
+		}
+		markUsed(c.Sub, allNeeded(Arity(c.Sub, cat)), cat, out)
+	}
+}

@@ -1,0 +1,399 @@
+// Package certain computes the exact certainty notions of Section 3 of the
+// paper for relational algebra queries under the closed-world semantics:
+//
+//   - cert⊥(Q, D), certain answers with nulls (Definition 3.9):
+//     { t̄ | v(t̄) ∈ Q(v(D)) for every valuation v };
+//   - cert∩(Q, D), intersection-based certain answers (Definition 3.7):
+//     ⋂_{D' ∈ ⟦D⟧} Q(D');
+//   - Boolean certainty and possibility;
+//   - the bag-semantics multiplicity bounds □Q and ◇Q of Section 4.2
+//     ((6a) and (6b)).
+//
+// All of these are computed by enumerating a finite valuation space. By
+// genericity (Section 2) a query's behaviour depends only on the
+// isomorphism type of the database over the constants mentioned in the
+// query, so it suffices to range valuations over Const(D) ∪ consts(Q) ∪ F
+// where F holds |Null(D)| + 1 fresh constants: any valuation is isomorphic,
+// over the relevant constants, to one in this space, and the extra fresh
+// constant refutes spurious fresh tuples in intersections. The enumeration is
+// exponential in |Null(D)| — certain answers are coNP-hard (Theorem 3.12),
+// so an exact oracle cannot do better — and is therefore guarded by
+// Options.MaxWorlds. The package is the ground-truth oracle against which
+// the tractable approximations of Section 4 are tested.
+package certain
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// Options bounds the exhaustive enumeration.
+type Options struct {
+	// MaxWorlds caps the number of valuations enumerated; Compute returns
+	// an error beyond it. Zero means DefaultMaxWorlds.
+	MaxWorlds int
+	// FreshCount overrides the number of fresh constants added to the
+	// valuation range. Zero means |Null(D)| + 1: n fresh constants make
+	// the enumeration complete for cert⊥ membership of tuples over dom(D)
+	// (any valuation uses at most n distinct values outside the mentioned
+	// constants), and the extra one guarantees that every tuple mentioning
+	// a fresh constant is refuted in cert∩ by a valuation avoiding it.
+	// Smaller values trade exactness for speed.
+	FreshCount int
+}
+
+// DefaultMaxWorlds bounds enumeration to about a million possible worlds.
+const DefaultMaxWorlds = 1 << 20
+
+func (o Options) maxWorlds() int {
+	if o.MaxWorlds <= 0 {
+		return DefaultMaxWorlds
+	}
+	return o.MaxWorlds
+}
+
+// Space is the finite valuation space used by the oracle: the null
+// identifiers of D and the candidate range.
+type Space struct {
+	ids   []uint64
+	rng   []value.Value
+	count int
+}
+
+// NewSpace builds the valuation space for db and query constants qconsts,
+// quantifying over every null of the database.
+func NewSpace(db *relation.Database, qconsts []value.Value, opts Options) (*Space, error) {
+	return newSpace(db, db.NullIDs(), qconsts, opts)
+}
+
+// NewSpaceForQuery builds the valuation space restricted to the nulls the
+// query can observe: those occurring in *columns the query reads*
+// (algebra.UsedColumns). The set-semantics query result Q(v(D)) does not
+// depend on the bindings of other nulls, so universal and existential
+// conditions over valuations are unchanged — while the enumeration shrinks
+// from |rng|^|Null(D)| to |rng|^|relevant|.
+func NewSpaceForQuery(db *relation.Database, q algebra.Expr, opts Options) (*Space, error) {
+	ids := relevantNulls(db, q)
+	if ids == nil {
+		return NewSpace(db, algebra.ConstsOf(q), opts)
+	}
+	return newSpace(db, ids, algebra.ConstsOf(q), opts)
+}
+
+// relevantNulls returns the sorted null ids in query-read columns, or nil
+// when the query reads the whole active domain (Dom) and every null is
+// relevant.
+func relevantNulls(db *relation.Database, q algebra.Expr) []uint64 {
+	if _, usesDom := algebra.RelationsOf(q); usesDom {
+		return nil
+	}
+	used := algebra.UsedColumns(q, db)
+	seen := map[uint64]bool{}
+	ids := []uint64{}
+	for name, mask := range used {
+		rel := db.Relation(name)
+		if rel == nil {
+			continue
+		}
+		for _, t := range rel.Tuples() {
+			for col, v := range t {
+				if mask[col] && v.IsNull() && !seen[v.NullID()] {
+					seen[v.NullID()] = true
+					ids = append(ids, v.NullID())
+				}
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// spaceForTuple builds the space for set-semantics tuple-level checks: the
+// membership condition v(t̄) ∈ Q(v(D)) depends on the query-visible nulls
+// plus any nulls and constants of t̄ itself.
+func spaceForTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options) (*Space, error) {
+	ids := relevantNulls(db, q)
+	if ids == nil {
+		ids = db.NullIDs()
+	}
+	return tupleSpace(db, q, t, ids, opts)
+}
+
+// spaceForTupleBag is the bag-semantics variant: column-level pruning is
+// unsound under bags (unused columns can collapse tuples and change
+// multiplicities), so only whole relations the query never reads are
+// pruned.
+func spaceForTupleBag(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options) (*Space, error) {
+	names, usesDom := algebra.RelationsOf(q)
+	var ids []uint64
+	if usesDom {
+		ids = db.NullIDs()
+	} else {
+		seen := map[uint64]bool{}
+		for _, name := range names {
+			rel := db.Relation(name)
+			if rel == nil {
+				continue
+			}
+			for _, tp := range rel.Tuples() {
+				for _, v := range tp {
+					if v.IsNull() && !seen[v.NullID()] {
+						seen[v.NullID()] = true
+						ids = append(ids, v.NullID())
+					}
+				}
+			}
+		}
+	}
+	return tupleSpace(db, q, t, ids, opts)
+}
+
+func tupleSpace(db *relation.Database, q algebra.Expr, t value.Tuple, ids []uint64, opts Options) (*Space, error) {
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	ids = append([]uint64(nil), ids...)
+	for id := range t.Nulls() {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	consts := algebra.ConstsOf(q)
+	for _, v := range t {
+		if v.IsConst() {
+			consts = append(consts, v)
+		}
+	}
+	return newSpace(db, ids, consts, opts)
+}
+
+func newSpace(db *relation.Database, ids []uint64, qconsts []value.Value, opts Options) (*Space, error) {
+	rng := append([]value.Value(nil), db.Consts()...)
+	have := map[value.Value]bool{}
+	for _, c := range rng {
+		have[c] = true
+	}
+	for _, c := range qconsts {
+		if !have[c] {
+			have[c] = true
+			rng = append(rng, c)
+		}
+	}
+	freshCount := opts.FreshCount
+	if freshCount <= 0 {
+		freshCount = len(ids) + 1
+	}
+	for i := 0; i < freshCount; i++ {
+		// Fresh constants must avoid everything present; the prefix makes
+		// collisions with user data implausible and the loop rules them out.
+		base := "⁑fresh" + strconv.Itoa(i)
+		c := value.Const(base)
+		for n := 0; have[c]; n++ {
+			c = value.Const(base + "_" + strconv.Itoa(n))
+		}
+		have[c] = true
+		rng = append(rng, c)
+	}
+	count := 1
+	for range ids {
+		count *= len(rng)
+		if count > opts.maxWorlds() || count < 0 {
+			return nil, fmt.Errorf("certain: valuation space %d^%d exceeds MaxWorlds %d",
+				len(rng), len(ids), opts.maxWorlds())
+		}
+	}
+	if len(ids) == 0 {
+		count = 1
+	}
+	return &Space{ids: ids, rng: rng, count: count}, nil
+}
+
+// Size returns the number of valuations in the space.
+func (s *Space) Size() int { return s.count }
+
+// Each enumerates every valuation in the space. Stop early by returning
+// false from f.
+func (s *Space) Each(f func(v value.Valuation) bool) {
+	v := value.NewValuation()
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(s.ids) {
+			return f(v)
+		}
+		for _, c := range s.rng {
+			v.Set(s.ids[i], c)
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// WithNulls computes cert⊥(Q, D) exactly. Candidates are drawn from the
+// naive evaluation: instantiating Definition 3.9 with an injective
+// valuation onto fresh constants shows cert⊥(Q, D) ⊆ Qnaïve(D), so nothing
+// outside the naive answer can be certain.
+func WithNulls(db *relation.Database, q algebra.Expr, opts Options) (*relation.Relation, error) {
+	space, err := NewSpaceForQuery(db, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	candidates := algebra.Naive(db, q).Tuples()
+	alive := make([]bool, len(candidates))
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := len(candidates)
+	space.Each(func(v value.Valuation) bool {
+		if remaining == 0 {
+			return false
+		}
+		world := db.Apply(v)
+		res := algebra.Eval(world, q, algebra.ModeNaive)
+		for i, t := range candidates {
+			if alive[i] && !res.Contains(v.Apply(t)) {
+				alive[i] = false
+				remaining--
+			}
+		}
+		return true
+	})
+	arity := algebra.Arity(q, db)
+	out := relation.NewArity("cert⊥", arity)
+	for i, t := range candidates {
+		if alive[i] {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+// Intersection computes cert∩(Q, D) = ⋂_{v} Q(v(D)) exactly. The result
+// consists of constant tuples only (Section 3.2).
+func Intersection(db *relation.Database, q algebra.Expr, opts Options) (*relation.Relation, error) {
+	space, err := NewSpaceForQuery(db, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	var acc *relation.Relation
+	space.Each(func(v value.Valuation) bool {
+		world := db.Apply(v)
+		res := algebra.Eval(world, q, algebra.ModeNaive)
+		if acc == nil {
+			acc = res
+			return true
+		}
+		next := relation.NewArity("cert∩", acc.Arity())
+		acc.Each(func(t value.Tuple, _ int) {
+			if res.Contains(t) {
+				next.Add(t)
+			}
+		})
+		acc = next
+		return acc.Len() > 0
+	})
+	if acc == nil {
+		// No valuations (impossible: the space always has at least one).
+		acc = relation.NewArity("cert∩", algebra.Arity(q, db))
+	}
+	if acc.Len() == 0 {
+		return relation.NewArity("cert∩", algebra.Arity(q, db)), nil
+	}
+	return acc.Rename("cert∩"), nil
+}
+
+// Bool computes certainty of a Boolean (zero-ary) query: true iff the
+// query holds in every possible world of the space.
+func Bool(db *relation.Database, q algebra.Expr, opts Options) (bool, error) {
+	space, err := NewSpaceForQuery(db, q, opts)
+	if err != nil {
+		return false, err
+	}
+	certain := true
+	space.Each(func(v value.Valuation) bool {
+		if !algebra.BooleanResult(algebra.Eval(db.Apply(v), q, algebra.ModeNaive)) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain, nil
+}
+
+// PossibleTuple reports whether some valuation makes t̄ an answer:
+// ∃v. v(t̄) ∈ Q(v(D)).
+func PossibleTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options) (bool, error) {
+	space, err := spaceForTuple(db, q, t, opts)
+	if err != nil {
+		return false, err
+	}
+	possible := false
+	space.Each(func(v value.Valuation) bool {
+		if algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t)) {
+			possible = true
+			return false
+		}
+		return true
+	})
+	return possible, nil
+}
+
+// CertainTuple reports whether t̄ ∈ cert⊥(Q, D) without computing the whole
+// answer set.
+func CertainTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options) (bool, error) {
+	space, err := spaceForTuple(db, q, t, opts)
+	if err != nil {
+		return false, err
+	}
+	certain := true
+	space.Each(func(v value.Valuation) bool {
+		if !algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t)) {
+			certain = false
+			return false
+		}
+		return true
+	})
+	return certain, nil
+}
+
+// BoxMult computes □Q(D, ā) of (6a): the minimum multiplicity of v(ā) in
+// the bag evaluation of Q over all valuations v.
+func BoxMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options) (int, error) {
+	return extremeMult(db, q, t, opts, true)
+}
+
+// DiamondMult computes ◇Q(D, ā) of (6b): the maximum multiplicity.
+func DiamondMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options) (int, error) {
+	return extremeMult(db, q, t, opts, false)
+}
+
+func extremeMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options, min bool) (int, error) {
+	space, err := spaceForTupleBag(db, q, t, opts)
+	if err != nil {
+		return 0, err
+	}
+	first := true
+	best := 0
+	space.Each(func(v value.Valuation) bool {
+		m := algebra.EvalBag(db.Apply(v), q, algebra.ModeNaive).Mult(v.Apply(t))
+		if first {
+			best = m
+			first = false
+		} else if (min && m < best) || (!min && m > best) {
+			best = m
+		}
+		// Early exit: a minimum of zero cannot improve.
+		return !(min && best == 0)
+	})
+	return best, nil
+}

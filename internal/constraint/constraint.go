@@ -1,0 +1,220 @@
+// Package constraint implements the integrity constraints of Section 4.3:
+// functional dependencies and inclusion dependencies, viewed as generic
+// Boolean queries over complete databases, together with the chase of an
+// incomplete database with a set of functional dependencies (the D_Σ used
+// to compute conditional probabilities over FDs).
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// Constraint is a generic Boolean query used as an integrity constraint.
+type Constraint interface {
+	fmt.Stringer
+	// Holds evaluates the constraint on a database; for the probabilistic
+	// framework the database is a complete possible world.
+	Holds(db *relation.Database) bool
+}
+
+// FD is the functional dependency Rel: LHS → RHS over attribute positions.
+type FD struct {
+	Rel string
+	LHS []int
+	RHS []int
+}
+
+// IND is the inclusion dependency R1[Cols1] ⊆ R2[Cols2].
+type IND struct {
+	R1    string
+	Cols1 []int
+	R2    string
+	Cols2 []int
+}
+
+// Set is a conjunction of constraints.
+type Set []Constraint
+
+func cols(is []int) string {
+	parts := make([]string, len(is))
+	for i, x := range is {
+		parts[i] = fmt.Sprintf("#%d", x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f FD) String() string {
+	return fmt.Sprintf("%s: %s → %s", f.Rel, cols(f.LHS), cols(f.RHS))
+}
+
+func (i IND) String() string {
+	return fmt.Sprintf("%s[%s] ⊆ %s[%s]", i.R1, cols(i.Cols1), i.R2, cols(i.Cols2))
+}
+
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// Holds reports whether no two tuples agree on LHS yet differ on RHS.
+func (f FD) Holds(db *relation.Database) bool {
+	rel := db.Relation(f.Rel)
+	if rel == nil {
+		return true
+	}
+	byLHS := map[string]value.Tuple{}
+	ok := true
+	rel.Each(func(t value.Tuple, _ int) {
+		if !ok {
+			return
+		}
+		key := t.Project(f.LHS).Key()
+		rhs := t.Project(f.RHS)
+		if prev, seen := byLHS[key]; seen {
+			if !prev.Equal(rhs) {
+				ok = false
+			}
+			return
+		}
+		byLHS[key] = rhs
+	})
+	return ok
+}
+
+// Holds reports the inclusion R1[Cols1] ⊆ R2[Cols2].
+func (i IND) Holds(db *relation.Database) bool {
+	r1, r2 := db.Relation(i.R1), db.Relation(i.R2)
+	if r1 == nil || r1.Len() == 0 {
+		return true
+	}
+	if r2 == nil {
+		return false
+	}
+	proj := relation.NewArity("proj", len(i.Cols2))
+	r2.Each(func(t value.Tuple, _ int) { proj.Add(t.Project(i.Cols2)) })
+	ok := true
+	r1.Each(func(t value.Tuple, _ int) {
+		if !proj.Contains(t.Project(i.Cols1)) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Holds is the conjunction.
+func (s Set) Holds(db *relation.Database) bool {
+	for _, c := range s {
+		if !c.Holds(db) {
+			return false
+		}
+	}
+	return true
+}
+
+// FDs extracts the functional dependencies of the set, reporting whether
+// the set consists of FDs only (the case where conditional probabilities
+// obey the 0–1 law via the chase, Section 4.3).
+func (s Set) FDs() ([]FD, bool) {
+	var fds []FD
+	for _, c := range s {
+		fd, ok := c.(FD)
+		if !ok {
+			return nil, false
+		}
+		fds = append(fds, fd)
+	}
+	return fds, true
+}
+
+// Chase applies the standard FD chase to an incomplete database: whenever
+// two tuples agree on an FD's LHS but differ on its RHS, the differing
+// values are equated — a null is bound to the other value; two distinct
+// constants make the chase fail (no possible world satisfies Σ). The
+// result is D_Σ and a success flag.
+func Chase(db *relation.Database, fds []FD) (*relation.Database, bool) {
+	out := db.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			rel := out.Relation(fd.Rel)
+			if rel == nil {
+				continue
+			}
+			byLHS := map[string]value.Tuple{}
+			var subst value.Valuation
+			failed := false
+			rel.Each(func(t value.Tuple, _ int) {
+				if failed || subst != nil {
+					return
+				}
+				key := t.Project(fd.LHS).Key()
+				rhs := t.Project(fd.RHS)
+				prev, seen := byLHS[key]
+				if !seen {
+					byLHS[key] = rhs
+					return
+				}
+				if prev.Equal(rhs) {
+					return
+				}
+				// Equate prev and rhs position-wise.
+				s := value.NewValuation()
+				for i := range rhs {
+					a, b := prev[i], rhs[i]
+					if a == b {
+						continue
+					}
+					switch {
+					case a.IsNull():
+						// A valuation maps nulls to constants; for
+						// null-to-null merges we use RenameNulls below.
+						s[a.NullID()] = b
+					case b.IsNull():
+						s[b.NullID()] = a
+					default:
+						failed = true
+						return
+					}
+				}
+				subst = s
+			})
+			if failed {
+				return nil, false
+			}
+			if subst != nil {
+				out = applySubst(out, subst)
+				changed = true
+			}
+		}
+	}
+	return out, true
+}
+
+// applySubst applies a null binding map (targets may be constants or other
+// nulls) across the whole database.
+func applySubst(db *relation.Database, s value.Valuation) *relation.Database {
+	constPart := value.NewValuation()
+	renames := map[uint64]uint64{}
+	for id, target := range s {
+		if target.IsConst() {
+			constPart.Set(id, target)
+		} else {
+			renames[id] = target.NullID()
+		}
+	}
+	out := db
+	if len(renames) > 0 {
+		out = out.RenameNulls(renames)
+	}
+	if len(constPart) > 0 {
+		out = out.Apply(constPart)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package constraint
+
+import (
+	"testing"
+
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+func n(id uint64) value.Value { return value.Null(id) }
+
+func TestFDHolds(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "k", "v")
+	r.Add(value.Consts("1", "a"))
+	r.Add(value.Consts("2", "b"))
+	db.Add(r)
+	fd := FD{Rel: "R", LHS: []int{0}, RHS: []int{1}}
+	if !fd.Holds(db) {
+		t.Fatalf("FD should hold")
+	}
+	r.Add(value.Consts("1", "c"))
+	if fd.Holds(db) {
+		t.Fatalf("FD violated by (1,a),(1,c)")
+	}
+	// Missing relation: vacuously true.
+	if !(FD{Rel: "Z", LHS: []int{0}, RHS: []int{1}}).Holds(db) {
+		t.Fatalf("missing relation holds vacuously")
+	}
+}
+
+func TestINDHolds(t *testing.T) {
+	db := relation.NewDatabase()
+	s := relation.New("S", "x")
+	s.Add(value.Consts("1"))
+	db.Add(s)
+	tt := relation.New("T", "y")
+	tt.Add(value.Consts("1"))
+	tt.Add(value.Consts("2"))
+	db.Add(tt)
+	ind := IND{R1: "S", Cols1: []int{0}, R2: "T", Cols2: []int{0}}
+	if !ind.Holds(db) {
+		t.Fatalf("S ⊆ T should hold")
+	}
+	s.Add(value.Consts("9"))
+	if ind.Holds(db) {
+		t.Fatalf("9 ∉ T")
+	}
+	// Empty left side: vacuous.
+	db.Add(relation.New("E", "x"))
+	if !(IND{R1: "E", Cols1: []int{0}, R2: "T", Cols2: []int{0}}).Holds(db) {
+		t.Fatalf("empty inclusion holds")
+	}
+	// Missing right side with non-empty left: fails.
+	if (IND{R1: "S", Cols1: []int{0}, R2: "Z", Cols2: []int{0}}).Holds(db) {
+		t.Fatalf("missing target cannot include")
+	}
+}
+
+func TestSetHoldsAndFDs(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "k", "v")
+	r.Add(value.Consts("1", "a"))
+	db.Add(r)
+	set := Set{
+		FD{Rel: "R", LHS: []int{0}, RHS: []int{1}},
+		IND{R1: "R", Cols1: []int{0}, R2: "R", Cols2: []int{0}},
+	}
+	if !set.Holds(db) {
+		t.Fatalf("set should hold")
+	}
+	if _, ok := set.FDs(); ok {
+		t.Fatalf("set contains an IND; FDs() must report false")
+	}
+	onlyFDs := Set{FD{Rel: "R", LHS: []int{0}, RHS: []int{1}}}
+	fds, ok := onlyFDs.FDs()
+	if !ok || len(fds) != 1 {
+		t.Fatalf("FDs extraction failed")
+	}
+	if set.String() == "" || fds[0].String() == "" {
+		t.Fatalf("String rendering broken")
+	}
+}
+
+func TestChaseBindsNullToConstant(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "k", "v")
+	r.Add(value.Consts("1", "a"))
+	r.Add(value.T(value.Const("1"), n(1)))
+	db.Add(r)
+	out, ok := Chase(db, []FD{{Rel: "R", LHS: []int{0}, RHS: []int{1}}})
+	if !ok {
+		t.Fatalf("chase must succeed")
+	}
+	got := out.MustRelation("R")
+	if got.Len() != 1 || !got.Contains(value.Consts("1", "a")) {
+		t.Fatalf("chase result = %v", got)
+	}
+}
+
+func TestChaseMergesNulls(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "k", "v")
+	r.Add(value.T(value.Const("1"), n(1)))
+	r.Add(value.T(value.Const("1"), n(2)))
+	db.Add(r)
+	out, ok := Chase(db, []FD{{Rel: "R", LHS: []int{0}, RHS: []int{1}}})
+	if !ok {
+		t.Fatalf("chase must succeed")
+	}
+	if out.MustRelation("R").Len() != 1 {
+		t.Fatalf("nulls must merge: %v", out.MustRelation("R"))
+	}
+}
+
+func TestChaseFailsOnConstantConflict(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "k", "v")
+	r.Add(value.Consts("1", "a"))
+	r.Add(value.Consts("1", "b"))
+	db.Add(r)
+	if _, ok := Chase(db, []FD{{Rel: "R", LHS: []int{0}, RHS: []int{1}}}); ok {
+		t.Fatalf("chase must fail on a ≠ b")
+	}
+}
+
+func TestChaseTransitive(t *testing.T) {
+	// Chasing may cascade: ⊥1 merges with ⊥2, then ⊥2 with a constant.
+	db := relation.NewDatabase()
+	r := relation.New("R", "k", "v")
+	r.Add(value.T(value.Const("1"), n(1)))
+	r.Add(value.T(value.Const("1"), n(2)))
+	db.Add(r)
+	s := relation.New("S", "k", "v")
+	s.Add(value.T(value.Const("x"), n(2)))
+	s.Add(value.Consts("x", "c"))
+	db.Add(s)
+	out, ok := Chase(db, []FD{
+		{Rel: "R", LHS: []int{0}, RHS: []int{1}},
+		{Rel: "S", LHS: []int{0}, RHS: []int{1}},
+	})
+	if !ok {
+		t.Fatalf("chase must succeed")
+	}
+	// Everything collapses to the constant c.
+	if !out.MustRelation("R").Contains(value.Consts("1", "c")) {
+		t.Fatalf("cascade failed: %v", out)
+	}
+	if !out.IsComplete() {
+		t.Fatalf("all nulls should be resolved: %v", out)
+	}
+}

@@ -1,0 +1,345 @@
+package ctable
+
+import (
+	"fmt"
+
+	"incdb/internal/algebra"
+	"incdb/internal/logic"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// CTuple is a conditional tuple ⟨t̄, φ⟩: t̄ belongs to the relation exactly
+// in the possible worlds whose valuation satisfies φ.
+type CTuple struct {
+	T   value.Tuple
+	Phi Formula
+}
+
+// CTable is a conditional relation: a list of c-tuples of fixed arity.
+type CTable struct {
+	Arity int
+	Rows  []CTuple
+}
+
+// Strategy selects one of the four evaluation algorithms of [36].
+type Strategy int
+
+const (
+	// Eager grounds conditions to {t,f,u} immediately after every
+	// operator.
+	Eager Strategy = iota
+	// SemiEager additionally propagates forced equalities into tuples
+	// before grounding (⟨⊥₂, ⊥₁=c ∧ ⊥₁=⊥₂⟩ becomes ⟨c, u⟩).
+	SemiEager
+	// Lazy propagates and grounds only at difference operators and once
+	// at the very end.
+	Lazy
+	// Aware postpones everything to the end and grounds a minimal
+	// rewriting of the conditions, catching tautologies and
+	// unsatisfiable conditions that stepwise grounding misses.
+	Aware
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Eager:
+		return "eager"
+	case SemiEager:
+		return "semi-eager"
+	case Lazy:
+		return "lazy"
+	case Aware:
+		return "aware"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Eval evaluates q over db as a conditional table under the given
+// strategy. The supported fragment is the core relational algebra of the
+// Figure 2 translations (σ, π, ×, ∪, −, ∩); conditions may use
+// comparisons but not IN subqueries.
+func Eval(db *relation.Database, q algebra.Expr, s Strategy) (*CTable, error) {
+	var out *CTable
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("ctable: %v", r)
+			}
+		}()
+		checkFragment(q)
+		out = eval(db, q, s)
+		out = finalize(out, s)
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvalTrue returns Eval⋆_t(Q, D) of (9a): the tuples whose final condition
+// grounds to t. By Theorem 4.9 these are certain answers.
+func EvalTrue(db *relation.Database, q algebra.Expr, s Strategy) (*relation.Relation, error) {
+	ct, err := Eval(db, q, s)
+	if err != nil {
+		return nil, err
+	}
+	return ct.Extract(true), nil
+}
+
+// EvalPossible returns Eval⋆_p(Q, D) of (9b): tuples whose final condition
+// grounds to t or u.
+func EvalPossible(db *relation.Database, q algebra.Expr, s Strategy) (*relation.Relation, error) {
+	ct, err := Eval(db, q, s)
+	if err != nil {
+		return nil, err
+	}
+	return ct.Extract(false), nil
+}
+
+// Extract converts the grounded c-table into a plain relation: onlyTrue
+// keeps condition t, otherwise t and u.
+func (c *CTable) Extract(onlyTrue bool) *relation.Relation {
+	out := relation.NewArity("eval", c.Arity)
+	for _, row := range c.Rows {
+		switch Ground(row.Phi) {
+		case logic.T:
+			out.Add(row.T)
+		case logic.U:
+			if !onlyTrue {
+				out.Add(row.T)
+			}
+		}
+	}
+	return out
+}
+
+func eval(db *relation.Database, q algebra.Expr, s Strategy) *CTable {
+	switch q := q.(type) {
+	case algebra.Rel:
+		src := db.Relation(q.Name)
+		if src == nil {
+			panic("unknown relation " + q.Name)
+		}
+		ct := &CTable{Arity: src.Arity()}
+		src.Each(func(t value.Tuple, _ int) {
+			ct.Rows = append(ct.Rows, CTuple{T: t.Clone(), Phi: FTrue{}})
+		})
+		return ct
+
+	case algebra.Select:
+		in := eval(db, q.In, s)
+		out := &CTable{Arity: in.Arity}
+		for _, row := range in.Rows {
+			phi := FAnd{row.Phi, condFormula(q.Cond, row.T)}
+			out.Rows = append(out.Rows, CTuple{T: row.T, Phi: phi})
+		}
+		return process(out, s, false)
+
+	case algebra.Project:
+		in := eval(db, q.In, s)
+		out := &CTable{Arity: len(q.Cols)}
+		for _, row := range in.Rows {
+			out.Rows = append(out.Rows, CTuple{T: row.T.Project(q.Cols), Phi: row.Phi})
+		}
+		return process(out, s, false)
+
+	case algebra.Product:
+		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		out := &CTable{Arity: l.Arity + r.Arity}
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				out.Rows = append(out.Rows, CTuple{T: lr.T.Concat(rr.T), Phi: FAnd{lr.Phi, rr.Phi}})
+			}
+		}
+		return process(out, s, false)
+
+	case algebra.Union:
+		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		out := &CTable{Arity: l.Arity}
+		out.Rows = append(out.Rows, l.Rows...)
+		out.Rows = append(out.Rows, r.Rows...)
+		return process(out, s, false)
+
+	case algebra.Diff:
+		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		out := &CTable{Arity: l.Arity}
+		for _, lr := range l.Rows {
+			phi := lr.Phi
+			for _, rr := range r.Rows {
+				phi = FAnd{phi, FNot{FAnd{rr.Phi, EqTuples(lr.T, rr.T)}}}
+			}
+			out.Rows = append(out.Rows, CTuple{T: lr.T, Phi: phi})
+		}
+		return process(out, s, true)
+
+	case algebra.Intersect:
+		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		out := &CTable{Arity: l.Arity}
+		for _, lr := range l.Rows {
+			var match Formula = FFalse{}
+			first := true
+			for _, rr := range r.Rows {
+				m := FAnd{rr.Phi, EqTuples(lr.T, rr.T)}
+				if first {
+					match = m
+					first = false
+				} else {
+					match = FOr{match, m}
+				}
+			}
+			out.Rows = append(out.Rows, CTuple{T: lr.T, Phi: FAnd{lr.Phi, match}})
+		}
+		return process(out, s, true)
+	}
+	panic(fmt.Sprintf("operator %T is outside the c-table fragment", q))
+}
+
+// checkFragment rejects operators outside the c-table fragment up front,
+// so that queries are refused even when the offending node would see no
+// rows (e.g. a selection over an empty relation).
+func checkFragment(q algebra.Expr) {
+	switch q := q.(type) {
+	case algebra.Rel:
+	case algebra.Select:
+		checkFragment(q.In)
+		checkCondFragment(q.Cond)
+	case algebra.Project:
+		checkFragment(q.In)
+	case algebra.Product:
+		checkFragment(q.L)
+		checkFragment(q.R)
+	case algebra.Union:
+		checkFragment(q.L)
+		checkFragment(q.R)
+	case algebra.Diff:
+		checkFragment(q.L)
+		checkFragment(q.R)
+	case algebra.Intersect:
+		checkFragment(q.L)
+		checkFragment(q.R)
+	default:
+		panic(fmt.Sprintf("operator %T is outside the c-table fragment", q))
+	}
+}
+
+func checkCondFragment(c algebra.Cond) {
+	switch c := c.(type) {
+	case algebra.And:
+		checkCondFragment(c.L)
+		checkCondFragment(c.R)
+	case algebra.Or:
+		checkCondFragment(c.L)
+		checkCondFragment(c.R)
+	case algebra.Not:
+		checkCondFragment(c.C)
+	case algebra.InSub:
+		panic("IN subqueries are outside the c-table fragment")
+	}
+}
+
+// condFormula instantiates a selection condition on a concrete tuple.
+// const/null tests are trivial on possible worlds (Section 3.1), matching
+// the translate package's normalization.
+func condFormula(c algebra.Cond, t value.Tuple) Formula {
+	switch c := c.(type) {
+	case algebra.True:
+		return FTrue{}
+	case algebra.False:
+		return FFalse{}
+	case algebra.Eq:
+		return FEq{t[c.I], t[c.J]}
+	case algebra.EqConst:
+		return FEq{t[c.I], c.C}
+	case algebra.Neq:
+		return FNeq{t[c.I], t[c.J]}
+	case algebra.NeqConst:
+		return FNeq{t[c.I], c.C}
+	case algebra.Less:
+		return FLess{t[c.I], t[c.J]}
+	case algebra.LessConst:
+		return FLess{t[c.I], c.C}
+	case algebra.GreaterConst:
+		return FLess{c.C, t[c.I]}
+	case algebra.IsConst:
+		return FTrue{}
+	case algebra.IsNull:
+		return FFalse{}
+	case algebra.And:
+		return FAnd{condFormula(c.L, t), condFormula(c.R, t)}
+	case algebra.Or:
+		return FOr{condFormula(c.L, t), condFormula(c.R, t)}
+	case algebra.Not:
+		return FNot{condFormula(c.C, t)}
+	}
+	panic(fmt.Sprintf("condition %T is outside the c-table fragment", c))
+}
+
+// process applies the strategy's per-operator treatment. afterDiff marks
+// operators at which the lazy strategy grounds.
+func process(ct *CTable, s Strategy, afterDiff bool) *CTable {
+	switch s {
+	case Eager:
+		return groundAll(ct, false)
+	case SemiEager:
+		return groundAll(ct, true)
+	case Lazy:
+		if afterDiff {
+			return groundAll(ct, true)
+		}
+		return ct
+	case Aware:
+		return ct
+	}
+	panic(fmt.Sprintf("unknown strategy %v", s))
+}
+
+// finalize applies the end-of-query treatment.
+func finalize(ct *CTable, s Strategy) *CTable {
+	switch s {
+	case Eager:
+		return ct // already grounded stepwise
+	case SemiEager:
+		return ct
+	case Lazy:
+		return groundAll(ct, true)
+	case Aware:
+		min := &CTable{Arity: ct.Arity}
+		for _, row := range ct.Rows {
+			min.Rows = append(min.Rows, CTuple{T: row.T, Phi: Minimize(row.Phi)})
+		}
+		return groundAll(min, true)
+	}
+	panic(fmt.Sprintf("unknown strategy %v", s))
+}
+
+// groundAll grounds every row's condition to a literal, dropping f rows.
+// With propagate set, forced equalities are first substituted into the
+// tuple (the semi-eager refinement).
+func groundAll(ct *CTable, propagate bool) *CTable {
+	out := &CTable{Arity: ct.Arity}
+	for _, row := range ct.Rows {
+		tv := Ground(row.Phi)
+		if tv == logic.F {
+			continue
+		}
+		t := row.T
+		if propagate && tv == logic.U {
+			if m := ForcedEqualities(row.Phi); len(m) > 0 {
+				t = SubstituteTuple(t, m)
+			}
+		}
+		out.Rows = append(out.Rows, CTuple{T: t, Phi: FromTV(tv)})
+	}
+	return out
+}
+
+// String renders the c-table deterministically for debugging.
+func (c *CTable) String() string {
+	s := fmt.Sprintf("ctable/%d {\n", c.Arity)
+	for _, row := range c.Rows {
+		s += "  ⟨" + row.T.String() + ", " + row.Phi.String() + "⟩\n"
+	}
+	return s + "}"
+}

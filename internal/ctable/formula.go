@@ -1,0 +1,457 @@
+// Package ctable implements conditional tables (c-tables) in the sense of
+// Imieliński–Lipski [43] and the four approximation algorithms of Greco,
+// Molinaro and Trubitsyna [36] surveyed in Section 4.2 of the paper:
+// eager, semi-eager, lazy and aware evaluation. Each is an evaluation of
+// relational algebra over c-tables that differs in *when* conditions are
+// grounded to the truth values {t, f, u} and when forced equalities are
+// propagated into tuples. All four have correctness guarantees
+// (Theorem 4.9), and the eager strategy coincides with the Figure 2(b)
+// translations: Q⁺(D) = Evalᵉ_t(Q, D) and Q?(D) = Evalᵉ_p(Q, D).
+package ctable
+
+import (
+	"fmt"
+	"sort"
+
+	"incdb/internal/logic"
+	"incdb/internal/value"
+)
+
+// Formula is a condition attached to a c-tuple: a Boolean combination of
+// comparisons between constants and nulls.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// FTrue and FFalse are the constant formulas.
+type FTrue struct{}
+type FFalse struct{}
+
+// FUnknown is the opaque residue of grounding a condition to u: the eager
+// strategies collapse undecided conditions into this literal, deliberately
+// losing their structure.
+type FUnknown struct{}
+
+// FEq is the atom A = B over constants and nulls.
+type FEq struct{ A, B value.Value }
+
+// FNeq is the atom A ≠ B.
+type FNeq struct{ A, B value.Value }
+
+// FLess is the atom A < B under the deterministic constant order; it
+// grounds to u whenever a null is involved.
+type FLess struct{ A, B value.Value }
+
+// FEqTuple is the tuple-equality atom r̄ = s̄ introduced by difference and
+// intersection. It is an atom, not a conjunction of FEq, because its
+// three-valued grounding is *unification*: certainly true when the tuples
+// are identical, certainly false when they do not unify (which a
+// position-wise Kleene fold cannot detect for transitive conflicts such as
+// (⊥,⊥) vs (a,b)), unknown otherwise. This is precisely what aligns the
+// eager strategy with the ⋉⇑ of Figure 2(b) (Theorem 4.9).
+type FEqTuple struct{ R, S value.Tuple }
+
+// FAnd, FOr and FNot combine formulas.
+type FAnd struct{ L, R Formula }
+type FOr struct{ L, R Formula }
+type FNot struct{ F Formula }
+
+func (FTrue) isFormula()    {}
+func (FEqTuple) isFormula() {}
+func (FFalse) isFormula()   {}
+func (FUnknown) isFormula() {}
+func (FEq) isFormula()      {}
+func (FNeq) isFormula()     {}
+func (FLess) isFormula()    {}
+func (FAnd) isFormula()     {}
+func (FOr) isFormula()      {}
+func (FNot) isFormula()     {}
+
+func (FTrue) String() string    { return "t" }
+func (FFalse) String() string   { return "f" }
+func (FUnknown) String() string { return "u" }
+func (f FEq) String() string    { return f.A.String() + "=" + f.B.String() }
+func (f FNeq) String() string   { return f.A.String() + "≠" + f.B.String() }
+func (f FLess) String() string  { return f.A.String() + "<" + f.B.String() }
+func (f FEqTuple) String() string {
+	return f.R.String() + "=" + f.S.String()
+}
+func (f FAnd) String() string { return "(" + f.L.String() + " ∧ " + f.R.String() + ")" }
+func (f FOr) String() string  { return "(" + f.L.String() + " ∨ " + f.R.String() + ")" }
+func (f FNot) String() string { return "¬" + f.F.String() }
+
+// FromTV embeds a truth value as a literal formula.
+func FromTV(tv logic.TV) Formula {
+	switch tv {
+	case logic.T:
+		return FTrue{}
+	case logic.F:
+		return FFalse{}
+	default:
+		return FUnknown{}
+	}
+}
+
+// groundAtom evaluates a single comparison three-valuedly: identical values
+// are equal in every world; distinct constants differ in every world;
+// anything else involving a null is unknown.
+func groundAtom(f Formula) logic.TV {
+	switch f := f.(type) {
+	case FTrue:
+		return logic.T
+	case FFalse:
+		return logic.F
+	case FUnknown:
+		return logic.U
+	case FEq:
+		if f.A == f.B {
+			return logic.T
+		}
+		if f.A.IsConst() && f.B.IsConst() {
+			return logic.F
+		}
+		return logic.U
+	case FNeq:
+		return logic.Not(groundAtom(FEq{f.A, f.B}))
+	case FEqTuple:
+		if f.R.Equal(f.S) {
+			return logic.T
+		}
+		if !value.Unifiable(f.R, f.S) {
+			return logic.F
+		}
+		return logic.U
+	case FLess:
+		if f.A.IsConst() && f.B.IsConst() {
+			return logic.FromBool(value.Less(f.A, f.B))
+		}
+		return logic.U
+	}
+	panic(fmt.Sprintf("ctable: groundAtom: not an atom: %T", f))
+}
+
+// Ground evaluates a formula to a truth value in {t, f, u} by a Kleene
+// fold over atoms. Deliberately, no cross-atom reasoning happens here:
+// grounding ⊥=a ∧ ⊥=b atomwise yields u, exactly as the Figure 2(b)
+// queries see it (Q? keeps such rows). The cross-value reasoning required
+// for difference lives in the FEqTuple atom (unification), and the deeper
+// satisfiability/tautology analysis is the aware strategy's Minimize.
+func Ground(f Formula) logic.TV {
+	switch f := f.(type) {
+	case FTrue, FFalse, FUnknown, FEq, FNeq, FLess, FEqTuple:
+		return groundAtom(f)
+	case FNot:
+		return logic.Not(Ground(f.F))
+	case FOr:
+		return logic.Or(Ground(f.L), Ground(f.R))
+	case FAnd:
+		return logic.And(Ground(f.L), Ground(f.R))
+	}
+	panic(fmt.Sprintf("ctable: Ground: unknown formula %T", f))
+}
+
+func flattenAnd(f Formula, acc []Formula) []Formula {
+	if a, ok := f.(FAnd); ok {
+		return flattenAnd(a.R, flattenAnd(a.L, acc))
+	}
+	return append(acc, f)
+}
+
+func flattenOr(f Formula, acc []Formula) []Formula {
+	if o, ok := f.(FOr); ok {
+		return flattenOr(o.R, flattenOr(o.L, acc))
+	}
+	return append(acc, f)
+}
+
+// conjunctionSatisfiable checks whether the equality/disequality atoms of
+// a flattened conjunction admit a valuation: the equalities must not merge
+// two distinct constants and no disequality may link two merged values.
+// Non-atomic conjuncts are ignored (treated as satisfiable), keeping the
+// check sound as an f-detector.
+func conjunctionSatisfiable(conj []Formula) bool {
+	uf := map[value.Value]value.Value{}
+	cval := map[value.Value]value.Value{}
+	var find func(v value.Value) value.Value
+	find = func(v value.Value) value.Value {
+		p, ok := uf[v]
+		if !ok {
+			uf[v] = v
+			if v.IsConst() {
+				cval[v] = v
+			}
+			return v
+		}
+		if p == v {
+			return v
+		}
+		r := find(p)
+		uf[v] = r
+		return r
+	}
+	union := func(a, b value.Value) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return true
+		}
+		ca, okA := cval[ra]
+		cb, okB := cval[rb]
+		if okA && okB && ca != cb {
+			return false
+		}
+		uf[rb] = ra
+		if okB {
+			cval[ra] = cb
+		}
+		return true
+	}
+	for _, g := range conj {
+		switch g := g.(type) {
+		case FEq:
+			if !union(g.A, g.B) {
+				return false
+			}
+		case FEqTuple:
+			for i := range g.R {
+				if !union(g.R[i], g.S[i]) {
+					return false
+				}
+			}
+		}
+	}
+	for _, g := range conj {
+		if ne, ok := g.(FNeq); ok {
+			if find(ne.A) == find(ne.B) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForcedEqualities extracts the substitution implied by the positive
+// equality atoms of a conjunction: nulls forced equal to a constant map to
+// it; nulls forced equal to each other map to a common representative.
+// The result is empty when the formula is not a conjunction of atoms or
+// forces nothing.
+func ForcedEqualities(f Formula) map[uint64]value.Value {
+	conj := flattenAnd(f, nil)
+	var pairs [][2]value.Value
+	for _, g := range conj {
+		switch g := g.(type) {
+		case FEq:
+			pairs = append(pairs, [2]value.Value{g.A, g.B})
+		case FEqTuple:
+			for i := range g.R {
+				pairs = append(pairs, [2]value.Value{g.R[i], g.S[i]})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	// Reuse tuple unification over the paired-up values.
+	var l, r value.Tuple
+	for _, p := range pairs {
+		l = append(l, p[0])
+		r = append(r, p[1])
+	}
+	m, ok := value.Unify(l, r)
+	if !ok {
+		return nil // unsatisfiable: Ground will yield f; nothing to force
+	}
+	out := map[uint64]value.Value{}
+	for id, target := range m {
+		if target.IsConst() || target != value.Null(id) {
+			out[id] = target
+		}
+	}
+	return out
+}
+
+// Substitute applies a null substitution to a formula.
+func Substitute(f Formula, m map[uint64]value.Value) Formula {
+	sub := func(v value.Value) value.Value {
+		for v.IsNull() {
+			next, ok := m[v.NullID()]
+			if !ok || next == v {
+				return v
+			}
+			v = next
+		}
+		return v
+	}
+	switch f := f.(type) {
+	case FTrue, FFalse, FUnknown:
+		return f
+	case FEq:
+		return FEq{sub(f.A), sub(f.B)}
+	case FNeq:
+		return FNeq{sub(f.A), sub(f.B)}
+	case FLess:
+		return FLess{sub(f.A), sub(f.B)}
+	case FEqTuple:
+		r := make(value.Tuple, len(f.R))
+		sTup := make(value.Tuple, len(f.S))
+		for i := range f.R {
+			r[i] = sub(f.R[i])
+			sTup[i] = sub(f.S[i])
+		}
+		return FEqTuple{r, sTup}
+	case FAnd:
+		return FAnd{Substitute(f.L, m), Substitute(f.R, m)}
+	case FOr:
+		return FOr{Substitute(f.L, m), Substitute(f.R, m)}
+	case FNot:
+		return FNot{Substitute(f.F, m)}
+	}
+	panic(fmt.Sprintf("ctable: Substitute: unknown formula %T", f))
+}
+
+// SubstituteTuple applies a null substitution to a tuple.
+func SubstituteTuple(t value.Tuple, m map[uint64]value.Value) value.Tuple {
+	out := make(value.Tuple, len(t))
+	for i, v := range t {
+		for v.IsNull() {
+			next, ok := m[v.NullID()]
+			if !ok || next == v {
+				break
+			}
+			v = next
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Minimize performs the "minimal rewriting" of the aware strategy:
+// decidable atoms are evaluated, constants short-circuit, duplicate
+// conjuncts/disjuncts collapse, complementary literals are detected
+// (φ ∨ ¬φ is t, φ ∧ ¬φ is f; FEq/FNeq pairs count as complements), and
+// unsatisfiable equality conjunctions become f. The output is equivalent
+// to the input in every possible world and never less grounded.
+func Minimize(f Formula) Formula {
+	switch f := f.(type) {
+	case FTrue, FFalse, FUnknown:
+		return f
+	case FEq, FNeq, FLess, FEqTuple:
+		return FromTVOrAtom(groundAtom(f), f)
+	case FNot:
+		inner := Minimize(f.F)
+		switch g := inner.(type) {
+		case FTrue:
+			return FFalse{}
+		case FFalse:
+			return FTrue{}
+		case FUnknown:
+			return FUnknown{}
+		case FNot:
+			return g.F
+		case FEq:
+			return FNeq{g.A, g.B}
+		case FNeq:
+			return FEq{g.A, g.B}
+		default:
+			return FNot{inner}
+		}
+	case FAnd, FOr:
+		isAnd := false
+		if _, ok := f.(FAnd); ok {
+			isAnd = true
+		}
+		var parts []Formula
+		if isAnd {
+			parts = flattenAnd(f, nil)
+		} else {
+			parts = flattenOr(f, nil)
+		}
+		seen := map[string]Formula{}
+		var kept []Formula
+		for _, p := range parts {
+			p = Minimize(p)
+			switch p.(type) {
+			case FTrue:
+				if !isAnd {
+					return FTrue{}
+				}
+				continue
+			case FFalse:
+				if isAnd {
+					return FFalse{}
+				}
+				continue
+			}
+			k := p.String()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = p
+			kept = append(kept, p)
+		}
+		// Complementary-pair detection.
+		for _, p := range kept {
+			if _, ok := seen[complementKey(p)]; ok {
+				if isAnd {
+					return FFalse{}
+				}
+				return FTrue{}
+			}
+		}
+		if isAnd && !conjunctionSatisfiable(kept) {
+			return FFalse{}
+		}
+		if len(kept) == 0 {
+			if isAnd {
+				return FTrue{}
+			}
+			return FFalse{}
+		}
+		sort.Slice(kept, func(i, j int) bool { return kept[i].String() < kept[j].String() })
+		acc := kept[0]
+		for _, p := range kept[1:] {
+			if isAnd {
+				acc = FAnd{acc, p}
+			} else {
+				acc = FOr{acc, p}
+			}
+		}
+		return acc
+	}
+	panic(fmt.Sprintf("ctable: Minimize: unknown formula %T", f))
+}
+
+// FromTVOrAtom keeps the atom when its grounding is undecided, otherwise
+// collapses to the literal.
+func FromTVOrAtom(tv logic.TV, atom Formula) Formula {
+	if tv == logic.U {
+		return atom
+	}
+	return FromTV(tv)
+}
+
+// complementKey returns the string form of the syntactic complement of f.
+func complementKey(f Formula) string {
+	switch f := f.(type) {
+	case FEq:
+		return FNeq{f.A, f.B}.String()
+	case FNeq:
+		return FEq{f.A, f.B}.String()
+	case FNot:
+		return f.F.String()
+	default:
+		return FNot{f}.String()
+	}
+}
+
+// EqTuples builds the tuple-equality atom r̄ = s̄ (FTrue for zero-ary
+// tuples, FFalse on arity mismatch).
+func EqTuples(r, s value.Tuple) Formula {
+	if len(r) != len(s) {
+		return FFalse{}
+	}
+	if len(r) == 0 {
+		return FTrue{}
+	}
+	return FEqTuple{R: r.Clone(), S: s.Clone()}
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiments are exercised in full by cmd/experiments; here we check
+// that each one runs, returns non-empty output, and mentions its key
+// artifact — a smoke net against harness regressions. The slowest sweeps
+// (E3's timing reps, E12's oracle sweep) are gated behind -short.
+func TestExperimentsRun(t *testing.T) {
+	keyContent := map[string]string{
+		"E1":  "false positive",
+		"E2":  "Dom",
+		"E3":  "overhead",
+		"E4":  "□Q",
+		"E5":  "aware",
+		"E6":  "µ2",
+		"E7":  "1/2",
+		"E8":  "almost certainly false",
+		"E9":  "{f, u, t}",
+		"E10": "verified",
+		"E11": "Counterexample",
+		"E12": "precision",
+	}
+	slow := map[string]bool{"E3": true, "E12": true}
+	for _, e := range All() {
+		if testing.Short() && slow[e.ID] {
+			continue
+		}
+		out := e.Run()
+		if out == "" {
+			t.Errorf("%s: empty output", e.ID)
+			continue
+		}
+		if key := keyContent[e.ID]; !strings.Contains(out, key) {
+			t.Errorf("%s: output missing %q", e.ID, key)
+		}
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	if len(All()) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Fatalf("table rendering broken: %q", out)
+	}
+}

@@ -1,0 +1,268 @@
+// Package fo implements the many-valued first-order logics of Section 5 of
+// the paper: the language FO(L) over a propositional logic L, the atom
+// semantics ⟦·⟧bool (12), ⟦·⟧unif (13a/13b) and ⟦·⟧nullfree (14), the mixed
+// semantics ⟦·⟧sql (15) underlying SQL, the assertion operator ↑ that turns
+// FOSQL into FO↑SQL, and the compilation into Boolean first-order logic of
+// Theorems 5.4 and 5.5.
+package fo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdb/internal/value"
+)
+
+// Term is a variable or a constant.
+type Term interface {
+	fmt.Stringer
+	isTerm()
+}
+
+// Var is a first-order variable.
+type Var struct{ Name string }
+
+// Lit is a constant term.
+type Lit struct{ V value.Value }
+
+func (Var) isTerm() {}
+func (Lit) isTerm() {}
+
+func (t Var) String() string { return t.Name }
+func (t Lit) String() string { return "'" + t.V.String() + "'" }
+
+// C builds a constant term from a string payload.
+func C(s string) Term { return Lit{V: value.Const(s)} }
+
+// X builds a variable term.
+func X(name string) Term { return Var{Name: name} }
+
+// Formula is a first-order formula over relational atoms, equality,
+// const/null tests, the connectives ∧ ∨ ¬, the quantifiers ∃ ∀, and the
+// assertion operator ↑.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// Atom is R(t̄).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// Eq is t₁ = t₂.
+type Eq struct{ L, R Term }
+
+// IsConst is const(t); IsNull is null(t).
+type IsConst struct{ T Term }
+type IsNull struct{ T Term }
+
+// Unif is the derived unifiability predicate x̄ ⇑ ȳ used by the Boolean-FO
+// translation of the unification semantics. It is expressible in pure FO
+// (see ExpandUnif) and evaluated natively for efficiency.
+type Unif struct{ L, R []Term }
+
+// And, Or, Not are the connectives; their propagation follows the logic of
+// the chosen semantics (Kleene for the three-valued ones).
+type And struct{ L, R Formula }
+type Or struct{ L, R Formula }
+type Not struct{ F Formula }
+
+// Exists and Forall quantify over the active domain of the database.
+type Exists struct {
+	V string
+	F Formula
+}
+type Forall struct {
+	V string
+	F Formula
+}
+
+// Assert is Bochvar's ↑: t maps to t, everything else to f. It is the
+// propositional operator that captures SQL's keep-only-t behaviour
+// (Section 5.2) and the one connective that breaks knowledge monotonicity.
+type Assert struct{ F Formula }
+
+// TrueF and FalseF are the constant formulas.
+type TrueF struct{}
+type FalseF struct{}
+
+func (Atom) isFormula()    {}
+func (Eq) isFormula()      {}
+func (IsConst) isFormula() {}
+func (IsNull) isFormula()  {}
+func (Unif) isFormula()    {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Not) isFormula()     {}
+func (Exists) isFormula()  {}
+func (Forall) isFormula()  {}
+func (Assert) isFormula()  {}
+func (TrueF) isFormula()   {}
+func (FalseF) isFormula()  {}
+
+func terms(ts []Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f Atom) String() string    { return f.Rel + "(" + terms(f.Args) + ")" }
+func (f Eq) String() string      { return f.L.String() + "=" + f.R.String() }
+func (f IsConst) String() string { return "const(" + f.T.String() + ")" }
+func (f IsNull) String() string  { return "null(" + f.T.String() + ")" }
+func (f Unif) String() string    { return "(" + terms(f.L) + ")⇑(" + terms(f.R) + ")" }
+func (f And) String() string     { return "(" + f.L.String() + " ∧ " + f.R.String() + ")" }
+func (f Or) String() string      { return "(" + f.L.String() + " ∨ " + f.R.String() + ")" }
+func (f Not) String() string     { return "¬" + f.F.String() }
+func (f Exists) String() string  { return "∃" + f.V + " " + f.F.String() }
+func (f Forall) String() string  { return "∀" + f.V + " " + f.F.String() }
+func (f Assert) String() string  { return "↑" + f.F.String() }
+func (TrueF) String() string     { return "⊤" }
+func (FalseF) String() string    { return "⊥" }
+
+// FreeVars returns the free variables of a formula, sorted.
+func FreeVars(f Formula) []string {
+	vars := map[string]bool{}
+	collectFree(f, map[string]bool{}, vars)
+	out := make([]string, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(f Formula, bound, free map[string]bool) {
+	addTerm := func(t Term) {
+		if v, ok := t.(Var); ok && !bound[v.Name] {
+			free[v.Name] = true
+		}
+	}
+	switch f := f.(type) {
+	case Atom:
+		for _, t := range f.Args {
+			addTerm(t)
+		}
+	case Eq:
+		addTerm(f.L)
+		addTerm(f.R)
+	case IsConst:
+		addTerm(f.T)
+	case IsNull:
+		addTerm(f.T)
+	case Unif:
+		for _, t := range f.L {
+			addTerm(t)
+		}
+		for _, t := range f.R {
+			addTerm(t)
+		}
+	case And:
+		collectFree(f.L, bound, free)
+		collectFree(f.R, bound, free)
+	case Or:
+		collectFree(f.L, bound, free)
+		collectFree(f.R, bound, free)
+	case Not:
+		collectFree(f.F, bound, free)
+	case Assert:
+		collectFree(f.F, bound, free)
+	case Exists:
+		inner := copyBound(bound)
+		inner[f.V] = true
+		collectFree(f.F, inner, free)
+	case Forall:
+		inner := copyBound(bound)
+		inner[f.V] = true
+		collectFree(f.F, inner, free)
+	case TrueF, FalseF:
+	}
+}
+
+func copyBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// ConstsOf collects the constants mentioned in the formula, deterministic.
+func ConstsOf(f Formula) []value.Value {
+	seen := map[value.Value]bool{}
+	var walk func(Formula)
+	addTerm := func(t Term) {
+		if l, ok := t.(Lit); ok {
+			seen[l.V] = true
+		}
+	}
+	walk = func(f Formula) {
+		switch f := f.(type) {
+		case Atom:
+			for _, t := range f.Args {
+				addTerm(t)
+			}
+		case Eq:
+			addTerm(f.L)
+			addTerm(f.R)
+		case IsConst:
+			addTerm(f.T)
+		case IsNull:
+			addTerm(f.T)
+		case Unif:
+			for _, t := range f.L {
+				addTerm(t)
+			}
+			for _, t := range f.R {
+				addTerm(t)
+			}
+		case And:
+			walk(f.L)
+			walk(f.R)
+		case Or:
+			walk(f.L)
+			walk(f.R)
+		case Not:
+			walk(f.F)
+		case Assert:
+			walk(f.F)
+		case Exists:
+			walk(f.F)
+		case Forall:
+			walk(f.F)
+		}
+	}
+	walk(f)
+	out := make([]value.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	return out
+}
+
+// Size counts formula nodes, used to report translation blow-up.
+func Size(f Formula) int {
+	switch f := f.(type) {
+	case Atom, Eq, IsConst, IsNull, Unif, TrueF, FalseF:
+		return 1
+	case And:
+		return 1 + Size(f.L) + Size(f.R)
+	case Or:
+		return 1 + Size(f.L) + Size(f.R)
+	case Not:
+		return 1 + Size(f.F)
+	case Assert:
+		return 1 + Size(f.F)
+	case Exists:
+		return 1 + Size(f.F)
+	case Forall:
+		return 1 + Size(f.F)
+	}
+	panic(fmt.Sprintf("fo: Size: unknown formula %T", f))
+}

@@ -1,0 +1,401 @@
+package fo
+
+import (
+	"math/rand"
+	"testing"
+
+	"incdb/internal/gen"
+	"incdb/internal/logic"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+func n(id uint64) value.Value { return value.Null(id) }
+
+func smallDB() *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a", "b")
+	r.Add(value.T(value.Const("1"), n(1)))
+	db.Add(r)
+	s := relation.New("S", "x")
+	s.Add(value.Consts("1"))
+	db.Add(s)
+	return db
+}
+
+func TestFreeVarsAndSize(t *testing.T) {
+	f := Exists{V: "y", F: And{Atom{Rel: "R", Args: []Term{X("x"), X("y")}}, Eq{X("x"), C("1")}}}
+	fv := FreeVars(f)
+	if len(fv) != 1 || fv[0] != "x" {
+		t.Fatalf("FreeVars = %v", fv)
+	}
+	if Size(f) != 4 {
+		t.Fatalf("Size = %d", Size(f))
+	}
+	if len(ConstsOf(f)) != 1 {
+		t.Fatalf("ConstsOf = %v", ConstsOf(f))
+	}
+}
+
+// The Section 5.1 example: with R(1,⊥), the Boolean semantics calls R(1,1)
+// false — but (1,1) is not certainly absent, so bool lacks correctness
+// guarantees; the unification semantics reports u.
+func TestUnifVsBoolOnAtoms(t *testing.T) {
+	db := smallDB()
+	f := Atom{Rel: "R", Args: []Term{C("1"), C("1")}}
+	if got := Eval(db, f, Bool(), Env{}); got != logic.F {
+		t.Fatalf("bool: got %v, want f", got)
+	}
+	if got := Eval(db, f, UnifSem(), Env{}); got != logic.U {
+		t.Fatalf("unif: got %v, want u", got)
+	}
+	// Exact member: t under both.
+	g := Atom{Rel: "R", Args: []Term{C("1"), Lit{V: n(1)}}}
+	if Eval(db, g, Bool(), Env{}) != logic.T || Eval(db, g, UnifSem(), Env{}) != logic.T {
+		t.Fatalf("exact membership must be t")
+	}
+	// Non-unifiable: f under unif.
+	h := Atom{Rel: "R", Args: []Term{C("2"), C("2")}}
+	if got := Eval(db, h, UnifSem(), Env{}); got != logic.F {
+		t.Fatalf("non-unifiable must be f: %v", got)
+	}
+}
+
+func TestEqualitySemantics(t *testing.T) {
+	db := smallDB()
+	cases := []struct {
+		a, b value.Value
+		sem  Semantics
+		want logic.TV
+	}{
+		{value.Const("1"), value.Const("1"), Bool(), logic.T},
+		{value.Const("1"), value.Const("2"), Bool(), logic.F},
+		{n(1), n(1), Bool(), logic.T},    // marked nulls are values under bool
+		{n(1), n(2), Bool(), logic.F},    //
+		{n(1), n(1), UnifSem(), logic.T}, // (13b): same null certainly equal
+		{n(1), n(2), UnifSem(), logic.U},
+		{n(1), value.Const("1"), UnifSem(), logic.U},
+		{value.Const("1"), value.Const("2"), UnifSem(), logic.F},
+		{n(1), n(1), SQLSem(), logic.U}, // SQL: null = null is unknown
+		{n(1), value.Const("1"), SQLSem(), logic.U},
+		{value.Const("1"), value.Const("1"), SQLSem(), logic.T},
+	}
+	for _, tc := range cases {
+		f := Eq{Lit{tc.a}, Lit{tc.b}}
+		if got := Eval(db, f, tc.sem, Env{}); got != tc.want {
+			t.Errorf("%s under %s = %v, want %v", f, tc.sem.Name, got, tc.want)
+		}
+	}
+}
+
+func TestNullFreeRelationAtom(t *testing.T) {
+	db := smallDB()
+	// (14): any null among the arguments gives u.
+	f := Atom{Rel: "R", Args: []Term{C("1"), Lit{V: n(1)}}}
+	if got := Eval(db, f, NullFreeSem(), Env{}); got != logic.U {
+		t.Fatalf("nullfree with null arg = %v, want u", got)
+	}
+	g := Atom{Rel: "S", Args: []Term{C("1")}}
+	if got := Eval(db, g, NullFreeSem(), Env{}); got != logic.T {
+		t.Fatalf("nullfree const member = %v, want t", got)
+	}
+}
+
+func TestQuantifiersAndConnectives(t *testing.T) {
+	db := smallDB()
+	// ∃x S(x) — true.
+	f := Exists{V: "x", F: Atom{Rel: "S", Args: []Term{X("x")}}}
+	if Eval(db, f, Bool(), Env{}) != logic.T {
+		t.Fatalf("∃x S(x) must be t")
+	}
+	// ∀x S(x) — false (adom has more elements).
+	g := Forall{V: "x", F: Atom{Rel: "S", Args: []Term{X("x")}}}
+	if Eval(db, g, Bool(), Env{}) != logic.F {
+		t.Fatalf("∀x S(x) must be f")
+	}
+	// Under SQL semantics ∀x (S(x) ∨ ¬S(x)) can be u…
+	taut := Forall{V: "x", F: Or{
+		Eq{X("x"), C("1")},
+		Not{Eq{X("x"), C("1")}},
+	}}
+	if got := Eval(db, taut, SQLSem(), Env{}); got != logic.U {
+		t.Fatalf("three-valued tautology over nulls = %v, want u", got)
+	}
+	// …but the assertion operator collapses u to f.
+	if got := Eval(db, Assert{taut}, SQLSem(), Env{}); got != logic.F {
+		t.Fatalf("↑u must be f, got %v", got)
+	}
+}
+
+func TestAnswersAndAnswersWith(t *testing.T) {
+	db := smallDB()
+	f := Atom{Rel: "S", Args: []Term{X("x")}}
+	ans := Answers(db, f, []string{"x"}, UnifSem())
+	if ans.Len() != 1 || !ans.Contains(value.Consts("1")) {
+		t.Fatalf("Answers = %v", ans)
+	}
+	byTV := AnswersWith(db, f, []string{"x"}, UnifSem())
+	// ⊥1 unifies with 1, so S(⊥1) is u; nothing else in adom.
+	if byTV[1].Len() != 1 || byTV[2].Len() != 1 {
+		t.Fatalf("AnswersWith: u=%v t=%v", byTV[1], byTV[2])
+	}
+}
+
+func TestEvalUnboundVariablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Eval(smallDB(), Atom{Rel: "S", Args: []Term{X("zz")}}, Bool(), Env{})
+}
+
+// randFormula generates a random closed-under-freeVars formula over the
+// gen.Schema() relations with at most the given free variables.
+func randFormula(r *rand.Rand, depth int, free []string, allowAssert bool) Formula {
+	mkTerm := func() Term {
+		if len(free) > 0 && r.Intn(3) > 0 {
+			return X(free[r.Intn(len(free))])
+		}
+		return C("c" + string(rune('0'+r.Intn(3))))
+	}
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Atom{Rel: "S", Args: []Term{mkTerm()}}
+		case 1:
+			return Atom{Rel: "R", Args: []Term{mkTerm(), mkTerm()}}
+		case 2:
+			return Atom{Rel: "T", Args: []Term{mkTerm(), mkTerm()}}
+		default:
+			return Eq{mkTerm(), mkTerm()}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return And{randFormula(r, depth-1, free, allowAssert), randFormula(r, depth-1, free, allowAssert)}
+	case 1:
+		return Or{randFormula(r, depth-1, free, allowAssert), randFormula(r, depth-1, free, allowAssert)}
+	case 2:
+		return Not{randFormula(r, depth-1, free, allowAssert)}
+	case 3:
+		v := "q" + string(rune('0'+depth))
+		return Exists{V: v, F: randFormula(r, depth-1, append(append([]string{}, free...), v), allowAssert)}
+	case 4:
+		v := "q" + string(rune('0'+depth))
+		return Forall{V: v, F: randFormula(r, depth-1, append(append([]string{}, free...), v), allowAssert)}
+	default:
+		if allowAssert {
+			return Assert{randFormula(r, depth-1, free, allowAssert)}
+		}
+		return Not{randFormula(r, depth-1, free, allowAssert)}
+	}
+}
+
+// Theorems 5.4 and 5.5 as a property test: for the SQL, unif, nullfree and
+// bool semantics (with and without ↑), the translated Boolean formulas
+// characterize the truth values exactly.
+func TestTranslationCharacterizesTruthValues(t *testing.T) {
+	r := rand.New(rand.NewSource(554))
+	cfg := gen.DefaultConfig()
+	cfg.MaxTuples = 3
+	sems := []Semantics{SQLSem(), UnifSem(), NullFreeSem(), Bool()}
+	for trial := 0; trial < 150; trial++ {
+		db := gen.DB(r, cfg)
+		f := randFormula(r, 2, []string{"x"}, true)
+		sem := sems[trial%len(sems)]
+		pos, neg := Translate(f, sem)
+		for _, v := range db.ActiveDomain() {
+			env := Env{"x": v}
+			tv := Eval(db, f, sem, env)
+			pb := Eval(db, pos, Bool(), env) == logic.T
+			nb := Eval(db, neg, Bool(), env) == logic.T
+			if (tv == logic.T) != pb {
+				t.Fatalf("trial %d sem %s: φ=%s x=%v: ⟦φ⟧=%v but pos=%v\npos = %s",
+					trial, sem.Name, f, v, tv, pb, pos)
+			}
+			if (tv == logic.F) != nb {
+				t.Fatalf("trial %d sem %s: φ=%s x=%v: ⟦φ⟧=%v but neg=%v\nneg = %s",
+					trial, sem.Name, f, v, tv, nb, neg)
+			}
+		}
+	}
+}
+
+// The translation's ⇑ atoms expand to pure FO (no Unif nodes) with the
+// same Boolean value everywhere.
+func TestExpandUnifEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	cfg := gen.DefaultConfig()
+	for trial := 0; trial < 60; trial++ {
+		db := gen.DB(r, cfg)
+		f := randFormula(r, 2, []string{"x"}, false)
+		pos, neg := Translate(f, UnifSem())
+		for _, g := range []Formula{pos, neg} {
+			exp := ExpandUnif(g)
+			if containsUnif(exp) {
+				t.Fatalf("expansion left a ⇑ atom: %s", exp)
+			}
+			for _, v := range db.ActiveDomain() {
+				env := Env{"x": v}
+				if Eval(db, g, Bool(), env) != Eval(db, exp, Bool(), env) {
+					t.Fatalf("trial %d: expansion differs at x=%v\nφ = %s\ng = %s", trial, v, f, g)
+				}
+			}
+		}
+	}
+}
+
+func containsUnif(f Formula) bool {
+	switch f := f.(type) {
+	case Unif:
+		return true
+	case And:
+		return containsUnif(f.L) || containsUnif(f.R)
+	case Or:
+		return containsUnif(f.L) || containsUnif(f.R)
+	case Not:
+		return containsUnif(f.F)
+	case Assert:
+		return containsUnif(f.F)
+	case Exists:
+		return containsUnif(f.F)
+	case Forall:
+		return containsUnif(f.F)
+	default:
+		return false
+	}
+}
+
+func TestExpandUnifDirect(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	r.Add(value.T(n(1)))
+	r.Add(value.T(n(2)))
+	r.Add(value.Consts("a"))
+	r.Add(value.Consts("b"))
+	db.Add(r)
+	// Check the ⇑ expansion on arity-2 tuples over all pairs from adom.
+	u := Unif{L: []Term{X("p"), X("q")}, R: []Term{X("r"), X("s")}}
+	exp := ExpandUnif(u)
+	adom := db.ActiveDomain()
+	for _, p := range adom {
+		for _, q := range adom {
+			for _, rr := range adom {
+				for _, s := range adom {
+					env := Env{"p": p, "q": q, "r": rr, "s": s}
+					want := value.Unifiable(value.T(p, q), value.T(rr, s))
+					got := Eval(db, exp, Bool(), env) == logic.T
+					if got != want {
+						t.Fatalf("expansion wrong at (%v,%v)⇑(%v,%v): got %v want %v", p, q, rr, s, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Corollary 5.2 as a property test: if ⟦φ⟧unif = t then ā is a certain
+// answer; if f, then ā is certainly not an answer. Certainty is checked by
+// enumerating valuations into Const(D) ∪ consts(φ) ∪ fresh.
+func TestCorollary52CorrectnessGuarantees(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	cfg := gen.DefaultConfig()
+	cfg.MaxTuples = 3
+	for trial := 0; trial < 80; trial++ {
+		db := gen.DB(r, cfg)
+		f := randFormula(r, 2, []string{"x"}, false) // no ↑: FOSQL core
+		ids := db.NullIDs()
+		if len(ids) > 4 {
+			continue
+		}
+		// Candidate range: db constants + formula constants + fresh.
+		rng := db.Consts()
+		rng = append(rng, ConstsOf(f)...)
+		for i := 0; i < len(ids)+1; i++ {
+			rng = append(rng, value.Const("fr"+string(rune('0'+i))))
+		}
+		for _, v := range db.ActiveDomain() {
+			env := Env{"x": v}
+			tv := Eval(db, f, UnifSem(), env)
+			if tv == logic.U {
+				continue
+			}
+			holdsEverywhere := true
+			failsEverywhere := true
+			var rec func(i int, val value.Valuation)
+			rec = func(i int, val value.Valuation) {
+				if !holdsEverywhere && !failsEverywhere {
+					return
+				}
+				if i == len(ids) {
+					world := db.Apply(val)
+					got := Eval(world, f, Bool(), Env{"x": val.ApplyValue(v)})
+					if got != logic.T {
+						holdsEverywhere = false
+					}
+					if got != logic.F {
+						failsEverywhere = false
+					}
+					return
+				}
+				for _, c := range rng {
+					val.Set(ids[i], c)
+					rec(i+1, val)
+				}
+			}
+			rec(0, value.NewValuation())
+			if tv == logic.T && !holdsEverywhere {
+				t.Fatalf("trial %d: ⟦φ⟧unif=t but not certain\nφ = %s\nD = %v\nx = %v", trial, f, db, v)
+			}
+			if tv == logic.F && !failsEverywhere {
+				t.Fatalf("trial %d: ⟦φ⟧unif=f but not certainly false\nφ = %s\nD = %v\nx = %v", trial, f, db, v)
+			}
+		}
+	}
+}
+
+// The Section 5.1 closing example: R = S = {1}, T = {⊥}; the SQL query
+// R − (S − T) returns {1}, yet 1 is almost certainly false. FO↑SQL
+// reproduces the SQL answer; the unif semantics returns u instead.
+func TestSQLAlmostCertainlyFalseExample(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	r.Add(value.Consts("1"))
+	db.Add(r)
+	s := relation.New("S", "a")
+	s.Add(value.Consts("1"))
+	db.Add(s)
+	tt := relation.New("T", "a")
+	tt.Add(value.T(n(1)))
+	db.Add(tt)
+
+	// φ(x) = R(x) ∧ ↑¬∃y (S(y) ∧ y=x ∧ ↑¬∃z (T(z) ∧ z=y))
+	inner := Exists{V: "z", F: And{Atom{Rel: "T", Args: []Term{X("z")}}, Eq{X("z"), X("y")}}}
+	mid := Exists{V: "y", F: And{
+		Atom{Rel: "S", Args: []Term{X("y")}},
+		And{Eq{X("y"), X("x")}, Assert{Not{inner}}},
+	}}
+	phi := And{Atom{Rel: "R", Args: []Term{X("x")}}, Assert{Not{mid}}}
+
+	ans := Answers(db, phi, []string{"x"}, SQLSem())
+	if !ans.Contains(value.Consts("1")) {
+		t.Fatalf("FO↑SQL must return {1} like SQL does: %v", ans)
+	}
+
+	// Without ↑ (plain FOSQL in the unif semantics), 1 is not claimed true.
+	phiNoAssert := And{Atom{Rel: "R", Args: []Term{X("x")}}, Not{Exists{V: "y", F: And{
+		Atom{Rel: "S", Args: []Term{X("y")}},
+		And{Eq{X("y"), X("x")}, Not{Exists{V: "z", F: And{Atom{Rel: "T", Args: []Term{X("z")}}, Eq{X("z"), X("y")}}}}},
+	}}}}
+	if got := Eval(db, phiNoAssert, UnifSem(), Env{"x": value.Const("1")}); got != logic.U {
+		t.Fatalf("unif semantics must report u for 1, got %v", got)
+	}
+
+	// And the Theorem 5.5 translation of the ↑-query agrees with SQL.
+	pos, _ := Translate(phi, SQLSem())
+	bans := Answers(db, pos, []string{"x"}, Bool())
+	if !bans.EqualSet(ans) {
+		t.Fatalf("Boolean translation = %v, FO↑SQL = %v", bans, ans)
+	}
+}

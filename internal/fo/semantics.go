@@ -1,0 +1,264 @@
+package fo
+
+import (
+	"fmt"
+
+	"incdb/internal/logic"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// AtomSem selects the semantics of atomic formulas.
+type AtomSem int
+
+const (
+	// SemBool is the standard two-valued semantics (12): R(ā) is t iff
+	// ā ∈ R, x=y is t iff the values are identical (nulls included).
+	SemBool AtomSem = iota
+	// SemUnif is the unification-based semantics (13a)/(13b): R(ā) is f
+	// only when no tuple of R unifies with ā; x=y is f only for distinct
+	// constants. It has correctness guarantees w.r.t. cert⊥
+	// (Corollary 5.2).
+	SemUnif
+	// SemNullFree is the null-free semantics (14): atoms involving any
+	// null are u. Applied to equality it is exactly SQL's comparison
+	// behaviour.
+	SemNullFree
+)
+
+func (s AtomSem) String() string {
+	switch s {
+	case SemBool:
+		return "bool"
+	case SemUnif:
+		return "unif"
+	case SemNullFree:
+		return "nullfree"
+	}
+	return fmt.Sprintf("AtomSem(%d)", int(s))
+}
+
+// Semantics fixes the atom semantics per syntactic construct: one for
+// relation atoms (optionally overridden per relation — a "mixed semantics"
+// in the sense of Section 5.2) and one for equality atoms.
+type Semantics struct {
+	Name   string
+	Rel    AtomSem
+	Eq     AtomSem
+	PerRel map[string]AtomSem
+}
+
+// Bool is the classical Boolean semantics: FO(L2v, ⟦·⟧bool).
+func Bool() Semantics { return Semantics{Name: "bool", Rel: SemBool, Eq: SemBool} }
+
+// UnifSem is the three-valued unification semantics of Corollary 5.2.
+func UnifSem() Semantics { return Semantics{Name: "unif", Rel: SemUnif, Eq: SemUnif} }
+
+// SQLSem is the mixed semantics (15) capturing SQL: Boolean relation
+// atoms, null-free equality.
+func SQLSem() Semantics { return Semantics{Name: "sql", Rel: SemBool, Eq: SemNullFree} }
+
+// NullFreeSem applies the null-free semantics everywhere.
+func NullFreeSem() Semantics { return Semantics{Name: "nullfree", Rel: SemNullFree, Eq: SemNullFree} }
+
+func (s Semantics) relSem(rel string) AtomSem {
+	if s.PerRel != nil {
+		if sem, ok := s.PerRel[rel]; ok {
+			return sem
+		}
+	}
+	return s.Rel
+}
+
+// Env assigns values to free variables.
+type Env map[string]value.Value
+
+func (e Env) clone() Env {
+	out := make(Env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+func termValue(t Term, env Env) value.Value {
+	switch t := t.(type) {
+	case Lit:
+		return t.V
+	case Var:
+		v, ok := env[t.Name]
+		if !ok {
+			panic("fo: unbound variable " + t.Name)
+		}
+		return v
+	}
+	panic(fmt.Sprintf("fo: unknown term %T", t))
+}
+
+// Eval computes ⟦f⟧_{D, env} in Kleene's logic with the given atom
+// semantics. Quantifiers range over the active domain of D. Boolean
+// semantics never produces u, so FO(L2v, ⟦·⟧bool) is the classical FO.
+func Eval(db *relation.Database, f Formula, sem Semantics, env Env) logic.TV {
+	switch f := f.(type) {
+	case TrueF:
+		return logic.T
+	case FalseF:
+		return logic.F
+
+	case Atom:
+		tuple := make(value.Tuple, len(f.Args))
+		for i, t := range f.Args {
+			tuple[i] = termValue(t, env)
+		}
+		rel := db.Relation(f.Rel)
+		if rel == nil {
+			panic("fo: unknown relation " + f.Rel)
+		}
+		switch sem.relSem(f.Rel) {
+		case SemBool:
+			return logic.FromBool(rel.Contains(tuple))
+		case SemUnif:
+			if rel.Contains(tuple) {
+				return logic.T
+			}
+			for _, rt := range rel.Tuples() {
+				if value.Unifiable(tuple, rt) {
+					return logic.U
+				}
+			}
+			return logic.F
+		case SemNullFree:
+			if !tuple.AllConst() {
+				return logic.U
+			}
+			return logic.FromBool(rel.Contains(tuple))
+		}
+		panic("fo: unknown relation-atom semantics")
+
+	case Eq:
+		a, b := termValue(f.L, env), termValue(f.R, env)
+		switch sem.Eq {
+		case SemBool:
+			return logic.FromBool(a == b)
+		case SemUnif:
+			if a == b {
+				return logic.T
+			}
+			if a.IsConst() && b.IsConst() {
+				return logic.F
+			}
+			return logic.U
+		case SemNullFree:
+			if a.IsNull() || b.IsNull() {
+				return logic.U
+			}
+			return logic.FromBool(a == b)
+		}
+		panic("fo: unknown equality semantics")
+
+	case IsConst:
+		return logic.FromBool(termValue(f.T, env).IsConst())
+	case IsNull:
+		return logic.FromBool(termValue(f.T, env).IsNull())
+
+	case Unif:
+		l := make(value.Tuple, len(f.L))
+		r := make(value.Tuple, len(f.R))
+		for i, t := range f.L {
+			l[i] = termValue(t, env)
+		}
+		for i, t := range f.R {
+			r[i] = termValue(t, env)
+		}
+		return logic.FromBool(value.Unifiable(l, r))
+
+	case And:
+		return logic.And(Eval(db, f.L, sem, env), Eval(db, f.R, sem, env))
+	case Or:
+		return logic.Or(Eval(db, f.L, sem, env), Eval(db, f.R, sem, env))
+	case Not:
+		return logic.Not(Eval(db, f.F, sem, env))
+	case Assert:
+		return logic.Assert(Eval(db, f.F, sem, env))
+
+	case Exists:
+		res := logic.F
+		inner := env.clone()
+		for _, v := range db.ActiveDomain() {
+			inner[f.V] = v
+			res = logic.Or(res, Eval(db, f.F, sem, inner))
+			if res == logic.T {
+				return logic.T
+			}
+		}
+		return res
+	case Forall:
+		res := logic.T
+		inner := env.clone()
+		for _, v := range db.ActiveDomain() {
+			inner[f.V] = v
+			res = logic.And(res, Eval(db, f.F, sem, inner))
+			if res == logic.F {
+				return logic.F
+			}
+		}
+		return res
+	}
+	panic(fmt.Sprintf("fo: Eval: unknown formula %T", f))
+}
+
+// Answers computes Qφ(D) = { ā | ⟦φ⟧_{D,ā} = t } over the given free
+// variables (in the given order), as a relation.
+func Answers(db *relation.Database, f Formula, freeVars []string, sem Semantics) *relation.Relation {
+	out := relation.NewArity("Q", len(freeVars))
+	adom := db.ActiveDomain()
+	env := Env{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(freeVars) {
+			if Eval(db, f, sem, env) == logic.T {
+				tuple := make(value.Tuple, len(freeVars))
+				for j, v := range freeVars {
+					tuple[j] = env[v]
+				}
+				out.Add(tuple)
+			}
+			return
+		}
+		for _, v := range adom {
+			env[freeVars[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// AnswersWith computes the tuples achieving each truth value, useful for
+// inspecting approximation quality: index 0 = f, 1 = u, 2 = t.
+func AnswersWith(db *relation.Database, f Formula, freeVars []string, sem Semantics) [3]*relation.Relation {
+	var out [3]*relation.Relation
+	for i := range out {
+		out[i] = relation.NewArity("Q", len(freeVars))
+	}
+	adom := db.ActiveDomain()
+	env := Env{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(freeVars) {
+			tv := Eval(db, f, sem, env)
+			tuple := make(value.Tuple, len(freeVars))
+			for j, v := range freeVars {
+				tuple[j] = env[v]
+			}
+			out[int(tv)].Add(tuple)
+			return
+		}
+		for _, v := range adom {
+			env[freeVars[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,277 @@
+package fo
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Translate compiles a many-valued formula into Boolean first-order logic,
+// implementing Theorems 5.4 and 5.5: for every formula φ of FO(L3v) under
+// any mixed semantics — including FO↑SQL with the assertion operator — it
+// returns Boolean FO formulas (pos, neg) such that
+//
+//	⟦φ⟧_{D,ā} = t  ⟺  D ⊨bool pos(ā)
+//	⟦φ⟧_{D,ā} = f  ⟺  D ⊨bool neg(ā)
+//
+// (and hence ⟦φ⟧ = u iff neither holds). The translation may introduce the
+// derived unifiability predicate ⇑, itself expressible in pure FO via
+// ExpandUnif. Fresh quantified variables are drawn from the reserved
+// namespace "⇑N", which must not occur in the input.
+func Translate(f Formula, sem Semantics) (pos, neg Formula) {
+	tr := &translator{sem: sem}
+	return tr.translate(f)
+}
+
+type translator struct {
+	sem  Semantics
+	next int
+}
+
+func (tr *translator) fresh() string {
+	tr.next++
+	return "⇑" + strconv.Itoa(tr.next)
+}
+
+func (tr *translator) translate(f Formula) (pos, neg Formula) {
+	switch f := f.(type) {
+	case TrueF:
+		return TrueF{}, FalseF{}
+	case FalseF:
+		return FalseF{}, TrueF{}
+
+	case Atom:
+		switch tr.sem.relSem(f.Rel) {
+		case SemBool:
+			return f, Not{f}
+		case SemUnif:
+			// t: ā ∈ R. f: no tuple of R unifies with ā.
+			ys := make([]Term, len(f.Args))
+			names := make([]string, len(f.Args))
+			for i := range f.Args {
+				names[i] = tr.fresh()
+				ys[i] = Var{Name: names[i]}
+			}
+			var body Formula = And{Atom{Rel: f.Rel, Args: ys}, Unif{L: f.Args, R: ys}}
+			var ex Formula = body
+			for i := len(names) - 1; i >= 0; i-- {
+				ex = Exists{V: names[i], F: ex}
+			}
+			return f, Not{ex}
+		case SemNullFree:
+			guard := constGuard(f.Args)
+			return And{f, guard}, And{Not{f}, guard}
+		}
+		panic("fo: unknown relation-atom semantics")
+
+	case Eq:
+		args := []Term{f.L, f.R}
+		switch tr.sem.Eq {
+		case SemBool:
+			return f, Not{f}
+		case SemUnif:
+			// t: identical values; f: distinct constants.
+			return f, And{Not{f}, constGuard(args)}
+		case SemNullFree:
+			guard := constGuard(args)
+			return And{f, guard}, And{Not{f}, guard}
+		}
+		panic("fo: unknown equality semantics")
+
+	case IsConst:
+		return f, Not{f}
+	case IsNull:
+		return f, Not{f}
+	case Unif:
+		return f, Not{f}
+
+	case And:
+		lp, ln := tr.translate(f.L)
+		rp, rn := tr.translate(f.R)
+		return And{lp, rp}, Or{ln, rn}
+	case Or:
+		lp, ln := tr.translate(f.L)
+		rp, rn := tr.translate(f.R)
+		return Or{lp, rp}, And{ln, rn}
+	case Not:
+		p, n := tr.translate(f.F)
+		return n, p
+	case Assert:
+		// ↑φ is t iff φ is t, and f otherwise.
+		p, _ := tr.translate(f.F)
+		return p, Not{p}
+
+	case Exists:
+		p, n := tr.translate(f.F)
+		return Exists{V: f.V, F: p}, Forall{V: f.V, F: n}
+	case Forall:
+		p, n := tr.translate(f.F)
+		return Forall{V: f.V, F: p}, Exists{V: f.V, F: n}
+	}
+	panic(fmt.Sprintf("fo: Translate: unknown formula %T", f))
+}
+
+func constGuard(ts []Term) Formula {
+	var acc Formula = TrueF{}
+	first := true
+	for _, t := range ts {
+		g := Formula(IsConst{T: t})
+		if first {
+			acc = g
+			first = false
+		} else {
+			acc = And{acc, g}
+		}
+	}
+	return acc
+}
+
+// ExpandUnif replaces every ⇑ atom with an equivalent pure-FO formula over
+// equality and const tests, witnessing that the translation of Theorem 5.4
+// stays inside Boolean FO. The expansion enumerates the equality types of
+// the 2k terms (set partitions): under a fixed equality type, the
+// equivalence closure of the pairing is determined, and unifiability
+// reduces to "no closure class contains two distinct constant classes".
+// The size is the 2k-th Bell number, so arities are capped at 4.
+func ExpandUnif(f Formula) Formula {
+	switch f := f.(type) {
+	case Unif:
+		return expandUnifAtom(f)
+	case And:
+		return And{ExpandUnif(f.L), ExpandUnif(f.R)}
+	case Or:
+		return Or{ExpandUnif(f.L), ExpandUnif(f.R)}
+	case Not:
+		return Not{ExpandUnif(f.F)}
+	case Assert:
+		return Assert{ExpandUnif(f.F)}
+	case Exists:
+		return Exists{V: f.V, F: ExpandUnif(f.F)}
+	case Forall:
+		return Forall{V: f.V, F: ExpandUnif(f.F)}
+	default:
+		return f
+	}
+}
+
+func expandUnifAtom(u Unif) Formula {
+	k := len(u.L)
+	if k != len(u.R) {
+		return FalseF{}
+	}
+	if k == 0 {
+		return TrueF{}
+	}
+	if k > 4 {
+		panic(fmt.Sprintf("fo: ExpandUnif: arity %d too large (Bell(%d) disjuncts)", k, 2*k))
+	}
+	slots := append(append([]Term{}, u.L...), u.R...)
+	n := len(slots)
+
+	var out Formula = FalseF{}
+	haveDisjunct := false
+
+	// Enumerate set partitions of {0..n-1} via restricted growth strings.
+	rgs := make([]int, n)
+	var rec func(i, maxBlock int)
+	rec = func(i, maxBlock int) {
+		if i == n {
+			d := partitionDisjunct(slots, rgs, k)
+			if d == nil {
+				return
+			}
+			if !haveDisjunct {
+				out = d
+				haveDisjunct = true
+			} else {
+				out = Or{out, d}
+			}
+			return
+		}
+		for b := 0; b <= maxBlock+1 && b <= i; b++ {
+			rgs[i] = b
+			next := maxBlock
+			if b > maxBlock {
+				next = b
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, -1)
+	if !haveDisjunct {
+		return FalseF{}
+	}
+	return out
+}
+
+// partitionDisjunct builds the disjunct for one equality type, or nil when
+// that type can never witness unifiability.
+func partitionDisjunct(slots []Term, rgs []int, k int) Formula {
+	n := len(slots)
+	// Closure of the pairing i ~ i+k over the equality-type blocks.
+	blockOf := rgs
+	nblocks := 0
+	for _, b := range blockOf {
+		if b+1 > nblocks {
+			nblocks = b + 1
+		}
+	}
+	parent := make([]int, nblocks)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < k; i++ {
+		a, b := find(blockOf[i]), find(blockOf[i+k])
+		if a != b {
+			parent[a] = b
+		}
+	}
+	// Representative slot of each block.
+	rep := make([]int, nblocks)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for i, b := range blockOf {
+		if rep[b] == -1 {
+			rep[b] = i
+		}
+	}
+
+	// Equality type formula: slots in the same block equal, different
+	// blocks distinct.
+	var conj []Formula
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if blockOf[i] == blockOf[j] {
+				conj = append(conj, Eq{slots[i], slots[j]})
+			} else {
+				conj = append(conj, Not{Eq{slots[i], slots[j]}})
+			}
+		}
+	}
+	// Conflict-freeness: two distinct blocks merged by the closure cannot
+	// both be constants (distinct blocks hold distinct values, and two
+	// distinct constants cannot be unified).
+	for b1 := 0; b1 < nblocks; b1++ {
+		for b2 := b1 + 1; b2 < nblocks; b2++ {
+			if find(b1) == find(b2) {
+				conj = append(conj, Not{And{IsConst{slots[rep[b1]]}, IsConst{slots[rep[b2]]}}})
+			}
+		}
+	}
+	if len(conj) == 0 {
+		return TrueF{}
+	}
+	acc := conj[0]
+	for _, c := range conj[1:] {
+		acc = And{acc, c}
+	}
+	return acc
+}

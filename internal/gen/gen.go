@@ -1,0 +1,224 @@
+// Package gen produces seeded random incomplete databases and random
+// relational algebra queries for property-based tests and experiments.
+// Everything is driven by an explicit *rand.Rand so that test failures
+// reproduce deterministically.
+package gen
+
+import (
+	"math/rand"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// Config controls random database generation.
+type Config struct {
+	// MaxTuples bounds the tuples per relation (at least 1 row ranges).
+	MaxTuples int
+	// NullRate in [0,1] is the probability that a position holds a null.
+	NullRate float64
+	// NullPool is the number of distinct null ids to draw from; small
+	// pools produce repeated (marked) nulls across tuples.
+	NullPool int
+	// ConstPool is the number of distinct constants ("c0", "c1", …).
+	ConstPool int
+}
+
+// DefaultConfig is small enough for exhaustive certain-answer oracles.
+func DefaultConfig() Config {
+	return Config{MaxTuples: 4, NullRate: 0.3, NullPool: 3, ConstPool: 4}
+}
+
+// Schema returns the fixed test schema: R(a,b), S(x), T(u,v).
+func Schema() *relation.Database {
+	db := relation.NewDatabase()
+	db.Add(relation.New("R", "a", "b"))
+	db.Add(relation.New("S", "x"))
+	db.Add(relation.New("T", "u", "v"))
+	return db
+}
+
+// DB generates a random incomplete database over Schema().
+func DB(r *rand.Rand, cfg Config) *relation.Database {
+	db := relation.NewDatabase()
+	for _, spec := range []struct {
+		name  string
+		attrs []string
+	}{
+		{"R", []string{"a", "b"}},
+		{"S", []string{"x"}},
+		{"T", []string{"u", "v"}},
+	} {
+		rel := relation.New(spec.name, spec.attrs...)
+		n := r.Intn(cfg.MaxTuples + 1)
+		for i := 0; i < n; i++ {
+			t := make(value.Tuple, len(spec.attrs))
+			for j := range t {
+				t[j] = randValue(r, cfg)
+			}
+			rel.Add(t)
+		}
+		db.Add(rel)
+	}
+	return db
+}
+
+func randValue(r *rand.Rand, cfg Config) value.Value {
+	if r.Float64() < cfg.NullRate && cfg.NullPool > 0 {
+		return value.Null(uint64(r.Intn(cfg.NullPool)) + 1)
+	}
+	return value.Const("c" + string(rune('0'+r.Intn(cfg.ConstPool))))
+}
+
+// ConstOf returns the i-th pool constant, for building conditions that hit
+// generated data.
+func ConstOf(i int) value.Value {
+	return value.Const("c" + string(rune('0'+i)))
+}
+
+// QueryConfig controls random query generation.
+type QueryConfig struct {
+	// MaxDepth bounds operator nesting.
+	MaxDepth int
+	// Fragment restricts the operators used.
+	Fragment Fragment
+	// ConstPool mirrors Config.ConstPool for condition constants.
+	ConstPool int
+}
+
+// Fragment names a class of queries from the paper.
+type Fragment int
+
+const (
+	// FragmentUCQ generates unions of conjunctive queries: σ, π, ×, ∪
+	// with positive conditions (=, const tests) only.
+	FragmentUCQ Fragment = iota
+	// FragmentPosForallG adds division ÷ to the UCQ operators (Pos∀G).
+	FragmentPosForallG
+	// FragmentFull is full relational algebra: adds − and ≠ conditions.
+	FragmentFull
+)
+
+// DefaultQueryConfig generates full relational algebra of modest depth.
+func DefaultQueryConfig() QueryConfig {
+	return QueryConfig{MaxDepth: 3, Fragment: FragmentFull, ConstPool: 4}
+}
+
+// Query generates a random query of the given output arity (1 or 2 advised)
+// against the gen.Schema() catalogue.
+func Query(r *rand.Rand, cfg QueryConfig, arity int) algebra.Expr {
+	return genExpr(r, cfg, cfg.MaxDepth, arity)
+}
+
+// baseRel returns a base relation of exactly the wanted arity, or a
+// projection/product adapter when none fits.
+func baseRel(r *rand.Rand, arity int) algebra.Expr {
+	switch arity {
+	case 1:
+		if r.Intn(2) == 0 {
+			return algebra.R("S")
+		}
+		which := []string{"R", "T"}[r.Intn(2)]
+		return algebra.Proj(algebra.R(which), r.Intn(2))
+	case 2:
+		if r.Intn(2) == 0 {
+			return algebra.R("R")
+		}
+		return algebra.R("T")
+	default:
+		// Build by products of R/S/T projections.
+		e := baseRel(r, 1)
+		for have := 1; have < arity; have++ {
+			e = algebra.Times(e, baseRel(r, 1))
+		}
+		return e
+	}
+}
+
+func genExpr(r *rand.Rand, cfg QueryConfig, depth, arity int) algebra.Expr {
+	if depth <= 0 {
+		return baseRel(r, arity)
+	}
+	// Operator menu depends on the fragment.
+	type op int
+	const (
+		opBase op = iota
+		opSelect
+		opProject
+		opProduct
+		opUnion
+		opDiff
+		opDivide
+	)
+	menu := []op{opBase, opSelect, opProject, opUnion}
+	if arity >= 2 {
+		menu = append(menu, opProduct)
+	}
+	if cfg.Fragment == FragmentPosForallG {
+		menu = append(menu, opDivide)
+	}
+	if cfg.Fragment == FragmentFull {
+		menu = append(menu, opDiff, opDiff) // weight difference up: it is the interesting case
+	}
+	switch menu[r.Intn(len(menu))] {
+	case opBase:
+		return baseRel(r, arity)
+	case opSelect:
+		in := genExpr(r, cfg, depth-1, arity)
+		return algebra.Sel(in, genCond(r, cfg, arity))
+	case opProject:
+		wide := arity + 1 + r.Intn(2)
+		in := genExpr(r, cfg, depth-1, wide)
+		// Distinct columns: the paper's projections are onto attribute
+		// lists without repetition (required by the Figure 2(a) rules).
+		perm := r.Perm(wide)
+		cols := append([]int(nil), perm[:arity]...)
+		return algebra.Proj(in, cols...)
+	case opProduct:
+		left := 1 + r.Intn(arity-1)
+		return algebra.Times(genExpr(r, cfg, depth-1, left), genExpr(r, cfg, depth-1, arity-left))
+	case opUnion:
+		return algebra.Un(genExpr(r, cfg, depth-1, arity), genExpr(r, cfg, depth-1, arity))
+	case opDiff:
+		return algebra.Minus(genExpr(r, cfg, depth-1, arity), genExpr(r, cfg, depth-1, arity))
+	case opDivide:
+		// Pos∀G permits division by a relation of the schema only
+		// (Section 4.1), so the divisor is always the base relation S.
+		return algebra.Div(genExpr(r, cfg, depth-1, arity+1), algebra.R("S"))
+	}
+	return baseRel(r, arity)
+}
+
+func genCond(r *rand.Rand, cfg QueryConfig, arity int) algebra.Cond {
+	atom := func() algebra.Cond {
+		i := r.Intn(arity)
+		j := r.Intn(arity)
+		cst := ConstOf(r.Intn(cfg.ConstPool))
+		// Conditions use the comparison atoms only. const/null tests are
+		// deliberately absent: a source query's semantics lives on
+		// complete possible worlds where const(A) is trivially true (the
+		// tests exist for *translated* queries); and UCQ/Pos∀G must stay
+		// within =, since disequalities are not preserved under
+		// homomorphisms (Theorem 4.3).
+		positive := []func() algebra.Cond{
+			func() algebra.Cond { return algebra.CEq(i, j) },
+			func() algebra.Cond { return algebra.CEqC(i, cst) },
+		}
+		if cfg.Fragment == FragmentFull {
+			positive = append(positive,
+				func() algebra.Cond { return algebra.CNeq(i, j) },
+				func() algebra.Cond { return algebra.CNeqC(i, cst) },
+			)
+		}
+		return positive[r.Intn(len(positive))]()
+	}
+	switch r.Intn(4) {
+	case 0:
+		return algebra.CAnd(atom(), atom())
+	case 1:
+		return algebra.COr(atom(), atom())
+	default:
+		return atom()
+	}
+}

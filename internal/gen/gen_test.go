@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"incdb/internal/algebra"
+)
+
+func TestDBMatchesSchema(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	for i := 0; i < 50; i++ {
+		db := DB(r, cfg)
+		for _, name := range []string{"R", "S", "T"} {
+			if db.Relation(name) == nil {
+				t.Fatalf("missing relation %s", name)
+			}
+		}
+		if db.Arity("R") != 2 || db.Arity("S") != 1 || db.Arity("T") != 2 {
+			t.Fatalf("schema arities wrong")
+		}
+	}
+}
+
+func TestDBDeterministicPerSeed(t *testing.T) {
+	a := DB(rand.New(rand.NewSource(7)), DefaultConfig())
+	b := DB(rand.New(rand.NewSource(7)), DefaultConfig())
+	if !a.Equal(b) {
+		t.Fatalf("same seed must give same database")
+	}
+}
+
+func TestNullRateZeroMeansComplete(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NullRate = 0
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		if !DB(r, cfg).IsComplete() {
+			t.Fatalf("rate 0 must yield complete databases")
+		}
+	}
+}
+
+func TestQueriesValidateAndHaveRequestedArity(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	cat := Schema()
+	for _, frag := range []Fragment{FragmentUCQ, FragmentPosForallG, FragmentFull} {
+		cfg := DefaultQueryConfig()
+		cfg.Fragment = frag
+		for i := 0; i < 200; i++ {
+			arity := 1 + r.Intn(2)
+			q := Query(r, cfg, arity)
+			if err := algebra.Validate(q, cat); err != nil {
+				t.Fatalf("fragment %v: invalid query %s: %v", frag, q, err)
+			}
+			if got := algebra.Arity(q, cat); got != arity {
+				t.Fatalf("fragment %v: arity %d, want %d: %s", frag, got, arity, q)
+			}
+		}
+	}
+}
+
+func TestFragmentsRestrictOperators(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	cfg := DefaultQueryConfig()
+	cfg.Fragment = FragmentUCQ
+	var checkPositive func(e algebra.Expr) bool
+	var checkCond func(c algebra.Cond) bool
+	checkCond = func(c algebra.Cond) bool {
+		switch c := c.(type) {
+		case algebra.And:
+			return checkCond(c.L) && checkCond(c.R)
+		case algebra.Or:
+			return checkCond(c.L) && checkCond(c.R)
+		case algebra.Eq, algebra.EqConst, algebra.True, algebra.False:
+			return true
+		default:
+			return false
+		}
+	}
+	checkPositive = func(e algebra.Expr) bool {
+		switch e := e.(type) {
+		case algebra.Rel:
+			return true
+		case algebra.Select:
+			return checkPositive(e.In) && checkCond(e.Cond)
+		case algebra.Project:
+			return checkPositive(e.In)
+		case algebra.Product:
+			return checkPositive(e.L) && checkPositive(e.R)
+		case algebra.Union:
+			return checkPositive(e.L) && checkPositive(e.R)
+		default:
+			return false
+		}
+	}
+	for i := 0; i < 300; i++ {
+		q := Query(r, cfg, 1)
+		if !checkPositive(q) {
+			t.Fatalf("UCQ fragment produced a non-positive query: %s", q)
+		}
+	}
+}
+
+func TestProjectionsUseDistinctColumns(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cfg := DefaultQueryConfig()
+	var check func(e algebra.Expr) bool
+	check = func(e algebra.Expr) bool {
+		switch e := e.(type) {
+		case algebra.Project:
+			seen := map[int]bool{}
+			for _, c := range e.Cols {
+				if seen[c] {
+					return false
+				}
+				seen[c] = true
+			}
+			return check(e.In)
+		case algebra.Select:
+			return check(e.In)
+		case algebra.Product:
+			return check(e.L) && check(e.R)
+		case algebra.Union:
+			return check(e.L) && check(e.R)
+		case algebra.Diff:
+			return check(e.L) && check(e.R)
+		case algebra.Divide:
+			return check(e.L) && check(e.R)
+		default:
+			return true
+		}
+	}
+	for i := 0; i < 300; i++ {
+		q := Query(r, cfg, 1+r.Intn(2))
+		if !check(q) {
+			t.Fatalf("repeated projection column in %s", q)
+		}
+	}
+}
+
+func TestConstOf(t *testing.T) {
+	if ConstOf(2).ConstVal() != "c2" {
+		t.Fatalf("ConstOf broken")
+	}
+}

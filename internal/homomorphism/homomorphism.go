@@ -1,0 +1,158 @@
+// Package homomorphism implements database homomorphisms and the
+// homomorphism-based semantics of incompleteness from Section 4.1 of the
+// paper: D' ∈ ⟦D⟧owa iff a homomorphism D → D' fixes all constants, and
+// D' ∈ ⟦D⟧ (cwa) iff such a homomorphism is strong onto (h(D) = D').
+// Theorem 4.3 ties naive evaluation to preservation under these classes.
+package homomorphism
+
+import (
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// Class is a class of homomorphisms in the sense of Section 4.1.
+type Class int
+
+const (
+	// Any is the class of all homomorphisms (identity on constants):
+	// the owa semantics.
+	Any Class = iota
+	// Onto requires h(dom(D)) = dom(D'): surjective on active domains.
+	Onto
+	// StrongOnto requires h(D) = D' tuple-wise: the cwa semantics.
+	StrongOnto
+)
+
+func (c Class) String() string {
+	switch c {
+	case Any:
+		return "any"
+	case Onto:
+		return "onto"
+	case StrongOnto:
+		return "strong-onto"
+	}
+	return "unknown"
+}
+
+// Hom is a homomorphism: a map on the active domain fixing constants; only
+// the null bindings are recorded.
+type Hom map[uint64]value.Value
+
+// Apply maps a value through the homomorphism.
+func (h Hom) Apply(v value.Value) value.Value {
+	if v.IsNull() {
+		if w, ok := h[v.NullID()]; ok {
+			return w
+		}
+	}
+	return v
+}
+
+// ApplyTuple maps a tuple through the homomorphism.
+func (h Hom) ApplyTuple(t value.Tuple) value.Tuple {
+	out := make(value.Tuple, len(t))
+	for i, v := range t {
+		out[i] = h.Apply(v)
+	}
+	return out
+}
+
+// Find searches for a homomorphism src → dst of the given class that is
+// the identity on constants. It returns the witness and whether one
+// exists. The search backtracks over assignments of src's nulls to dst's
+// active domain; intended for the small structures of tests and
+// experiments.
+func Find(src, dst *relation.Database, class Class) (Hom, bool) {
+	ids := src.NullIDs()
+	targets := dst.ActiveDomain()
+	h := Hom{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(ids) {
+			return check(src, dst, h, class)
+		}
+		for _, target := range targets {
+			h[ids[i]] = target
+			if rec(i + 1) {
+				return true
+			}
+		}
+		delete(h, ids[i])
+		return false
+	}
+	if rec(0) {
+		return h, true
+	}
+	return nil, false
+}
+
+func check(src, dst *relation.Database, h Hom, class Class) bool {
+	// Tuple preservation: h(D) ⊆ D'.
+	for _, name := range src.Names() {
+		s := src.Relation(name)
+		d := dst.Relation(name)
+		if d == nil {
+			if s.Len() > 0 {
+				return false
+			}
+			continue
+		}
+		ok := true
+		s.Each(func(t value.Tuple, _ int) {
+			if !d.Contains(h.ApplyTuple(t)) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	switch class {
+	case Any:
+		return true
+	case Onto:
+		// h(dom(src)) = dom(dst).
+		covered := map[value.Value]bool{}
+		for _, v := range src.ActiveDomain() {
+			covered[h.Apply(v)] = true
+		}
+		for _, v := range dst.ActiveDomain() {
+			if !covered[v] {
+				return false
+			}
+		}
+		return true
+	case StrongOnto:
+		// h(D) = D': every dst tuple is an image.
+		for _, name := range dst.Names() {
+			d := dst.Relation(name)
+			s := src.Relation(name)
+			img := relation.NewArity("img", d.Arity())
+			if s != nil {
+				s.Each(func(t value.Tuple, _ int) { img.Add(h.ApplyTuple(t)) })
+			}
+			ok := true
+			d.Each(func(t value.Tuple, _ int) {
+				if !img.Contains(t) {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// InSemantics reports whether world ∈ ⟦db⟧_H for the class: world must be
+// complete and admit a homomorphism of the class from db.
+func InSemantics(db, world *relation.Database, class Class) bool {
+	if !world.IsComplete() {
+		return false
+	}
+	_, ok := Find(db, world, class)
+	return ok
+}

@@ -1,0 +1,106 @@
+package homomorphism
+
+import (
+	"testing"
+
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+func n(id uint64) value.Value { return value.Null(id) }
+
+func mkdb(tuples ...value.Tuple) *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a", "b")
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	db.Add(r)
+	return db
+}
+
+func TestFindAnyHomomorphism(t *testing.T) {
+	// {R(1,⊥1), R(⊥1,2)} → {R(1,c), R(c,2)}: ⊥1 ↦ c.
+	src := mkdb(value.T(value.Const("1"), n(1)), value.T(n(1), value.Const("2")))
+	dst := mkdb(value.Consts("1", "c"), value.Consts("c", "2"))
+	h, ok := Find(src, dst, Any)
+	if !ok {
+		t.Fatalf("expected a homomorphism")
+	}
+	if h.Apply(n(1)) != value.Const("c") {
+		t.Fatalf("h(⊥1) = %v, want c", h.Apply(n(1)))
+	}
+	// Constants are fixed: there is no hom into a database missing them.
+	bad := mkdb(value.Consts("9", "9"))
+	if _, ok := Find(src, bad, Any); ok {
+		t.Fatalf("constants must be preserved")
+	}
+}
+
+// The paper's example after Theorem 4.3: D = {R(⊥1,⊥2)} and
+// D' = {R(1,2), R(2,1)}: h(⊥1)=1, h(⊥2)=2 is onto but not strong onto.
+func TestOntoVsStrongOnto(t *testing.T) {
+	src := mkdb(value.T(n(1), n(2)))
+	dst := mkdb(value.Consts("1", "2"), value.Consts("2", "1"))
+	if _, ok := Find(src, dst, Any); !ok {
+		t.Fatalf("plain homomorphism must exist")
+	}
+	if _, ok := Find(src, dst, Onto); !ok {
+		t.Fatalf("onto homomorphism must exist: h maps {⊥1,⊥2} onto {1,2}")
+	}
+	if _, ok := Find(src, dst, StrongOnto); ok {
+		t.Fatalf("no strong onto homomorphism: R(2,1) has no preimage")
+	}
+}
+
+func TestInSemantics(t *testing.T) {
+	src := mkdb(value.T(n(1), n(2)))
+	// cwa world: exactly the image.
+	w1 := mkdb(value.Consts("5", "5"))
+	if !InSemantics(src, w1, StrongOnto) {
+		t.Fatalf("{R(5,5)} must be a cwa possible world of {R(⊥1,⊥2)}")
+	}
+	// owa world: image plus extra facts.
+	w2 := mkdb(value.Consts("5", "5"), value.Consts("7", "8"))
+	if InSemantics(src, w2, StrongOnto) {
+		t.Fatalf("extra facts are not allowed under cwa")
+	}
+	if !InSemantics(src, w2, Any) {
+		t.Fatalf("extra facts are fine under owa")
+	}
+	// Incomplete targets are not worlds.
+	w3 := mkdb(value.T(n(9), value.Const("5")))
+	if InSemantics(src, w3, Any) {
+		t.Fatalf("worlds must be complete")
+	}
+}
+
+func TestHomOverMissingRelation(t *testing.T) {
+	src := relation.NewDatabase()
+	r := relation.New("R", "a")
+	r.Add(value.Consts("1"))
+	src.Add(r)
+	s := relation.New("S", "a")
+	src.Add(s) // empty S
+	dst := relation.NewDatabase()
+	r2 := relation.New("R", "a")
+	r2.Add(value.Consts("1"))
+	dst.Add(r2)
+	// Empty source relation missing in dst is fine.
+	if _, ok := Find(src, dst, Any); !ok {
+		t.Fatalf("empty relations need no counterpart")
+	}
+	// Non-empty source relation missing in dst fails.
+	s.Add(value.Consts("2"))
+	if _, ok := Find(src, dst, Any); ok {
+		t.Fatalf("S(2) cannot map anywhere")
+	}
+}
+
+func TestApplyTuple(t *testing.T) {
+	h := Hom{1: value.Const("x")}
+	got := h.ApplyTuple(value.T(n(1), value.Const("k"), n(2)))
+	if !got.Equal(value.T(value.Const("x"), value.Const("k"), n(2))) {
+		t.Fatalf("ApplyTuple = %v", got)
+	}
+}

@@ -1,0 +1,99 @@
+// Package logic implements the propositional many-valued logics of
+// Section 5 of the paper: the two-valued Boolean logic L2v, Kleene's
+// three-valued logic L3v (Figure 3) with the assertion operator ↑ that
+// turns it into L↑3v, and the six-valued epistemic logic L6v of [21],
+// which is *derived* here from possible-world interpretations rather than
+// hardcoded. The package also provides the algebraic property checks
+// (idempotency, distributivity, weak idempotency, knowledge-order
+// monotonicity) and the exhaustive sublogic search behind Theorem 5.3.
+package logic
+
+// TV is a truth value of Kleene's three-valued logic L3v, ordered so that
+// conjunction is minimum and disjunction is maximum: F < U < T.
+type TV uint8
+
+// The three truth values of L3v. The two-valued logic L2v is the
+// restriction to {F, T}.
+const (
+	F TV = 0 // false
+	U TV = 1 // unknown
+	T TV = 2 // true
+)
+
+// String renders t, f, u as in the paper.
+func (v TV) String() string {
+	switch v {
+	case F:
+		return "f"
+	case U:
+		return "u"
+	case T:
+		return "t"
+	}
+	return "?"
+}
+
+// And is Kleene conjunction (Figure 3): the minimum in the truth order.
+func And(a, b TV) TV {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Or is Kleene disjunction (Figure 3): the maximum in the truth order.
+func Or(a, b TV) TV {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Not is Kleene negation (Figure 3): swaps t and f, fixes u.
+func Not(a TV) TV { return T - a }
+
+// Assert is Bochvar's assertion operator ↑ (Section 5.2): ↑p is t when p
+// is t and f otherwise. It collapses u into f, which is exactly what SQL's
+// WHERE clause does after evaluating conditions in L3v — and it is the one
+// connective of FO↑SQL that does not respect the knowledge order.
+func Assert(a TV) TV {
+	if a == T {
+		return T
+	}
+	return F
+}
+
+// FromBool embeds the Boolean logic L2v into L3v.
+func FromBool(b bool) TV {
+	if b {
+		return T
+	}
+	return F
+}
+
+// KnowledgeLeq reports a ⪯ b in the knowledge order of L3v: u below both
+// t and f, with t and f incomparable (Section 5.1).
+func KnowledgeLeq(a, b TV) bool { return a == b || a == U }
+
+// Implies is material implication in L3v, derived as ¬a ∨ b. Provided for
+// completeness of the connective set; SQL's core uses ∧, ∨, ¬ only.
+func Implies(a, b TV) TV { return Or(Not(a), b) }
+
+// AndAll folds And over vs, returning T on the empty sequence (the unit of
+// conjunction).
+func AndAll(vs ...TV) TV {
+	acc := T
+	for _, v := range vs {
+		acc = And(acc, v)
+	}
+	return acc
+}
+
+// OrAll folds Or over vs, returning F on the empty sequence.
+func OrAll(vs ...TV) TV {
+	acc := F
+	for _, v := range vs {
+		acc = Or(acc, v)
+	}
+	return acc
+}

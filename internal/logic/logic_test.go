@@ -1,0 +1,283 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKleeneTruthTablesFigure3(t *testing.T) {
+	// Figure 3 of the paper, row by row.
+	and := map[[2]TV]TV{
+		{T, T}: T, {T, F}: F, {T, U}: U,
+		{F, T}: F, {F, F}: F, {F, U}: F,
+		{U, T}: U, {U, F}: F, {U, U}: U,
+	}
+	or := map[[2]TV]TV{
+		{T, T}: T, {T, F}: T, {T, U}: T,
+		{F, T}: T, {F, F}: F, {F, U}: U,
+		{U, T}: T, {U, F}: U, {U, U}: U,
+	}
+	for in, want := range and {
+		if got := And(in[0], in[1]); got != want {
+			t.Errorf("And(%v,%v) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+	for in, want := range or {
+		if got := Or(in[0], in[1]); got != want {
+			t.Errorf("Or(%v,%v) = %v, want %v", in[0], in[1], got, want)
+		}
+	}
+	if Not(T) != F || Not(F) != T || Not(U) != U {
+		t.Errorf("negation table wrong")
+	}
+}
+
+func TestAssertOperator(t *testing.T) {
+	if Assert(T) != T || Assert(F) != F || Assert(U) != F {
+		t.Fatalf("assertion operator: ↑t=t, ↑f=f, ↑u=f required")
+	}
+}
+
+func TestAssertBreaksKnowledgeMonotonicity(t *testing.T) {
+	// u ⪯ t but ↑u = f is not ⪯ ↑t = t: the culprit identified in §5.2.
+	if !KnowledgeLeq(U, T) {
+		t.Fatalf("u ⪯ t must hold")
+	}
+	if KnowledgeLeq(Assert(U), Assert(T)) {
+		t.Fatalf("assertion must not preserve the knowledge order")
+	}
+}
+
+func TestKleeneKnowledgeMonotone(t *testing.T) {
+	vals := []TV{F, U, T}
+	for _, a := range vals {
+		for _, a2 := range vals {
+			if !KnowledgeLeq(a, a2) {
+				continue
+			}
+			for _, b := range vals {
+				for _, b2 := range vals {
+					if !KnowledgeLeq(b, b2) {
+						continue
+					}
+					if !KnowledgeLeq(And(a, b), And(a2, b2)) {
+						t.Fatalf("∧ not knowledge-monotone at %v%v %v%v", a, b, a2, b2)
+					}
+					if !KnowledgeLeq(Or(a, b), Or(a2, b2)) {
+						t.Fatalf("∨ not knowledge-monotone")
+					}
+				}
+			}
+			if !KnowledgeLeq(Not(a), Not(a2)) {
+				t.Fatalf("¬ not knowledge-monotone")
+			}
+		}
+	}
+}
+
+func TestKleeneAlgebraicLaws(t *testing.T) {
+	// Property-based: associativity, commutativity, De Morgan, distributivity,
+	// idempotency — the laws query optimizers rely on (§5.2).
+	prop := func(x, y, z uint8) bool {
+		a, b, c := TV(x%3), TV(y%3), TV(z%3)
+		if And(a, b) != And(b, a) || Or(a, b) != Or(b, a) {
+			return false
+		}
+		if And(And(a, b), c) != And(a, And(b, c)) {
+			return false
+		}
+		if Or(Or(a, b), c) != Or(a, Or(b, c)) {
+			return false
+		}
+		if Not(And(a, b)) != Or(Not(a), Not(b)) {
+			return false
+		}
+		if Not(Or(a, b)) != And(Not(a), Not(b)) {
+			return false
+		}
+		if And(a, Or(b, c)) != Or(And(a, b), And(a, c)) {
+			return false
+		}
+		if Or(a, And(b, c)) != And(Or(a, b), Or(a, c)) {
+			return false
+		}
+		if And(a, a) != a || Or(a, a) != a {
+			return false
+		}
+		if Not(Not(a)) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	if AndAll() != T || OrAll() != F {
+		t.Fatalf("fold units wrong")
+	}
+	if AndAll(T, U, T) != U || OrAll(F, U) != U || OrAll(F, U, T) != T {
+		t.Fatalf("folds wrong")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	if Implies(T, F) != F || Implies(F, U) != T || Implies(U, F) != U {
+		t.Fatalf("implication wrong")
+	}
+}
+
+func TestBooleanLogicStruct(t *testing.T) {
+	l := Boolean()
+	ft := l.ValueIndex("f")
+	tt := l.ValueIndex("t")
+	if l.And(tt, ft) != ft || l.Or(tt, ft) != tt || l.Not(tt) != ft {
+		t.Fatalf("Boolean tables wrong")
+	}
+	if !l.IdempotentOn(Subset{ft, tt}) || !l.DistributiveOn(Subset{ft, tt}) {
+		t.Fatalf("Boolean logic must be idempotent and distributive")
+	}
+	if !l.KnowledgeMonotone() {
+		t.Fatalf("Boolean logic trivially knowledge-monotone")
+	}
+}
+
+func TestKleeneLogicStructMatchesFunctions(t *testing.T) {
+	l := Kleene()
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if l.And(a, b) != int(And(TV(a), TV(b))) || l.Or(a, b) != int(Or(TV(a), TV(b))) {
+				t.Fatalf("table mismatch at %d,%d", a, b)
+			}
+		}
+		if l.Not(a) != int(Not(TV(a))) {
+			t.Fatalf("negation mismatch at %d", a)
+		}
+	}
+	if !l.KnowledgeMonotone() {
+		t.Fatalf("Kleene logic must be knowledge-monotone")
+	}
+	all := Subset{0, 1, 2}
+	if !l.IdempotentOn(all) || !l.DistributiveOn(all) || !l.WeaklyIdempotentOn(all) {
+		t.Fatalf("Kleene must be idempotent and distributive")
+	}
+}
+
+func TestSixValuedDerivation(t *testing.T) {
+	l := SixValued()
+	if l.Size() != 6 {
+		t.Fatalf("L6v must have six values")
+	}
+	idx := func(n string) int {
+		i := l.ValueIndex(n)
+		if i < 0 {
+			t.Fatalf("missing value %s", n)
+		}
+		return i
+	}
+	tT, fF, uU, sS, st, sf := idx("t"), idx("f"), idx("u"), idx("s"), idx("st"), idx("sf")
+
+	// Restriction to {f,u,t} must be exactly Kleene (sanity of derivation).
+	toK := map[int]TV{fF: F, uU: U, tT: T}
+	for _, a := range []int{fF, uU, tT} {
+		for _, b := range []int{fF, uU, tT} {
+			if toK[l.And(a, b)] != And(toK[a], toK[b]) {
+				t.Errorf("L6v∧ restricted differs from Kleene at %s,%s", l.Names[a], l.Names[b])
+			}
+			if toK[l.Or(a, b)] != Or(toK[a], toK[b]) {
+				t.Errorf("L6v∨ restricted differs from Kleene at %s,%s", l.Names[a], l.Names[b])
+			}
+		}
+		if toK[l.Not(a)] != Not(toK[a]) {
+			t.Errorf("L6v¬ restricted differs from Kleene at %s", l.Names[a])
+		}
+	}
+
+	// Negation is the expected swap.
+	if l.Not(sS) != sS || l.Not(st) != sf || l.Not(sf) != st {
+		t.Fatalf("L6v negation wrong: ¬s=%s ¬st=%s ¬sf=%s",
+			l.Names[l.Not(sS)], l.Names[l.Not(st)], l.Names[l.Not(sf)])
+	}
+
+	// Hand-derived entries (see sixvalued.go commentary): s∧s = sf,
+	// s∨s = st, st∧st = u — witnesses of non-idempotency.
+	if l.And(sS, sS) != sf {
+		t.Fatalf("s∧s = %s, want sf", l.Names[l.And(sS, sS)])
+	}
+	if l.Or(sS, sS) != st {
+		t.Fatalf("s∨s = %s, want st", l.Names[l.Or(sS, sS)])
+	}
+	if l.And(st, st) != uU {
+		t.Fatalf("st∧st = %s, want u", l.Names[l.And(st, st)])
+	}
+
+	// t and f behave classically against anything "known".
+	if l.And(fF, sS) != fF || l.Or(tT, sf) != tT {
+		t.Fatalf("classical absorption fails")
+	}
+
+	// L6v is neither distributive nor idempotent (stated before Thm 5.3).
+	all := make(Subset, 6)
+	for i := range all {
+		all[i] = i
+	}
+	if l.IdempotentOn(all) {
+		t.Fatalf("L6v must not be idempotent")
+	}
+	if l.DistributiveOn(all) {
+		t.Fatalf("L6v must not be distributive")
+	}
+}
+
+func TestTheorem53MaximalSublogicIsKleene(t *testing.T) {
+	l := SixValued()
+	maxes := l.MaximalSublogics()
+	if len(maxes) != 1 {
+		t.Fatalf("expected a unique maximal sublogic, got %v", maxes)
+	}
+	got := strings.Join(maxes[0].Values, ",")
+	if got != "f,t,u" {
+		t.Fatalf("maximal distributive+idempotent sublogic = {%s}, want {f,t,u}", got)
+	}
+}
+
+func TestSixValuedKnowledgeOrder(t *testing.T) {
+	l := SixValued()
+	leq := func(a, b string) bool { return l.KnowLeq[l.ValueIndex(a)][l.ValueIndex(b)] }
+	// u is the bottom.
+	for _, v := range l.Names {
+		if !leq("u", v) {
+			t.Errorf("u ⪯ %s must hold", v)
+		}
+	}
+	if !leq("st", "t") || !leq("st", "s") || !leq("sf", "f") || !leq("sf", "s") {
+		t.Errorf("expected st ⪯ t, st ⪯ s, sf ⪯ f, sf ⪯ s")
+	}
+	if leq("t", "f") || leq("f", "t") || leq("s", "t") {
+		t.Errorf("incomparable values wrongly related")
+	}
+}
+
+func TestTruthTableRendering(t *testing.T) {
+	l := Kleene()
+	tbl := l.TruthTable("and")
+	if !strings.Contains(tbl, "∧") || !strings.Contains(tbl, "t") {
+		t.Fatalf("table rendering broken: %q", tbl)
+	}
+	neg := l.TruthTable("not")
+	if !strings.Contains(neg, "¬") {
+		t.Fatalf("negation table broken: %q", neg)
+	}
+}
+
+func TestTruthTablePanicsOnUnknownConnective(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	Kleene().TruthTable("xor")
+}

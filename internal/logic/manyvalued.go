@@ -1,0 +1,279 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Logic is a finite propositional many-valued logic (T, Ω) in the sense of
+// Section 5: a finite set of truth values together with truth tables for
+// the connectives ∧, ∨, ¬, plus a knowledge order. Values are identified by
+// their index into Names.
+type Logic struct {
+	Name  string
+	Names []string // value names, e.g. ["f","u","t"]
+	AndT  [][]int  // AndT[a][b] = index of a ∧ b
+	OrT   [][]int
+	NotT  []int
+	// KnowLeq[a][b] reports a ⪯ b in the knowledge order.
+	KnowLeq [][]bool
+}
+
+// Size returns the number of truth values.
+func (l *Logic) Size() int { return len(l.Names) }
+
+// ValueIndex returns the index of the named truth value, or -1.
+func (l *Logic) ValueIndex(name string) int {
+	for i, n := range l.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// And, Or and Not apply the connective tables.
+func (l *Logic) And(a, b int) int { return l.AndT[a][b] }
+func (l *Logic) Or(a, b int) int  { return l.OrT[a][b] }
+func (l *Logic) Not(a int) int    { return l.NotT[a] }
+
+// Boolean returns the two-valued logic L2v with values f, t.
+func Boolean() *Logic {
+	return &Logic{
+		Name:  "L2v",
+		Names: []string{"f", "t"},
+		AndT:  [][]int{{0, 0}, {0, 1}},
+		OrT:   [][]int{{0, 1}, {1, 1}},
+		NotT:  []int{1, 0},
+		KnowLeq: [][]bool{
+			{true, false},
+			{false, true},
+		},
+	}
+}
+
+// Kleene returns L3v with values f, u, t (Figure 3) and the knowledge
+// order u ⪯ t, u ⪯ f.
+func Kleene() *Logic {
+	idx := func(v TV) int { return int(v) }
+	l := &Logic{
+		Name:  "L3v",
+		Names: []string{"f", "u", "t"},
+	}
+	l.AndT = make([][]int, 3)
+	l.OrT = make([][]int, 3)
+	l.NotT = make([]int, 3)
+	l.KnowLeq = make([][]bool, 3)
+	for a := 0; a < 3; a++ {
+		l.AndT[a] = make([]int, 3)
+		l.OrT[a] = make([]int, 3)
+		l.KnowLeq[a] = make([]bool, 3)
+		l.NotT[a] = idx(Not(TV(a)))
+		for b := 0; b < 3; b++ {
+			l.AndT[a][b] = idx(And(TV(a), TV(b)))
+			l.OrT[a][b] = idx(Or(TV(a), TV(b)))
+			l.KnowLeq[a][b] = KnowledgeLeq(TV(a), TV(b))
+		}
+	}
+	return l
+}
+
+// Subset is a set of truth-value indices of a logic, used by the sublogic
+// search of Theorem 5.3.
+type Subset []int
+
+func (s Subset) contains(x int) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ClosedUnderConnectives reports whether the subset is closed under the
+// logic's ∧, ∨ and ¬.
+func (l *Logic) ClosedUnderConnectives(s Subset) bool {
+	for _, a := range s {
+		if !s.contains(l.NotT[a]) {
+			return false
+		}
+		for _, b := range s {
+			if !s.contains(l.AndT[a][b]) || !s.contains(l.OrT[a][b]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IdempotentOn reports whether a∧a=a and a∨a=a for all a in the subset.
+func (l *Logic) IdempotentOn(s Subset) bool {
+	for _, a := range s {
+		if l.AndT[a][a] != a || l.OrT[a][a] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// WeaklyIdempotentOn reports the weak idempotency condition of [21]
+// (Theorem 5.4's generalization): a∨a∨a = a∨a and a∧a∧a = a∧a.
+func (l *Logic) WeaklyIdempotentOn(s Subset) bool {
+	for _, a := range s {
+		aa := l.OrT[a][a]
+		if l.OrT[aa][a] != aa {
+			return false
+		}
+		bb := l.AndT[a][a]
+		if l.AndT[bb][a] != bb {
+			return false
+		}
+	}
+	return true
+}
+
+// DistributiveOn reports whether ∧ distributes over ∨ and ∨ over ∧ on the
+// subset — the property query optimizers require (Section 5.2).
+func (l *Logic) DistributiveOn(s Subset) bool {
+	for _, a := range s {
+		for _, b := range s {
+			for _, c := range s {
+				if l.AndT[a][l.OrT[b][c]] != l.OrT[l.AndT[a][b]][l.AndT[a][c]] {
+					return false
+				}
+				if l.OrT[a][l.AndT[b][c]] != l.AndT[l.OrT[a][b]][l.OrT[a][c]] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// KnowledgeMonotone reports whether all three connectives preserve the
+// knowledge order (condition (2) before Theorem 5.1).
+func (l *Logic) KnowledgeMonotone() bool {
+	n := l.Size()
+	for a := 0; a < n; a++ {
+		for a2 := 0; a2 < n; a2++ {
+			if !l.KnowLeq[a][a2] {
+				continue
+			}
+			if !l.KnowLeq[l.NotT[a]][l.NotT[a2]] {
+				return false
+			}
+			for b := 0; b < n; b++ {
+				for b2 := 0; b2 < n; b2++ {
+					if !l.KnowLeq[b][b2] {
+						continue
+					}
+					if !l.KnowLeq[l.AndT[a][b]][l.AndT[a2][b2]] {
+						return false
+					}
+					if !l.KnowLeq[l.OrT[a][b]][l.OrT[a2][b2]] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SublogicReport describes one closed subset found by MaximalSublogics.
+type SublogicReport struct {
+	Values       []string
+	Idempotent   bool
+	Distributive bool
+}
+
+// MaximalSublogics enumerates all subsets of the logic's truth values that
+// are closed under ∧, ∨, ¬ and satisfy both idempotency and distributivity,
+// and returns the maximal ones under set inclusion. This is the search
+// behind Theorem 5.3: on L6v it returns exactly {f, u, t}, i.e. Kleene's
+// three-valued logic.
+func (l *Logic) MaximalSublogics() []SublogicReport {
+	n := l.Size()
+	var good []Subset
+	for mask := 1; mask < 1<<n; mask++ {
+		var s Subset
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		if l.ClosedUnderConnectives(s) && l.IdempotentOn(s) && l.DistributiveOn(s) {
+			good = append(good, s)
+		}
+	}
+	// Keep maximal ones.
+	var out []SublogicReport
+	for i, s := range good {
+		maximal := true
+		for j, t := range good {
+			if i == j || len(t) <= len(s) {
+				continue
+			}
+			sub := true
+			for _, x := range s {
+				if !t.contains(x) {
+					sub = false
+					break
+				}
+			}
+			if sub {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			names := make([]string, len(s))
+			for k, x := range s {
+				names[k] = l.Names[x]
+			}
+			sort.Strings(names)
+			out = append(out, SublogicReport{Values: names, Idempotent: true, Distributive: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].Values, ",") < strings.Join(out[j].Values, ",")
+	})
+	return out
+}
+
+// TruthTable renders a connective table for display, reproducing Figure 3
+// when called on Kleene().
+func (l *Logic) TruthTable(conn string) string {
+	var b strings.Builder
+	switch conn {
+	case "not":
+		fmt.Fprintf(&b, "%-3s| ¬\n", "")
+		for a := range l.Names {
+			fmt.Fprintf(&b, "%-3s| %s\n", l.Names[a], l.Names[l.NotT[a]])
+		}
+		return b.String()
+	case "and", "or":
+		tab := l.AndT
+		sym := "∧"
+		if conn == "or" {
+			tab = l.OrT
+			sym = "∨"
+		}
+		fmt.Fprintf(&b, "%-3s|", sym)
+		for _, n := range l.Names {
+			fmt.Fprintf(&b, " %-3s", n)
+		}
+		b.WriteString("\n")
+		for a := range l.Names {
+			fmt.Fprintf(&b, "%-3s|", l.Names[a])
+			for bdx := range l.Names {
+				fmt.Fprintf(&b, " %-3s", l.Names[tab[a][bdx]])
+			}
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	panic("logic: unknown connective " + conn)
+}

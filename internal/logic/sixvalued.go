@@ -1,0 +1,220 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file derives the six-valued epistemic logic L6v of Section 5.2 from
+// first principles, following the construction in the paper (and [21]):
+//
+//   - Incompleteness is modelled by propositional interpretations (W, t, f):
+//     a set of possible worlds W and, for a formula α, the set t(α) of
+//     worlds satisfying it and f(α) of worlds falsifying it, with
+//     t(α) ∩ f(α) = ∅ but possibly t(α) ∪ f(α) ≠ W (partial knowledge).
+//   - The truth values are the maximally consistent theories over the
+//     epistemic modalities K(α), P(α), K(¬α), P(¬α). Exactly six exist:
+//
+//       t  — α true in all worlds            K(α) ∧ P(α) ∧ ¬K(¬α) ∧ ¬P(¬α)
+//       f  — α false in all worlds           ¬K(α) ∧ ¬P(α) ∧ K(¬α) ∧ P(¬α)
+//       s  — true in some, false in others   ¬K(α) ∧ P(α) ∧ ¬K(¬α) ∧ P(¬α)
+//       st — sometimes true, rest unknown    ¬K(α) ∧ P(α) ∧ ¬K(¬α) ∧ ¬P(¬α)
+//       sf — sometimes false, rest unknown   ¬K(α) ∧ ¬P(α) ∧ ¬K(¬α) ∧ P(¬α)
+//       u  — no information at all           ¬K(α) ∧ ¬P(α) ∧ ¬K(¬α) ∧ ¬P(¬α)
+//
+//   - Truth tables: ω(τ₁, τ₂) must be consistent with τ₁, τ₂ (achievable by
+//     some interpretation) and, among the consistent candidates, the most
+//     general one is chosen: the value carrying the least positive
+//     epistemic knowledge ({K,P} literals).
+//
+// The derivation below enumerates joint world-patterns for a pair (α, β):
+// since K and P only depend on which world-types are present, an
+// interpretation is, up to equivalence, a non-empty subset of the nine
+// per-world value pairs {1,0,?}². The compound α∧β / α∨β is evaluated
+// per world by strong Kleene (a world satisfies α∧β iff it satisfies both;
+// falsifies it iff it falsifies one), which determines the compound's
+// modal theory and hence its truth value.
+
+// Six-valued truth value indices, fixed order.
+const (
+	SixF  = 0 // f
+	SixU  = 1 // u
+	SixSF = 2 // sf
+	SixS  = 3 // s
+	SixST = 4 // st
+	SixT  = 5 // t
+)
+
+var sixNames = []string{"f", "u", "sf", "s", "st", "t"}
+
+// positiveKnowledge maps each six-valued value to its positive modal
+// literals, encoded as a bitmask over {P(α)=1, K(α)=2, P(¬α)=4, K(¬α)=8}.
+// The knowledge order of L6v is inclusion of these sets.
+var positiveKnowledge = []int{
+	SixF:  4 | 8, // P¬, K¬
+	SixU:  0,
+	SixSF: 4,     // P¬
+	SixS:  1 | 4, // P, P¬
+	SixST: 1,     // P
+	SixT:  1 | 2, // P, K
+}
+
+// worldVal is the status of a formula at one world: 1 true, 0 false, ? unknown.
+type worldVal uint8
+
+const (
+	wFalse worldVal = 0
+	wUnk   worldVal = 1
+	wTrue  worldVal = 2
+)
+
+// classify maps the set of world statuses of a formula to its six-valued
+// truth value (the formula's maximally consistent modal theory).
+func classify(present map[worldVal]bool) int {
+	pT := present[wTrue]
+	pF := present[wFalse]
+	kT := pT && !present[wFalse] && !present[wUnk]
+	kF := pF && !present[wTrue] && !present[wUnk]
+	switch {
+	case kT:
+		return SixT
+	case kF:
+		return SixF
+	case pT && pF:
+		return SixS
+	case pT:
+		return SixST
+	case pF:
+		return SixSF
+	default:
+		return SixU
+	}
+}
+
+// kleeneWorld evaluates a connective at a single world with strong Kleene.
+func kleeneWorldAnd(a, b worldVal) worldVal {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func kleeneWorldOr(a, b worldVal) worldVal {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func kleeneWorldNot(a worldVal) worldVal { return 2 - a }
+
+// mostGeneral picks, from a non-empty set of achievable truth values, the
+// unique value with ⊆-minimal positive knowledge. It panics when the
+// minimum is not unique or not achieved — which would indicate the
+// derivation is wrong; the test suite exercises every entry.
+func mostGeneral(achievable map[int]bool, ctx string) int {
+	var mins []int
+	for v := range achievable {
+		minimal := true
+		for w := range achievable {
+			if w == v {
+				continue
+			}
+			// w strictly below v?
+			if positiveKnowledge[w]&positiveKnowledge[v] == positiveKnowledge[w] &&
+				positiveKnowledge[w] != positiveKnowledge[v] {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			mins = append(mins, v)
+		}
+	}
+	if len(mins) != 1 {
+		sort.Ints(mins)
+		panic(fmt.Sprintf("logic: L6v derivation ambiguous at %s: minimal candidates %v of %v", ctx, mins, achievable))
+	}
+	return mins[0]
+}
+
+// SixValued derives and returns L6v. The derivation is deterministic and
+// cheap (511 joint world-patterns per connective entry), so callers may
+// invoke it freely; package-level callers can cache the result.
+func SixValued() *Logic {
+	const n = 6
+	l := &Logic{Name: "L6v", Names: append([]string(nil), sixNames...)}
+	l.AndT = make([][]int, n)
+	l.OrT = make([][]int, n)
+	l.NotT = make([]int, n)
+	l.KnowLeq = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		l.AndT[i] = make([]int, n)
+		l.OrT[i] = make([]int, n)
+		l.KnowLeq[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			l.KnowLeq[i][j] = positiveKnowledge[i]&positiveKnowledge[j] == positiveKnowledge[i]
+		}
+	}
+
+	// All nine per-world pairs.
+	var pairs [][2]worldVal
+	for _, a := range []worldVal{wFalse, wUnk, wTrue} {
+		for _, b := range []worldVal{wFalse, wUnk, wTrue} {
+			pairs = append(pairs, [2]worldVal{a, b})
+		}
+	}
+
+	// achievableAnd[τ1][τ2] etc. collected over every non-empty subset of
+	// pair-types.
+	achAnd := make([][]map[int]bool, n)
+	achOr := make([][]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		achAnd[i] = make([]map[int]bool, n)
+		achOr[i] = make([]map[int]bool, n)
+		for j := 0; j < n; j++ {
+			achAnd[i][j] = map[int]bool{}
+			achOr[i][j] = map[int]bool{}
+		}
+	}
+	achNot := make([]map[int]bool, n)
+	for i := range achNot {
+		achNot[i] = map[int]bool{}
+	}
+
+	for mask := 1; mask < 1<<len(pairs); mask++ {
+		presentA := map[worldVal]bool{}
+		presentB := map[worldVal]bool{}
+		presentAnd := map[worldVal]bool{}
+		presentOr := map[worldVal]bool{}
+		presentNotA := map[worldVal]bool{}
+		for p := 0; p < len(pairs); p++ {
+			if mask&(1<<p) == 0 {
+				continue
+			}
+			a, b := pairs[p][0], pairs[p][1]
+			presentA[a] = true
+			presentB[b] = true
+			presentAnd[kleeneWorldAnd(a, b)] = true
+			presentOr[kleeneWorldOr(a, b)] = true
+			presentNotA[kleeneWorldNot(a)] = true
+		}
+		ta, tb := classify(presentA), classify(presentB)
+		achAnd[ta][tb][classify(presentAnd)] = true
+		achOr[ta][tb][classify(presentOr)] = true
+		achNot[ta][classify(presentNotA)] = true
+	}
+
+	for i := 0; i < n; i++ {
+		l.NotT[i] = mostGeneral(achNot[i], fmt.Sprintf("¬%s", sixNames[i]))
+		for j := 0; j < n; j++ {
+			l.AndT[i][j] = mostGeneral(achAnd[i][j], fmt.Sprintf("%s∧%s", sixNames[i], sixNames[j]))
+			l.OrT[i][j] = mostGeneral(achOr[i][j], fmt.Sprintf("%s∨%s", sixNames[i], sixNames[j]))
+		}
+	}
+	return l
+}
+
+// KleeneEmbedding returns the indices of f, u, t inside L6v, witnessing
+// that L3v is (isomorphic to) the {f,u,t} fragment of L6v.
+func KleeneEmbedding() [3]int { return [3]int{SixF, SixU, SixT} }

@@ -1,0 +1,229 @@
+// Package prob implements the probabilistic framework of Section 4.3 of
+// the paper: the probability µ(Q, D, ā) that a randomly chosen valuation
+// witnesses ā as an answer, its finite restrictions µᵏ over valuations
+// into {c₁,…,c_k}, and the conditional probability µ(Q|Σ, D, ā) under
+// integrity constraints Σ.
+//
+// All probabilities are exact rationals (math/big). The asymptotic values
+// are computed symbolically by enumerating *patterns*: a pattern assigns
+// each null either a relevant constant (one occurring in D, Q or Σ) or an
+// anonymous fresh class; all valuations realizing the same pattern agree
+// on the events of interest (genericity), and a pattern with m fresh
+// classes is realized by (k−|R|)(k−|R|−1)⋯(k−|R|−m+1) valuations into
+// {c₁,…,c_k}. Both µᵏ numerator and denominator are therefore polynomials
+// in k, and the limit is the ratio of their leading coefficients —
+// Theorem 4.10's 0–1 law and Theorem 4.11's rational convergence both fall
+// out of this computation.
+package prob
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+
+	"incdb/internal/algebra"
+	"incdb/internal/constraint"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// MaxNulls bounds the pattern/valuation enumerations; both are exponential
+// in the number of nulls (computing µ exactly is FP^#P-hard, Section 4.3).
+const MaxNulls = 8
+
+// relevantConsts collects R = Const(D) ∪ consts(Q) ∪ consts(ā).
+func relevantConsts(db *relation.Database, q algebra.Expr, tuple value.Tuple) []value.Value {
+	seen := map[value.Value]bool{}
+	var out []value.Value
+	add := func(v value.Value) {
+		if v.IsConst() && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, c := range db.Consts() {
+		add(c)
+	}
+	for _, c := range algebra.ConstsOf(q) {
+		add(c)
+	}
+	for _, v := range tuple {
+		add(v)
+	}
+	return out
+}
+
+// freshConsts returns m constants outside the avoid set.
+func freshConsts(m int, avoid []value.Value) []value.Value {
+	have := map[value.Value]bool{}
+	for _, v := range avoid {
+		have[v] = true
+	}
+	var out []value.Value
+	for i := 0; len(out) < m; i++ {
+		c := value.Const("✶" + strconv.Itoa(i))
+		if !have[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MuK computes µᵏ(Q|Σ, D, ā): the fraction of valuations v with range in
+// {c₁,…,c_k} that satisfy v(D) ⊨ Σ and v(ā) ∈ Q(v(D)), among those
+// satisfying Σ. A nil Σ is the unconditional µᵏ of (the display before)
+// Theorem 4.10. The first k constants are taken as the relevant constants
+// R followed by fresh ones; k must be at least |R| for the value to be
+// enumeration-independent, and the enumeration costs kⁿ worlds.
+func MuK(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int) (*big.Rat, error) {
+	ids := db.NullIDs()
+	if len(ids) > MaxNulls {
+		return nil, fmt.Errorf("prob: %d nulls exceed MaxNulls=%d", len(ids), MaxNulls)
+	}
+	rel := relevantConsts(db, q, tuple)
+	if k < len(rel) {
+		return nil, fmt.Errorf("prob: k=%d below |R|=%d; µᵏ would depend on the enumeration", k, len(rel))
+	}
+	rng := append(append([]value.Value{}, rel...), freshConsts(k-len(rel), rel)...)
+	num, den := 0, 0
+	v := value.NewValuation()
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(ids) {
+			world := db.Apply(v)
+			if sigma != nil && !sigma.Holds(world) {
+				return
+			}
+			den++
+			if algebra.Eval(world, q, algebra.ModeNaive).Contains(v.Apply(tuple)) {
+				num++
+			}
+			return
+		}
+		for _, c := range rng {
+			v.Set(ids[i], c)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if den == 0 {
+		return big.NewRat(0, 1), nil
+	}
+	return big.NewRat(int64(num), int64(den)), nil
+}
+
+// Mu computes the asymptotic µ(Q|Σ, D, ā) = lim_k µᵏ exactly, by pattern
+// enumeration. With nil Σ the result is 0 or 1 (Theorem 4.10); with
+// constraints it is an arbitrary rational in [0,1] (Theorem 4.11). The
+// convention µ = 0 applies when no valuation satisfies Σ.
+func Mu(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple) (*big.Rat, error) {
+	ids := db.NullIDs()
+	if len(ids) > MaxNulls {
+		return nil, fmt.Errorf("prob: %d nulls exceed MaxNulls=%d", len(ids), MaxNulls)
+	}
+	rel := relevantConsts(db, q, tuple)
+	fresh := freshConsts(len(ids), rel)
+
+	// numTop[m] / denTop[m]: number of patterns with m fresh classes
+	// satisfying Σ∧Q, resp. Σ.
+	numTop := make([]int64, len(ids)+1)
+	denTop := make([]int64, len(ids)+1)
+
+	// Enumerate patterns: each null gets either a relevant constant or a
+	// fresh class in restricted-growth order (class b may be used at
+	// position i only if classes 0..b-1 appear before).
+	v := value.NewValuation()
+	var rec func(i, classes int)
+	rec = func(i, classes int) {
+		if i == len(ids) {
+			world := db.Apply(v)
+			if sigma != nil && !sigma.Holds(world) {
+				return
+			}
+			denTop[classes]++
+			if algebra.Eval(world, q, algebra.ModeNaive).Contains(v.Apply(tuple)) {
+				numTop[classes]++
+			}
+			return
+		}
+		for j := range rel {
+			v.Set(ids[i], rel[j])
+			rec(i+1, classes)
+		}
+		for b := 0; b <= classes && b < len(fresh); b++ {
+			v.Set(ids[i], fresh[b])
+			next := classes
+			if b == classes {
+				next = classes + 1
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, 0)
+
+	// Leading degree of the denominator polynomial.
+	top := -1
+	for m := len(ids); m >= 0; m-- {
+		if denTop[m] > 0 {
+			top = m
+			break
+		}
+	}
+	if top < 0 {
+		return big.NewRat(0, 1), nil // Σ unsatisfiable over every k
+	}
+	return big.NewRat(numTop[top], denTop[top]), nil
+}
+
+// AlmostCertainlyTrue reports whether µ(Q, D, ā) = 1. By Theorem 4.10 this
+// holds iff ā ∈ Qnaïve(D); the implementation goes through the pattern
+// computation, and the equivalence with naive evaluation is verified by
+// the test suite.
+func AlmostCertainlyTrue(db *relation.Database, q algebra.Expr, tuple value.Tuple) (bool, error) {
+	mu, err := Mu(db, q, nil, tuple)
+	if err != nil {
+		return false, err
+	}
+	return mu.Cmp(big.NewRat(1, 1)) == 0, nil
+}
+
+// SuppCount returns |Suppᵏ(Σ∧Q)| and |Suppᵏ(Σ)| for diagnostics: the raw
+// counts behind µᵏ.
+func SuppCount(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int) (sat, total int, err error) {
+	mu, err := MuK(db, q, sigma, tuple, k)
+	if err != nil {
+		return 0, 0, err
+	}
+	ids := db.NullIDs()
+	worlds := 1
+	for range ids {
+		worlds *= k
+	}
+	if sigma == nil {
+		total = worlds
+	} else {
+		// Recount Σ-worlds (MuK normalizes, so recompute the denominator).
+		rel := relevantConsts(db, q, tuple)
+		rng := append(append([]value.Value{}, rel...), freshConsts(k-len(rel), rel)...)
+		v := value.NewValuation()
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(ids) {
+				if sigma.Holds(db.Apply(v)) {
+					total++
+				}
+				return
+			}
+			for _, c := range rng {
+				v.Set(ids[i], c)
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	n := new(big.Rat).Mul(mu, big.NewRat(int64(total), 1))
+	if !n.IsInt() {
+		return 0, 0, fmt.Errorf("prob: internal inconsistency computing support counts")
+	}
+	return int(n.Num().Int64()), total, nil
+}

@@ -1,0 +1,413 @@
+// Package raparse parses the textual syntax used by the incdbctl command
+// for relational algebra queries and incomplete databases.
+//
+// Query syntax (functional, case-insensitive keywords):
+//
+//	EXPR ::= IDENT                         base relation
+//	       | sel(COND, EXPR)               σ
+//	       | proj(COLS, EXPR)              π, e.g. proj(0 2, R)
+//	       | times(EXPR, EXPR)             ×
+//	       | union(EXPR, EXPR)             ∪
+//	       | minus(EXPR, EXPR)             −
+//	       | inter(EXPR, EXPR)             ∩
+//	       | div(EXPR, EXPR)               ÷
+//	       | dom(K)                        active-domain power
+//
+//	COND ::= eq(I, J) | eqc(I, 'lit') | neq(I, J) | neqc(I, 'lit')
+//	       | lt(I, J) | ltc(I, 'lit') | gtc(I, 'lit')
+//	       | isnull(I) | isconst(I)
+//	       | and(COND, COND) | or(COND, COND) | not(COND)
+//	       | in(COLS, EXPR)
+//	       | true | false
+//
+// Database files are line-oriented:
+//
+//	# comment
+//	rel Orders oid title price     — declares a relation and its attributes
+//	row Orders o1 'Big Data' 30    — adds a tuple; _k denotes the null ⊥k
+//
+// Quoted literals may contain spaces; _1, _2, … are marked nulls (the same
+// token always denotes the same null).
+package raparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// ParseQuery parses the query syntax above.
+func ParseQuery(src string) (algebra.Expr, error) {
+	p := &parser{toks: lex(src)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("raparse: trailing input at %q", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func lex(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				j++
+			}
+			toks = append(toks, src[i:min(j+1, len(src))])
+			i = j + 1
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r,()'", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("raparse: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+func (p *parser) parseExpr() (algebra.Expr, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("raparse: unexpected end of input")
+	}
+	head := p.next()
+	kw := strings.ToLower(head)
+	switch kw {
+	case "sel":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return algebra.Sel(in, cond), nil
+	case "proj":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseCols()
+		if err != nil {
+			return nil, err
+		}
+		in, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return algebra.Proj(in, cols...), nil
+	case "times", "union", "minus", "inter", "div":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		l, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "times":
+			return algebra.Times(l, r), nil
+		case "union":
+			return algebra.Un(l, r), nil
+		case "minus":
+			return algebra.Minus(l, r), nil
+		case "inter":
+			return algebra.Inter(l, r), nil
+		default:
+			return algebra.Div(l, r), nil
+		}
+	case "dom":
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		k, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return algebra.DomK(k), nil
+	case "(", ")":
+		return nil, fmt.Errorf("raparse: unexpected %q", head)
+	default:
+		// Base relation name.
+		return algebra.R(head), nil
+	}
+}
+
+func (p *parser) parseCols() ([]int, error) {
+	var cols []int
+	for {
+		if _, err := strconv.Atoi(p.peek()); err != nil {
+			break
+		}
+		n, _ := strconv.Atoi(p.next())
+		cols = append(cols, n)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("raparse: expected column list, got %q", p.peek())
+	}
+	return cols, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	n, err := strconv.Atoi(p.peek())
+	if err != nil {
+		return 0, fmt.Errorf("raparse: expected integer, got %q", p.peek())
+	}
+	p.next()
+	return n, nil
+}
+
+func (p *parser) parseLit() (value.Value, error) {
+	t := p.next()
+	if strings.HasPrefix(t, "'") && strings.HasSuffix(t, "'") && len(t) >= 2 {
+		return value.Const(t[1 : len(t)-1]), nil
+	}
+	return value.Const(t), nil
+}
+
+func (p *parser) parseCond() (algebra.Cond, error) {
+	head := strings.ToLower(p.next())
+	switch head {
+	case "true":
+		return algebra.CAnd(), nil
+	case "false":
+		return algebra.COr(), nil
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var cond algebra.Cond
+	switch head {
+	case "eq", "neq", "lt":
+		i, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		j, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		switch head {
+		case "eq":
+			cond = algebra.CEq(i, j)
+		case "neq":
+			cond = algebra.CNeq(i, j)
+		default:
+			cond = algebra.CLess(i, j)
+		}
+	case "eqc", "neqc", "ltc", "gtc":
+		i, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		lit, err := p.parseLit()
+		if err != nil {
+			return nil, err
+		}
+		switch head {
+		case "eqc":
+			cond = algebra.CEqC(i, lit)
+		case "neqc":
+			cond = algebra.CNeqC(i, lit)
+		case "ltc":
+			cond = algebra.CLessC(i, lit)
+		default:
+			cond = algebra.CGreaterC(i, lit)
+		}
+	case "isnull", "isconst":
+		i, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		if head == "isnull" {
+			cond = algebra.CNull(i)
+		} else {
+			cond = algebra.CConst(i)
+		}
+	case "and", "or":
+		l, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if head == "and" {
+			cond = algebra.CAnd(l, r)
+		} else {
+			cond = algebra.COr(l, r)
+		}
+	case "not":
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		cond = algebra.CNot(c)
+	case "in":
+		cols, err := p.parseCols()
+		if err != nil {
+			return nil, err
+		}
+		sub, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		cond = algebra.CIn(sub, cols...)
+	default:
+		return nil, fmt.Errorf("raparse: unknown condition %q", head)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return cond, nil
+}
+
+// ParseDatabase reads the line-oriented database format.
+func ParseDatabase(r io.Reader) (*relation.Database, error) {
+	db := relation.NewDatabase()
+	nulls := map[string]value.Value{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		toks := lexLine(line)
+		if len(toks) < 2 {
+			return nil, fmt.Errorf("raparse: line %d: expected 'rel NAME attrs…' or 'row NAME values…'", lineno)
+		}
+		switch strings.ToLower(toks[0]) {
+		case "rel":
+			db.Add(relation.New(toks[1], toks[2:]...))
+		case "row":
+			rel := db.Relation(toks[1])
+			if rel == nil {
+				return nil, fmt.Errorf("raparse: line %d: unknown relation %q", lineno, toks[1])
+			}
+			vals := toks[2:]
+			if len(vals) != rel.Arity() {
+				return nil, fmt.Errorf("raparse: line %d: %s expects %d values, got %d",
+					lineno, toks[1], rel.Arity(), len(vals))
+			}
+			t := make(value.Tuple, len(vals))
+			for i, v := range vals {
+				if strings.HasPrefix(v, "_") {
+					nv, ok := nulls[v]
+					if !ok {
+						nv = db.FreshNull()
+						nulls[v] = nv
+					}
+					t[i] = nv
+					continue
+				}
+				t[i] = value.Const(strings.Trim(v, "'"))
+			}
+			rel.Add(t)
+		default:
+			return nil, fmt.Errorf("raparse: line %d: unknown directive %q", lineno, toks[0])
+		}
+	}
+	return db, sc.Err()
+}
+
+// lexLine splits a database line on spaces, honouring single quotes.
+func lexLine(line string) []string {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		switch {
+		case line[i] == ' ' || line[i] == '\t':
+			i++
+		case line[i] == '\'':
+			j := i + 1
+			for j < len(line) && line[j] != '\'' {
+				j++
+			}
+			toks = append(toks, line[i:min(j+1, len(line))])
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			toks = append(toks, line[i:j])
+			i = j
+		}
+	}
+	return toks
+}

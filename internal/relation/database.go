@@ -1,0 +1,311 @@
+package relation
+
+import (
+	"sort"
+	"strings"
+
+	"incdb/internal/value"
+)
+
+// Database is an incomplete relational instance D: a set of named relations
+// whose tuples range over Const ∪ Null (Section 2). It also serves as the
+// schema catalogue (relation names and arities) for query evaluation, and
+// as the allocator of fresh marked nulls.
+type Database struct {
+	rels     map[string]*Relation
+	order    []string
+	nextNull uint64
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: map[string]*Relation{}, nextNull: 1}
+}
+
+// Add registers a relation; it replaces any previous relation of the same
+// name. The database adopts (does not copy) the relation.
+func (d *Database) Add(r *Relation) *Database {
+	if _, ok := d.rels[r.name]; !ok {
+		d.order = append(d.order, r.name)
+	}
+	d.rels[r.name] = r
+	// Keep the fresh-null allocator ahead of any null already present.
+	for _, e := range r.rows {
+		for _, v := range e.t {
+			if v.IsNull() && v.NullID() >= d.nextNull {
+				d.nextNull = v.NullID() + 1
+			}
+		}
+	}
+	return d
+}
+
+// Relation returns the named relation, or nil.
+func (d *Database) Relation(name string) *Relation { return d.rels[name] }
+
+// MustRelation returns the named relation or panics; use when the schema is
+// known statically.
+func (d *Database) MustRelation(name string) *Relation {
+	r := d.rels[name]
+	if r == nil {
+		panic("relation: no relation named " + name)
+	}
+	return r
+}
+
+// Names returns the relation names in insertion order.
+func (d *Database) Names() []string { return append([]string(nil), d.order...) }
+
+// Arity returns the arity of the named relation, or -1 when absent.
+func (d *Database) Arity(name string) int {
+	if r := d.rels[name]; r != nil {
+		return r.arity
+	}
+	return -1
+}
+
+// FreshNull allocates a marked null unused anywhere in the database so far.
+func (d *Database) FreshNull() value.Value {
+	v := value.Null(d.nextNull)
+	d.nextNull++
+	return v
+}
+
+// Consts returns the set Const(D) of constants occurring in the database,
+// in deterministic order.
+func (d *Database) Consts() []value.Value {
+	seen := map[value.Value]bool{}
+	var out []value.Value
+	for _, name := range d.order {
+		for _, e := range d.rels[name].rows {
+			for _, v := range e.t {
+				if v.IsConst() && !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	return out
+}
+
+// NullIDs returns the identifiers of Null(D), sorted.
+func (d *Database) NullIDs() []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, name := range d.order {
+		for _, e := range d.rels[name].rows {
+			for _, v := range e.t {
+				if v.IsNull() && !seen[v.NullID()] {
+					seen[v.NullID()] = true
+					out = append(out, v.NullID())
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActiveDomain returns dom(D) = Const(D) ∪ Null(D), constants first, in
+// deterministic order.
+func (d *Database) ActiveDomain() []value.Value {
+	out := d.Consts()
+	for _, id := range d.NullIDs() {
+		out = append(out, value.Null(id))
+	}
+	return out
+}
+
+// IsComplete reports whether the database has no nulls.
+func (d *Database) IsComplete() bool {
+	for _, name := range d.order {
+		if d.rels[name].HasNulls() {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply returns v(D): every relation with the valuation applied. When v
+// covers all of Null(D), the result is a possible world of D under cwa.
+func (d *Database) Apply(v value.Valuation) *Database {
+	out := NewDatabase()
+	for _, name := range d.order {
+		out.Add(d.rels[name].Apply(v))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, name := range d.order {
+		out.Add(d.rels[name].Clone())
+	}
+	out.nextNull = d.nextNull
+	return out
+}
+
+// Equal reports whether both databases have the same relations with the
+// same contents (bag equality), relation by relation.
+func (d *Database) Equal(e *Database) bool {
+	if len(d.rels) != len(e.rels) {
+		return false
+	}
+	for name, r := range d.rels {
+		s, ok := e.rels[name]
+		if !ok || !r.Equal(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders all relations deterministically.
+func (d *Database) String() string {
+	var parts []string
+	for _, name := range d.order {
+		parts = append(parts, d.rels[name].String())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Codd returns the Codd-null transform codd(D) of Section 6 ("Marked
+// nulls"): every null *occurrence* is replaced by a globally fresh null, so
+// no null repeats — the standard reading of SQL's NULL as non-repeating
+// marked nulls.
+func Codd(d *Database) *Database {
+	out := NewDatabase()
+	next := uint64(1)
+	for _, name := range d.order {
+		src := d.rels[name]
+		dst := New(src.name, src.attrs...)
+		// Deterministic order so that renumbering is reproducible.
+		for _, t := range src.Tuples() {
+			m := src.Mult(t)
+			nt := make(value.Tuple, len(t))
+			for i, v := range t {
+				if v.IsNull() {
+					nt[i] = value.Null(next)
+					next++
+				} else {
+					nt[i] = v
+				}
+			}
+			dst.AddMult(nt, m)
+		}
+		out.Add(dst)
+	}
+	out.nextNull = next
+	return out
+}
+
+// IsCoddDatabase reports whether no null id occurs more than once across
+// the whole database (counting multiplicities as a single occurrence of the
+// stored tuple).
+func IsCoddDatabase(d *Database) bool {
+	seen := map[uint64]bool{}
+	for _, name := range d.order {
+		for _, e := range d.rels[name].rows {
+			for _, v := range e.t {
+				if v.IsNull() {
+					if seen[v.NullID()] {
+						return false
+					}
+					seen[v.NullID()] = true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Homomorphic renaming support: RenameNulls applies a null-to-null renaming
+// map to the whole database, used when comparing query results up to null
+// renaming (e.g. for the codd(Q(D)) ≡ Q(codd(D)) experiments).
+func (d *Database) RenameNulls(m map[uint64]uint64) *Database {
+	out := NewDatabase()
+	for _, name := range d.order {
+		src := d.rels[name]
+		dst := New(src.name, src.attrs...)
+		src.Each(func(t value.Tuple, mult int) {
+			nt := make(value.Tuple, len(t))
+			for i, v := range t {
+				if v.IsNull() {
+					if id, ok := m[v.NullID()]; ok {
+						nt[i] = value.Null(id)
+						continue
+					}
+				}
+				nt[i] = v
+			}
+			dst.AddMult(nt, mult)
+		})
+		out.Add(dst)
+	}
+	return out
+}
+
+// EqualUpToNullRenaming reports whether two relations are equal modulo a
+// bijective renaming of nulls. It searches for a renaming by backtracking
+// over the (small) null sets; intended for tests and experiments.
+func EqualUpToNullRenaming(a, b *Relation) bool {
+	if a.arity != b.arity || len(a.rows) != len(b.rows) {
+		return false
+	}
+	idsOf := func(r *Relation) []uint64 {
+		seen := map[uint64]bool{}
+		var out []uint64
+		for _, e := range r.rows {
+			for _, v := range e.t {
+				if v.IsNull() && !seen[v.NullID()] {
+					seen[v.NullID()] = true
+					out = append(out, v.NullID())
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	aIDs, bIDs := idsOf(a), idsOf(b)
+	if len(aIDs) != len(bIDs) {
+		return false
+	}
+	used := make(map[uint64]bool, len(bIDs))
+	ren := map[uint64]uint64{}
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == len(aIDs) {
+			// Check equality under ren.
+			for _, e := range a.rows {
+				nt := make(value.Tuple, len(e.t))
+				for j, v := range e.t {
+					if v.IsNull() {
+						nt[j] = value.Null(ren[v.NullID()])
+					} else {
+						nt[j] = v
+					}
+				}
+				if b.Mult(nt) != e.mult {
+					return false
+				}
+			}
+			return true
+		}
+		for _, cand := range bIDs {
+			if used[cand] {
+				continue
+			}
+			used[cand] = true
+			ren[aIDs[i]] = cand
+			if try(i + 1) {
+				return true
+			}
+			used[cand] = false
+		}
+		return false
+	}
+	return try(0)
+}

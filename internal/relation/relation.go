@@ -1,0 +1,263 @@
+// Package relation implements relations over constants and marked nulls,
+// and incomplete databases built from them (Section 2 of the paper).
+//
+// Relations carry tuple multiplicities so that both the set semantics used
+// throughout Sections 3–5 and the bag semantics of Section 4.2 run on the
+// same representation: set-semantics operators normalize all multiplicities
+// to one, bag-semantics operators combine them the way SQL does.
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"incdb/internal/value"
+)
+
+// Relation is a finite multiset of tuples of a fixed arity, optionally with
+// attribute names for display. The zero value is not usable; construct with
+// New.
+type Relation struct {
+	name  string
+	attrs []string
+	arity int
+	rows  map[string]*row
+}
+
+type row struct {
+	t    value.Tuple
+	mult int
+}
+
+// New returns an empty relation with the given name and attribute names.
+// The arity is len(attrs).
+func New(name string, attrs ...string) *Relation {
+	return &Relation{name: name, attrs: attrs, arity: len(attrs), rows: map[string]*row{}}
+}
+
+// NewArity returns an empty relation with the given arity and synthesized
+// attribute names #0, #1, ….
+func NewArity(name string, arity int) *Relation {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("#%d", i)
+	}
+	return New(name, attrs...)
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Attrs returns the attribute names (do not modify).
+func (r *Relation) Attrs() []string { return r.attrs }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return r.arity }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add inserts one occurrence of t. It panics on arity mismatch: feeding a
+// wrongly shaped tuple is always a bug in the caller.
+func (r *Relation) Add(t value.Tuple) { r.AddMult(t, 1) }
+
+// AddMult inserts m occurrences of t (m may be negative to subtract;
+// multiplicities are clamped at zero and zero-rows removed, matching SQL's
+// EXCEPT ALL arithmetic).
+func (r *Relation) AddMult(t value.Tuple, m int) {
+	if len(t) != r.arity {
+		panic(fmt.Sprintf("relation %s: arity mismatch: tuple %v vs arity %d", r.name, t, r.arity))
+	}
+	k := t.Key()
+	e, ok := r.rows[k]
+	if !ok {
+		if m <= 0 {
+			return
+		}
+		r.rows[k] = &row{t: t.Clone(), mult: m}
+		return
+	}
+	e.mult += m
+	if e.mult <= 0 {
+		delete(r.rows, k)
+	}
+}
+
+// SetMult sets the multiplicity of t to m exactly (removing it when m<=0).
+func (r *Relation) SetMult(t value.Tuple, m int) {
+	k := t.Key()
+	if m <= 0 {
+		delete(r.rows, k)
+		return
+	}
+	if e, ok := r.rows[k]; ok {
+		e.mult = m
+		return
+	}
+	r.rows[k] = &row{t: t.Clone(), mult: m}
+}
+
+// Contains reports whether t occurs at least once.
+func (r *Relation) Contains(t value.Tuple) bool {
+	_, ok := r.rows[t.Key()]
+	return ok
+}
+
+// Mult returns the multiplicity #(t, R), zero when absent.
+func (r *Relation) Mult(t value.Tuple) int {
+	if e, ok := r.rows[t.Key()]; ok {
+		return e.mult
+	}
+	return 0
+}
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Size returns the total number of tuple occurrences (bag cardinality).
+func (r *Relation) Size() int {
+	n := 0
+	for _, e := range r.rows {
+		n += e.mult
+	}
+	return n
+}
+
+// Tuples returns the distinct tuples in deterministic (sorted) order.
+func (r *Relation) Tuples() []value.Tuple {
+	out := make([]value.Tuple, 0, len(r.rows))
+	for _, e := range r.rows {
+		out = append(out, e.t)
+	}
+	value.SortTuples(out)
+	return out
+}
+
+// Each calls f on every distinct tuple with its multiplicity, in
+// deterministic order. f must not mutate the tuple.
+func (r *Relation) Each(f func(t value.Tuple, mult int)) {
+	for _, t := range r.Tuples() {
+		f(t, r.rows[t.Key()].mult)
+	}
+}
+
+// Normalize sets every multiplicity to one (bag → set).
+func (r *Relation) Normalize() {
+	for _, e := range r.rows {
+		e.mult = 1
+	}
+}
+
+// Clone returns a deep copy, optionally renamed.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{name: r.name, attrs: append([]string(nil), r.attrs...), arity: r.arity, rows: map[string]*row{}}
+	for k, e := range r.rows {
+		c.rows[k] = &row{t: e.t.Clone(), mult: e.mult}
+	}
+	return c
+}
+
+// Rename returns r itself after setting its name; handy when materializing
+// intermediate results.
+func (r *Relation) Rename(name string) *Relation {
+	r.name = name
+	return r
+}
+
+// Equal reports whether the two relations hold exactly the same multiset of
+// tuples (names and attribute labels are ignored).
+func (r *Relation) Equal(s *Relation) bool {
+	if r.arity != s.arity || len(r.rows) != len(s.rows) {
+		return false
+	}
+	for k, e := range r.rows {
+		f, ok := s.rows[k]
+		if !ok || f.mult != e.mult {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualSet reports set-semantics equality: same distinct tuples,
+// multiplicities ignored.
+func (r *Relation) EqualSet(s *Relation) bool {
+	if r.arity != s.arity || len(r.rows) != len(s.rows) {
+		return false
+	}
+	for k := range r.rows {
+		if _, ok := s.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOfSet reports whether every distinct tuple of r occurs in s.
+func (r *Relation) SubsetOfSet(s *Relation) bool {
+	for k := range r.rows {
+		if _, ok := s.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNulls reports whether any stored tuple contains a null.
+func (r *Relation) HasNulls() bool {
+	for _, e := range r.rows {
+		if e.t.HasNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply returns the relation v(R): every bound null replaced, multiplicities
+// of collapsing tuples added (the "add up multiplicities" reading of
+// applying valuations to bags, cf. [42] as discussed in Section 6).
+func (r *Relation) Apply(v value.Valuation) *Relation {
+	out := New(r.name, r.attrs...)
+	for _, e := range r.rows {
+		out.AddMult(v.Apply(e.t), e.mult)
+	}
+	return out
+}
+
+// String renders the relation as a small aligned table, deterministically.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) {", r.name, strings.Join(r.attrs, ", "))
+	ts := r.Tuples()
+	if len(ts) == 0 {
+		b.WriteString("}")
+		return b.String()
+	}
+	b.WriteString("\n")
+	for _, t := range ts {
+		m := r.rows[t.Key()].mult
+		if m == 1 {
+			fmt.Fprintf(&b, "  %s\n", t)
+		} else {
+			fmt.Fprintf(&b, "  %s ×%d\n", t, m)
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// FromTuples builds a set-semantics relation from tuples.
+func FromTuples(name string, arity int, ts ...value.Tuple) *Relation {
+	r := NewArity(name, arity)
+	for _, t := range ts {
+		r.Add(t)
+	}
+	return r
+}

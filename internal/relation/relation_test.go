@@ -1,0 +1,279 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"incdb/internal/value"
+)
+
+func tup(vs ...value.Value) value.Tuple { return value.T(vs...) }
+
+func TestRelationAddContainsMult(t *testing.T) {
+	r := New("R", "a", "b")
+	if r.Arity() != 2 || r.Name() != "R" {
+		t.Fatalf("basic accessors wrong")
+	}
+	r.Add(value.Consts("x", "y"))
+	r.AddMult(value.Consts("x", "y"), 2)
+	if got := r.Mult(value.Consts("x", "y")); got != 3 {
+		t.Fatalf("Mult = %d, want 3", got)
+	}
+	if r.Len() != 1 || r.Size() != 3 {
+		t.Fatalf("Len/Size = %d/%d", r.Len(), r.Size())
+	}
+	r.AddMult(value.Consts("x", "y"), -3)
+	if r.Contains(value.Consts("x", "y")) {
+		t.Fatalf("tuple should be gone after subtracting all multiplicity")
+	}
+	r.AddMult(value.Consts("q", "w"), -1)
+	if r.Len() != 0 {
+		t.Fatalf("negative add on absent tuple should be a no-op")
+	}
+}
+
+func TestRelationArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	New("R", "a").Add(value.Consts("x", "y"))
+}
+
+func TestAttrIndex(t *testing.T) {
+	r := New("R", "a", "b", "c")
+	if r.AttrIndex("b") != 1 || r.AttrIndex("zz") != -1 {
+		t.Fatalf("AttrIndex wrong")
+	}
+}
+
+func TestSetMult(t *testing.T) {
+	r := New("R", "a")
+	r.SetMult(value.Consts("x"), 5)
+	if r.Mult(value.Consts("x")) != 5 {
+		t.Fatalf("SetMult failed")
+	}
+	r.SetMult(value.Consts("x"), 0)
+	if r.Contains(value.Consts("x")) {
+		t.Fatalf("SetMult 0 should remove")
+	}
+}
+
+func TestTuplesDeterministicOrder(t *testing.T) {
+	r := New("R", "a")
+	r.Add(value.Consts("b"))
+	r.Add(value.Consts("a"))
+	r.Add(tup(value.Null(2)))
+	r.Add(tup(value.Null(1)))
+	ts := r.Tuples()
+	want := []string{"(a)", "(b)", "(⊥1)", "(⊥2)"}
+	for i, w := range want {
+		if ts[i].String() != w {
+			t.Fatalf("order[%d] = %v, want %s", i, ts[i], w)
+		}
+	}
+}
+
+func TestNormalizeAndEqualSet(t *testing.T) {
+	r := New("R", "a")
+	r.AddMult(value.Consts("x"), 3)
+	s := New("S", "a")
+	s.Add(value.Consts("x"))
+	if r.Equal(s) {
+		t.Fatalf("bag equality should fail on different multiplicities")
+	}
+	if !r.EqualSet(s) {
+		t.Fatalf("set equality should hold")
+	}
+	r.Normalize()
+	if !r.Equal(s) {
+		t.Fatalf("after Normalize bag equality should hold")
+	}
+}
+
+func TestSubsetOfSet(t *testing.T) {
+	r := FromTuples("R", 1, value.Consts("a"))
+	s := FromTuples("S", 1, value.Consts("a"), value.Consts("b"))
+	if !r.SubsetOfSet(s) || s.SubsetOfSet(r) {
+		t.Fatalf("SubsetOfSet wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := New("R", "a")
+	r.Add(value.Consts("x"))
+	c := r.Clone()
+	c.Add(value.Consts("y"))
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("Clone not independent")
+	}
+}
+
+func TestApplyValuationMergesMultiplicities(t *testing.T) {
+	r := New("R", "a")
+	r.Add(tup(value.Null(1)))
+	r.Add(value.Consts("c"))
+	v := value.NewValuation()
+	v.Set(1, value.Const("c"))
+	got := r.Apply(v)
+	if got.Len() != 1 || got.Mult(value.Consts("c")) != 2 {
+		t.Fatalf("Apply should merge: %v", got)
+	}
+}
+
+func TestRelationStringStable(t *testing.T) {
+	r := New("R", "a", "b")
+	r.Add(value.Consts("x", "y"))
+	r.AddMult(tup(value.Null(1), value.Const("z")), 2)
+	s := r.String()
+	if !strings.Contains(s, "R(a, b)") || !strings.Contains(s, "×2") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	d := NewDatabase()
+	r := New("R", "a")
+	r.Add(tup(value.Null(5)))
+	r.Add(value.Consts("c1"))
+	d.Add(r)
+	s := New("S", "x", "y")
+	s.Add(tup(value.Const("c2"), value.Null(3)))
+	d.Add(s)
+
+	if d.Arity("R") != 1 || d.Arity("S") != 2 || d.Arity("nope") != -1 {
+		t.Fatalf("Arity lookup wrong")
+	}
+	if got := d.Names(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Fatalf("Names = %v", got)
+	}
+	consts := d.Consts()
+	if len(consts) != 2 || consts[0] != value.Const("c1") || consts[1] != value.Const("c2") {
+		t.Fatalf("Consts = %v", consts)
+	}
+	ids := d.NullIDs()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 5 {
+		t.Fatalf("NullIDs = %v", ids)
+	}
+	adom := d.ActiveDomain()
+	if len(adom) != 4 || adom[2] != value.Null(3) {
+		t.Fatalf("ActiveDomain = %v", adom)
+	}
+	if d.IsComplete() {
+		t.Fatalf("database with nulls is not complete")
+	}
+	// Fresh nulls must avoid existing ids.
+	f := d.FreshNull()
+	if f.NullID() <= 5 {
+		t.Fatalf("FreshNull = %v should exceed existing ids", f)
+	}
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewDatabase().MustRelation("missing")
+}
+
+func TestDatabaseApplyAndComplete(t *testing.T) {
+	d := NewDatabase()
+	r := New("R", "a")
+	r.Add(tup(value.Null(1)))
+	d.Add(r)
+	v := value.NewValuation()
+	v.Set(1, value.Const("k"))
+	w := d.Apply(v)
+	if !w.IsComplete() {
+		t.Fatalf("applying a total valuation should complete the db")
+	}
+	if !w.MustRelation("R").Contains(value.Consts("k")) {
+		t.Fatalf("valuation not applied")
+	}
+	// original untouched
+	if d.IsComplete() {
+		t.Fatalf("Apply must not mutate the source")
+	}
+}
+
+func TestDatabaseEqual(t *testing.T) {
+	mk := func() *Database {
+		d := NewDatabase()
+		r := New("R", "a")
+		r.Add(value.Consts("x"))
+		d.Add(r)
+		return d
+	}
+	a, b := mk(), mk()
+	if !a.Equal(b) {
+		t.Fatalf("identical databases should be Equal")
+	}
+	b.MustRelation("R").Add(value.Consts("y"))
+	if a.Equal(b) {
+		t.Fatalf("databases with different contents should differ")
+	}
+}
+
+func TestCoddTransform(t *testing.T) {
+	d := NewDatabase()
+	r := New("R", "a", "b")
+	r.Add(tup(value.Null(1), value.Null(1))) // repeated marked null
+	r.Add(tup(value.Null(2), value.Const("c")))
+	d.Add(r)
+	cd := Codd(d)
+	if !IsCoddDatabase(cd) {
+		t.Fatalf("Codd output must have non-repeating nulls")
+	}
+	if IsCoddDatabase(d) {
+		t.Fatalf("source has a repeated null; IsCoddDatabase should be false")
+	}
+	if cd.MustRelation("R").Len() != 2 {
+		t.Fatalf("Codd must preserve tuple count")
+	}
+	// The repeated null became two distinct nulls.
+	for _, tpl := range cd.MustRelation("R").Tuples() {
+		if tpl[0].IsNull() && tpl[1].IsNull() && tpl[0] == tpl[1] {
+			t.Fatalf("Codd left a repeated null in %v", tpl)
+		}
+	}
+}
+
+func TestRenameNulls(t *testing.T) {
+	d := NewDatabase()
+	r := New("R", "a")
+	r.Add(tup(value.Null(1)))
+	d.Add(r)
+	e := d.RenameNulls(map[uint64]uint64{1: 9})
+	if !e.MustRelation("R").Contains(tup(value.Null(9))) {
+		t.Fatalf("rename failed: %v", e)
+	}
+}
+
+func TestEqualUpToNullRenaming(t *testing.T) {
+	a := FromTuples("A", 2, tup(value.Null(1), value.Null(1)), tup(value.Null(2), value.Const("c")))
+	b := FromTuples("B", 2, tup(value.Null(7), value.Null(7)), tup(value.Null(4), value.Const("c")))
+	if !EqualUpToNullRenaming(a, b) {
+		t.Fatalf("should be equal up to renaming")
+	}
+	c := FromTuples("C", 2, tup(value.Null(7), value.Null(8)), tup(value.Null(4), value.Const("c")))
+	if EqualUpToNullRenaming(a, c) {
+		t.Fatalf("repetition pattern differs; should not be equal")
+	}
+}
+
+func TestFreshNullAdvancesOnAdd(t *testing.T) {
+	d := NewDatabase()
+	r := New("R", "a")
+	d.Add(r)
+	n1 := d.FreshNull()
+	r2 := New("S", "a")
+	r2.Add(tup(value.Null(100)))
+	d.Add(r2)
+	n2 := d.FreshNull()
+	if n2.NullID() <= 100 || n1.NullID() >= 100 {
+		t.Fatalf("fresh null allocation must account for added relations: %v %v", n1, n2)
+	}
+}

@@ -1,0 +1,200 @@
+// Package translate implements the two approximation schemes of Figure 2
+// of the paper, which rewrite a relational algebra query Q into companion
+// queries with correctness guarantees that are evaluated naively:
+//
+//   - Figure 2(a), from Libkin [51]: Q ↦ (Qᵗ, Qᶠ), where Qᵗ(D) under-
+//     approximates the certainly-true answers cert⊥(Q, D) and Qᶠ(D) the
+//     certainly-false ones cert⊥(¬Q, D) (Theorem 4.6). The Qᶠ side builds
+//     Cartesian powers of the active domain (Dom^k), which is what makes
+//     this scheme correct but practically infeasible — it "starts running
+//     out of memory on instances with fewer than 10³ tuples" [37].
+//
+//   - Figure 2(b), from Guagliardo–Libkin [37]: Q ↦ (Q⁺, Q?), where Q⁺ has
+//     correctness guarantees for Q and Q? over-approximates the possible
+//     answers:  v(Q⁺(D)) ⊆ Q(v(D)) ⊆ v(Q?(D)) for every valuation v
+//     (Theorem 4.7). No Dom appears anywhere; the only new operator is the
+//     anti-semijoin by unifiability ⋉⇑.
+//
+// Both translations cover the core relational algebra of Section 2
+// (σ, π, ×, ∪, −, plus ∩ which is normalized away as Q₁−(Q₁−Q₂)).
+// Projections must use distinct columns (the paper's π projects onto a
+// list of distinct attributes; duplicating a column can always be written
+// as a product with a selection). const/null tests in source conditions
+// are trivialized, since source semantics lives on complete possible
+// worlds. Division, ⋉⇑, Dom and IN-subqueries cannot appear in source
+// queries.
+package translate
+
+import (
+	"fmt"
+
+	"incdb/internal/algebra"
+)
+
+// Fig2a translates Q into the pair (Qᵗ, Qᶠ) of Figure 2(a). The catalog is
+// needed to compute arities for the Dom^k subexpressions.
+func Fig2a(q algebra.Expr, cat algebra.Catalog) (qt, qf algebra.Expr, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			qt, qf = nil, nil
+			err = fmt.Errorf("translate: %v", r)
+		}
+	}()
+	q = normalize(q)
+	qt, qf = fig2a(q, cat)
+	return qt, qf, nil
+}
+
+// Fig2b translates Q into the pair (Q⁺, Q?) of Figure 2(b).
+func Fig2b(q algebra.Expr) (plus, poss algebra.Expr, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			plus, poss = nil, nil
+			err = fmt.Errorf("translate: %v", r)
+		}
+	}()
+	q = normalize(q)
+	plus, poss = fig2b(q)
+	return plus, poss, nil
+}
+
+// normalize rewrites intersections into the difference form the Figure 2
+// rules cover: Q₁ ∩ Q₂ = Q₁ − (Q₁ − Q₂).
+func normalize(q algebra.Expr) algebra.Expr {
+	switch q := q.(type) {
+	case algebra.Rel:
+		return q
+	case algebra.Select:
+		return algebra.Select{In: normalize(q.In), Cond: normalizeCond(q.Cond)}
+	case algebra.Project:
+		seen := map[int]bool{}
+		for _, col := range q.Cols {
+			if seen[col] {
+				// The Figure 2(a) projection rule subtracts
+				// πα(Dom^ar − Qᶠ); with repeated columns some output
+				// tuples have no preimage under πα and the subtraction
+				// over-kills, losing the exactness of Qᵗ on complete
+				// databases. The paper's π projects onto (distinct)
+				// attributes, so we enforce that.
+				panic(fmt.Sprintf("projection with repeated column %d is outside the Figure 2 fragment", col))
+			}
+			seen[col] = true
+		}
+		return algebra.Project{In: normalize(q.In), Cols: q.Cols}
+	case algebra.Product:
+		return algebra.Product{L: normalize(q.L), R: normalize(q.R)}
+	case algebra.Union:
+		return algebra.Union{L: normalize(q.L), R: normalize(q.R)}
+	case algebra.Diff:
+		return algebra.Diff{L: normalize(q.L), R: normalize(q.R)}
+	case algebra.Intersect:
+		l, r := normalize(q.L), normalize(q.R)
+		return algebra.Diff{L: l, R: algebra.Diff{L: l, R: r}}
+	default:
+		panic(fmt.Sprintf("operator %T is outside the Figure 2 fragment", q))
+	}
+}
+
+// normalizeCond pushes explicit Not down so that the θ*/¬θ machinery only
+// sees the paper's positive grammar, and trivializes const/null tests:
+// a source query's semantics is its behaviour on possible worlds
+// (Section 3.1), which are complete databases — there const(A) is always
+// true and null(A) always false. (The translations themselves introduce
+// meaningful const/null tests into the *output* queries via θ*.)
+func normalizeCond(c algebra.Cond) algebra.Cond {
+	switch c := c.(type) {
+	case algebra.And:
+		return algebra.And{L: normalizeCond(c.L), R: normalizeCond(c.R)}
+	case algebra.Or:
+		return algebra.Or{L: normalizeCond(c.L), R: normalizeCond(c.R)}
+	case algebra.Not:
+		return algebra.Negate(normalizeCond(c.C))
+	case algebra.IsConst:
+		return algebra.True{}
+	case algebra.IsNull:
+		return algebra.False{}
+	case algebra.InSub:
+		panic("IN subqueries are outside the Figure 2 fragment")
+	default:
+		return c
+	}
+}
+
+func fig2a(q algebra.Expr, cat algebra.Catalog) (qt, qf algebra.Expr) {
+	switch q := q.(type) {
+	case algebra.Rel:
+		// Rᵗ = R;  Rᶠ = Dom^ar(R) ⋉⇑ R.
+		ar := algebra.Arity(q, cat)
+		return q, algebra.AntiJoin(algebra.DomK(ar), q)
+
+	case algebra.Union:
+		lt, lf := fig2a(q.L, cat)
+		rt, rf := fig2a(q.R, cat)
+		return algebra.Un(lt, rt), algebra.Inter(lf, rf)
+
+	case algebra.Diff:
+		lt, lf := fig2a(q.L, cat)
+		rt, rf := fig2a(q.R, cat)
+		return algebra.Inter(lt, rf), algebra.Un(lf, rt)
+
+	case algebra.Select:
+		ar := algebra.Arity(q.In, cat)
+		it, idf := fig2a(q.In, cat)
+		qt = algebra.Sel(it, algebra.Star(q.Cond))
+		qf = algebra.Un(idf, algebra.Sel(algebra.DomK(ar), algebra.Star(algebra.Negate(q.Cond))))
+		return qt, qf
+
+	case algebra.Product:
+		lt, lf := fig2a(q.L, cat)
+		rt, rf := fig2a(q.R, cat)
+		la, ra := algebra.Arity(q.L, cat), algebra.Arity(q.R, cat)
+		return algebra.Times(lt, rt),
+			algebra.Un(algebra.Times(lf, algebra.DomK(ra)), algebra.Times(algebra.DomK(la), rf))
+
+	case algebra.Project:
+		ar := algebra.Arity(q.In, cat)
+		it, idf := fig2a(q.In, cat)
+		qt = algebra.Proj(it, q.Cols...)
+		qf = algebra.Minus(
+			algebra.Proj(idf, q.Cols...),
+			algebra.Proj(algebra.Minus(algebra.DomK(ar), idf), q.Cols...),
+		)
+		return qt, qf
+	}
+	panic(fmt.Sprintf("operator %T is outside the Figure 2 fragment", q))
+}
+
+func fig2b(q algebra.Expr) (plus, poss algebra.Expr) {
+	switch q := q.(type) {
+	case algebra.Rel:
+		// R⁺ = R;  R? = R.
+		return q, q
+
+	case algebra.Union:
+		lp, lq := fig2b(q.L)
+		rp, rq := fig2b(q.R)
+		return algebra.Un(lp, rp), algebra.Un(lq, rq)
+
+	case algebra.Diff:
+		lp, lq := fig2b(q.L)
+		rp, rq := fig2b(q.R)
+		return algebra.AntiJoin(lp, rq), algebra.Minus(lq, rp)
+
+	case algebra.Select:
+		ip, iq := fig2b(q.In)
+		plus = algebra.Sel(ip, algebra.Star(q.Cond))
+		// σ¬(¬θ)*(Q?): everything that does not certainly fail θ.
+		poss = algebra.Sel(iq, algebra.CNot(algebra.Star(algebra.Negate(q.Cond))))
+		return plus, poss
+
+	case algebra.Product:
+		lp, lq := fig2b(q.L)
+		rp, rq := fig2b(q.R)
+		return algebra.Times(lp, rp), algebra.Times(lq, rq)
+
+	case algebra.Project:
+		ip, iq := fig2b(q.In)
+		return algebra.Proj(ip, q.Cols...), algebra.Proj(iq, q.Cols...)
+	}
+	panic(fmt.Sprintf("operator %T is outside the Figure 2 fragment", q))
+}

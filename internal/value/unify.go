@@ -1,0 +1,106 @@
+package value
+
+// Unification of tuples, written r̄ ⇑ s̄ in the paper (Section 4.2 and
+// Section 5.1): two tuples are unifiable when some valuation v of their
+// nulls makes them equal, v(r̄) = v(s̄). Because our "terms" are flat
+// (constants and nulls, no function symbols), unifiability reduces to a
+// union–find pass: merge the two components at each position and fail only
+// if some class ends up containing two distinct constants. This is the
+// linear-time special case of Paterson–Wegman unification [57].
+
+// unifier is a union–find structure over values occurring in the tuples
+// being unified. Each class tracks the unique constant it contains, if any.
+type unifier struct {
+	parent map[Value]Value
+	cval   map[Value]Value // representative -> the constant in its class
+}
+
+func newUnifier() *unifier {
+	return &unifier{parent: map[Value]Value{}, cval: map[Value]Value{}}
+}
+
+func (u *unifier) find(v Value) Value {
+	p, ok := u.parent[v]
+	if !ok {
+		u.parent[v] = v
+		if v.IsConst() {
+			u.cval[v] = v
+		}
+		return v
+	}
+	if p == v {
+		return v
+	}
+	r := u.find(p)
+	u.parent[v] = r
+	return r
+}
+
+// union merges the classes of a and b; it reports false when the merge
+// would identify two distinct constants.
+func (u *unifier) union(a, b Value) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return true
+	}
+	ca, haveA := u.cval[ra]
+	cb, haveB := u.cval[rb]
+	if haveA && haveB && ca != cb {
+		return false
+	}
+	u.parent[rb] = ra
+	if haveB {
+		u.cval[ra] = cb
+	}
+	return true
+}
+
+// Unifiable reports whether r̄ ⇑ s̄, i.e. some valuation makes the tuples
+// equal. Tuples of different lengths never unify. Note that unifiability is
+// not a pairwise property: (⊥1, ⊥1) does not unify with (a, b) for distinct
+// constants a, b, because ⊥1 cannot be both.
+func Unifiable(r, s Tuple) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	u := newUnifier()
+	for i := range r {
+		if !u.union(r[i], s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unify computes a most general unifying assignment for r̄ and s̄ when one
+// exists: a map from null identifiers to representative values (a constant
+// if the class contains one, otherwise the class's representative null).
+// The boolean result mirrors Unifiable.
+func Unify(r, s Tuple) (map[uint64]Value, bool) {
+	if len(r) != len(s) {
+		return nil, false
+	}
+	u := newUnifier()
+	for i := range r {
+		if !u.union(r[i], s[i]) {
+			return nil, false
+		}
+	}
+	out := map[uint64]Value{}
+	assign := func(v Value) {
+		if !v.IsNull() {
+			return
+		}
+		rep := u.find(v)
+		if c, ok := u.cval[rep]; ok {
+			out[v.NullID()] = c
+		} else {
+			out[v.NullID()] = rep
+		}
+	}
+	for i := range r {
+		assign(r[i])
+		assign(s[i])
+	}
+	return out, true
+}

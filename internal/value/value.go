@@ -1,0 +1,323 @@
+// Package value defines the elements that populate incomplete databases:
+// constants from the countably infinite set Const and marked nulls from the
+// set Null (written ⊥₁, ⊥₂, …), together with tuples over them, valuations
+// (maps from nulls to constants), and tuple unification.
+//
+// This is the data model of Section 2 of Console, Guagliardo, Libkin and
+// Toussaint, "Coping with Incomplete Data: Recent Advances" (PODS 2020).
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is either a constant or a marked null. The zero Value is the
+// constant with the empty string payload. Value is comparable and can be
+// used as a map key; identical marked nulls compare equal, which is what
+// makes them "marked" (repeatable) rather than Codd nulls.
+type Value struct {
+	id   uint64 // null identifier; meaningful only when null is true
+	str  string // constant payload; meaningful only when null is false
+	null bool
+}
+
+// Const returns the constant value with the given payload.
+func Const(s string) Value { return Value{str: s} }
+
+// Int returns the constant value holding the decimal representation of i.
+// It is a convenience for numeric test data; constants are untyped strings,
+// but Compare orders all-digit payloads numerically.
+func Int(i int) Value { return Const(strconv.Itoa(i)) }
+
+// Null returns the marked null ⊥id.
+func Null(id uint64) Value { return Value{id: id, null: true} }
+
+// IsNull reports whether v is a marked null.
+func (v Value) IsNull() bool { return v.null }
+
+// IsConst reports whether v is a constant.
+func (v Value) IsConst() bool { return !v.null }
+
+// ConstVal returns the constant payload. It panics if v is a null, since
+// using a null where a constant is required is always a programming error
+// in this codebase.
+func (v Value) ConstVal() string {
+	if v.null {
+		panic("value: ConstVal called on null " + v.String())
+	}
+	return v.str
+}
+
+// NullID returns the identifier of a marked null. It panics on constants.
+func (v Value) NullID() uint64 {
+	if !v.null {
+		panic("value: NullID called on constant " + v.String())
+	}
+	return v.id
+}
+
+// String renders constants verbatim and nulls as ⊥id.
+func (v Value) String() string {
+	if v.null {
+		return "⊥" + strconv.FormatUint(v.id, 10)
+	}
+	return v.str
+}
+
+// Key returns an injective encoding of v, suitable as a map key component.
+// Constants and nulls can never collide.
+func (v Value) Key() string {
+	if v.null {
+		return "\x00" + strconv.FormatUint(v.id, 10)
+	}
+	return "\x01" + v.str
+}
+
+// numeric reports whether s is a non-empty decimal integer (optionally
+// signed). Such constants compare numerically in Compare, which gives the
+// typed-attribute extension discussed in Section 6 of the paper.
+func numeric(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Compare defines a deterministic total order on values: constants precede
+// nulls; numeric constants order numerically among themselves and precede
+// non-numeric constants; non-numeric constants order lexicographically;
+// nulls order by identifier. It returns -1, 0 or 1.
+func Compare(a, b Value) int {
+	switch {
+	case !a.null && b.null:
+		return -1
+	case a.null && !b.null:
+		return 1
+	case a.null && b.null:
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	}
+	an, aok := numeric(a.str)
+	bn, bok := numeric(b.str)
+	switch {
+	case aok && !bok:
+		return -1
+	case !aok && bok:
+		return 1
+	case aok && bok:
+		switch {
+		case an < bn:
+			return -1
+		case an > bn:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a.str, b.str)
+}
+
+// Less reports Compare(a, b) < 0.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// Tuple is a finite sequence of values, the rows of relations.
+type Tuple []Value
+
+// T builds a tuple from its arguments.
+func T(vs ...Value) Tuple { return Tuple(vs) }
+
+// Consts builds a tuple of constants from string payloads.
+func Consts(ss ...string) Tuple {
+	t := make(Tuple, len(ss))
+	for i, s := range ss {
+		t[i] = Const(s)
+	}
+	return t
+}
+
+// Key returns an injective encoding of the tuple.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, v := range t {
+		k := v.Key()
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of t that shares no storage with it.
+func (t Tuple) Clone() Tuple {
+	u := make(Tuple, len(t))
+	copy(u, t)
+	return u
+}
+
+// Concat returns the concatenation t·u as a fresh tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	r := make(Tuple, 0, len(t)+len(u))
+	r = append(r, t...)
+	r = append(r, u...)
+	return r
+}
+
+// Project returns the tuple (t[cols[0]], …, t[cols[k-1]]).
+func (t Tuple) Project(cols []int) Tuple {
+	r := make(Tuple, len(cols))
+	for i, c := range cols {
+		r[i] = t[c]
+	}
+	return r
+}
+
+// HasNull reports whether any component of t is a null.
+func (t Tuple) HasNull() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// AllConst reports whether every component of t is a constant; this is the
+// Const(ā) predicate used by the null-free atom semantics (14).
+func (t Tuple) AllConst() bool { return !t.HasNull() }
+
+// Nulls returns the set of null identifiers occurring in t.
+func (t Tuple) Nulls() map[uint64]bool {
+	m := map[uint64]bool{}
+	for _, v := range t {
+		if v.IsNull() {
+			m[v.id] = true
+		}
+	}
+	return m
+}
+
+// String renders the tuple as (v1, …, vk).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Compare orders tuples lexicographically by Compare on components, with
+// shorter tuples first on common-prefix ties.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(t[i], u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// SortTuples sorts ts in place by Tuple.Compare.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+// Valuation maps null identifiers to constants, as in Section 2: a
+// valuation v : Null(D) → Const. Applying it replaces every null it covers;
+// nulls outside its domain are left untouched (useful for partial
+// substitutions during chasing).
+type Valuation map[uint64]Value
+
+// NewValuation returns an empty valuation.
+func NewValuation() Valuation { return Valuation{} }
+
+// Set binds ⊥id to the constant c. It panics if c is not a constant,
+// because valuations map nulls to Const by definition.
+func (v Valuation) Set(id uint64, c Value) {
+	if c.IsNull() {
+		panic("value: valuation target must be a constant, got " + c.String())
+	}
+	v[id] = c
+}
+
+// Apply replaces every null bound by v in the tuple; unbound nulls and
+// constants pass through.
+func (v Valuation) Apply(t Tuple) Tuple {
+	r := make(Tuple, len(t))
+	for i, x := range t {
+		if x.IsNull() {
+			if c, ok := v[x.id]; ok {
+				r[i] = c
+				continue
+			}
+		}
+		r[i] = x
+	}
+	return r
+}
+
+// ApplyValue replaces x if it is a bound null, else returns x unchanged.
+func (v Valuation) ApplyValue(x Value) Value {
+	if x.IsNull() {
+		if c, ok := v[x.id]; ok {
+			return c
+		}
+	}
+	return x
+}
+
+// Clone returns a copy of the valuation.
+func (v Valuation) Clone() Valuation {
+	w := make(Valuation, len(v))
+	for k, c := range v {
+		w[k] = c
+	}
+	return w
+}
+
+// String renders the valuation deterministically, e.g. {⊥1↦a, ⊥2↦b}.
+func (v Valuation) String() string {
+	ids := make([]uint64, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("⊥%d↦%s", id, v[id].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,371 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstAndNullBasics(t *testing.T) {
+	c := Const("abc")
+	if c.IsNull() || !c.IsConst() {
+		t.Fatalf("Const should be constant")
+	}
+	if c.ConstVal() != "abc" {
+		t.Fatalf("ConstVal = %q", c.ConstVal())
+	}
+	n := Null(7)
+	if !n.IsNull() || n.IsConst() {
+		t.Fatalf("Null should be null")
+	}
+	if n.NullID() != 7 {
+		t.Fatalf("NullID = %d", n.NullID())
+	}
+	if n.String() != "⊥7" {
+		t.Fatalf("String = %q", n.String())
+	}
+	if Int(42) != Const("42") {
+		t.Fatalf("Int(42) != Const(\"42\")")
+	}
+}
+
+func TestConstValPanicsOnNull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	_ = Null(1).ConstVal()
+}
+
+func TestNullIDPanicsOnConst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	_ = Const("x").NullID()
+}
+
+func TestValueEqualityIsMarked(t *testing.T) {
+	// Identical marked nulls are equal (repeatable); distinct ids are not.
+	if Null(1) != Null(1) {
+		t.Fatalf("⊥1 should equal ⊥1")
+	}
+	if Null(1) == Null(2) {
+		t.Fatalf("⊥1 should differ from ⊥2")
+	}
+	if Null(1) == Const("⊥1") {
+		t.Fatalf("null and constant must differ even with colliding text")
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	vals := []Value{
+		Const(""), Const("a"), Const("ab"), Const("1"), Int(1),
+		Null(0), Null(1), Null(10), Const("\x001"), Const("⊥1"),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if w, ok := seen[k]; ok && w != v {
+			t.Fatalf("key collision: %v and %v both map to %q", v, w, k)
+		}
+		seen[k] = v
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// constants before nulls, numerics before other strings, numeric order.
+	ordered := []Value{Int(-3), Int(2), Int(10), Const("a"), Const("b"), Null(1), Null(2)}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericVsString(t *testing.T) {
+	if !Less(Int(2), Int(10)) {
+		t.Fatalf("2 should sort before 10 numerically")
+	}
+	if !Less(Int(999), Const("1a")) {
+		t.Fatalf("numeric constants sort before non-numeric")
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tu := T(Const("a"), Null(1))
+	if tu.String() != "(a, ⊥1)" {
+		t.Fatalf("String = %q", tu.String())
+	}
+	if !tu.HasNull() || tu.AllConst() {
+		t.Fatalf("HasNull/AllConst wrong")
+	}
+	cs := Consts("x", "y")
+	if cs.HasNull() || !cs.AllConst() {
+		t.Fatalf("const tuple misclassified")
+	}
+	if !tu.Equal(T(Const("a"), Null(1))) {
+		t.Fatalf("Equal failed")
+	}
+	if tu.Equal(T(Const("a"), Null(2))) {
+		t.Fatalf("Equal should distinguish null ids")
+	}
+	if got := tu.Concat(cs); len(got) != 4 || got[2] != Const("x") {
+		t.Fatalf("Concat = %v", got)
+	}
+	if got := tu.Project([]int{1, 0, 1}); !got.Equal(T(Null(1), Const("a"), Null(1))) {
+		t.Fatalf("Project = %v", got)
+	}
+	n := tu.Nulls()
+	if len(n) != 1 || !n[1] {
+		t.Fatalf("Nulls = %v", n)
+	}
+}
+
+func TestTupleCloneIndependent(t *testing.T) {
+	a := T(Const("a"), Const("b"))
+	b := a.Clone()
+	b[0] = Const("z")
+	if a[0] != Const("a") {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Adversarial cases where naive concatenation would collide.
+	ts := []Tuple{
+		Consts("ab", "c"), Consts("a", "bc"), Consts("abc"), Consts("a", "b", "c"),
+		Consts(""), Consts("", ""), {},
+		T(Null(12)), T(Null(1), Int(2)),
+	}
+	seen := map[string]Tuple{}
+	for _, tu := range ts {
+		k := tu.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(tu) {
+			t.Fatalf("key collision between %v and %v", prev, tu)
+		}
+		seen[k] = tu
+	}
+}
+
+func TestSortTuplesDeterministic(t *testing.T) {
+	ts := []Tuple{T(Null(2)), Consts("b"), Consts("a"), T(Null(1)), Consts("10"), Consts("9")}
+	SortTuples(ts)
+	want := []Tuple{Consts("9"), Consts("10"), Consts("a"), Consts("b"), T(Null(1)), T(Null(2))}
+	for i := range want {
+		if !ts[i].Equal(want[i]) {
+			t.Fatalf("position %d: got %v want %v", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestValuationApply(t *testing.T) {
+	v := NewValuation()
+	v.Set(1, Const("c"))
+	got := v.Apply(T(Null(1), Null(2), Const("k")))
+	if !got.Equal(T(Const("c"), Null(2), Const("k"))) {
+		t.Fatalf("Apply = %v", got)
+	}
+	if v.ApplyValue(Null(1)) != Const("c") || v.ApplyValue(Null(3)) != Null(3) {
+		t.Fatalf("ApplyValue wrong")
+	}
+	if v.String() != "{⊥1↦c}" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestValuationSetPanicsOnNullTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewValuation().Set(1, Null(2))
+}
+
+func TestValuationClone(t *testing.T) {
+	v := NewValuation()
+	v.Set(1, Const("a"))
+	w := v.Clone()
+	w.Set(1, Const("b"))
+	if v[1] != Const("a") {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestUnifiableBasics(t *testing.T) {
+	cases := []struct {
+		r, s Tuple
+		want bool
+	}{
+		{Consts("a"), Consts("a"), true},
+		{Consts("a"), Consts("b"), false},
+		{T(Null(1)), Consts("a"), true},
+		{T(Null(1), Null(1)), Consts("a", "b"), false}, // repeated null, distinct constants
+		{T(Null(1), Null(1)), Consts("a", "a"), true},
+		{T(Null(1), Null(2)), Consts("a", "b"), true},
+		{T(Null(1), Const("a")), T(Const("b"), Null(1)), true}, // ⊥1↦b ok: positions (⊥1,b),(a,⊥1)? classes {⊥1,b},{a,⊥1} merge all: {⊥1,a,b} -> a≠b
+		{Consts("a"), Consts("a", "b"), false},                 // arity mismatch
+		{T(), T(), true},
+	}
+	// Fix the transitive case by hand: (⊥1, a) vs (b, ⊥1) forces ⊥1=b and a=⊥1,
+	// hence a=b — NOT unifiable.
+	cases[6].want = false
+	for _, c := range cases {
+		if got := Unifiable(c.r, c.s); got != c.want {
+			t.Errorf("Unifiable(%v, %v) = %v, want %v", c.r, c.s, got, c.want)
+		}
+	}
+}
+
+func TestUnifiableTransitivityChain(t *testing.T) {
+	// (⊥1, ⊥2, ⊥2) vs (⊥2, ⊥3, c): classes {⊥1,⊥2,⊥3,c} — fine.
+	if !Unifiable(T(Null(1), Null(2), Null(2)), T(Null(2), Null(3), Const("c"))) {
+		t.Fatalf("chain should unify")
+	}
+	// (⊥1, ⊥1) vs (a, ⊥2) plus (⊥2 vs b) style conflict:
+	// (⊥1, ⊥1, ⊥2) vs (a, ⊥2, b): ⊥1=a, ⊥1=⊥2, ⊥2=b ⇒ a=b conflict.
+	if Unifiable(T(Null(1), Null(1), Null(2)), T(Const("a"), Null(2), Const("b"))) {
+		t.Fatalf("transitive conflict should not unify")
+	}
+}
+
+func TestUnifyAssignment(t *testing.T) {
+	m, ok := Unify(T(Null(1), Null(2)), T(Const("a"), Null(1)))
+	if !ok {
+		t.Fatalf("should unify")
+	}
+	// ⊥1 = a forced; ⊥2 = ⊥1 = a forced.
+	if m[1] != Const("a") || m[2] != Const("a") {
+		t.Fatalf("Unify = %v", m)
+	}
+	m, ok = Unify(T(Null(1)), T(Null(2)))
+	if !ok {
+		t.Fatalf("nulls should unify")
+	}
+	if m[1].IsConst() || m[2].IsConst() {
+		t.Fatalf("no constants should be forced: %v", m)
+	}
+}
+
+// randomTuplePair builds tuples sharing a small pool of nulls and constants,
+// good at exercising the transitive cases of unification.
+func randomTuplePair(r *rand.Rand) (Tuple, Tuple) {
+	n := r.Intn(5)
+	mk := func() Tuple {
+		t := make(Tuple, n)
+		for i := range t {
+			if r.Intn(2) == 0 {
+				t[i] = Null(uint64(r.Intn(3)) + 1)
+			} else {
+				t[i] = Const(string(rune('a' + r.Intn(3))))
+			}
+		}
+		return t
+	}
+	return mk(), mk()
+}
+
+// Property: Unifiable(r, s) holds iff some valuation over the tiny candidate
+// space makes the tuples equal (brute force over 4 constants per null).
+func TestUnifiableMatchesBruteForce(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			a, b := randomTuplePair(r)
+			args[0] = reflect.ValueOf(a)
+			args[1] = reflect.ValueOf(b)
+		},
+	}
+	consts := []Value{Const("a"), Const("b"), Const("c"), Const("z")}
+	prop := func(r, s Tuple) bool {
+		ids := map[uint64]bool{}
+		for id := range r.Nulls() {
+			ids[id] = true
+		}
+		for id := range s.Nulls() {
+			ids[id] = true
+		}
+		ordered := make([]uint64, 0, len(ids))
+		for id := range ids {
+			ordered = append(ordered, id)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		var brute func(i int, v Valuation) bool
+		brute = func(i int, v Valuation) bool {
+			if i == len(ordered) {
+				return v.Apply(r).Equal(v.Apply(s))
+			}
+			for _, c := range consts {
+				v.Set(ordered[i], c)
+				if brute(i+1, v) {
+					return true
+				}
+			}
+			delete(v, ordered[i])
+			return false
+		}
+		want := brute(0, NewValuation())
+		return Unifiable(r, s) == want
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the assignment returned by Unify actually unifies the tuples
+// once fresh nulls are mapped to a common constant.
+func TestUnifyProducesUnifier(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			a, b := randomTuplePair(r)
+			args[0] = reflect.ValueOf(a)
+			args[1] = reflect.ValueOf(b)
+		},
+	}
+	prop := func(r, s Tuple) bool {
+		m, ok := Unify(r, s)
+		if !ok {
+			return !Unifiable(r, s)
+		}
+		v := NewValuation()
+		// Map every class representative (possibly a null) to a constant.
+		fresh := map[uint64]Value{}
+		next := 0
+		for id, target := range m {
+			if target.IsConst() {
+				v.Set(id, target)
+				continue
+			}
+			rep := target.NullID()
+			c, ok := fresh[rep]
+			if !ok {
+				c = Const("fresh" + string(rune('A'+next)))
+				next++
+				fresh[rep] = c
+			}
+			v.Set(id, c)
+			if _, bound := v[rep]; !bound {
+				v.Set(rep, c)
+			}
+		}
+		return v.Apply(r).Equal(v.Apply(s))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
