@@ -1,0 +1,33 @@
+# Development targets mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all fmt fmt-check vet build test race bench ci
+
+all: build
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke pass proving every benchmark still
+# runs, not a measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: fmt-check vet build race bench

@@ -10,12 +10,14 @@ package incdb
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"incdb/internal/algebra"
 	"incdb/internal/certain"
 	"incdb/internal/constraint"
 	"incdb/internal/ctable"
+	"incdb/internal/engine"
 	"incdb/internal/fo"
 	"incdb/internal/gen"
 	"incdb/internal/logic"
@@ -47,8 +49,22 @@ func figure1DB() *relation.Database {
 	return db
 }
 
+// figure1Scaled grows the introduction's database with extra NULL payments
+// so the oracle's valuation space is large enough to shard: with n nulls
+// and range size r the space holds r^n worlds.
+func figure1Scaled(extraNulls int) *relation.Database {
+	db := figure1DB()
+	payments := db.MustRelation("Payments")
+	for i := 0; i < extraNulls; i++ {
+		payments.Add(value.T(value.Const(fmt.Sprintf("c%d", i+3)), db.FreshNull()))
+	}
+	return db
+}
+
 // BenchmarkE1Figure1 measures the introduction's three queries: SQL
-// evaluation vs the exact certain-answer oracle.
+// evaluation vs the exact certain-answer oracle — the oracle both on the
+// paper's instance and on a scaled instance with the worker pool toggled,
+// which is the engine's serial-vs-parallel comparison point.
 func BenchmarkE1Figure1(b *testing.B) {
 	db := figure1DB()
 	unpaid := algebra.Proj(algebra.Sel(algebra.R("Orders"),
@@ -65,6 +81,16 @@ func BenchmarkE1Figure1(b *testing.B) {
 			}
 		}
 	})
+	scaled := figure1Scaled(3)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("cert-oracle-scaled/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.WithNulls(scaled, unpaid, certain.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE2Fig2aBlowup shows the Qf translation's active-domain blow-up
@@ -186,6 +212,15 @@ func BenchmarkE6MuConvergence(b *testing.B) {
 		b.Run(fmt.Sprintf("muK/k=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := prob.MuK(db, q, nil, value.Consts("1"), k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("muK/k=64/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prob.MuKWith(db, q, nil, value.Consts("1"), 64, engine.Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -20,6 +20,7 @@ import (
 	"incdb/internal/certain"
 	"incdb/internal/core"
 	"incdb/internal/ctable"
+	"incdb/internal/engine"
 	"incdb/internal/raparse"
 	"incdb/internal/relation"
 )
@@ -28,18 +29,19 @@ func main() {
 	dbPath := flag.String("db", "", "database file (raparse format)")
 	mode := flag.String("mode", "report", "evaluation mode")
 	maxWorlds := flag.Int("maxworlds", 0, "certainty oracle world bound (0 = default)")
+	workers := flag.Int("workers", 0, "worker goroutines for the oracles (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 	if *dbPath == "" || flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dbPath, *mode, flag.Arg(0), *maxWorlds); err != nil {
+	if err := run(*dbPath, *mode, flag.Arg(0), *maxWorlds, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "incdbctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, mode, querySrc string, maxWorlds int) error {
+func run(dbPath, mode, querySrc string, maxWorlds, workers int) error {
 	f, err := os.Open(dbPath)
 	if err != nil {
 		return err
@@ -56,7 +58,8 @@ func run(dbPath, mode, querySrc string, maxWorlds int) error {
 	if err := algebra.Validate(q, db); err != nil {
 		return err
 	}
-	opts := certain.Options{MaxWorlds: maxWorlds}
+	opts := certain.Options{MaxWorlds: maxWorlds, Workers: workers}
+	eng := engine.Options{Workers: workers}
 
 	show := func(name string, r *relation.Relation, err error) {
 		switch {
@@ -103,7 +106,7 @@ func run(dbPath, mode, querySrc string, maxWorlds int) error {
 			"ctable-lazy":  ctable.Lazy,
 			"ctable-aware": ctable.Aware,
 		}[mode]
-		cpart, ppart, err := core.CTableAnswers(db, q, strat)
+		cpart, ppart, err := core.CTableAnswersWith(db, q, strat, eng)
 		if err != nil {
 			return err
 		}

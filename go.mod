@@ -1,0 +1,3 @@
+module incdb
+
+go 1.22

@@ -34,6 +34,7 @@ import (
 	"incdb/internal/constraint"
 	"incdb/internal/core"
 	"incdb/internal/ctable"
+	"incdb/internal/engine"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
@@ -58,8 +59,15 @@ type (
 	Expr = algebra.Expr
 	// Cond is a selection condition.
 	Cond = algebra.Cond
-	// CertainOptions bounds the exact certain-answer oracle.
+	// CertainOptions bounds the exact certain-answer oracle and selects
+	// its worker count (CertainOptions.Workers: 0 = one per CPU, 1 =
+	// serial).
 	CertainOptions = certain.Options
+	// EngineOptions configures the shared parallel-execution subsystem
+	// (internal/engine) for the procedures that take an explicit pool:
+	// Workers 0 means one per CPU, 1 forces the serial reference path.
+	// Results never depend on the worker count.
+	EngineOptions = engine.Options
 	// Strategy selects a c-table evaluation strategy.
 	Strategy = ctable.Strategy
 	// Constraints is a set of integrity constraints (FDs/INDs).
@@ -155,12 +163,17 @@ var (
 	ApproxPossible  = core.ApproxPossible
 	ApproxTrueFalse = core.ApproxTrueFalse
 
-	// CTableAnswers evaluates via conditional tables under a strategy.
-	CTableAnswers = core.CTableAnswers
+	// CTableAnswers evaluates via conditional tables under a strategy;
+	// CTableAnswersWith takes an explicit worker pool.
+	CTableAnswers     = core.CTableAnswers
+	CTableAnswersWith = core.CTableAnswersWith
 
-	// AlmostCertainlyTrue and Mu are the probabilistic answers of §4.3.
+	// AlmostCertainlyTrue and Mu are the probabilistic answers of §4.3;
+	// MuWith and MuK take an explicit worker pool.
 	AlmostCertainlyTrue = core.AlmostCertainlyTrue
 	Mu                  = core.Mu
+	MuWith              = core.MuWith
+	MuK                 = core.MuK
 
 	// Analyze runs everything and classifies SQL's errors.
 	Analyze = core.Analyze

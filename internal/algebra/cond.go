@@ -340,21 +340,40 @@ func evalLess(a, b value.Value, mode Mode) logic.TV {
 }
 
 func evalIn(c InSub, t value.Tuple, mode Mode, env *evalEnv) logic.TV {
-	sub := env.subResult(c.Sub)
 	probe := t.Project(c.Cols)
 	if mode == ModeNaive {
-		return logic.FromBool(sub.Contains(probe))
+		return logic.FromBool(env.subResult(c.Sub).Contains(probe))
 	}
-	res := logic.F
-	for _, row := range sub.Tuples() {
-		rowEq := logic.T
-		for i := range probe {
-			rowEq = logic.And(rowEq, evalEq(probe[i], row[i], mode))
+	if !probe.HasNull() {
+		// Three-valued IN with a null-free probe: a null-free subquery row
+		// compares to t iff it is tuple-equal — one hash lookup — and to f
+		// otherwise, so only the rows containing nulls can contribute u.
+		split := env.inSplitOf(c.Sub)
+		if split.nullFree.Contains(probe) {
+			return logic.T
 		}
-		res = logic.Or(res, rowEq)
+		res := logic.F
+		for _, row := range split.withNulls {
+			res = logic.Or(res, tupleEq(probe, row, mode))
+		}
+		return res
+	}
+	// A probe with nulls can match no row with t; scan for u vs f.
+	res := logic.F
+	for _, row := range env.subResult(c.Sub).Tuples() {
+		res = logic.Or(res, tupleEq(probe, row, mode))
 		if res == logic.T {
 			return logic.T
 		}
 	}
 	return res
+}
+
+// tupleEq folds evalEq over the components in the evaluation logic.
+func tupleEq(a, b value.Tuple, mode Mode) logic.TV {
+	eq := logic.T
+	for i := range a {
+		eq = logic.And(eq, evalEq(a[i], b[i], mode))
+	}
+	return eq
 }

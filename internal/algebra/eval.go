@@ -34,14 +34,21 @@ func (m Mode) String() string {
 }
 
 // evalEnv carries per-evaluation state: the database, the mode, bag/set
-// semantics, and a cache of evaluated IN-subqueries (uncorrelated, so one
-// evaluation each suffices). The cache is keyed by the expression's
-// rendering, which is a faithful encoding of the AST.
+// semantics, a cache of evaluated IN-subqueries (uncorrelated, so one
+// evaluation each suffices), and a cache of their null-free/with-nulls
+// splits for the three-valued IN probe. Both caches are keyed by the
+// expression's rendering, which is a faithful encoding of the AST.
 type evalEnv struct {
-	db   *relation.Database
-	mode Mode
-	bag  bool
-	subs map[string]*relation.Relation
+	db     *relation.Database
+	mode   Mode
+	bag    bool
+	subs   map[string]*relation.Relation
+	splits map[string]*inSplit
+}
+
+func newEvalEnv(db *relation.Database, mode Mode, bag bool) *evalEnv {
+	return &evalEnv{db: db, mode: mode, bag: bag,
+		subs: map[string]*relation.Relation{}, splits: map[string]*inSplit{}}
 }
 
 func (env *evalEnv) subResult(e Expr) *relation.Relation {
@@ -50,21 +57,48 @@ func (env *evalEnv) subResult(e Expr) *relation.Relation {
 		return r
 	}
 	// Subquery results are compared set-wise by IN; evaluate as a set.
-	r := eval(e, &evalEnv{db: env.db, mode: env.mode, bag: false, subs: env.subs})
+	sub := &evalEnv{db: env.db, mode: env.mode, bag: false, subs: env.subs, splits: env.splits}
+	r := eval(e, sub)
 	env.subs[key] = r
 	return r
 }
 
+// inSplit partitions an IN-subquery result for the three-valued probe: a
+// null-free part answered by one hash lookup and the (typically few) rows
+// with nulls, the only rows that can make a null-free probe unknown.
+type inSplit struct {
+	nullFree  *relation.Relation
+	withNulls []value.Tuple
+}
+
+func (env *evalEnv) inSplitOf(e Expr) *inSplit {
+	key := e.String()
+	if s, ok := env.splits[key]; ok {
+		return s
+	}
+	sub := env.subResult(e)
+	s := &inSplit{nullFree: relation.NewArity("in", sub.Arity())}
+	sub.Each(func(t value.Tuple, _ int) {
+		if t.HasNull() {
+			s.withNulls = append(s.withNulls, t)
+		} else {
+			s.nullFree.Add(t)
+		}
+	})
+	env.splits[key] = s
+	return s
+}
+
 // Eval evaluates e on db under set semantics in the given mode.
 func Eval(db *relation.Database, e Expr, mode Mode) *relation.Relation {
-	return eval(e, &evalEnv{db: db, mode: mode, subs: map[string]*relation.Relation{}})
+	return eval(e, newEvalEnv(db, mode, false))
 }
 
 // EvalBag evaluates e on db under bag semantics (Section 4.2) in the given
 // mode: union adds multiplicities, difference subtracts them to zero,
 // product multiplies, projection sums, selection preserves.
 func EvalBag(db *relation.Database, e Expr, mode Mode) *relation.Relation {
-	return eval(e, &evalEnv{db: db, mode: mode, bag: true, subs: map[string]*relation.Relation{}})
+	return eval(e, newEvalEnv(db, mode, true))
 }
 
 // Naive is shorthand for Eval in ModeNaive — the Qnaïve(D) of Section 4.1.
@@ -305,30 +339,26 @@ func crossEqConjunct(cond Cond, prod Product, env *evalEnv) (li, ri int, ok bool
 	return search(cond)
 }
 
-// hashJoin evaluates σ_cond(L × R) by hashing the right input on the join
-// column, then applying the full condition to each candidate pair. The
-// condition evaluation keeps the exact mode semantics; hashing only prunes
-// pairs whose join equality cannot be t.
+// hashJoin evaluates σ_cond(L × R) by probing the right input's lazy
+// per-column index (relation.EachMatch) on the join column, then applying
+// the full condition to each candidate pair. The condition evaluation keeps
+// the exact mode semantics; hashing only prunes pairs whose join equality
+// cannot be t, so each world evaluates in near-linear time instead of the
+// |L|·|R| nested loop.
 func hashJoin(sel Select, prod Product, li, ri int, env *evalEnv) *relation.Relation {
 	l, r := eval(prod.L, env), eval(prod.R, env)
 	out := relation.NewArity("σ⋈", l.Arity()+r.Arity())
-	index := map[value.Value][]value.Tuple{}
-	mults := map[string]int{}
-	r.Each(func(t value.Tuple, m int) {
-		index[t[ri]] = append(index[t[ri]], t)
-		mults[t.Key()] = m
-	})
 	l.Each(func(lt value.Tuple, lm int) {
 		key := lt[li]
 		if env.mode == ModeSQL && key.IsNull() {
 			return // the equality conjunct can never be t
 		}
-		for _, rt := range index[key] {
+		r.EachMatch(ri, key, func(rt value.Tuple, rm int) {
 			joined := lt.Concat(rt)
 			if evalCond(sel.Cond, joined, env.mode, env) == logic.T {
-				out.AddMult(joined, multOf(lm*mults[rt.Key()], env))
+				out.AddMult(joined, multOf(lm*rm, env))
 			}
-		}
+		})
 	})
 	return out
 }

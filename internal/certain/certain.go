@@ -20,19 +20,27 @@
 // so an exact oracle cannot do better — and is therefore guarded by
 // Options.MaxWorlds. The package is the ground-truth oracle against which
 // the tractable approximations of Section 4 are tested.
+//
+// Each valuation is evaluated independently of every other, so the oracle
+// shards the valuation index space across an engine worker pool
+// (Options.Workers) and merges the per-shard results in shard order; every
+// merge below is arranged so that the parallel result is identical to the
+// serial one.
 package certain
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 
 	"incdb/internal/algebra"
+	"incdb/internal/engine"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
 
-// Options bounds the exhaustive enumeration.
+// Options bounds the exhaustive enumeration and configures parallelism.
 type Options struct {
 	// MaxWorlds caps the number of valuations enumerated; Compute returns
 	// an error beyond it. Zero means DefaultMaxWorlds.
@@ -45,6 +53,10 @@ type Options struct {
 	// a fresh constant is refuted in cert∩ by a valuation avoiding it.
 	// Smaller values trade exactness for speed.
 	FreshCount int
+	// Workers is the number of goroutines sharding the valuation
+	// enumeration: 0 means one per CPU, 1 forces the serial reference
+	// path. Results are independent of the setting.
+	Workers int
 }
 
 // DefaultMaxWorlds bounds enumeration to about a million possible worlds.
@@ -56,6 +68,12 @@ func (o Options) maxWorlds() int {
 	}
 	return o.MaxWorlds
 }
+
+func (o Options) engine() engine.Options { return engine.Options{Workers: o.Workers} }
+
+// pollInterval is how many worlds a worker evaluates between cancellation
+// checks.
+const pollInterval = 64
 
 // Space is the finite valuation space used by the oracle: the null
 // identifiers of D and the candidate range.
@@ -220,23 +238,30 @@ func newSpace(db *relation.Database, ids []uint64, qconsts []value.Value, opts O
 func (s *Space) Size() int { return s.count }
 
 // Each enumerates every valuation in the space. Stop early by returning
-// false from f.
+// false from f. The Valuation passed to f is reused between calls; f must
+// not retain it.
 func (s *Space) Each(f func(v value.Valuation) bool) {
-	v := value.NewValuation()
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == len(s.ids) {
-			return f(v)
-		}
-		for _, c := range s.rng {
-			v.Set(s.ids[i], c)
-			if !rec(i + 1) {
-				return false
-			}
-		}
-		return true
+	s.EachRange(0, s.count, f)
+}
+
+// EachRange enumerates the valuations whose index lies in [lo, hi), in the
+// same order Each visits them (the mixed-radix odometer with ids[0] most
+// significant). Disjoint ranges can be enumerated concurrently: each call
+// owns its iteration state and only reads the space.
+func (s *Space) EachRange(lo, hi int, f func(v value.Valuation) bool) {
+	value.EnumValuations(s.ids, s.rng, lo, hi, f)
+}
+
+// shards splits the space's index range for the pool, or returns nil when
+// the serial path should be used (one worker, or a space too small to pay
+// for fan-out).
+func (s *Space) shards(eng engine.Options) [][2]int {
+	w := eng.WorkerCount()
+	if w <= 1 || s.count < engine.MinParallel {
+		return nil
 	}
-	rec(0)
+	// Overshard for load balance: world costs vary with the valuation.
+	return engine.Split(s.count, w*4)
 }
 
 // WithNulls computes cert⊥(Q, D) exactly. Candidates are drawn from the
@@ -249,25 +274,10 @@ func WithNulls(db *relation.Database, q algebra.Expr, opts Options) (*relation.R
 		return nil, err
 	}
 	candidates := algebra.Naive(db, q).Tuples()
-	alive := make([]bool, len(candidates))
-	for i := range alive {
-		alive[i] = true
+	alive, err := survivors(db, q, space, candidates, opts)
+	if err != nil {
+		return nil, err
 	}
-	remaining := len(candidates)
-	space.Each(func(v value.Valuation) bool {
-		if remaining == 0 {
-			return false
-		}
-		world := db.Apply(v)
-		res := algebra.Eval(world, q, algebra.ModeNaive)
-		for i, t := range candidates {
-			if alive[i] && !res.Contains(v.Apply(t)) {
-				alive[i] = false
-				remaining--
-			}
-		}
-		return true
-	})
 	arity := algebra.Arity(q, db)
 	out := relation.NewArity("cert⊥", arity)
 	for i, t := range candidates {
@@ -278,30 +288,141 @@ func WithNulls(db *relation.Database, q algebra.Expr, opts Options) (*relation.R
 	return out, nil
 }
 
+// survivors reports, per candidate, whether it is an answer in every world
+// of the space. The parallel path shards the index range; each worker
+// eliminates candidates independently and the shard results are AND-merged,
+// which is order-insensitive and hence identical to the serial elimination.
+func survivors(db *relation.Database, q algebra.Expr, space *Space, candidates []value.Tuple, opts Options) ([]bool, error) {
+	alive := make([]bool, len(candidates))
+	for i := range alive {
+		alive[i] = true
+	}
+	if len(candidates) == 0 {
+		return alive, nil
+	}
+	eliminate := func(ctx context.Context, lo, hi int, local []bool, allDead *engine.Flag) {
+		remaining := len(candidates)
+		for i := range local {
+			if !local[i] {
+				remaining--
+			}
+		}
+		step := 0
+		space.EachRange(lo, hi, func(v value.Valuation) bool {
+			if remaining == 0 || (allDead != nil && allDead.IsSet()) {
+				return false
+			}
+			step++
+			if ctx != nil && step%pollInterval == 0 && engine.Canceled(ctx) {
+				return false
+			}
+			res := algebra.Eval(db.Apply(v), q, algebra.ModeNaive)
+			for i, t := range candidates {
+				if local[i] && !res.Contains(v.Apply(t)) {
+					local[i] = false
+					remaining--
+				}
+			}
+			return true
+		})
+		if remaining == 0 && allDead != nil {
+			// Nothing can come back to life: every worker may stop.
+			allDead.Set()
+		}
+	}
+	shards := space.shards(opts.engine())
+	if shards == nil {
+		eliminate(nil, 0, space.Size(), alive, nil)
+		return alive, nil
+	}
+	var allDead engine.Flag
+	results, err := engine.Map(context.Background(), opts.engine(), len(shards),
+		func(ctx context.Context, si int) ([]bool, error) {
+			local := make([]bool, len(candidates))
+			for i := range local {
+				local[i] = true
+			}
+			eliminate(ctx, shards[si][0], shards[si][1], local, &allDead)
+			return local, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, local := range results {
+		for i := range alive {
+			alive[i] = alive[i] && local[i]
+		}
+	}
+	return alive, nil
+}
+
 // Intersection computes cert∩(Q, D) = ⋂_{v} Q(v(D)) exactly. The result
-// consists of constant tuples only (Section 3.2).
+// consists of constant tuples only (Section 3.2). Each parallel shard
+// intersects its own index range and the shard accumulators are then
+// intersected in shard order, which reproduces the serial fold exactly; a
+// shard that empties its accumulator raises a flag that stops all others,
+// since an empty factor makes the whole intersection empty.
 func Intersection(db *relation.Database, q algebra.Expr, opts Options) (*relation.Relation, error) {
 	space, err := NewSpaceForQuery(db, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	var acc *relation.Relation
-	space.Each(func(v value.Valuation) bool {
-		world := db.Apply(v)
-		res := algebra.Eval(world, q, algebra.ModeNaive)
-		if acc == nil {
-			acc = res
-			return true
-		}
-		next := relation.NewArity("cert∩", acc.Arity())
-		acc.Each(func(t value.Tuple, _ int) {
-			if res.Contains(t) {
-				next.Add(t)
+	intersectRange := func(ctx context.Context, lo, hi int, empty *engine.Flag) *relation.Relation {
+		var acc *relation.Relation
+		step := 0
+		space.EachRange(lo, hi, func(v value.Valuation) bool {
+			if empty != nil && empty.IsSet() {
+				return false
 			}
+			step++
+			if ctx != nil && step%pollInterval == 0 && engine.Canceled(ctx) {
+				return false
+			}
+			world := db.Apply(v)
+			res := algebra.Eval(world, q, algebra.ModeNaive)
+			if acc == nil {
+				acc = res
+				return true
+			}
+			acc = intersect(acc, res)
+			if acc.Len() == 0 {
+				if empty != nil {
+					empty.Set()
+				}
+				return false
+			}
+			return true
 		})
-		acc = next
-		return acc.Len() > 0
-	})
+		return acc
+	}
+
+	var acc *relation.Relation
+	shards := space.shards(opts.engine())
+	if shards == nil {
+		acc = intersectRange(nil, 0, space.Size(), nil)
+	} else {
+		var empty engine.Flag
+		parts, err := engine.Map(context.Background(), opts.engine(), len(shards),
+			func(ctx context.Context, si int) (*relation.Relation, error) {
+				return intersectRange(ctx, shards[si][0], shards[si][1], &empty), nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range parts {
+			if part == nil {
+				continue
+			}
+			if acc == nil {
+				acc = part
+				continue
+			}
+			acc = intersect(acc, part)
+			if acc.Len() == 0 {
+				break
+			}
+		}
+	}
 	if acc == nil {
 		// No valuations (impossible: the space always has at least one).
 		acc = relation.NewArity("cert∩", algebra.Arity(q, db))
@@ -312,6 +433,66 @@ func Intersection(db *relation.Database, q algebra.Expr, opts Options) (*relatio
 	return acc.Rename("cert∩"), nil
 }
 
+// intersect returns the set intersection a ∩ b as a fresh relation; both
+// the per-shard fold and the shard merge of Intersection use it.
+func intersect(a, b *relation.Relation) *relation.Relation {
+	out := relation.NewArity("cert∩", a.Arity())
+	a.Each(func(t value.Tuple, _ int) {
+		if b.Contains(t) {
+			out.Add(t)
+		}
+	})
+	return out
+}
+
+// forallWorlds reports whether pred holds in every world of the space,
+// stopping — across all workers — at the first counterexample.
+func forallWorlds(space *Space, opts Options, pred func(v value.Valuation) bool) (bool, error) {
+	shards := space.shards(opts.engine())
+	if shards == nil {
+		holds := true
+		space.Each(func(v value.Valuation) bool {
+			if !pred(v) {
+				holds = false
+				return false
+			}
+			return true
+		})
+		return holds, nil
+	}
+	refuted, err := engine.Search(context.Background(), opts.engine(), len(shards),
+		func(ctx context.Context, si int) (bool, error) {
+			counterexample := false
+			step := 0
+			space.EachRange(shards[si][0], shards[si][1], func(v value.Valuation) bool {
+				step++
+				if step%pollInterval == 0 && engine.Canceled(ctx) {
+					return false
+				}
+				if !pred(v) {
+					counterexample = true
+					return false
+				}
+				return true
+			})
+			return counterexample, nil
+		})
+	if err != nil {
+		return false, err
+	}
+	return !refuted, nil
+}
+
+// existsWorld reports whether pred holds in some world of the space,
+// stopping — across all workers — at the first witness.
+func existsWorld(space *Space, opts Options, pred func(v value.Valuation) bool) (bool, error) {
+	holds, err := forallWorlds(space, opts, func(v value.Valuation) bool { return !pred(v) })
+	if err != nil {
+		return false, err
+	}
+	return !holds, nil
+}
+
 // Bool computes certainty of a Boolean (zero-ary) query: true iff the
 // query holds in every possible world of the space.
 func Bool(db *relation.Database, q algebra.Expr, opts Options) (bool, error) {
@@ -319,15 +500,9 @@ func Bool(db *relation.Database, q algebra.Expr, opts Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	certain := true
-	space.Each(func(v value.Valuation) bool {
-		if !algebra.BooleanResult(algebra.Eval(db.Apply(v), q, algebra.ModeNaive)) {
-			certain = false
-			return false
-		}
-		return true
+	return forallWorlds(space, opts, func(v value.Valuation) bool {
+		return algebra.BooleanResult(algebra.Eval(db.Apply(v), q, algebra.ModeNaive))
 	})
-	return certain, nil
 }
 
 // PossibleTuple reports whether some valuation makes t̄ an answer:
@@ -337,15 +512,9 @@ func PossibleTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Op
 	if err != nil {
 		return false, err
 	}
-	possible := false
-	space.Each(func(v value.Valuation) bool {
-		if algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t)) {
-			possible = true
-			return false
-		}
-		return true
+	return existsWorld(space, opts, func(v value.Valuation) bool {
+		return algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t))
 	})
-	return possible, nil
 }
 
 // CertainTuple reports whether t̄ ∈ cert⊥(Q, D) without computing the whole
@@ -355,15 +524,9 @@ func CertainTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opt
 	if err != nil {
 		return false, err
 	}
-	certain := true
-	space.Each(func(v value.Valuation) bool {
-		if !algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t)) {
-			certain = false
-			return false
-		}
-		return true
+	return forallWorlds(space, opts, func(v value.Valuation) bool {
+		return algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t))
 	})
-	return certain, nil
 }
 
 // BoxMult computes □Q(D, ā) of (6a): the minimum multiplicity of v(ā) in
@@ -377,23 +540,75 @@ func DiamondMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opti
 	return extremeMult(db, q, t, opts, false)
 }
 
+// shardBest carries one shard's extremum; seen distinguishes "no worlds
+// contributed" (an early-stopped shard) from a genuine zero.
+type shardBest struct {
+	best int
+	seen bool
+}
+
 func extremeMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options, min bool) (int, error) {
 	space, err := spaceForTupleBag(db, q, t, opts)
 	if err != nil {
 		return 0, err
 	}
-	first := true
-	best := 0
-	space.Each(func(v value.Valuation) bool {
-		m := algebra.EvalBag(db.Apply(v), q, algebra.ModeNaive).Mult(v.Apply(t))
-		if first {
-			best = m
-			first = false
-		} else if (min && m < best) || (!min && m > best) {
-			best = m
+	scanRange := func(ctx context.Context, lo, hi int, zero *engine.Flag) shardBest {
+		out := shardBest{}
+		step := 0
+		space.EachRange(lo, hi, func(v value.Valuation) bool {
+			if zero != nil && zero.IsSet() {
+				return false
+			}
+			step++
+			if ctx != nil && step%pollInterval == 0 && engine.Canceled(ctx) {
+				return false
+			}
+			m := algebra.EvalBag(db.Apply(v), q, algebra.ModeNaive).Mult(v.Apply(t))
+			if !out.seen {
+				out.best = m
+				out.seen = true
+			} else if (min && m < out.best) || (!min && m > out.best) {
+				out.best = m
+			}
+			if min && out.best == 0 {
+				// Early exit: a minimum of zero cannot improve.
+				if zero != nil {
+					zero.Set()
+				}
+				return false
+			}
+			return true
+		})
+		return out
+	}
+
+	shards := space.shards(opts.engine())
+	if shards == nil {
+		return scanRange(nil, 0, space.Size(), nil).best, nil
+	}
+	var zero engine.Flag
+	parts, err := engine.Map(context.Background(), opts.engine(), len(shards),
+		func(ctx context.Context, si int) (shardBest, error) {
+			return scanRange(ctx, shards[si][0], shards[si][1], &zero), nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	if min && zero.IsSet() {
+		// Some shard witnessed multiplicity zero; shards interrupted by the
+		// flag hold partial extrema, but zero is already the global minimum.
+		return 0, nil
+	}
+	merged := shardBest{}
+	for _, p := range parts {
+		if !p.seen {
+			continue
 		}
-		// Early exit: a minimum of zero cannot improve.
-		return !(min && best == 0)
-	})
-	return best, nil
+		if !merged.seen {
+			merged = p
+		} else if (min && p.best < merged.best) || (!min && p.best > merged.best) {
+			merged.best = p.best
+		}
+	}
+	return merged.best, nil
 }

@@ -1,0 +1,226 @@
+package certain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdb/internal/algebra"
+	"incdb/internal/gen"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// corpus returns database/query pairs whose valuation spaces are large
+// enough (≥ minParallelWorlds) to exercise the sharded paths, plus small
+// ones that must fall back to the serial path.
+func corpus(t *testing.T) []struct {
+	name string
+	db   *relation.Database
+	q    algebra.Expr
+} {
+	t.Helper()
+	var out []struct {
+		name string
+		db   *relation.Database
+		q    algebra.Expr
+	}
+
+	// Hand-built: difference with several nulls on both sides.
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	for i := 0; i < 4; i++ {
+		r.Add(value.Consts(fmt.Sprintf("c%d", i)))
+	}
+	r.Add(value.T(value.Null(1)))
+	db.Add(r)
+	s := relation.New("S", "a")
+	s.Add(value.Consts("c1"))
+	s.Add(value.T(value.Null(2)))
+	s.Add(value.T(value.Null(3)))
+	db.Add(s)
+	out = append(out, struct {
+		name string
+		db   *relation.Database
+		q    algebra.Expr
+	}{"diff-3nulls", db, algebra.Minus(algebra.R("R"), algebra.R("S"))})
+
+	// Hand-built small space: must take the serial path under any Workers.
+	db2 := relation.NewDatabase()
+	r2 := relation.New("R", "a")
+	r2.Add(value.Consts("x"))
+	r2.Add(value.T(value.Null(1)))
+	db2.Add(r2)
+	out = append(out, struct {
+		name string
+		db   *relation.Database
+		q    algebra.Expr
+	}{"tiny", db2, algebra.R("R")})
+
+	// Random instances over the gen schema, full relational algebra.
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rdb := gen.DB(rng, gen.Config{MaxTuples: 6, NullRate: 0.4, NullPool: 3, ConstPool: 4})
+		q := gen.Query(rng, gen.DefaultQueryConfig(), 1)
+		out = append(out, struct {
+			name string
+			db   *relation.Database
+			q    algebra.Expr
+		}{fmt.Sprintf("gen-%d", seed), rdb, q})
+	}
+	return out
+}
+
+// TestParallelOracleMatchesSerial is the oracle-equivalence gate: every
+// certainty notion must render byte-identically under the serial reference
+// path and under a many-worker pool (more workers than this machine has
+// cores, to force real sharding).
+func TestParallelOracleMatchesSerial(t *testing.T) {
+	for _, tc := range corpus(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := Options{Workers: 1}
+			parallel := Options{Workers: 8}
+
+			sw, err1 := WithNulls(tc.db, tc.q, serial)
+			pw, err2 := WithNulls(tc.db, tc.q, parallel)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("WithNulls errs diverge: %v vs %v", err1, err2)
+			}
+			if err1 == nil && sw.String() != pw.String() {
+				t.Errorf("WithNulls diverges:\nserial   %s\nparallel %s", sw, pw)
+			}
+
+			si, err1 := Intersection(tc.db, tc.q, serial)
+			pi, err2 := Intersection(tc.db, tc.q, parallel)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("Intersection errs diverge: %v vs %v", err1, err2)
+			}
+			if err1 == nil && si.String() != pi.String() {
+				t.Errorf("Intersection diverges:\nserial   %s\nparallel %s", si, pi)
+			}
+
+			// Tuple-level checks over every naive candidate plus a miss.
+			cands := algebra.Naive(tc.db, tc.q).Tuples()
+			if arity := algebra.Arity(tc.q, tc.db); arity > 0 {
+				miss := make(value.Tuple, arity)
+				for i := range miss {
+					miss[i] = value.Const("✗absent")
+				}
+				cands = append(cands, miss)
+			}
+			for i, tuple := range cands {
+				sc, err1 := CertainTuple(tc.db, tc.q, tuple, serial)
+				pc, err2 := CertainTuple(tc.db, tc.q, tuple, parallel)
+				if (err1 == nil) != (err2 == nil) || sc != pc {
+					t.Errorf("CertainTuple[%d] %v: serial %v/%v parallel %v/%v", i, tuple, sc, err1, pc, err2)
+				}
+				sp, err1 := PossibleTuple(tc.db, tc.q, tuple, serial)
+				pp, err2 := PossibleTuple(tc.db, tc.q, tuple, parallel)
+				if (err1 == nil) != (err2 == nil) || sp != pp {
+					t.Errorf("PossibleTuple[%d] %v: serial %v/%v parallel %v/%v", i, tuple, sp, err1, pp, err2)
+				}
+				sb, err1 := BoxMult(tc.db, tc.q, tuple, serial)
+				pb, err2 := BoxMult(tc.db, tc.q, tuple, parallel)
+				if (err1 == nil) != (err2 == nil) || sb != pb {
+					t.Errorf("BoxMult[%d] %v: serial %v/%v parallel %v/%v", i, tuple, sb, err1, pb, err2)
+				}
+				sd, err1 := DiamondMult(tc.db, tc.q, tuple, serial)
+				pd, err2 := DiamondMult(tc.db, tc.q, tuple, parallel)
+				if (err1 == nil) != (err2 == nil) || sd != pd {
+					t.Errorf("DiamondMult[%d] %v: serial %v/%v parallel %v/%v", i, tuple, sd, err1, pd, err2)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBoolMatchesSerial checks Boolean certainty on zero-ary
+// queries, where the universal search short-circuits across shards.
+func TestParallelBoolMatchesSerial(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	r.Add(value.Consts("c0"))
+	r.Add(value.Consts("c1"))
+	r.Add(value.T(value.Null(1)))
+	r.Add(value.T(value.Null(2)))
+	db.Add(r)
+	s := relation.New("S", "a")
+	s.Add(value.Consts("c0"))
+	s.Add(value.T(value.Null(3)))
+	db.Add(s)
+	for _, q := range []algebra.Expr{
+		algebra.Proj(algebra.R("R")),                                // ∃-style: R nonempty, certainly true
+		algebra.Proj(algebra.Minus(algebra.R("R"), algebra.R("S"))), // uncertain
+		algebra.Proj(algebra.Minus(algebra.R("S"), algebra.R("S"))), // certainly false
+	} {
+		sb, err1 := Bool(db, q, Options{Workers: 1})
+		pb, err2 := Bool(db, q, Options{Workers: 8})
+		if (err1 == nil) != (err2 == nil) || sb != pb {
+			t.Errorf("Bool(%v): serial %v/%v parallel %v/%v", q, sb, err1, pb, err2)
+		}
+	}
+}
+
+// TestSpaceEachRangeMatchesEach pins the shard enumeration to the serial
+// order: concatenating disjoint ranges must reproduce Each exactly.
+func TestSpaceEachRangeMatchesEach(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a", "b")
+	r.Add(value.T(value.Null(1), value.Const("x")))
+	r.Add(value.T(value.Null(2), value.Null(3)))
+	db.Add(r)
+	space, err := NewSpace(db, []value.Value{value.Const("qc")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full []string
+	space.Each(func(v value.Valuation) bool { full = append(full, v.String()); return true })
+	if len(full) != space.Size() {
+		t.Fatalf("Each visited %d, Size() = %d", len(full), space.Size())
+	}
+	var pieces []string
+	step := space.Size()/7 + 1
+	for lo := 0; lo < space.Size(); lo += step {
+		hi := lo + step
+		if hi > space.Size() {
+			hi = space.Size()
+		}
+		space.EachRange(lo, hi, func(v value.Valuation) bool { pieces = append(pieces, v.String()); return true })
+	}
+	for i := range full {
+		if pieces[i] != full[i] {
+			t.Fatalf("valuation %d: range %s vs full %s", i, pieces[i], full[i])
+		}
+	}
+}
+
+// TestWorkerPoolStress hammers the sharded cert⊥ path; it exists chiefly to
+// give `go test -race` a workload over the worker pool and the shared
+// read-only database.
+func TestWorkerPoolStress(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	for i := 0; i < 5; i++ {
+		r.Add(value.Consts(fmt.Sprintf("c%d", i)))
+	}
+	db.Add(r)
+	s := relation.New("S", "a")
+	s.Add(value.T(value.Null(1)))
+	s.Add(value.T(value.Null(2)))
+	s.Add(value.T(value.Null(3)))
+	db.Add(s)
+	q := algebra.Minus(algebra.R("R"), algebra.R("S"))
+	want, err := WithNulls(db, q, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := WithNulls(db, q, Options{Workers: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("iteration %d diverged: %s vs %s", i, got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"incdb/internal/certain"
 	"incdb/internal/constraint"
 	"incdb/internal/ctable"
+	"incdb/internal/engine"
 	"incdb/internal/prob"
 	"incdb/internal/relation"
 	"incdb/internal/translate"
@@ -91,7 +92,13 @@ func ApproxTrueFalse(db *relation.Database, q algebra.Expr) (qt, qf *relation.Re
 // the four strategies of [36] (Theorem 4.9), returning the certain and
 // possible parts.
 func CTableAnswers(db *relation.Database, q algebra.Expr, s ctable.Strategy) (certainPart, possiblePart *relation.Relation, err error) {
-	ct, err := ctable.Eval(db, q, s)
+	return CTableAnswersWith(db, q, s, engine.Options{})
+}
+
+// CTableAnswersWith is CTableAnswers with an explicit worker pool for the
+// per-row condition construction and grounding.
+func CTableAnswersWith(db *relation.Database, q algebra.Expr, s ctable.Strategy, eng engine.Options) (certainPart, possiblePart *relation.Relation, err error) {
+	ct, err := ctable.EvalWith(db, q, s, eng)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -107,6 +114,18 @@ func AlmostCertainlyTrue(db *relation.Database, q algebra.Expr, t value.Tuple) (
 // rational; pass nil Σ for the unconditional µ (Theorems 4.10/4.11).
 func Mu(db *relation.Database, q algebra.Expr, sigma constraint.Set, t value.Tuple) (*big.Rat, error) {
 	return prob.Mu(db, q, sigma, t)
+}
+
+// MuWith is Mu with an explicit worker pool sharding the pattern
+// enumeration.
+func MuWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, t value.Tuple, eng engine.Options) (*big.Rat, error) {
+	return prob.MuWith(db, q, sigma, t, eng)
+}
+
+// MuK computes the finite-domain µᵏ with an explicit worker pool sharding
+// the kⁿ valuation enumeration.
+func MuK(db *relation.Database, q algebra.Expr, sigma constraint.Set, t value.Tuple, k int, eng engine.Options) (*big.Rat, error) {
+	return prob.MuKWith(db, q, sigma, t, k, eng)
 }
 
 // Report compares the evaluation procedures on one query, classifying

@@ -4,10 +4,23 @@ import (
 	"fmt"
 
 	"incdb/internal/algebra"
+	"incdb/internal/engine"
 	"incdb/internal/logic"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
+
+// parallelRows is the row count below which per-row work (formula
+// construction, grounding, minimization) stays serial: c-table rows are
+// cheaper than oracle worlds, so the bar sits above engine.MinParallel.
+const parallelRows = 4 * engine.MinParallel
+
+// chunked is engine.Chunked at this package's row threshold; worker panics
+// re-throw on the caller, so EvalWith's recover sees them exactly as it
+// would from the serial loop.
+func chunked[T any](eng engine.Options, n int, f func(i int) T) []T {
+	return engine.Chunked(eng, n, parallelRows, f)
+}
 
 // CTuple is a conditional tuple ⟨t̄, φ⟩: t̄ belongs to the relation exactly
 // in the possible worlds whose valuation satisfies φ.
@@ -60,6 +73,14 @@ func (s Strategy) String() string {
 // Figure 2 translations (σ, π, ×, ∪, −, ∩); conditions may use
 // comparisons but not IN subqueries.
 func Eval(db *relation.Database, q algebra.Expr, s Strategy) (*CTable, error) {
+	return EvalWith(db, q, s, engine.Options{})
+}
+
+// EvalWith is Eval with an explicit worker pool: the per-row formula
+// construction, grounding and minimization loops are sharded over eng's
+// workers with order-preserving merges, so the resulting c-table is
+// row-for-row identical to the serial evaluation.
+func EvalWith(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Options) (*CTable, error) {
 	var out *CTable
 	err := func() (err error) {
 		defer func() {
@@ -68,8 +89,8 @@ func Eval(db *relation.Database, q algebra.Expr, s Strategy) (*CTable, error) {
 			}
 		}()
 		checkFragment(q)
-		out = eval(db, q, s)
-		out = finalize(out, s)
+		out = eval(db, q, s, eng)
+		out = finalize(out, s, eng)
 		return nil
 	}()
 	if err != nil {
@@ -115,7 +136,7 @@ func (c *CTable) Extract(onlyTrue bool) *relation.Relation {
 	return out
 }
 
-func eval(db *relation.Database, q algebra.Expr, s Strategy) *CTable {
+func eval(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Options) *CTable {
 	switch q := q.(type) {
 	case algebra.Rel:
 		src := db.Relation(q.Name)
@@ -129,55 +150,59 @@ func eval(db *relation.Database, q algebra.Expr, s Strategy) *CTable {
 		return ct
 
 	case algebra.Select:
-		in := eval(db, q.In, s)
+		in := eval(db, q.In, s, eng)
 		out := &CTable{Arity: in.Arity}
-		for _, row := range in.Rows {
-			phi := FAnd{row.Phi, condFormula(q.Cond, row.T)}
-			out.Rows = append(out.Rows, CTuple{T: row.T, Phi: phi})
-		}
-		return process(out, s, false)
+		out.Rows = chunked(eng, len(in.Rows), func(i int) CTuple {
+			row := in.Rows[i]
+			return CTuple{T: row.T, Phi: FAnd{row.Phi, condFormula(q.Cond, row.T)}}
+		})
+		return process(out, s, false, eng)
 
 	case algebra.Project:
-		in := eval(db, q.In, s)
+		in := eval(db, q.In, s, eng)
 		out := &CTable{Arity: len(q.Cols)}
-		for _, row := range in.Rows {
-			out.Rows = append(out.Rows, CTuple{T: row.T.Project(q.Cols), Phi: row.Phi})
-		}
-		return process(out, s, false)
+		out.Rows = chunked(eng, len(in.Rows), func(i int) CTuple {
+			row := in.Rows[i]
+			return CTuple{T: row.T.Project(q.Cols), Phi: row.Phi}
+		})
+		return process(out, s, false, eng)
 
 	case algebra.Product:
-		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		l, r := eval(db, q.L, s, eng), eval(db, q.R, s, eng)
 		out := &CTable{Arity: l.Arity + r.Arity}
-		for _, lr := range l.Rows {
-			for _, rr := range r.Rows {
-				out.Rows = append(out.Rows, CTuple{T: lr.T.Concat(rr.T), Phi: FAnd{lr.Phi, rr.Phi}})
-			}
+		if len(r.Rows) > 0 {
+			out.Rows = chunked(eng, len(l.Rows)*len(r.Rows), func(i int) CTuple {
+				lr, rr := l.Rows[i/len(r.Rows)], r.Rows[i%len(r.Rows)]
+				return CTuple{T: lr.T.Concat(rr.T), Phi: FAnd{lr.Phi, rr.Phi}}
+			})
 		}
-		return process(out, s, false)
+		return process(out, s, false, eng)
 
 	case algebra.Union:
-		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		l, r := eval(db, q.L, s, eng), eval(db, q.R, s, eng)
 		out := &CTable{Arity: l.Arity}
 		out.Rows = append(out.Rows, l.Rows...)
 		out.Rows = append(out.Rows, r.Rows...)
-		return process(out, s, false)
+		return process(out, s, false, eng)
 
 	case algebra.Diff:
-		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		l, r := eval(db, q.L, s, eng), eval(db, q.R, s, eng)
 		out := &CTable{Arity: l.Arity}
-		for _, lr := range l.Rows {
+		out.Rows = chunked(eng, len(l.Rows), func(i int) CTuple {
+			lr := l.Rows[i]
 			phi := lr.Phi
 			for _, rr := range r.Rows {
 				phi = FAnd{phi, FNot{FAnd{rr.Phi, EqTuples(lr.T, rr.T)}}}
 			}
-			out.Rows = append(out.Rows, CTuple{T: lr.T, Phi: phi})
-		}
-		return process(out, s, true)
+			return CTuple{T: lr.T, Phi: phi}
+		})
+		return process(out, s, true, eng)
 
 	case algebra.Intersect:
-		l, r := eval(db, q.L, s), eval(db, q.R, s)
+		l, r := eval(db, q.L, s, eng), eval(db, q.R, s, eng)
 		out := &CTable{Arity: l.Arity}
-		for _, lr := range l.Rows {
+		out.Rows = chunked(eng, len(l.Rows), func(i int) CTuple {
+			lr := l.Rows[i]
 			var match Formula = FFalse{}
 			first := true
 			for _, rr := range r.Rows {
@@ -189,9 +214,9 @@ func eval(db *relation.Database, q algebra.Expr, s Strategy) *CTable {
 					match = FOr{match, m}
 				}
 			}
-			out.Rows = append(out.Rows, CTuple{T: lr.T, Phi: FAnd{lr.Phi, match}})
-		}
-		return process(out, s, true)
+			return CTuple{T: lr.T, Phi: FAnd{lr.Phi, match}}
+		})
+		return process(out, s, true, eng)
 	}
 	panic(fmt.Sprintf("operator %T is outside the c-table fragment", q))
 }
@@ -278,15 +303,15 @@ func condFormula(c algebra.Cond, t value.Tuple) Formula {
 
 // process applies the strategy's per-operator treatment. afterDiff marks
 // operators at which the lazy strategy grounds.
-func process(ct *CTable, s Strategy, afterDiff bool) *CTable {
+func process(ct *CTable, s Strategy, afterDiff bool, eng engine.Options) *CTable {
 	switch s {
 	case Eager:
-		return groundAll(ct, false)
+		return groundAll(ct, false, eng)
 	case SemiEager:
-		return groundAll(ct, true)
+		return groundAll(ct, true, eng)
 	case Lazy:
 		if afterDiff {
-			return groundAll(ct, true)
+			return groundAll(ct, true, eng)
 		}
 		return ct
 	case Aware:
@@ -296,33 +321,35 @@ func process(ct *CTable, s Strategy, afterDiff bool) *CTable {
 }
 
 // finalize applies the end-of-query treatment.
-func finalize(ct *CTable, s Strategy) *CTable {
+func finalize(ct *CTable, s Strategy, eng engine.Options) *CTable {
 	switch s {
 	case Eager:
 		return ct // already grounded stepwise
 	case SemiEager:
 		return ct
 	case Lazy:
-		return groundAll(ct, true)
+		return groundAll(ct, true, eng)
 	case Aware:
 		min := &CTable{Arity: ct.Arity}
-		for _, row := range ct.Rows {
-			min.Rows = append(min.Rows, CTuple{T: row.T, Phi: Minimize(row.Phi)})
-		}
-		return groundAll(min, true)
+		min.Rows = chunked(eng, len(ct.Rows), func(i int) CTuple {
+			return CTuple{T: ct.Rows[i].T, Phi: Minimize(ct.Rows[i].Phi)}
+		})
+		return groundAll(min, true, eng)
 	}
 	panic(fmt.Sprintf("unknown strategy %v", s))
 }
 
 // groundAll grounds every row's condition to a literal, dropping f rows.
 // With propagate set, forced equalities are first substituted into the
-// tuple (the semi-eager refinement).
-func groundAll(ct *CTable, propagate bool) *CTable {
-	out := &CTable{Arity: ct.Arity}
-	for _, row := range ct.Rows {
+// tuple (the semi-eager refinement). Rows ground independently; the f rows
+// are filtered out after the order-preserving fan-out, so the surviving
+// rows keep their serial order.
+func groundAll(ct *CTable, propagate bool, eng engine.Options) *CTable {
+	grounded := chunked(eng, len(ct.Rows), func(i int) CTuple {
+		row := ct.Rows[i]
 		tv := Ground(row.Phi)
 		if tv == logic.F {
-			continue
+			return CTuple{} // dropped below
 		}
 		t := row.T
 		if propagate && tv == logic.U {
@@ -330,7 +357,14 @@ func groundAll(ct *CTable, propagate bool) *CTable {
 				t = SubstituteTuple(t, m)
 			}
 		}
-		out.Rows = append(out.Rows, CTuple{T: t, Phi: FromTV(tv)})
+		return CTuple{T: t, Phi: FromTV(tv)}
+	})
+	out := &CTable{Arity: ct.Arity}
+	for _, row := range grounded {
+		if row.Phi == nil {
+			continue
+		}
+		out.Rows = append(out.Rows, row)
 	}
 	return out
 }

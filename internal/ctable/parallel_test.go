@@ -1,0 +1,76 @@
+package ctable
+
+import (
+	"fmt"
+	"testing"
+
+	"incdb/internal/algebra"
+	"incdb/internal/engine"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// bigDB builds an instance whose intermediate c-tables exceed parallelRows,
+// so EvalWith actually fans out.
+func bigDB() *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a", "b")
+	for i := 0; i < 400; i++ {
+		if i%7 == 0 {
+			r.Add(value.T(db.FreshNull(), value.Const(fmt.Sprintf("v%d", i%5))))
+		} else {
+			r.Add(value.Consts(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i%5)))
+		}
+	}
+	db.Add(r)
+	s := relation.New("S", "a")
+	for i := 0; i < 30; i++ {
+		if i%5 == 0 {
+			s.Add(value.T(db.FreshNull()))
+		} else {
+			s.Add(value.Consts(fmt.Sprintf("k%d", i*11)))
+		}
+	}
+	db.Add(s)
+	return db
+}
+
+// TestEvalWithMatchesSerial: every strategy must produce a row-for-row
+// identical c-table whether the grounding loops run serially or sharded.
+func TestEvalWithMatchesSerial(t *testing.T) {
+	db := bigDB()
+	queries := []algebra.Expr{
+		algebra.Sel(algebra.R("R"), algebra.CEqC(1, value.Const("v1"))),
+		algebra.Minus(algebra.Proj(algebra.R("R"), 0), algebra.R("S")),
+		algebra.Inter(algebra.Proj(algebra.R("R"), 0), algebra.R("S")),
+		algebra.Proj(algebra.Join(algebra.R("R"), algebra.R("S"), algebra.CEq(0, 2)), 1),
+	}
+	for qi, q := range queries {
+		for _, s := range []Strategy{Eager, SemiEager, Lazy, Aware} {
+			serial, err1 := EvalWith(db, q, s, engine.Options{Workers: 1})
+			parallel, err2 := EvalWith(db, q, s, engine.Options{Workers: 8})
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("q%d/%v: errs diverge: %v vs %v", qi, s, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if serial.String() != parallel.String() {
+				t.Errorf("q%d/%v: c-tables diverge (serial %d rows, parallel %d rows)",
+					qi, s, len(serial.Rows), len(parallel.Rows))
+			}
+		}
+	}
+}
+
+// TestEvalWithRejectsFragmentViolationsInParallel: a worker panic must
+// surface as the same error the serial path reports, not crash the process.
+func TestEvalWithRejectsFragmentViolationsInParallel(t *testing.T) {
+	db := bigDB()
+	bad := algebra.Div(algebra.R("R"), algebra.R("S"))
+	for _, workers := range []int{1, 8} {
+		if _, err := EvalWith(db, bad, Eager, engine.Options{Workers: workers}); err == nil {
+			t.Errorf("workers=%d: expected fragment error", workers)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package engine is the shared parallel-execution substrate of the
+// library: a bounded worker pool with context cancellation and
+// deterministic, shard-ordered result collection.
+//
+// The exponential oracles of internal/certain, the valuation counting of
+// internal/prob and the per-row grounding of internal/ctable all reduce to
+// the same shape — a large, embarrassingly parallel index space whose
+// per-index work is pure and whose results merge associatively. Map and
+// Search cover that shape: Map fans n shards out over a fixed number of
+// goroutines and returns the per-shard results in shard order, so that any
+// order-sensitive reduction performed by the caller is byte-identical to
+// the serial computation; Search is the existential variant that cancels
+// all remaining work as soon as one shard reports a hit.
+//
+// Workers=1 always degenerates to a plain loop on the calling goroutine,
+// which is the reference semantics every parallel caller is tested against.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures the pool. The zero value means "use every core".
+type Options struct {
+	// Workers is the maximum number of concurrent goroutines. Zero (or
+	// negative) means runtime.NumCPU(); 1 forces serial execution on the
+	// calling goroutine.
+	Workers int
+}
+
+// WorkerCount resolves the effective worker count.
+func (o Options) WorkerCount() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// Serial reports whether the options request serial execution.
+func (o Options) Serial() bool { return o.WorkerCount() == 1 }
+
+// Split partitions the index space [0, n) into at most parts contiguous
+// half-open ranges of near-equal size, in ascending order. Empty ranges are
+// omitted, so the result has min(n, parts) entries (none when n <= 0).
+// Oversharding — asking for more parts than workers — is the intended way
+// to load-balance shards of uneven cost.
+func Split(n, parts int) [][2]int {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		// Distribute the remainder over the leading shards.
+		hi := lo + n/parts
+		if i < n%parts {
+			hi++
+		}
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+		lo = hi
+	}
+	return out
+}
+
+// MinParallel is the work-item count below which fan-out cannot pay for
+// goroutine startup: callers guarding a serial fallback should compare
+// their item count (worlds, rows, patterns) against this single constant
+// so the threshold cannot drift between subsystems.
+const MinParallel = 64
+
+// Chunked computes out[i] = f(i) for i in [0, n), fanning contiguous index
+// chunks out over eng's workers when n reaches threshold (use MinParallel
+// unless the per-item cost warrants otherwise; threshold <= 0 means
+// MinParallel). Workers write disjoint ranges and the output order is the
+// input order, so the result is identical to the serial loop. f must be
+// pure. A panic in f is re-thrown on the calling goroutine with its
+// original value, exactly as the serial loop would.
+func Chunked[T any](eng Options, n, threshold int, f func(i int) T) []T {
+	out := make([]T, n)
+	if threshold <= 0 {
+		threshold = MinParallel
+	}
+	if eng.WorkerCount() <= 1 || n < threshold {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	shards := Split(n, eng.WorkerCount()*4)
+	_, err := Map(context.Background(), eng, len(shards),
+		func(_ context.Context, si int) (_ struct{}, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = panicErr{r}
+				}
+			}()
+			for i := shards[si][0]; i < shards[si][1]; i++ {
+				out[i] = f(i)
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		if pe, ok := err.(panicErr); ok {
+			panic(pe.v)
+		}
+		panic(err)
+	}
+	return out
+}
+
+// panicErr smuggles a worker panic value through the pool's error channel.
+type panicErr struct{ v any }
+
+func (p panicErr) Error() string { return fmt.Sprint(p.v) }
+
+// Canceled reports whether ctx has been canceled. Workers iterating large
+// shards should poll it periodically (every few hundred items) so that
+// Search hits and Map errors propagate promptly.
+func Canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Flag is a set-once boolean shared across workers, for caller-level early
+// exits that are hints rather than cancellations (e.g. "the intersection is
+// already empty"): setters and readers need no further synchronization.
+type Flag struct{ v atomic.Bool }
+
+// Set raises the flag.
+func (f *Flag) Set() { f.v.Store(true) }
+
+// IsSet reports whether the flag has been raised.
+func (f *Flag) IsSet() bool { return f.v.Load() }
+
+// Map runs f on every shard index in [0, n) using at most
+// opts.WorkerCount() goroutines and returns the results in shard order.
+// The first error cancels the context passed to the remaining workers and
+// is returned; results computed so far are discarded. f must be safe to
+// call concurrently from multiple goroutines.
+func Map[T any](ctx context.Context, opts Options, n int, f func(ctx context.Context, shard int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	results := make([]T, n)
+	workers := opts.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := f(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || Canceled(wctx) {
+					return
+				}
+				r, err := f(wctx, i)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Search runs pred on shard indices in [0, n) and reports whether any shard
+// returned true, canceling the context seen by the remaining workers on the
+// first hit. Like Map it degenerates to an ordered serial loop (with its
+// usual short-circuit) when Workers is 1. The first error wins and
+// suppresses the boolean result.
+func Search(ctx context.Context, opts Options, n int, pred func(ctx context.Context, shard int) (bool, error)) (bool, error) {
+	if n <= 0 {
+		return false, ctx.Err()
+	}
+	workers := opts.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			hit, err := pred(ctx, i)
+			if err != nil {
+				return false, err
+			}
+			if hit {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		found    atomic.Bool
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || Canceled(wctx) {
+					return
+				}
+				hit, err := pred(wctx, i)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				if hit {
+					found.Store(true)
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return false, firstErr
+	}
+	if !found.Load() {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+	}
+	return found.Load(), nil
+}

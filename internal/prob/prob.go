@@ -17,12 +17,14 @@
 package prob
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"strconv"
 
 	"incdb/internal/algebra"
 	"incdb/internal/constraint"
+	"incdb/internal/engine"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
@@ -76,40 +78,75 @@ func freshConsts(m int, avoid []value.Value) []value.Value {
 // R followed by fresh ones; k must be at least |R| for the value to be
 // enumeration-independent, and the enumeration costs kⁿ worlds.
 func MuK(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int) (*big.Rat, error) {
+	return MuKWith(db, q, sigma, tuple, k, engine.Options{})
+}
+
+// MuKWith is MuK with an explicit worker pool: the kⁿ valuations are
+// sharded across eng's workers and the per-shard counters summed, so the
+// result is independent of the worker count.
+func MuKWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int, eng engine.Options) (*big.Rat, error) {
+	num, den, err := suppCounts(db, q, sigma, tuple, k, eng)
+	if err != nil {
+		return nil, err
+	}
+	if den == 0 {
+		return big.NewRat(0, 1), nil
+	}
+	return big.NewRat(num, den), nil
+}
+
+// suppCounts enumerates the kⁿ valuations once and returns
+// (|Suppᵏ(Σ∧Q)|, |Suppᵏ(Σ)|); with nil Σ the denominator counts every
+// valuation.
+func suppCounts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int, eng engine.Options) (int64, int64, error) {
 	ids := db.NullIDs()
 	if len(ids) > MaxNulls {
-		return nil, fmt.Errorf("prob: %d nulls exceed MaxNulls=%d", len(ids), MaxNulls)
+		return 0, 0, fmt.Errorf("prob: %d nulls exceed MaxNulls=%d", len(ids), MaxNulls)
 	}
 	rel := relevantConsts(db, q, tuple)
 	if k < len(rel) {
-		return nil, fmt.Errorf("prob: k=%d below |R|=%d; µᵏ would depend on the enumeration", k, len(rel))
+		return 0, 0, fmt.Errorf("prob: k=%d below |R|=%d; µᵏ would depend on the enumeration", k, len(rel))
 	}
 	rng := append(append([]value.Value{}, rel...), freshConsts(k-len(rel), rel)...)
-	num, den := 0, 0
-	v := value.NewValuation()
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(ids) {
+	total := value.EnumSize(ids, rng)
+	if total < 0 {
+		return 0, 0, fmt.Errorf("prob: %d^%d valuations overflow the enumeration", len(rng), len(ids))
+	}
+	countRange := func(lo, hi int) (num, den int64) {
+		value.EnumValuations(ids, rng, lo, hi, func(v value.Valuation) bool {
 			world := db.Apply(v)
 			if sigma != nil && !sigma.Holds(world) {
-				return
+				return true
 			}
 			den++
 			if algebra.Eval(world, q, algebra.ModeNaive).Contains(v.Apply(tuple)) {
 				num++
 			}
-			return
-		}
-		for _, c := range rng {
-			v.Set(ids[i], c)
-			rec(i + 1)
-		}
+			return true
+		})
+		return
 	}
-	rec(0)
-	if den == 0 {
-		return big.NewRat(0, 1), nil
+	w := eng.WorkerCount()
+	if w <= 1 || total < engine.MinParallel {
+		num, den := countRange(0, total)
+		return num, den, nil
 	}
-	return big.NewRat(int64(num), int64(den)), nil
+	type counts struct{ num, den int64 }
+	shards := engine.Split(total, w*4)
+	parts, err := engine.Map(context.Background(), eng, len(shards),
+		func(_ context.Context, si int) (counts, error) {
+			num, den := countRange(shards[si][0], shards[si][1])
+			return counts{num, den}, nil
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	var num, den int64
+	for _, p := range parts {
+		num += p.num
+		den += p.den
+	}
+	return num, den, nil
 }
 
 // Mu computes the asymptotic µ(Q|Σ, D, ā) = lim_k µᵏ exactly, by pattern
@@ -117,49 +154,103 @@ func MuK(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple valu
 // constraints it is an arbitrary rational in [0,1] (Theorem 4.11). The
 // convention µ = 0 applies when no valuation satisfies Σ.
 func Mu(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple) (*big.Rat, error) {
+	return MuWith(db, q, sigma, tuple, engine.Options{})
+}
+
+// patternEnum carries the fixed inputs of the Mu pattern enumeration so
+// that independent subtrees can be counted by separate workers.
+type patternEnum struct {
+	db    *relation.Database
+	q     algebra.Expr
+	sigma constraint.Set
+	tuple value.Tuple
+	ids   []uint64
+	rel   []value.Value
+	fresh []value.Value
+}
+
+// count enumerates the patterns extending v from position i with the given
+// number of fresh classes already open, accumulating into numTop/denTop.
+// Each null gets either a relevant constant or a fresh class in
+// restricted-growth order (class b may be used at position i only if
+// classes 0..b-1 appear before).
+func (e *patternEnum) count(v value.Valuation, i, classes int, numTop, denTop []int64) {
+	if i == len(e.ids) {
+		world := e.db.Apply(v)
+		if e.sigma != nil && !e.sigma.Holds(world) {
+			return
+		}
+		denTop[classes]++
+		if algebra.Eval(world, e.q, algebra.ModeNaive).Contains(v.Apply(e.tuple)) {
+			numTop[classes]++
+		}
+		return
+	}
+	for j := range e.rel {
+		v.Set(e.ids[i], e.rel[j])
+		e.count(v, i+1, classes, numTop, denTop)
+	}
+	for b := 0; b <= classes && b < len(e.fresh); b++ {
+		v.Set(e.ids[i], e.fresh[b])
+		next := classes
+		if b == classes {
+			next = classes + 1
+		}
+		e.count(v, i+1, next, numTop, denTop)
+	}
+}
+
+// MuWith is Mu with an explicit worker pool. The pattern tree is sharded on
+// the first null's choice (each relevant constant, or the first fresh
+// class); the per-branch polynomial coefficients are summed, so the result
+// is independent of the worker count.
+func MuWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, eng engine.Options) (*big.Rat, error) {
 	ids := db.NullIDs()
 	if len(ids) > MaxNulls {
 		return nil, fmt.Errorf("prob: %d nulls exceed MaxNulls=%d", len(ids), MaxNulls)
 	}
 	rel := relevantConsts(db, q, tuple)
 	fresh := freshConsts(len(ids), rel)
+	e := &patternEnum{db: db, q: q, sigma: sigma, tuple: tuple, ids: ids, rel: rel, fresh: fresh}
 
 	// numTop[m] / denTop[m]: number of patterns with m fresh classes
 	// satisfying Σ∧Q, resp. Σ.
 	numTop := make([]int64, len(ids)+1)
 	denTop := make([]int64, len(ids)+1)
 
-	// Enumerate patterns: each null gets either a relevant constant or a
-	// fresh class in restricted-growth order (class b may be used at
-	// position i only if classes 0..b-1 appear before).
-	v := value.NewValuation()
-	var rec func(i, classes int)
-	rec = func(i, classes int) {
-		if i == len(ids) {
-			world := db.Apply(v)
-			if sigma != nil && !sigma.Holds(world) {
-				return
-			}
-			denTop[classes]++
-			if algebra.Eval(world, q, algebra.ModeNaive).Contains(v.Apply(tuple)) {
-				numTop[classes]++
-			}
-			return
+	branches := len(rel) + 1 // first null's choices: each c ∈ R, or fresh class 0
+	// Pattern count is bounded by the valuations into R ∪ fresh; below the
+	// engine threshold the serial walk wins, like every other oracle here.
+	bound := value.EnumSize(ids, append(append([]value.Value{}, rel...), fresh...))
+	small := bound >= 0 && bound < engine.MinParallel
+	if len(ids) == 0 || eng.WorkerCount() == 1 || branches == 1 || small {
+		e.count(value.NewValuation(), 0, 0, numTop, denTop)
+	} else {
+		type coeffs struct{ num, den []int64 }
+		parts, err := engine.Map(context.Background(), eng, branches,
+			func(_ context.Context, bi int) (coeffs, error) {
+				v := value.NewValuation()
+				num := make([]int64, len(ids)+1)
+				den := make([]int64, len(ids)+1)
+				if bi < len(rel) {
+					v.Set(ids[0], rel[bi])
+					e.count(v, 1, 0, num, den)
+				} else {
+					v.Set(ids[0], fresh[0])
+					e.count(v, 1, 1, num, den)
+				}
+				return coeffs{num, den}, nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		for j := range rel {
-			v.Set(ids[i], rel[j])
-			rec(i+1, classes)
-		}
-		for b := 0; b <= classes && b < len(fresh); b++ {
-			v.Set(ids[i], fresh[b])
-			next := classes
-			if b == classes {
-				next = classes + 1
+		for _, p := range parts {
+			for m := range numTop {
+				numTop[m] += p.num[m]
+				denTop[m] += p.den[m]
 			}
-			rec(i+1, next)
 		}
 	}
-	rec(0, 0)
 
 	// Leading degree of the denominator polynomial.
 	top := -1
@@ -188,42 +279,11 @@ func AlmostCertainlyTrue(db *relation.Database, q algebra.Expr, tuple value.Tupl
 }
 
 // SuppCount returns |Suppᵏ(Σ∧Q)| and |Suppᵏ(Σ)| for diagnostics: the raw
-// counts behind µᵏ.
+// counts behind µᵏ (with nil Σ the second count is all kⁿ valuations).
 func SuppCount(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int) (sat, total int, err error) {
-	mu, err := MuK(db, q, sigma, tuple, k)
+	num, den, err := suppCounts(db, q, sigma, tuple, k, engine.Options{})
 	if err != nil {
 		return 0, 0, err
 	}
-	ids := db.NullIDs()
-	worlds := 1
-	for range ids {
-		worlds *= k
-	}
-	if sigma == nil {
-		total = worlds
-	} else {
-		// Recount Σ-worlds (MuK normalizes, so recompute the denominator).
-		rel := relevantConsts(db, q, tuple)
-		rng := append(append([]value.Value{}, rel...), freshConsts(k-len(rel), rel)...)
-		v := value.NewValuation()
-		var rec func(i int)
-		rec = func(i int) {
-			if i == len(ids) {
-				if sigma.Holds(db.Apply(v)) {
-					total++
-				}
-				return
-			}
-			for _, c := range rng {
-				v.Set(ids[i], c)
-				rec(i + 1)
-			}
-		}
-		rec(0)
-	}
-	n := new(big.Rat).Mul(mu, big.NewRat(int64(total), 1))
-	if !n.IsInt() {
-		return 0, 0, fmt.Errorf("prob: internal inconsistency computing support counts")
-	}
-	return int(n.Num().Int64()), total, nil
+	return int(num), int(den), nil
 }

@@ -1,0 +1,103 @@
+package relation
+
+import (
+	"testing"
+
+	"incdb/internal/value"
+)
+
+func collectMatches(r *Relation, col int, v value.Value) (ts []value.Tuple, mults []int) {
+	r.EachMatch(col, v, func(t value.Tuple, m int) {
+		ts = append(ts, t)
+		mults = append(mults, m)
+	})
+	return
+}
+
+// scanMatches is the reference: a full scan in deterministic order.
+func scanMatches(r *Relation, col int, v value.Value) (ts []value.Tuple, mults []int) {
+	r.Each(func(t value.Tuple, m int) {
+		if t[col] == v {
+			ts = append(ts, t)
+			mults = append(mults, m)
+		}
+	})
+	return
+}
+
+func sameMatches(at []value.Tuple, am []int, bt []value.Tuple, bm []int) bool {
+	if len(at) != len(bt) {
+		return false
+	}
+	for i := range at {
+		if !at[i].Equal(bt[i]) || am[i] != bm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEachMatchAgreesWithScan(t *testing.T) {
+	r := New("R", "a", "b")
+	r.Add(value.Consts("x", "1"))
+	r.Add(value.Consts("x", "2"))
+	r.AddMult(value.Consts("y", "1"), 3)
+	r.Add(value.T(value.Null(7), value.Const("z")))
+	for col := 0; col < 2; col++ {
+		for _, probe := range []value.Value{value.Const("x"), value.Const("y"),
+			value.Const("1"), value.Null(7), value.Const("missing")} {
+			it, im := collectMatches(r, col, probe)
+			st, sm := scanMatches(r, col, probe)
+			if !sameMatches(it, im, st, sm) {
+				t.Errorf("col %d probe %s: index %v/%v vs scan %v/%v", col, probe, it, im, st, sm)
+			}
+		}
+	}
+	if got := r.MatchCount(0, value.Const("x")); got != 2 {
+		t.Errorf("MatchCount = %d, want 2", got)
+	}
+}
+
+func TestIndexInvalidatedByAdd(t *testing.T) {
+	r := New("R", "a")
+	r.Add(value.Consts("x"))
+	if got, _ := collectMatches(r, 0, value.Const("x")); len(got) != 1 {
+		t.Fatalf("before Add: %d matches", len(got))
+	}
+	// The index is now built; mutating must invalidate it.
+	r.AddMult(value.Consts("x"), 1) // bumps multiplicity of the same row
+	r.Add(value.Consts("y"))
+	if got := r.MatchCount(0, value.Const("y")); got != 1 {
+		t.Errorf("after Add: y matches = %d, want 1", got)
+	}
+	_, mults := collectMatches(r, 0, value.Const("x"))
+	if len(mults) != 1 || mults[0] != 2 {
+		t.Errorf("after AddMult: x mults = %v, want [2]", mults)
+	}
+	r.SetMult(value.Consts("y"), 0) // deletes the row
+	if got := r.MatchCount(0, value.Const("y")); got != 0 {
+		t.Errorf("after SetMult 0: y matches = %d, want 0", got)
+	}
+}
+
+func TestIndexSurvivesNormalize(t *testing.T) {
+	r := New("R", "a")
+	r.AddMult(value.Consts("x"), 5)
+	if _, mults := collectMatches(r, 0, value.Const("x")); mults[0] != 5 {
+		t.Fatalf("mult = %v, want 5", mults)
+	}
+	r.Normalize() // keeps rows, so index row pointers stay valid
+	if _, mults := collectMatches(r, 0, value.Const("x")); mults[0] != 1 {
+		t.Errorf("after Normalize: mult = %v, want 1", mults)
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EachMatch on bad column did not panic")
+		}
+	}()
+	r := New("R", "a")
+	r.EachMatch(3, value.Const("x"), func(value.Tuple, int) {})
+}

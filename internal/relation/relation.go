@@ -22,6 +22,10 @@ type Relation struct {
 	attrs []string
 	arity int
 	rows  map[string]*row
+	// idx holds lazily built per-column hash indexes (column → value →
+	// matching rows, buckets in deterministic tuple order). Any structural
+	// mutation invalidates the whole map; see EachMatch.
+	idx map[int]map[value.Value][]*row
 }
 
 type row struct {
@@ -75,6 +79,7 @@ func (r *Relation) AddMult(t value.Tuple, m int) {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation %s: arity mismatch: tuple %v vs arity %d", r.name, t, r.arity))
 	}
+	r.idx = nil // rows may appear or vanish; rebuild indexes on demand
 	k := t.Key()
 	e, ok := r.rows[k]
 	if !ok {
@@ -92,6 +97,7 @@ func (r *Relation) AddMult(t value.Tuple, m int) {
 
 // SetMult sets the multiplicity of t to m exactly (removing it when m<=0).
 func (r *Relation) SetMult(t value.Tuple, m int) {
+	r.idx = nil
 	k := t.Key()
 	if m <= 0 {
 		delete(r.rows, k)
@@ -148,11 +154,54 @@ func (r *Relation) Each(f func(t value.Tuple, mult int)) {
 	}
 }
 
-// Normalize sets every multiplicity to one (bag → set).
+// Normalize sets every multiplicity to one (bag → set). Indexes survive:
+// they hold row pointers, so multiplicity updates are visible through them.
 func (r *Relation) Normalize() {
 	for _, e := range r.rows {
 		e.mult = 1
 	}
+}
+
+// indexOn returns the hash index for col, building it lazily. Buckets are
+// filled in sorted tuple order so that every index-driven iteration is
+// deterministic. The build mutates r, so a relation must not see its first
+// EachMatch for a given column from two goroutines at once; evaluation-local
+// relations (the only index users) satisfy this trivially.
+func (r *Relation) indexOn(col int) map[value.Value][]*row {
+	if col < 0 || col >= r.arity {
+		panic(fmt.Sprintf("relation %s: index column %d out of range for arity %d", r.name, col, r.arity))
+	}
+	if ix, ok := r.idx[col]; ok {
+		return ix
+	}
+	ix := make(map[value.Value][]*row, len(r.rows))
+	for _, t := range r.Tuples() {
+		e := r.rows[t.Key()]
+		ix[t[col]] = append(ix[t[col]], e)
+	}
+	if r.idx == nil {
+		r.idx = map[int]map[value.Value][]*row{}
+	}
+	r.idx[col] = ix
+	return ix
+}
+
+// EachMatch calls f on every tuple whose col-th component equals v (marked
+// nulls match themselves — Value equality), with its multiplicity, in
+// deterministic (sorted) order. The underlying per-column hash index is
+// built on first use and invalidated by Add/AddMult/SetMult, so probing a
+// stable relation n times costs O(n) after one O(len) build instead of the
+// O(n·len) of repeated scans.
+func (r *Relation) EachMatch(col int, v value.Value, f func(t value.Tuple, mult int)) {
+	for _, e := range r.indexOn(col)[v] {
+		f(e.t, e.mult)
+	}
+}
+
+// MatchCount returns the number of distinct tuples whose col-th component
+// equals v.
+func (r *Relation) MatchCount(col int, v value.Value) int {
+	return len(r.indexOn(col)[v])
 }
 
 // Clone returns a deep copy, optionally renamed.

@@ -1,0 +1,98 @@
+package value
+
+import (
+	"strings"
+	"testing"
+)
+
+func enumToStrings(ids []uint64, rng []Value, lo, hi int) []string {
+	var out []string
+	EnumValuations(ids, rng, lo, hi, func(v Valuation) bool {
+		out = append(out, v.String())
+		return true
+	})
+	return out
+}
+
+func TestEnumSize(t *testing.T) {
+	rng := []Value{Const("a"), Const("b"), Const("c")}
+	if got := EnumSize(nil, rng); got != 1 {
+		t.Errorf("EnumSize(0 ids) = %d, want 1", got)
+	}
+	if got := EnumSize([]uint64{1, 2}, rng); got != 9 {
+		t.Errorf("EnumSize(2 ids, 3 consts) = %d, want 9", got)
+	}
+	many := make([]uint64, 64)
+	for i := range many {
+		many[i] = uint64(i + 1)
+	}
+	if got := EnumSize(many, rng); got != -1 {
+		t.Errorf("EnumSize(3^64) = %d, want -1 (overflow)", got)
+	}
+}
+
+func TestEnumMatchesNestedLoops(t *testing.T) {
+	ids := []uint64{3, 1, 7}
+	rng := []Value{Const("a"), Const("b")}
+	var want []string
+	v := NewValuation()
+	for _, c0 := range rng {
+		for _, c1 := range rng {
+			for _, c2 := range rng {
+				v.Set(ids[0], c0)
+				v.Set(ids[1], c1)
+				v.Set(ids[2], c2)
+				want = append(want, v.String())
+			}
+		}
+	}
+	got := enumToStrings(ids, rng, 0, 8)
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d valuations, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("valuation %d: %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEnumRangeConcatenationEqualsFullEnumeration(t *testing.T) {
+	ids := []uint64{1, 2}
+	rng := []Value{Const("x"), Const("y"), Const("z")}
+	full := enumToStrings(ids, rng, 0, 9)
+	for _, cut := range [][]int{{0, 9}, {0, 4, 9}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {0, 3, 3, 9}} {
+		var pieces []string
+		for i := 0; i+1 < len(cut); i++ {
+			pieces = append(pieces, enumToStrings(ids, rng, cut[i], cut[i+1])...)
+		}
+		if strings.Join(pieces, ";") != strings.Join(full, ";") {
+			t.Errorf("cuts %v: %v != full %v", cut, pieces, full)
+		}
+	}
+}
+
+func TestEnumEmptyIDs(t *testing.T) {
+	if got := enumToStrings(nil, []Value{Const("a")}, 0, 1); len(got) != 1 || got[0] != "{}" {
+		t.Errorf("empty ids: %v, want one empty valuation", got)
+	}
+	if got := enumToStrings(nil, []Value{Const("a")}, 1, 5); got != nil {
+		t.Errorf("empty ids out of range: %v, want none", got)
+	}
+}
+
+func TestEnumClampsAndStops(t *testing.T) {
+	ids := []uint64{1}
+	rng := []Value{Const("a"), Const("b"), Const("c")}
+	if got := enumToStrings(ids, rng, -5, 99); len(got) != 3 {
+		t.Errorf("clamped enumeration yielded %d, want 3", len(got))
+	}
+	n := 0
+	EnumValuations(ids, rng, 0, 3, func(Valuation) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d, want 1", n)
+	}
+	if got := enumToStrings(ids, nil, 0, 5); got != nil {
+		t.Errorf("empty range with ids: %v, want none", got)
+	}
+}
