@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench ci
+.PHONY: all fmt fmt-check vet build test race bench bench-compare ci
 
 all: build
 
@@ -29,5 +29,12 @@ race:
 # runs, not a measurement.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Measure the working tree against the previous commit (or BASE=<ref>) and
+# report via benchstat when available. Non-blocking: regressions are
+# reported, never enforced; CI uploads the output as an artifact.
+BASE ?= HEAD~1
+bench-compare:
+	./scripts/bench_compare.sh $(BASE)
 
 ci: fmt-check vet build race bench

@@ -17,7 +17,7 @@ func ConstsOf(e Expr) []value.Value {
 	for v := range seen {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return value.OrderLess(out[i], out[j]) })
 	return out
 }
 

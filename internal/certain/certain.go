@@ -307,6 +307,9 @@ func survivors(db *relation.Database, q algebra.Expr, space *Space, candidates [
 				remaining--
 			}
 		}
+		// One probe buffer per worker: candidate instantiation reuses it
+		// instead of allocating a tuple per candidate per world.
+		buf := make(value.Tuple, len(candidates[0]))
 		step := 0
 		space.EachRange(lo, hi, func(v value.Valuation) bool {
 			if remaining == 0 || (allDead != nil && allDead.IsSet()) {
@@ -318,7 +321,7 @@ func survivors(db *relation.Database, q algebra.Expr, space *Space, candidates [
 			}
 			res := algebra.Eval(db.Apply(v), q, algebra.ModeNaive)
 			for i, t := range candidates {
-				if local[i] && !res.Contains(v.Apply(t)) {
+				if local[i] && !res.Contains(v.ApplyInto(buf, t)) {
 					local[i] = false
 					remaining--
 				}
@@ -512,9 +515,7 @@ func PossibleTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Op
 	if err != nil {
 		return false, err
 	}
-	return existsWorld(space, opts, func(v value.Valuation) bool {
-		return algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t))
-	})
+	return existsWorld(space, opts, tupleInAnswerPred(db, q, t))
 }
 
 // CertainTuple reports whether t̄ ∈ cert⊥(Q, D) without computing the whole
@@ -524,9 +525,22 @@ func CertainTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opt
 	if err != nil {
 		return false, err
 	}
-	return forallWorlds(space, opts, func(v value.Valuation) bool {
+	return forallWorlds(space, opts, tupleInAnswerPred(db, q, t))
+}
+
+// tupleInAnswerPred builds the per-world membership test v(t̄) ∈ Q(v(D)).
+// A null-free t̄ is invariant under every valuation, so the common case
+// probes with t̄ itself and allocates nothing per world. (The predicate is
+// shared by all workers, so it cannot carry a mutable scratch buffer.)
+func tupleInAnswerPred(db *relation.Database, q algebra.Expr, t value.Tuple) func(v value.Valuation) bool {
+	if !t.HasNull() {
+		return func(v value.Valuation) bool {
+			return algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(t)
+		}
+	}
+	return func(v value.Valuation) bool {
 		return algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t))
-	})
+	}
 }
 
 // BoxMult computes □Q(D, ā) of (6a): the minimum multiplicity of v(ā) in
@@ -554,6 +568,7 @@ func extremeMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opti
 	}
 	scanRange := func(ctx context.Context, lo, hi int, zero *engine.Flag) shardBest {
 		out := shardBest{}
+		buf := make(value.Tuple, len(t))
 		step := 0
 		space.EachRange(lo, hi, func(v value.Valuation) bool {
 			if zero != nil && zero.IsSet() {
@@ -563,7 +578,7 @@ func extremeMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opti
 			if ctx != nil && step%pollInterval == 0 && engine.Canceled(ctx) {
 				return false
 			}
-			m := algebra.EvalBag(db.Apply(v), q, algebra.ModeNaive).Mult(v.Apply(t))
+			m := algebra.EvalBag(db.Apply(v), q, algebra.ModeNaive).Mult(v.ApplyInto(buf, t))
 			if !out.seen {
 				out.best = m
 				out.seen = true

@@ -63,27 +63,29 @@ func (s Set) String() string {
 	return "{" + strings.Join(parts, "; ") + "}"
 }
 
-// Holds reports whether no two tuples agree on LHS yet differ on RHS.
+// Holds reports whether no two tuples agree on LHS yet differ on RHS. The
+// LHS projections are looked up hash-natively (value.TupleMap), never via
+// the string Key() encoding.
 func (f FD) Holds(db *relation.Database) bool {
 	rel := db.Relation(f.Rel)
 	if rel == nil {
 		return true
 	}
-	byLHS := map[string]value.Tuple{}
+	var byLHS value.TupleMap[value.Tuple]
 	ok := true
 	rel.Each(func(t value.Tuple, _ int) {
 		if !ok {
 			return
 		}
-		key := t.Project(f.LHS).Key()
+		lhs := t.Project(f.LHS)
 		rhs := t.Project(f.RHS)
-		if prev, seen := byLHS[key]; seen {
+		if prev, seen := byLHS.Get(lhs); seen {
 			if !prev.Equal(rhs) {
 				ok = false
 			}
 			return
 		}
-		byLHS[key] = rhs
+		byLHS.Put(lhs, rhs)
 	})
 	return ok
 }
@@ -147,18 +149,18 @@ func Chase(db *relation.Database, fds []FD) (*relation.Database, bool) {
 			if rel == nil {
 				continue
 			}
-			byLHS := map[string]value.Tuple{}
+			var byLHS value.TupleMap[value.Tuple]
 			var subst value.Valuation
 			failed := false
 			rel.Each(func(t value.Tuple, _ int) {
 				if failed || subst != nil {
 					return
 				}
-				key := t.Project(fd.LHS).Key()
+				lhs := t.Project(fd.LHS)
 				rhs := t.Project(fd.RHS)
-				prev, seen := byLHS[key]
+				prev, seen := byLHS.Get(lhs)
 				if !seen {
-					byLHS[key] = rhs
+					byLHS.Put(lhs, rhs)
 					return
 				}
 				if prev.Equal(rhs) {

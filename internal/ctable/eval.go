@@ -145,7 +145,10 @@ func eval(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Options)
 		}
 		ct := &CTable{Arity: src.Arity()}
 		src.Each(func(t value.Tuple, _ int) {
-			ct.Rows = append(ct.Rows, CTuple{T: t.Clone(), Phi: FTrue{}})
+			// Stored tuples are immutable and every downstream rewrite
+			// (Project, Concat, SubstituteTuple) builds fresh tuples, so the
+			// c-table shares them instead of cloning per row.
+			ct.Rows = append(ct.Rows, CTuple{T: t, Phi: FTrue{}})
 		})
 		return ct
 
@@ -192,6 +195,14 @@ func eval(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Options)
 			lr := l.Rows[i]
 			phi := lr.Phi
 			for _, rr := range r.Rows {
+				// A subtrahend row that cannot unify with lr.T is certainly
+				// different in every world: its conjunct ¬(φ ∧ f) is ⊤, so
+				// skipping it leaves the grounding (and the aware
+				// minimization) of the row condition unchanged while the
+				// formula stays linear in the rows that can actually match.
+				if !value.Unifiable(lr.T, rr.T) {
+					continue
+				}
 				phi = FAnd{phi, FNot{FAnd{rr.Phi, EqTuples(lr.T, rr.T)}}}
 			}
 			return CTuple{T: lr.T, Phi: phi}
@@ -206,6 +217,12 @@ func eval(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Options)
 			var match Formula = FFalse{}
 			first := true
 			for _, rr := range r.Rows {
+				// Mirror image of the difference case: a right row that
+				// cannot unify contributes the disjunct φ ∧ f ≡ ⊥, which is
+				// the identity of the fold (and of its FFalse base case).
+				if !value.Unifiable(lr.T, rr.T) {
+					continue
+				}
 				m := FAnd{rr.Phi, EqTuples(lr.T, rr.T)}
 				if first {
 					match = m

@@ -366,7 +366,7 @@ func Minimize(f Formula) Formula {
 		} else {
 			parts = flattenOr(f, nil)
 		}
-		seen := map[string]Formula{}
+		var seen formulaSet
 		var kept []Formula
 		for _, p := range parts {
 			p = Minimize(p)
@@ -382,16 +382,15 @@ func Minimize(f Formula) Formula {
 				}
 				continue
 			}
-			k := p.String()
-			if _, dup := seen[k]; dup {
+			// Dedup is structural (hash + equalFormula); no rendering here.
+			if !seen.add(p) {
 				continue
 			}
-			seen[k] = p
 			kept = append(kept, p)
 		}
 		// Complementary-pair detection.
 		for _, p := range kept {
-			if _, ok := seen[complementKey(p)]; ok {
+			if seen.has(complementOf(p)) {
 				if isAnd {
 					return FFalse{}
 				}
@@ -407,7 +406,13 @@ func Minimize(f Formula) Formula {
 			}
 			return FFalse{}
 		}
-		sort.Slice(kept, func(i, j int) bool { return kept[i].String() < kept[j].String() })
+		// The output order must stay the historical one — ascending rendered
+		// string — so render each survivor once and sort by those keys.
+		keys := make([]string, len(kept))
+		for i, p := range kept {
+			keys[i] = p.String()
+		}
+		sort.Sort(&byKey{keys: keys, fs: kept})
 		acc := kept[0]
 		for _, p := range kept[1:] {
 			if isAnd {
@@ -430,22 +435,24 @@ func FromTVOrAtom(tv logic.TV, atom Formula) Formula {
 	return FromTV(tv)
 }
 
-// complementKey returns the string form of the syntactic complement of f.
-func complementKey(f Formula) string {
-	switch f := f.(type) {
-	case FEq:
-		return FNeq{f.A, f.B}.String()
-	case FNeq:
-		return FEq{f.A, f.B}.String()
-	case FNot:
-		return f.F.String()
-	default:
-		return FNot{f}.String()
-	}
+// byKey sorts formulas by pre-rendered string keys, keeping the two slices
+// aligned; it saves the O(n log n) String() calls of sorting by rendering.
+type byKey struct {
+	keys []string
+	fs   []Formula
+}
+
+func (s *byKey) Len() int           { return len(s.keys) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.fs[i], s.fs[j] = s.fs[j], s.fs[i]
 }
 
 // EqTuples builds the tuple-equality atom r̄ = s̄ (FTrue for zero-ary
-// tuples, FFalse on arity mismatch).
+// tuples, FFalse on arity mismatch). The atom retains both tuples without
+// copying: formulas treat tuples as immutable, and every rewrite
+// (Substitute, SubstituteTuple) allocates fresh ones.
 func EqTuples(r, s value.Tuple) Formula {
 	if len(r) != len(s) {
 		return FFalse{}
@@ -453,5 +460,5 @@ func EqTuples(r, s value.Tuple) Formula {
 	if len(r) == 0 {
 		return FTrue{}
 	}
-	return FEqTuple{R: r.Clone(), S: s.Clone()}
+	return FEqTuple{R: r, S: s}
 }

@@ -1,0 +1,141 @@
+package ctable
+
+// Structural hashing and equality for formulas. The aware strategy's
+// Minimize dedups conjuncts/disjuncts and detects complementary pairs; it
+// used to key both on Formula.String(), allocating a rendering per
+// comparison. Here formulas hash by folding tagged 64-bit words over the
+// interned value hashes, and candidate collisions are confirmed
+// structurally — no string is ever built on the dedup path.
+
+// Per-connective tags; arbitrary odd constants keep the fold asymmetric.
+const (
+	tagTrue    = 0x9e3779b97f4a7c15
+	tagFalse   = 0xc2b2ae3d27d4eb4f
+	tagUnknown = 0x165667b19e3779f9
+	tagEq      = 0x27d4eb2f165667c5
+	tagNeq     = 0x85ebca77c2b2ae63
+	tagLess    = 0x2545f4914f6cdd1d
+	tagEqTuple = 0xff51afd7ed558ccd
+	tagAnd     = 0xc4ceb9fe1a85ec53
+	tagOr      = 0x94d049bb133111eb
+	tagNot     = 0xbf58476d1ce4e5b9
+)
+
+// mix folds x into h with a splitmix64-style avalanche, so that operand
+// order matters (FAnd{a,b} and FAnd{b,a} hash apart, like their strings).
+func mix(h, x uint64) uint64 {
+	h = h ^ x
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// hashFormula returns a structural hash consistent with equalFormula.
+func hashFormula(f Formula) uint64 {
+	switch f := f.(type) {
+	case FTrue:
+		return tagTrue
+	case FFalse:
+		return tagFalse
+	case FUnknown:
+		return tagUnknown
+	case FEq:
+		return mix(mix(tagEq, f.A.Hash()), f.B.Hash())
+	case FNeq:
+		return mix(mix(tagNeq, f.A.Hash()), f.B.Hash())
+	case FLess:
+		return mix(mix(tagLess, f.A.Hash()), f.B.Hash())
+	case FEqTuple:
+		return mix(mix(tagEqTuple, f.R.Hash()), f.S.Hash())
+	case FAnd:
+		return mix(mix(tagAnd, hashFormula(f.L)), hashFormula(f.R))
+	case FOr:
+		return mix(mix(tagOr, hashFormula(f.L)), hashFormula(f.R))
+	case FNot:
+		return mix(tagNot, hashFormula(f.F))
+	}
+	panic("ctable: hashFormula: unknown formula")
+}
+
+// equalFormula reports structural equality (same shape, same values).
+func equalFormula(a, b Formula) bool {
+	switch a := a.(type) {
+	case FTrue:
+		_, ok := b.(FTrue)
+		return ok
+	case FFalse:
+		_, ok := b.(FFalse)
+		return ok
+	case FUnknown:
+		_, ok := b.(FUnknown)
+		return ok
+	case FEq:
+		bb, ok := b.(FEq)
+		return ok && a.A == bb.A && a.B == bb.B
+	case FNeq:
+		bb, ok := b.(FNeq)
+		return ok && a.A == bb.A && a.B == bb.B
+	case FLess:
+		bb, ok := b.(FLess)
+		return ok && a.A == bb.A && a.B == bb.B
+	case FEqTuple:
+		bb, ok := b.(FEqTuple)
+		return ok && a.R.Equal(bb.R) && a.S.Equal(bb.S)
+	case FAnd:
+		bb, ok := b.(FAnd)
+		return ok && equalFormula(a.L, bb.L) && equalFormula(a.R, bb.R)
+	case FOr:
+		bb, ok := b.(FOr)
+		return ok && equalFormula(a.L, bb.L) && equalFormula(a.R, bb.R)
+	case FNot:
+		bb, ok := b.(FNot)
+		return ok && equalFormula(a.F, bb.F)
+	}
+	panic("ctable: equalFormula: unknown formula")
+}
+
+// complementOf returns the syntactic complement of f, mirroring the
+// FEq/FNeq and FNot special cases the complementary-pair detection counts
+// as complements.
+func complementOf(f Formula) Formula {
+	switch f := f.(type) {
+	case FEq:
+		return FNeq{f.A, f.B}
+	case FNeq:
+		return FEq{f.A, f.B}
+	case FNot:
+		return f.F
+	default:
+		return FNot{f}
+	}
+}
+
+// formulaSet is a hash-native set of formulas with structural membership.
+type formulaSet struct {
+	buckets map[uint64][]Formula
+}
+
+// add inserts f and reports whether it was absent.
+func (s *formulaSet) add(f Formula) bool {
+	if s.buckets == nil {
+		s.buckets = map[uint64][]Formula{}
+	}
+	h := hashFormula(f)
+	for _, g := range s.buckets[h] {
+		if equalFormula(f, g) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], f)
+	return true
+}
+
+// has reports structural membership.
+func (s *formulaSet) has(f Formula) bool {
+	for _, g := range s.buckets[hashFormula(f)] {
+		if equalFormula(f, g) {
+			return true
+		}
+	}
+	return false
+}

@@ -242,7 +242,7 @@ func ConstsOf(f Formula) []value.Value {
 	for v := range seen {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return value.OrderLess(out[i], out[j]) })
 	return out
 }
 

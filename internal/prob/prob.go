@@ -113,13 +113,16 @@ func suppCounts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tup
 		return 0, 0, fmt.Errorf("prob: %d^%d valuations overflow the enumeration", len(rng), len(ids))
 	}
 	countRange := func(lo, hi int) (num, den int64) {
+		// One instantiation buffer per worker shard; ā is tiny but the
+		// enumeration visits kⁿ worlds, so per-world allocations add up.
+		buf := make(value.Tuple, len(tuple))
 		value.EnumValuations(ids, rng, lo, hi, func(v value.Valuation) bool {
 			world := db.Apply(v)
 			if sigma != nil && !sigma.Holds(world) {
 				return true
 			}
 			den++
-			if algebra.Eval(world, q, algebra.ModeNaive).Contains(v.Apply(tuple)) {
+			if algebra.Eval(world, q, algebra.ModeNaive).Contains(v.ApplyInto(buf, tuple)) {
 				num++
 			}
 			return true
@@ -174,21 +177,23 @@ type patternEnum struct {
 // Each null gets either a relevant constant or a fresh class in
 // restricted-growth order (class b may be used at position i only if
 // classes 0..b-1 appear before).
-func (e *patternEnum) count(v value.Valuation, i, classes int, numTop, denTop []int64) {
+// buf is a per-worker instantiation buffer for e.tuple (len(e.tuple)); the
+// enumeration is exponential in the nulls, so leaf checks must not allocate.
+func (e *patternEnum) count(v value.Valuation, buf value.Tuple, i, classes int, numTop, denTop []int64) {
 	if i == len(e.ids) {
 		world := e.db.Apply(v)
 		if e.sigma != nil && !e.sigma.Holds(world) {
 			return
 		}
 		denTop[classes]++
-		if algebra.Eval(world, e.q, algebra.ModeNaive).Contains(v.Apply(e.tuple)) {
+		if algebra.Eval(world, e.q, algebra.ModeNaive).Contains(v.ApplyInto(buf, e.tuple)) {
 			numTop[classes]++
 		}
 		return
 	}
 	for j := range e.rel {
 		v.Set(e.ids[i], e.rel[j])
-		e.count(v, i+1, classes, numTop, denTop)
+		e.count(v, buf, i+1, classes, numTop, denTop)
 	}
 	for b := 0; b <= classes && b < len(e.fresh); b++ {
 		v.Set(e.ids[i], e.fresh[b])
@@ -196,7 +201,7 @@ func (e *patternEnum) count(v value.Valuation, i, classes int, numTop, denTop []
 		if b == classes {
 			next = classes + 1
 		}
-		e.count(v, i+1, next, numTop, denTop)
+		e.count(v, buf, i+1, next, numTop, denTop)
 	}
 }
 
@@ -224,20 +229,21 @@ func MuWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple v
 	bound := value.EnumSize(ids, append(append([]value.Value{}, rel...), fresh...))
 	small := bound >= 0 && bound < engine.MinParallel
 	if len(ids) == 0 || eng.WorkerCount() == 1 || branches == 1 || small {
-		e.count(value.NewValuation(), 0, 0, numTop, denTop)
+		e.count(value.NewValuation(), make(value.Tuple, len(tuple)), 0, 0, numTop, denTop)
 	} else {
 		type coeffs struct{ num, den []int64 }
 		parts, err := engine.Map(context.Background(), eng, branches,
 			func(_ context.Context, bi int) (coeffs, error) {
 				v := value.NewValuation()
+				buf := make(value.Tuple, len(tuple))
 				num := make([]int64, len(ids)+1)
 				den := make([]int64, len(ids)+1)
 				if bi < len(rel) {
 					v.Set(ids[0], rel[bi])
-					e.count(v, 1, 0, num, den)
+					e.count(v, buf, 1, 0, num, den)
 				} else {
 					v.Set(ids[0], fresh[0])
-					e.count(v, 1, 1, num, den)
+					e.count(v, buf, 1, 1, num, den)
 				}
 				return coeffs{num, den}, nil
 			})

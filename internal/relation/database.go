@@ -30,13 +30,14 @@ func (d *Database) Add(r *Relation) *Database {
 	}
 	d.rels[r.name] = r
 	// Keep the fresh-null allocator ahead of any null already present.
-	for _, e := range r.rows {
+	r.eachStored(func(e *row) bool {
 		for _, v := range e.t {
 			if v.IsNull() && v.NullID() >= d.nextNull {
 				d.nextNull = v.NullID() + 1
 			}
 		}
-	}
+		return true
+	})
 	return d
 }
 
@@ -77,16 +78,17 @@ func (d *Database) Consts() []value.Value {
 	seen := map[value.Value]bool{}
 	var out []value.Value
 	for _, name := range d.order {
-		for _, e := range d.rels[name].rows {
+		d.rels[name].eachStored(func(e *row) bool {
 			for _, v := range e.t {
 				if v.IsConst() && !seen[v] {
 					seen[v] = true
 					out = append(out, v)
 				}
 			}
-		}
+			return true
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	sort.Slice(out, func(i, j int) bool { return value.OrderLess(out[i], out[j]) })
 	return out
 }
 
@@ -95,14 +97,15 @@ func (d *Database) NullIDs() []uint64 {
 	seen := map[uint64]bool{}
 	var out []uint64
 	for _, name := range d.order {
-		for _, e := range d.rels[name].rows {
+		d.rels[name].eachStored(func(e *row) bool {
 			for _, v := range e.t {
 				if v.IsNull() && !seen[v.NullID()] {
 					seen[v.NullID()] = true
 					out = append(out, v.NullID())
 				}
 			}
-		}
+			return true
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -208,15 +211,21 @@ func Codd(d *Database) *Database {
 func IsCoddDatabase(d *Database) bool {
 	seen := map[uint64]bool{}
 	for _, name := range d.order {
-		for _, e := range d.rels[name].rows {
+		repeated := false
+		d.rels[name].eachStored(func(e *row) bool {
 			for _, v := range e.t {
 				if v.IsNull() {
 					if seen[v.NullID()] {
+						repeated = true
 						return false
 					}
 					seen[v.NullID()] = true
 				}
 			}
+			return true
+		})
+		if repeated {
+			return false
 		}
 	}
 	return true
@@ -252,20 +261,21 @@ func (d *Database) RenameNulls(m map[uint64]uint64) *Database {
 // bijective renaming of nulls. It searches for a renaming by backtracking
 // over the (small) null sets; intended for tests and experiments.
 func EqualUpToNullRenaming(a, b *Relation) bool {
-	if a.arity != b.arity || len(a.rows) != len(b.rows) {
+	if a.arity != b.arity || a.distinct != b.distinct {
 		return false
 	}
 	idsOf := func(r *Relation) []uint64 {
 		seen := map[uint64]bool{}
 		var out []uint64
-		for _, e := range r.rows {
+		r.eachStored(func(e *row) bool {
 			for _, v := range e.t {
 				if v.IsNull() && !seen[v.NullID()] {
 					seen[v.NullID()] = true
 					out = append(out, v.NullID())
 				}
 			}
-		}
+			return true
+		})
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out
 	}
@@ -278,8 +288,10 @@ func EqualUpToNullRenaming(a, b *Relation) bool {
 	var try func(i int) bool
 	try = func(i int) bool {
 		if i == len(aIDs) {
-			// Check equality under ren.
-			for _, e := range a.rows {
+			// Check equality under ren; the first mismatching row refutes
+			// the candidate renaming and stops the scan.
+			ok := true
+			a.eachStored(func(e *row) bool {
 				nt := make(value.Tuple, len(e.t))
 				for j, v := range e.t {
 					if v.IsNull() {
@@ -289,10 +301,11 @@ func EqualUpToNullRenaming(a, b *Relation) bool {
 					}
 				}
 				if b.Mult(nt) != e.mult {
-					return false
+					ok = false
 				}
-			}
-			return true
+				return ok
+			})
+			return ok
 		}
 		for _, cand := range bIDs {
 			if used[cand] {

@@ -5,11 +5,19 @@
 // throughout Sections 3–5 and the bag semantics of Section 4.2 run on the
 // same representation: set-semantics operators normalize all multiplicities
 // to one, bag-semantics operators combine them the way SQL does.
+//
+// Storage is hash-native: rows live in buckets keyed by the tuple's cached
+// 64-bit hash (value.Tuple.Hash), with collisions resolved by
+// value.Tuple.Equal — no per-probe string Key() is ever materialized.
+// Deterministic iteration comes from a lazily built sorted row snapshot
+// that structural mutation invalidates alongside the per-column indexes.
 package relation
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync/atomic"
 
 	"incdb/internal/value"
 )
@@ -21,22 +29,37 @@ type Relation struct {
 	name  string
 	attrs []string
 	arity int
-	rows  map[string]*row
+	// rows buckets the stored rows by their cached tuple hash; a bucket
+	// holds the (rare) rows whose distinct tuples collide on the hash.
+	rows map[uint64][]*row
+	// distinct counts stored rows, i.e. distinct tuples.
+	distinct int
+	// sorted is the lazily built deterministic iteration order: all rows
+	// sorted by Tuple.Compare. Structural mutation invalidates it (stores
+	// nil). It is an atomic pointer so that goroutines sharing a read-only
+	// relation may race on the first lazy build: both build the same
+	// deterministic snapshot and publication is idempotent.
+	sorted atomic.Pointer[[]*row]
 	// idx holds lazily built per-column hash indexes (column → value →
 	// matching rows, buckets in deterministic tuple order). Any structural
 	// mutation invalidates the whole map; see EachMatch.
 	idx map[int]map[value.Value][]*row
 }
 
+// row is one stored tuple with its multiplicity and cached content hash.
+// The hash is computed once at insertion and reused by every later probe,
+// clone and world-instantiation of the row.
 type row struct {
-	t    value.Tuple
-	mult int
+	t       value.Tuple
+	hash    uint64
+	mult    int
+	hasNull bool
 }
 
 // New returns an empty relation with the given name and attribute names.
 // The arity is len(attrs).
 func New(name string, attrs ...string) *Relation {
-	return &Relation{name: name, attrs: attrs, arity: len(attrs), rows: map[string]*row{}}
+	return &Relation{name: name, attrs: attrs, arity: len(attrs), rows: map[uint64][]*row{}}
 }
 
 // NewArity returns an empty relation with the given arity and synthesized
@@ -68,6 +91,49 @@ func (r *Relation) AttrIndex(name string) int {
 	return -1
 }
 
+// lookup returns the stored row equal to t under hash h, or nil.
+func (r *Relation) lookup(t value.Tuple, h uint64) *row {
+	for _, e := range r.rows[h] {
+		if e.t.Equal(t) {
+			return e
+		}
+	}
+	return nil
+}
+
+// invalidate drops the derived structures; every structural mutation calls
+// it because rows may appear or vanish.
+func (r *Relation) invalidate() {
+	r.idx = nil
+	r.sorted.Store(nil)
+}
+
+// removeRow deletes the stored row equal to t under hash h, if present.
+func (r *Relation) removeRow(t value.Tuple, h uint64) {
+	bucket := r.rows[h]
+	for i, e := range bucket {
+		if e.t.Equal(t) {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(r.rows, h)
+			} else {
+				r.rows[h] = bucket
+			}
+			r.distinct--
+			return
+		}
+	}
+}
+
+// insertRow stores a fresh row; t must not be aliased by the caller
+// afterwards (Add clones on behalf of external callers, world
+// instantiation hands over freshly built or frozen tuples).
+func (r *Relation) insertRow(t value.Tuple, h uint64, m int) {
+	r.rows[h] = append(r.rows[h], &row{t: t, hash: h, mult: m, hasNull: t.HasNull()})
+	r.distinct++
+}
+
 // Add inserts one occurrence of t. It panics on arity mismatch: feeding a
 // wrongly shaped tuple is always a bug in the caller.
 func (r *Relation) Add(t value.Tuple) { r.AddMult(t, 1) }
@@ -79,86 +145,145 @@ func (r *Relation) AddMult(t value.Tuple, m int) {
 	if len(t) != r.arity {
 		panic(fmt.Sprintf("relation %s: arity mismatch: tuple %v vs arity %d", r.name, t, r.arity))
 	}
-	r.idx = nil // rows may appear or vanish; rebuild indexes on demand
-	k := t.Key()
-	e, ok := r.rows[k]
-	if !ok {
+	r.invalidate()
+	h := t.Hash()
+	e := r.lookup(t, h)
+	if e == nil {
 		if m <= 0 {
 			return
 		}
-		r.rows[k] = &row{t: t.Clone(), mult: m}
+		r.insertRow(t.Clone(), h, m)
 		return
 	}
 	e.mult += m
 	if e.mult <= 0 {
-		delete(r.rows, k)
+		r.removeRow(t, h)
 	}
+}
+
+// addFrozen inserts m occurrences of an immutable tuple with a known hash,
+// skipping both the re-hash and the defensive clone. It is the fast path of
+// Apply/Clone: stored rows are never mutated, so sharing the tuple slice
+// between the source and destination relation is safe.
+func (r *Relation) addFrozen(t value.Tuple, h uint64, hasNull bool, m int) {
+	if e := r.lookup(t, h); e != nil {
+		e.mult += m
+		if e.mult <= 0 {
+			r.removeRow(t, h)
+		}
+		return
+	}
+	if m <= 0 {
+		return
+	}
+	r.rows[h] = append(r.rows[h], &row{t: t, hash: h, mult: m, hasNull: hasNull})
+	r.distinct++
 }
 
 // SetMult sets the multiplicity of t to m exactly (removing it when m<=0).
 func (r *Relation) SetMult(t value.Tuple, m int) {
-	r.idx = nil
-	k := t.Key()
+	r.invalidate()
+	h := t.Hash()
+	e := r.lookup(t, h)
 	if m <= 0 {
-		delete(r.rows, k)
+		if e != nil {
+			r.removeRow(t, h)
+		}
 		return
 	}
-	if e, ok := r.rows[k]; ok {
+	if e != nil {
 		e.mult = m
 		return
 	}
-	r.rows[k] = &row{t: t.Clone(), mult: m}
+	r.insertRow(t.Clone(), h, m)
 }
 
 // Contains reports whether t occurs at least once.
 func (r *Relation) Contains(t value.Tuple) bool {
-	_, ok := r.rows[t.Key()]
-	return ok
+	return r.lookup(t, t.Hash()) != nil
 }
 
 // Mult returns the multiplicity #(t, R), zero when absent.
 func (r *Relation) Mult(t value.Tuple) int {
-	if e, ok := r.rows[t.Key()]; ok {
+	if e := r.lookup(t, t.Hash()); e != nil {
 		return e.mult
 	}
 	return 0
 }
 
 // Len returns the number of distinct tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.distinct }
 
 // Size returns the total number of tuple occurrences (bag cardinality).
 func (r *Relation) Size() int {
 	n := 0
-	for _, e := range r.rows {
-		n += e.mult
+	for _, bucket := range r.rows {
+		for _, e := range bucket {
+			n += e.mult
+		}
 	}
 	return n
 }
 
+// sortedRows returns the deterministic row order, building it on first use
+// after a mutation. Concurrent readers of a stable relation may both build
+// it; the snapshot is a pure function of the rows, so either publication
+// wins harmlessly.
+func (r *Relation) sortedRows() []*row {
+	if p := r.sorted.Load(); p != nil {
+		return *p
+	}
+	rows := make([]*row, 0, r.distinct)
+	for _, bucket := range r.rows {
+		rows = append(rows, bucket...)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].t.Compare(rows[j].t) < 0 })
+	r.sorted.Store(&rows)
+	return rows
+}
+
 // Tuples returns the distinct tuples in deterministic (sorted) order.
 func (r *Relation) Tuples() []value.Tuple {
-	out := make([]value.Tuple, 0, len(r.rows))
-	for _, e := range r.rows {
-		out = append(out, e.t)
+	rows := r.sortedRows()
+	out := make([]value.Tuple, len(rows))
+	for i, e := range rows {
+		out[i] = e.t
 	}
-	value.SortTuples(out)
 	return out
 }
 
 // Each calls f on every distinct tuple with its multiplicity, in
-// deterministic order. f must not mutate the tuple.
+// deterministic order. f must not mutate the tuple. The iteration reads the
+// row entries directly — no per-tuple key lookup.
 func (r *Relation) Each(f func(t value.Tuple, mult int)) {
-	for _, t := range r.Tuples() {
-		f(t, r.rows[t.Key()].mult)
+	for _, e := range r.sortedRows() {
+		f(e.t, e.mult)
 	}
 }
 
-// Normalize sets every multiplicity to one (bag → set). Indexes survive:
-// they hold row pointers, so multiplicity updates are visible through them.
+// eachStored calls f on every stored row in storage (bucket) order,
+// stopping early when f returns false: the cheap iteration for
+// order-insensitive consumers such as Apply and the database catalogue
+// scans. It builds nothing, so concurrent readers of a shared relation
+// stay read-only.
+func (r *Relation) eachStored(f func(e *row) bool) {
+	for _, bucket := range r.rows {
+		for _, e := range bucket {
+			if !f(e) {
+				return
+			}
+		}
+	}
+}
+
+// Normalize sets every multiplicity to one (bag → set). Indexes and the
+// sorted snapshot survive: they hold row pointers, so multiplicity updates
+// are visible through them, and the sort order ignores multiplicities.
 func (r *Relation) Normalize() {
-	for _, e := range r.rows {
-		e.mult = 1
+	for _, bucket := range r.rows {
+		for _, e := range bucket {
+			e.mult = 1
+		}
 	}
 }
 
@@ -174,10 +299,9 @@ func (r *Relation) indexOn(col int) map[value.Value][]*row {
 	if ix, ok := r.idx[col]; ok {
 		return ix
 	}
-	ix := make(map[value.Value][]*row, len(r.rows))
-	for _, t := range r.Tuples() {
-		e := r.rows[t.Key()]
-		ix[t[col]] = append(ix[t[col]], e)
+	ix := make(map[value.Value][]*row, r.distinct)
+	for _, e := range r.sortedRows() {
+		ix[e.t[col]] = append(ix[e.t[col]], e)
 	}
 	if r.idx == nil {
 		r.idx = map[int]map[value.Value][]*row{}
@@ -204,11 +328,18 @@ func (r *Relation) MatchCount(col int, v value.Value) int {
 	return len(r.indexOn(col)[v])
 }
 
-// Clone returns a deep copy, optionally renamed.
+// Clone returns a deep copy, optionally renamed. Stored tuples are
+// immutable, so the copy shares them (and their cached hashes) with the
+// original; only the row entries themselves are fresh.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{name: r.name, attrs: append([]string(nil), r.attrs...), arity: r.arity, rows: map[string]*row{}}
-	for k, e := range r.rows {
-		c.rows[k] = &row{t: e.t.Clone(), mult: e.mult}
+	c := &Relation{name: r.name, attrs: append([]string(nil), r.attrs...), arity: r.arity,
+		rows: make(map[uint64][]*row, len(r.rows)), distinct: r.distinct}
+	for h, bucket := range r.rows {
+		nb := make([]*row, len(bucket))
+		for i, e := range bucket {
+			nb[i] = &row{t: e.t, hash: e.hash, mult: e.mult, hasNull: e.hasNull}
+		}
+		c.rows[h] = nb
 	}
 	return c
 }
@@ -223,13 +354,15 @@ func (r *Relation) Rename(name string) *Relation {
 // Equal reports whether the two relations hold exactly the same multiset of
 // tuples (names and attribute labels are ignored).
 func (r *Relation) Equal(s *Relation) bool {
-	if r.arity != s.arity || len(r.rows) != len(s.rows) {
+	if r.arity != s.arity || r.distinct != s.distinct {
 		return false
 	}
-	for k, e := range r.rows {
-		f, ok := s.rows[k]
-		if !ok || f.mult != e.mult {
-			return false
+	for _, bucket := range r.rows {
+		for _, e := range bucket {
+			f := s.lookup(e.t, e.hash)
+			if f == nil || f.mult != e.mult {
+				return false
+			}
 		}
 	}
 	return true
@@ -238,22 +371,19 @@ func (r *Relation) Equal(s *Relation) bool {
 // EqualSet reports set-semantics equality: same distinct tuples,
 // multiplicities ignored.
 func (r *Relation) EqualSet(s *Relation) bool {
-	if r.arity != s.arity || len(r.rows) != len(s.rows) {
+	if r.arity != s.arity || r.distinct != s.distinct {
 		return false
 	}
-	for k := range r.rows {
-		if _, ok := s.rows[k]; !ok {
-			return false
-		}
-	}
-	return true
+	return r.SubsetOfSet(s)
 }
 
 // SubsetOfSet reports whether every distinct tuple of r occurs in s.
 func (r *Relation) SubsetOfSet(s *Relation) bool {
-	for k := range r.rows {
-		if _, ok := s.rows[k]; !ok {
-			return false
+	for _, bucket := range r.rows {
+		for _, e := range bucket {
+			if s.lookup(e.t, e.hash) == nil {
+				return false
+			}
 		}
 	}
 	return true
@@ -261,9 +391,11 @@ func (r *Relation) SubsetOfSet(s *Relation) bool {
 
 // HasNulls reports whether any stored tuple contains a null.
 func (r *Relation) HasNulls() bool {
-	for _, e := range r.rows {
-		if e.t.HasNull() {
-			return true
+	for _, bucket := range r.rows {
+		for _, e := range bucket {
+			if e.hasNull {
+				return true
+			}
 		}
 	}
 	return false
@@ -272,11 +404,24 @@ func (r *Relation) HasNulls() bool {
 // Apply returns the relation v(R): every bound null replaced, multiplicities
 // of collapsing tuples added (the "add up multiplicities" reading of
 // applying valuations to bags, cf. [42] as discussed in Section 6).
+//
+// Null-free rows cannot change under any valuation, so they are inserted by
+// sharing the stored tuple and its cached hash — the oracle's per-world
+// instantiation therefore re-hashes and re-allocates only the rows that
+// actually mention nulls.
 func (r *Relation) Apply(v value.Valuation) *Relation {
 	out := New(r.name, r.attrs...)
-	for _, e := range r.rows {
-		out.AddMult(v.Apply(e.t), e.mult)
-	}
+	r.eachStored(func(e *row) bool {
+		if !e.hasNull {
+			out.addFrozen(e.t, e.hash, false, e.mult)
+			return true
+		}
+		// The instantiated tuple is exclusively ours, so it can be stored
+		// frozen too — one allocation and one hash per null row per world.
+		nt := v.Apply(e.t)
+		out.addFrozen(nt, nt.Hash(), nt.HasNull(), e.mult)
+		return true
+	})
 	return out
 }
 
@@ -284,18 +429,17 @@ func (r *Relation) Apply(v value.Valuation) *Relation {
 func (r *Relation) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s(%s) {", r.name, strings.Join(r.attrs, ", "))
-	ts := r.Tuples()
-	if len(ts) == 0 {
+	rows := r.sortedRows()
+	if len(rows) == 0 {
 		b.WriteString("}")
 		return b.String()
 	}
 	b.WriteString("\n")
-	for _, t := range ts {
-		m := r.rows[t.Key()].mult
-		if m == 1 {
-			fmt.Fprintf(&b, "  %s\n", t)
+	for _, e := range rows {
+		if e.mult == 1 {
+			fmt.Fprintf(&b, "  %s\n", e.t)
 		} else {
-			fmt.Fprintf(&b, "  %s ×%d\n", t, m)
+			fmt.Fprintf(&b, "  %s ×%d\n", e.t, e.mult)
 		}
 	}
 	b.WriteString("}")

@@ -305,10 +305,12 @@ func TestTheorem48BagBounds(t *testing.T) {
 		plusBag := algebra.EvalBag(db, plus, algebra.ModeNaive)
 		possBag := algebra.EvalBag(db, poss, algebra.ModeNaive)
 		// Check the sandwich on every tuple that appears on either side.
-		seen := map[string]value.Tuple{}
-		plusBag.Each(func(tp value.Tuple, _ int) { seen[tp.Key()] = tp })
-		possBag.Each(func(tp value.Tuple, _ int) { seen[tp.Key()] = tp })
-		for _, tp := range seen {
+		var seen value.TupleMap[value.Tuple]
+		plusBag.Each(func(tp value.Tuple, _ int) { seen.Put(tp, tp) })
+		possBag.Each(func(tp value.Tuple, _ int) { seen.Put(tp, tp) })
+		var tuples []value.Tuple
+		seen.Each(func(_ value.Tuple, tp value.Tuple) { tuples = append(tuples, tp) })
+		for _, tp := range tuples {
 			box, err := certain.BoxMult(db, q, tp, certain.Options{})
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,100 @@
+package value
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The constant dictionary: a process-wide interner mapping constant payloads
+// to dense uint32 ids and back. Interning makes Value a two-word struct with
+// O(1) equality (id comparison instead of string comparison), lets tuples
+// hash by mixing fixed-size words, and lets Compare read the numeric parse
+// of a payload computed once at intern time instead of calling
+// strconv.ParseInt per comparison.
+//
+// The dictionary is append-only and concurrency-safe: the forward direction
+// (payload → id) is a sync.Map, so steady-state interning is a lock-free
+// read; the reverse direction (id → entry) is an RCU-published slice — the
+// writer extends the backing array under a mutex and atomically publishes a
+// new header, readers index their loaded snapshot without synchronization.
+// Ids a reader can hold always lie below the length of any header published
+// after the id was minted, so a stale snapshot is never too short.
+//
+// Retention contract: the dictionary is append-only for the life of the
+// process — a payload, once interned, is never evicted, so memory grows
+// with the number of *distinct* constant payloads ever created rather than
+// with live Values. That is the right trade for this engine (experiments
+// run bounded instances per process and re-use payloads heavily across
+// worlds); a server embedding the package with unbounded distinct inputs
+// should scope payload generation or recycle the process.
+
+// entry is one interned constant: the payload plus its numeric parse,
+// computed once so that comparisons never re-parse.
+type entry struct {
+	str   string
+	num   int64
+	isNum bool
+}
+
+var dict = struct {
+	mu      sync.Mutex
+	ids     sync.Map // string → uint32
+	entries atomic.Pointer[[]entry]
+}{}
+
+func init() {
+	// Id 0 is the empty payload, making the zero Value the constant "".
+	entries := make([]entry, 1, 64)
+	entries[0] = entry{}
+	dict.entries.Store(&entries)
+	dict.ids.Store("", uint32(0))
+}
+
+// intern returns the dense id of payload s, assigning the next id on first
+// sight.
+func intern(s string) uint32 {
+	if id, ok := dict.ids.Load(s); ok {
+		return id.(uint32)
+	}
+	dict.mu.Lock()
+	defer dict.mu.Unlock()
+	if id, ok := dict.ids.Load(s); ok {
+		return id.(uint32)
+	}
+	cur := *dict.entries.Load()
+	n := len(cur)
+	if uint64(n) > uint64(^uint32(0)) {
+		// Ids are dense uint32; wrapping would silently alias two distinct
+		// payloads. Unreachable in practice (the entries alone would need
+		// >128 GiB first), but corruption must never be silent.
+		panic("value: constant dictionary exhausted (2^32 distinct payloads)")
+	}
+	var next []entry
+	if n < cap(cur) {
+		// Readers hold headers with len ≤ n and never index position n, so
+		// extending in place over spare capacity is safe; the atomic publish
+		// below orders the element write before any reader's access.
+		next = cur[:n+1]
+	} else {
+		next = make([]entry, n+1, 2*(n+1))
+		copy(next, cur)
+	}
+	num, isNum := numeric(s)
+	next[n] = entry{str: s, num: num, isNum: isNum}
+	dict.entries.Store(&next)
+	dict.ids.Store(s, uint32(n))
+	return uint32(n)
+}
+
+// lookup returns the entry for an interned id. The id was minted by intern,
+// so it is always in range for the current snapshot.
+func lookup(id uint64) *entry {
+	es := *dict.entries.Load()
+	return &es[id]
+}
+
+// DictLen reports the number of interned constant payloads (at least 1: the
+// empty payload is always present). Exposed for stats and tests.
+func DictLen() int {
+	return len(*dict.entries.Load())
+}

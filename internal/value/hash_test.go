@@ -1,0 +1,173 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue draws from a small pool of constants and nulls, with payload
+// collisions against null renderings ("⊥1", "1") included on purpose.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return Null(uint64(r.Intn(4)))
+	case 1:
+		return Int(r.Intn(4))
+	case 2:
+		return Const("⊥" + strconv.Itoa(r.Intn(4)))
+	default:
+		return Const(string(rune('a' + r.Intn(3))))
+	}
+}
+
+func randomTuple(r *rand.Rand) Tuple {
+	t := make(Tuple, r.Intn(4))
+	for i := range t {
+		t[i] = randomValue(r)
+	}
+	return t
+}
+
+// Property: the hash-native identity (Hash + Equal) agrees with the
+// string-keyed identity (Key) that PR 1 storage was built on. Equal must
+// coincide with Key equality exactly, and Hash must be Equal-consistent.
+func TestTupleHashEqualAgreesWithKey(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			a := randomTuple(r)
+			b := randomTuple(r)
+			if r.Intn(3) == 0 {
+				b = a.Clone() // force plenty of equal pairs
+			}
+			args[0] = reflect.ValueOf(a)
+			args[1] = reflect.ValueOf(b)
+		},
+	}
+	prop := func(a, b Tuple) bool {
+		eq := a.Equal(b)
+		if eq != (a.Key() == b.Key()) {
+			t.Logf("Equal=%v but Key match=%v for %v vs %v", eq, !eq, a, b)
+			return false
+		}
+		if eq && a.Hash() != b.Hash() {
+			t.Logf("equal tuples hash apart: %v", a)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Constants never collide with nulls, even when the constant payload spells
+// a null: Const("7") vs ⊥7 and Const("⊥7") vs ⊥7 stay distinct under ==,
+// Key and (up to the 2⁻⁶⁴ seed accident) Hash.
+func TestConstNullNeverCollide(t *testing.T) {
+	for _, id := range []uint64{0, 1, 7, 12345} {
+		n := Null(id)
+		for _, c := range []Value{Const(strconv.FormatUint(id, 10)), Const(n.String())} {
+			if c == n {
+				t.Fatalf("constant %v equals null %v", c, n)
+			}
+			if c.Key() == n.Key() {
+				t.Fatalf("Key collision between %v and %v", c, n)
+			}
+			if c.Hash() == n.Hash() {
+				t.Fatalf("hash collision between constant %v and null %v", c, n)
+			}
+			ct, nt := T(c), T(n)
+			if ct.Hash() == nt.Hash() {
+				t.Fatalf("tuple hash collision between %v and %v", ct, nt)
+			}
+		}
+	}
+}
+
+// Distinct spellings of the same number are the same number semantically
+// (Compare ties at 0, so neither is < the other in queries) but distinct
+// values for ordering: OrderCompare breaks the tie lexicographically so
+// the sorted row snapshot is never at the mercy of map iteration order.
+func TestNumericSpellingsSemanticTieOrderStrict(t *testing.T) {
+	vals := []Value{Const("+1"), Const("01"), Const("1")}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := Compare(a, b); got != 0 {
+				t.Fatalf("semantic Compare(%q, %q) = %d, want 0", a, b, got)
+			}
+			got := OrderCompare(a, b)
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("OrderCompare(%q, %q) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	// Values that differ semantically order identically under both.
+	if OrderCompare(Const("2"), Const("10")) != Compare(Const("2"), Const("10")) {
+		t.Fatalf("OrderCompare disagrees with Compare on semantically distinct values")
+	}
+}
+
+// Interned constants with equal payloads are the same word; distinct
+// payloads are distinct words, and the numeric parse is available without
+// re-parsing.
+func TestDictInterning(t *testing.T) {
+	a, b := Const("hello"), Const("hel"+"lo")
+	if a != b {
+		t.Fatalf("same payload interned twice")
+	}
+	if Const("x") == Const("y") {
+		t.Fatalf("distinct payloads collide")
+	}
+	n, ok := Const("-42").Num()
+	if !ok || n != -42 {
+		t.Fatalf("Num(-42) = %d, %v", n, ok)
+	}
+	if _, ok := Const("4x2").Num(); ok {
+		t.Fatalf("non-numeric payload parsed")
+	}
+	if DictLen() < 2 {
+		t.Fatalf("dictionary unexpectedly empty: %d", DictLen())
+	}
+}
+
+// Fuzz the identity agreement over arbitrary payload/id pairs: two
+// single-value tuples must agree on Equal vs Key, Equal-consistent hashing,
+// and the constant/null separation.
+func FuzzValueHashKeyAgreement(f *testing.F) {
+	f.Add("a", uint64(1), "b", uint64(2))
+	f.Add("", uint64(0), "\x00", uint64(0))
+	f.Add("7", uint64(7), "⊥7", uint64(7))
+	f.Fuzz(func(t *testing.T, s1 string, id1 uint64, s2 string, id2 uint64) {
+		vals := []Value{Const(s1), Const(s2), Null(id1), Null(id2)}
+		for _, a := range vals {
+			for _, b := range vals {
+				if (a == b) != (a.Key() == b.Key()) {
+					t.Fatalf("==/Key disagree for %v vs %v", a, b)
+				}
+				if a == b && a.Hash() != b.Hash() {
+					t.Fatalf("equal values hash apart: %v", a)
+				}
+				if a.IsConst() && b.IsNull() && a == b {
+					t.Fatalf("constant equals null: %v vs %v", a, b)
+				}
+			}
+		}
+		ta, tb := T(Const(s1), Null(id1)), T(Const(s2), Null(id2))
+		if ta.Equal(tb) != (ta.Key() == tb.Key()) {
+			t.Fatalf("tuple Equal/Key disagree for %v vs %v", ta, tb)
+		}
+		if ta.Equal(tb) && ta.Hash() != tb.Hash() {
+			t.Fatalf("equal tuples hash apart: %v", ta)
+		}
+	})
+}

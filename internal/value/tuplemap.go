@@ -1,0 +1,64 @@
+package value
+
+// TupleMap is a hash-native map keyed by tuple content: buckets are indexed
+// by Tuple.Hash and membership inside a bucket is confirmed with
+// Tuple.Equal, so lookups never materialize the string Key() encoding. It
+// replaces the map[string]V-keyed-by-Key() pattern in the FD/IND checks,
+// the chase, and the per-query dedup scratch maps. The zero TupleMap is
+// ready to use.
+type TupleMap[V any] struct {
+	buckets map[uint64][]tupleMapEntry[V]
+	n       int
+}
+
+type tupleMapEntry[V any] struct {
+	t Tuple
+	v V
+}
+
+// Len returns the number of distinct keys.
+func (m *TupleMap[V]) Len() int { return m.n }
+
+// Get returns the value stored under t and whether t is present.
+func (m *TupleMap[V]) Get(t Tuple) (V, bool) {
+	for _, e := range m.buckets[t.Hash()] {
+		if e.t.Equal(t) {
+			return e.v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Has reports whether t is present.
+func (m *TupleMap[V]) Has(t Tuple) bool {
+	_, ok := m.Get(t)
+	return ok
+}
+
+// Put stores v under t, replacing any previous binding. The map retains t;
+// callers that mutate tuples in place must pass a private copy.
+func (m *TupleMap[V]) Put(t Tuple, v V) {
+	if m.buckets == nil {
+		m.buckets = map[uint64][]tupleMapEntry[V]{}
+	}
+	h := t.Hash()
+	bucket := m.buckets[h]
+	for i, e := range bucket {
+		if e.t.Equal(t) {
+			bucket[i].v = v
+			return
+		}
+	}
+	m.buckets[h] = append(bucket, tupleMapEntry[V]{t: t, v: v})
+	m.n++
+}
+
+// Each calls f on every entry, in unspecified order.
+func (m *TupleMap[V]) Each(f func(t Tuple, v V)) {
+	for _, bucket := range m.buckets {
+		for _, e := range bucket {
+			f(e.t, e.v)
+		}
+	}
+}

@@ -63,6 +63,23 @@ func Unifiable(r, s Tuple) bool {
 	if len(r) != len(s) {
 		return false
 	}
+	// Fast pre-scan, allocation-free: a position holding two distinct
+	// constants refutes unifiability outright, and tuples without any null
+	// position unify iff they are equal. Only pairs that involve nulls and
+	// survive the scan need the union–find (the transitive cases).
+	needUF := false
+	for i := range r {
+		if r[i] == s[i] {
+			continue
+		}
+		if r[i].IsConst() && s[i].IsConst() {
+			return false
+		}
+		needUF = true
+	}
+	if !needUF {
+		return true
+	}
 	u := newUnifier()
 	for i := range r {
 		if !u.union(r[i], s[i]) {

@@ -5,10 +5,18 @@
 //
 // This is the data model of Section 2 of Console, Guagliardo, Libkin and
 // Toussaint, "Coping with Incomplete Data: Recent Advances" (PODS 2020).
+//
+// Representation: constant payloads are interned in a process-wide
+// dictionary (see dict.go), so a Value is a compact {kind, id} pair —
+// equality is an integer comparison, hashing mixes fixed-size words, and
+// numeric payloads are parsed once at intern time rather than once per
+// comparison.
 package value
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,15 +25,16 @@ import (
 // Value is either a constant or a marked null. The zero Value is the
 // constant with the empty string payload. Value is comparable and can be
 // used as a map key; identical marked nulls compare equal, which is what
-// makes them "marked" (repeatable) rather than Codd nulls.
+// makes them "marked" (repeatable) rather than Codd nulls. Constants with
+// equal payloads carry equal dictionary ids, so == on Value is exact value
+// equality in O(1) regardless of payload length.
 type Value struct {
-	id   uint64 // null identifier; meaningful only when null is true
-	str  string // constant payload; meaningful only when null is false
+	id   uint64 // null identifier (null), or dictionary id (constant)
 	null bool
 }
 
 // Const returns the constant value with the given payload.
-func Const(s string) Value { return Value{str: s} }
+func Const(s string) Value { return Value{id: uint64(intern(s))} }
 
 // Int returns the constant value holding the decimal representation of i.
 // It is a convenience for numeric test data; constants are untyped strings,
@@ -48,7 +57,7 @@ func (v Value) ConstVal() string {
 	if v.null {
 		panic("value: ConstVal called on null " + v.String())
 	}
-	return v.str
+	return lookup(v.id).str
 }
 
 // NullID returns the identifier of a marked null. It panics on constants.
@@ -64,21 +73,34 @@ func (v Value) String() string {
 	if v.null {
 		return "⊥" + strconv.FormatUint(v.id, 10)
 	}
-	return v.str
+	return lookup(v.id).str
 }
 
 // Key returns an injective encoding of v, suitable as a map key component.
-// Constants and nulls can never collide.
+// Constants and nulls can never collide. Key allocates; it is kept for
+// display and for tests that cross-check the hash-native paths — hot paths
+// use == on Value or Tuple.Hash/Equal instead.
 func (v Value) Key() string {
 	if v.null {
 		return "\x00" + strconv.FormatUint(v.id, 10)
 	}
-	return "\x01" + v.str
+	return "\x01" + lookup(v.id).str
+}
+
+// Num returns the pre-parsed numeric payload of a constant and whether the
+// payload is a decimal integer. It panics on nulls.
+func (v Value) Num() (int64, bool) {
+	if v.null {
+		panic("value: Num called on null " + v.String())
+	}
+	e := lookup(v.id)
+	return e.num, e.isNum
 }
 
 // numeric reports whether s is a non-empty decimal integer (optionally
 // signed). Such constants compare numerically in Compare, which gives the
-// typed-attribute extension discussed in Section 6 of the paper.
+// typed-attribute extension discussed in Section 6 of the paper. The parse
+// runs once per distinct payload, at intern time.
 func numeric(s string) (int64, bool) {
 	if s == "" {
 		return 0, false
@@ -90,10 +112,14 @@ func numeric(s string) (int64, bool) {
 	return n, true
 }
 
-// Compare defines a deterministic total order on values: constants precede
-// nulls; numeric constants order numerically among themselves and precede
-// non-numeric constants; non-numeric constants order lexicographically;
-// nulls order by identifier. It returns -1, 0 or 1.
+// Compare defines the *semantic* order on values, the one the < predicate
+// of queries evaluates through: constants precede nulls; numeric constants
+// order numerically among themselves and precede non-numeric constants;
+// non-numeric constants order lexicographically; nulls order by
+// identifier. It returns -1, 0 or 1. Distinct spellings of the same number
+// ("05" and "5") compare 0 here — they are the same number, so neither is
+// < the other; use OrderCompare where a strict total order on distinct
+// values is required (sorting, deterministic iteration).
 func Compare(a, b Value) int {
 	switch {
 	case !a.null && b.null:
@@ -109,27 +135,49 @@ func Compare(a, b Value) int {
 		}
 		return 0
 	}
-	an, aok := numeric(a.str)
-	bn, bok := numeric(b.str)
+	if a.id == b.id {
+		return 0
+	}
+	ea, eb := lookup(a.id), lookup(b.id)
 	switch {
-	case aok && !bok:
+	case ea.isNum && !eb.isNum:
 		return -1
-	case !aok && bok:
+	case !ea.isNum && eb.isNum:
 		return 1
-	case aok && bok:
+	case ea.isNum && eb.isNum:
 		switch {
-		case an < bn:
+		case ea.num < eb.num:
 			return -1
-		case an > bn:
+		case ea.num > eb.num:
 			return 1
 		}
 		return 0
 	}
-	return strings.Compare(a.str, b.str)
+	return strings.Compare(ea.str, eb.str)
 }
 
 // Less reports Compare(a, b) < 0.
 func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// OrderCompare is the strict total order used for sorting and
+// deterministic iteration: Compare, refined so that *distinct* values
+// never tie. Distinct spellings of the same number ("1", "01", "+1") are
+// distinct interned constants; breaking their Compare tie
+// lexicographically keeps sorted snapshots and Each iterations stable
+// across runs instead of leaving such rows at the mercy of map iteration
+// order. Query semantics (< predicates) must keep using Compare/Less.
+func OrderCompare(a, b Value) int {
+	if c := Compare(a, b); c != 0 {
+		return c
+	}
+	if a == b || a.null {
+		return 0
+	}
+	return strings.Compare(lookup(a.id).str, lookup(b.id).str)
+}
+
+// OrderLess reports OrderCompare(a, b) < 0.
+func OrderLess(a, b Value) bool { return OrderCompare(a, b) < 0 }
 
 // Tuple is a finite sequence of values, the rows of relations.
 type Tuple []Value
@@ -146,7 +194,9 @@ func Consts(ss ...string) Tuple {
 	return t
 }
 
-// Key returns an injective encoding of the tuple.
+// Key returns an injective encoding of the tuple. Like Value.Key it is kept
+// for display and cross-checking tests; storage and joins key on
+// Hash/Equal.
 func (t Tuple) Key() string {
 	var b strings.Builder
 	for _, v := range t {
@@ -156,6 +206,49 @@ func (t Tuple) Key() string {
 		b.WriteString(k)
 	}
 	return b.String()
+}
+
+// tupleSeed seeds Tuple.Hash; one random seed per process, so hashes are
+// comparable across all relations and maps of a run but not across runs
+// (which also keeps hash-flooding inputs from being portable).
+var tupleSeed = maphash.MakeSeed()
+
+// Hash returns a 64-bit hash of the tuple's content, consistent with Equal:
+// equal tuples hash equal. Constants hash their dictionary id and nulls
+// their identifier under distinct tags, so a constant and a null never
+// contribute the same words. Collisions between distinct tuples are
+// possible (callers confirm with Equal) but cryptographically unlikely.
+func (t Tuple) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(tupleSeed)
+	for _, v := range t {
+		hashValueInto(&h, v)
+	}
+	return h.Sum64()
+}
+
+// hashValueInto writes v's tagged 9-byte encoding into h — the single
+// definition of the encoding shared by Value.Hash and Tuple.Hash, so the
+// two can never drift apart.
+func hashValueInto(h *maphash.Hash, v Value) {
+	var b [9]byte
+	if v.null {
+		b[0] = 0xff
+	} else {
+		b[0] = 0x01
+	}
+	binary.LittleEndian.PutUint64(b[1:], v.id)
+	h.Write(b[:])
+}
+
+// Hash returns a 64-bit content hash of v under the same per-process seed
+// as Tuple.Hash, consistent with ==: equal values hash equal, and constants
+// and nulls are tagged apart.
+func (v Value) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(tupleSeed)
+	hashValueInto(&h, v)
+	return h.Sum64()
 }
 
 // Equal reports component-wise equality.
@@ -229,15 +322,17 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// Compare orders tuples lexicographically by Compare on components, with
-// shorter tuples first on common-prefix ties.
+// Compare orders tuples lexicographically by OrderCompare on components,
+// with shorter tuples first on common-prefix ties. It is an *ordering*
+// comparator (strict total order on distinct tuples — sorted snapshots and
+// SortTuples depend on that); the semantic value order is value.Compare.
 func (t Tuple) Compare(u Tuple) int {
 	n := len(t)
 	if len(u) < n {
 		n = len(u)
 	}
 	for i := 0; i < n; i++ {
-		if c := Compare(t[i], u[i]); c != 0 {
+		if c := OrderCompare(t[i], u[i]); c != 0 {
 			return c
 		}
 	}
@@ -276,17 +371,26 @@ func (v Valuation) Set(id uint64, c Value) {
 // Apply replaces every null bound by v in the tuple; unbound nulls and
 // constants pass through.
 func (v Valuation) Apply(t Tuple) Tuple {
-	r := make(Tuple, len(t))
+	return v.ApplyInto(make(Tuple, len(t)), t)
+}
+
+// ApplyInto is Apply writing into dst, which must have len(t); it returns
+// dst. Workers that check one tuple per world reuse a single buffer this
+// way instead of allocating per world.
+func (v Valuation) ApplyInto(dst, t Tuple) Tuple {
+	if len(dst) != len(t) {
+		panic(fmt.Sprintf("value: ApplyInto buffer len %d vs tuple len %d", len(dst), len(t)))
+	}
 	for i, x := range t {
 		if x.IsNull() {
 			if c, ok := v[x.id]; ok {
-				r[i] = c
+				dst[i] = c
 				continue
 			}
 		}
-		r[i] = x
+		dst[i] = x
 	}
-	return r
+	return dst
 }
 
 // ApplyValue replaces x if it is a bound null, else returns x unchanged.

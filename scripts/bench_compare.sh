@@ -1,0 +1,72 @@
+#!/usr/bin/env sh
+# bench_compare.sh — measure the working tree against a base commit and
+# report the delta via benchstat when available.
+#
+# Usage:
+#   scripts/bench_compare.sh [base-ref]
+#
+# Environment:
+#   BENCH        benchmark regexp          (default: a representative set)
+#   BENCHTIME    go test -benchtime value  (default: 0.2s)
+#   COUNT        go test -count value      (default: 3)
+#   OUT          output directory          (default: bench-compare-out)
+#
+# The base ref defaults to HEAD~1 (the previous commit), checked out into a
+# temporary git worktree so the working tree is never disturbed. Exit code
+# is zero unless the *measurement itself* fails: regressions are reported,
+# not enforced — CI runs this as a non-blocking artifact job.
+set -eu
+
+BASE_REF="${1:-HEAD~1}"
+BENCH="${BENCH:-BenchmarkOperatorJoin|BenchmarkE5CTableStrategies|BenchmarkE1Figure1|BenchmarkOperatorDifference|BenchmarkOperatorAntiUnify}"
+BENCHTIME="${BENCHTIME:-0.2s}"
+COUNT="${COUNT:-3}"
+OUT="${OUT:-bench-compare-out}"
+
+mkdir -p "$OUT"
+
+run_bench() {
+    dir="$1"
+    out="$2"
+    (cd "$dir" && go test -run='^$' -bench="$BENCH" -benchmem \
+        -benchtime="$BENCHTIME" -count="$COUNT" .) >"$out" 2>&1 || {
+        echo "benchmark run failed in $dir:" >&2
+        cat "$out" >&2
+        return 1
+    }
+}
+
+echo "== measuring working tree (new) =="
+run_bench . "$OUT/new.txt"
+
+if ! git rev-parse --verify --quiet "$BASE_REF" >/dev/null; then
+    echo "base ref $BASE_REF does not exist (first commit?); nothing to compare" >&2
+    exit 0
+fi
+
+WORKTREE="$(mktemp -d)"
+trap 'git worktree remove --force "$WORKTREE" >/dev/null 2>&1 || true; rm -rf "$WORKTREE"' EXIT
+git worktree add --detach "$WORKTREE" "$BASE_REF" >/dev/null
+
+echo "== measuring $BASE_REF (old) =="
+run_bench "$WORKTREE" "$OUT/old.txt"
+
+echo "== comparison =="
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$OUT/old.txt" "$OUT/new.txt" | tee "$OUT/benchstat.txt"
+elif go run golang.org/x/perf/cmd/benchstat@latest "$OUT/old.txt" "$OUT/new.txt" \
+        >"$OUT/benchstat.txt" 2>/dev/null; then
+    cat "$OUT/benchstat.txt"
+else
+    # Offline fallback: interleave the raw measurements per benchmark.
+    echo "benchstat unavailable (not installed, no network); raw numbers:" \
+        | tee "$OUT/benchstat.txt"
+    {
+        echo "--- old ($BASE_REF) ---"
+        grep -E '^Benchmark' "$OUT/old.txt" || true
+        echo "--- new (working tree) ---"
+        grep -E '^Benchmark' "$OUT/new.txt" || true
+    } | tee -a "$OUT/benchstat.txt"
+fi
+
+echo "results in $OUT/"
