@@ -9,6 +9,12 @@
 //
 // Modes: sql, naive, cert (cert⊥), inter (cert∩), plus, poss, qt, qf,
 // ctable-eager|semi|lazy|aware, report.
+//
+// The explain subcommand prints the optimized logical expression and the
+// compiled physical plan (with the subplans frozen across valuations
+// marked) instead of evaluating:
+//
+//	incdbctl explain -db data.idb [-sql] [-bag] "minus(proj(0, Customers), proj(0, Payments))"
 package main
 
 import (
@@ -21,11 +27,19 @@ import (
 	"incdb/internal/core"
 	"incdb/internal/ctable"
 	"incdb/internal/engine"
+	"incdb/internal/plan"
 	"incdb/internal/raparse"
 	"incdb/internal/relation"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		if err := runExplain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "incdbctl explain:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	dbPath := flag.String("db", "", "database file (raparse format)")
 	mode := flag.String("mode", "report", "evaluation mode")
 	maxWorlds := flag.Int("maxworlds", 0, "certainty oracle world bound (0 = default)")
@@ -39,6 +53,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "incdbctl:", err)
 		os.Exit(1)
 	}
+}
+
+// runExplain parses `explain` flags and prints the plan for the query.
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file (raparse format)")
+	sql := fs.Bool("sql", false, "plan for SQL three-valued evaluation instead of naive")
+	bag := fs.Bool("bag", false, "plan under bag semantics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dbPath == "" || fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := raparse.ParseDatabase(f)
+	if err != nil {
+		return err
+	}
+	q, err := raparse.ParseQuery(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := algebra.Validate(q, db); err != nil {
+		return err
+	}
+	mode := algebra.ModeNaive
+	if *sql {
+		mode = algebra.ModeSQL
+	}
+	fmt.Print(plan.Explain(q, db, mode, *bag, db))
+	return nil
 }
 
 func run(dbPath, mode, querySrc string, maxWorlds, workers int) error {

@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"incdb/internal/algebra"
+	"incdb/internal/certain"
 	"incdb/internal/gen"
+	"incdb/internal/plan"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
@@ -224,6 +226,164 @@ func TestOperatorsMatchStringKeyedReference(t *testing.T) {
 				}
 			}
 			mustMatch(t, "project", eval(algebra.Proj(algebra.R("L"), 0)), proj)
+		}
+	}
+}
+
+// mustEvalEqual asserts that the planned evaluation of q is byte-identical
+// to the reference interpreter: same tuple multiset, same multiplicities,
+// and the same deterministic rendering (modulo the relation name, which is
+// unified before comparing).
+func mustEvalEqual(t *testing.T, db *relation.Database, q algebra.Expr, label string) {
+	t.Helper()
+	for _, mode := range []algebra.Mode{algebra.ModeNaive, algebra.ModeSQL} {
+		for _, bag := range []bool{false, true} {
+			var want, got *relation.Relation
+			if bag {
+				want = algebra.EvalBagInterp(db, q, mode)
+				got = plan.EvalBag(db, q, mode)
+			} else {
+				want = algebra.EvalInterp(db, q, mode)
+				got = plan.Eval(db, q, mode)
+			}
+			if !want.Equal(got) {
+				t.Fatalf("%s (%v, bag=%t): planned result diverges\nQ = %s\nD = %v\ninterp = %v\nplanned = %v",
+					label, mode, bag, q, db, want, got)
+			}
+			ws, gs := want.Rename("q").String(), got.Rename("q").String()
+			if ws != gs {
+				t.Fatalf("%s (%v, bag=%t): renderings diverge\nQ = %s\ninterp:\n%s\nplanned:\n%s",
+					label, mode, bag, q, ws, gs)
+			}
+		}
+	}
+}
+
+// TestPlannerMatchesInterpreterRandom is the randomized planner-equivalence
+// corpus: full relational algebra with difference, plus IN-subquery atoms,
+// over random incomplete databases — planned evaluation must be
+// byte-identical to the reference interpreter in both modes and under both
+// semantics.
+func TestPlannerMatchesInterpreterRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	cfg := gen.DefaultConfig()
+	cfg.MaxTuples = 6
+	qcfg := gen.DefaultQueryConfig()
+	qcfg.InSubRate = 0.25
+	for trial := 0; trial < 300; trial++ {
+		db := gen.DB(r, cfg)
+		q := gen.Query(r, qcfg, 1+r.Intn(2))
+		mustEvalEqual(t, db, q, "random corpus")
+	}
+	// The Pos∀G fragment adds division.
+	qcfg = gen.DefaultQueryConfig()
+	qcfg.Fragment = gen.FragmentPosForallG
+	for trial := 0; trial < 100; trial++ {
+		db := gen.DB(r, cfg)
+		q := gen.Query(r, qcfg, 1+r.Intn(2))
+		mustEvalEqual(t, db, q, "pos-forall-g corpus")
+	}
+}
+
+// TestPlannerMatchesInterpreterJoins pins down the join shapes the planner
+// normalizes specially: multi-equality conjuncts, products nested beyond
+// one level, selections interleaved with projections, anti-unification and
+// the active-domain query.
+func TestPlannerMatchesInterpreterJoins(t *testing.T) {
+	r := rand.New(rand.NewSource(909))
+	cfg := gen.Config{MaxTuples: 5, NullRate: 0.3, NullPool: 3, ConstPool: 3}
+	queries := []struct {
+		name string
+		q    algebra.Expr
+	}{
+		{"two-key join", algebra.Sel(
+			algebra.Times(algebra.R("R"), algebra.R("T")),
+			algebra.CAnd(algebra.CEq(0, 2), algebra.CEq(1, 3)))},
+		{"three-way chain", algebra.Sel(
+			algebra.Times(algebra.Times(algebra.R("R"), algebra.R("T")), algebra.R("S")),
+			algebra.CAnd(algebra.CEq(1, 2), algebra.CEq(3, 4)))},
+		{"nested select over product", algebra.Sel(
+			algebra.Times(
+				algebra.Sel(algebra.R("R"), algebra.CEqC(1, gen.ConstOf(0))),
+				algebra.R("T")),
+			algebra.CEq(0, 2))},
+		{"join through projection", algebra.Proj(algebra.Sel(
+			algebra.Times(algebra.Proj(algebra.R("R"), 1, 0), algebra.R("T")),
+			algebra.CEq(0, 2)), 1, 3)},
+		{"residual inequality", algebra.Sel(
+			algebra.Times(algebra.R("R"), algebra.R("T")),
+			algebra.CAnd(algebra.CEq(0, 2), algebra.CNeq(1, 3)))},
+		{"disjunctive spanning condition", algebra.Sel(
+			algebra.Times(algebra.R("R"), algebra.R("T")),
+			algebra.COr(algebra.CEq(0, 2), algebra.CEq(1, 3)))},
+		{"cross product no keys", algebra.Times(algebra.R("S"), algebra.R("S"))},
+		{"anti-unify under filter", algebra.Sel(
+			algebra.AntiJoin(algebra.R("R"), algebra.R("T")),
+			algebra.CConst(0))},
+		{"difference of joins", algebra.Minus(
+			algebra.Proj(algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("T")), algebra.CEq(1, 2)), 0),
+			algebra.R("S"))},
+		{"division", algebra.Div(algebra.R("R"), algebra.R("S"))},
+		{"dom power", algebra.Sel(algebra.DomK(2), algebra.CEq(0, 1))},
+		{"in over join", algebra.Sel(algebra.R("R"),
+			algebra.CIn(algebra.Proj(algebra.Sel(
+				algebra.Times(algebra.R("T"), algebra.R("S")), algebra.CEq(1, 2)), 0), 0))},
+		{"selection with null tests", algebra.Sel(
+			algebra.Times(algebra.R("R"), algebra.R("T")),
+			algebra.CAnd(algebra.CEq(0, 2), algebra.CAnd(algebra.CConst(1), algebra.CNull(3))))},
+	}
+	for trial := 0; trial < 40; trial++ {
+		db := gen.DB(r, cfg)
+		for _, tc := range queries {
+			mustEvalEqual(t, db, tc.q, tc.name)
+		}
+	}
+}
+
+// TestPreparedMatchesPerWorldEval locks in the oracle contract: executing a
+// prepared plan on worlds v(D) must match interpreting the query on each
+// world from scratch, for every valuation of a small space — under both
+// modes (the oracles use naive; ModeSQL exercises the frozen null-split
+// paths of the exported API) and both semantics.
+func TestPreparedMatchesPerWorldEval(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	cfg := gen.DefaultConfig()
+	qcfg := gen.DefaultQueryConfig()
+	qcfg.InSubRate = 0.2
+	for trial := 0; trial < 30; trial++ {
+		db := gen.DB(r, cfg)
+		q := gen.Query(r, qcfg, 1)
+		space, err := certain.NewSpace(db, algebra.ConstsOf(q), certain.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []algebra.Mode{algebra.ModeNaive, algebra.ModeSQL} {
+			for _, bag := range []bool{false, true} {
+				var p *plan.Plan
+				if bag {
+					p = plan.CompileBag(q, db, mode)
+				} else {
+					p = plan.Compile(q, db, mode)
+				}
+				prep := p.Prepare(db)
+				worlds := 0
+				space.Each(func(v value.Valuation) bool {
+					world := db.Apply(v)
+					var want *relation.Relation
+					if bag {
+						want = algebra.EvalBagInterp(world, q, mode)
+					} else {
+						want = algebra.EvalInterp(world, q, mode)
+					}
+					got := prep.Exec(world)
+					if !want.Equal(got) {
+						t.Fatalf("trial %d %v bag=%t: prepared exec diverges on world %v\nQ = %s\ninterp = %v\nprepared = %v",
+							trial, mode, bag, v, q, want, got)
+					}
+					worlds++
+					return worlds < 32 // bounded: the space can be large
+				})
+			}
 		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"incdb/internal/core"
 	"incdb/internal/ctable"
 	"incdb/internal/engine"
+	"incdb/internal/plan"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
@@ -178,6 +179,30 @@ var (
 	// Analyze runs everything and classifies SQL's errors.
 	Analyze = core.Analyze
 )
+
+// Query planning. Evaluation is planned by default: SQL/Naive and every
+// oracle run through internal/plan's compile-once physical plans (selection
+// pushdown, n-ary multi-key hash joins, plan reuse across valuations with
+// frozen null-free subplans). These re-exports expose the planner directly.
+var (
+	// Explain renders the optimized logical expression and the compiled
+	// physical plan for a query; a non-nil database marks the subplans that
+	// would be frozen across its possible worlds.
+	Explain = plan.Explain
+
+	// EvalMode evaluates a query in an explicit mode (ModeNaive/ModeSQL)
+	// through the planner; Naive and SQL are the common shorthands.
+	EvalMode = algebra.Eval
+)
+
+// Evaluation modes for EvalMode and Explain.
+const (
+	ModeNaive = algebra.ModeNaive
+	ModeSQL   = algebra.ModeSQL
+)
+
+// Mode selects naive or SQL-style condition evaluation.
+type Mode = algebra.Mode
 
 // MuRat is a convenience alias for the exact rational probabilities.
 type MuRat = big.Rat

@@ -37,7 +37,9 @@ func (m Mode) String() string {
 // semantics, a cache of evaluated IN-subqueries (uncorrelated, so one
 // evaluation each suffices), and a cache of their null-free/with-nulls
 // splits for the three-valued IN probe. Both caches are keyed by the
-// expression's rendering, which is a faithful encoding of the AST.
+// expression's rendering, which is a faithful encoding of the AST; the
+// rendering is computed once per enclosing selection evaluation (bindCond),
+// never per row.
 type evalEnv struct {
 	db     *relation.Database
 	mode   Mode
@@ -89,15 +91,49 @@ func (env *evalEnv) inSplitOf(e Expr) *inSplit {
 	return s
 }
 
-// Eval evaluates e on db under set semantics in the given mode.
+// planner, when installed by internal/plan, replaces the tree-walking
+// interpreter as the default evaluation path: queries are compiled once
+// into physical plans (with selection pushdown and n-ary hash joins) and
+// re-executed per database. The hook breaks the import cycle that a direct
+// dependency would create; internal/plan registers itself from its init, so
+// any binary linking the planner gets the planned path everywhere.
+var planner func(db *relation.Database, e Expr, mode Mode, bag bool) *relation.Relation
+
+// RegisterPlanner installs the planned evaluation path. It must be called
+// from an init function (it is not synchronized); results must be
+// indistinguishable from the reference interpreter's.
+func RegisterPlanner(f func(db *relation.Database, e Expr, mode Mode, bag bool) *relation.Relation) {
+	planner = f
+}
+
+// Eval evaluates e on db under set semantics in the given mode, through the
+// compiled-plan path when a planner is registered.
 func Eval(db *relation.Database, e Expr, mode Mode) *relation.Relation {
-	return eval(e, newEvalEnv(db, mode, false))
+	if planner != nil {
+		return planner(db, e, mode, false)
+	}
+	return EvalInterp(db, e, mode)
 }
 
 // EvalBag evaluates e on db under bag semantics (Section 4.2) in the given
 // mode: union adds multiplicities, difference subtracts them to zero,
 // product multiplies, projection sums, selection preserves.
 func EvalBag(db *relation.Database, e Expr, mode Mode) *relation.Relation {
+	if planner != nil {
+		return planner(db, e, mode, true)
+	}
+	return EvalBagInterp(db, e, mode)
+}
+
+// EvalInterp evaluates e with the tree-walking reference interpreter,
+// bypassing any registered planner. The interpreter is the semantic ground
+// truth the planner is equivalence-tested against.
+func EvalInterp(db *relation.Database, e Expr, mode Mode) *relation.Relation {
+	return eval(e, newEvalEnv(db, mode, false))
+}
+
+// EvalBagInterp is the bag-semantics reference interpreter.
+func EvalBagInterp(db *relation.Database, e Expr, mode Mode) *relation.Relation {
 	return eval(e, newEvalEnv(db, mode, true))
 }
 
@@ -137,8 +173,12 @@ func eval(e Expr, env *evalEnv) *relation.Relation {
 		}
 		in := eval(e.In, env)
 		out := relation.NewArity("σ", in.Arity())
+		cond := e.Cond
+		if in.Len() > 0 { // empty input: stay lazy, resolve no subqueries
+			cond = env.bindCond(cond)
+		}
 		in.Each(func(t value.Tuple, m int) {
-			if evalCond(e.Cond, t, env.mode, env) == logic.T {
+			if evalCond(cond, t, env.mode, env) == logic.T {
 				out.AddMult(t, multOf(m, env))
 			}
 		})
@@ -218,15 +258,14 @@ func eval(e Expr, env *evalEnv) *relation.Relation {
 		l, r := eval(e.L, env), eval(e.R, env)
 		n := l.Arity() - r.Arity()
 		out := relation.NewArity("÷", n)
-		if r.Len() == 0 {
-			// ∀ over an empty set: every projection of L qualifies.
-			l.Each(func(t value.Tuple, _ int) {
-				out.Add(t[:n].Clone())
-			})
-			return out
-		}
 		cands := relation.NewArity("c", n)
 		l.Each(func(t value.Tuple, _ int) { cands.Add(t[:n].Clone()) })
+		if r.Len() == 0 {
+			// ∀ over an empty set: every (deduplicated — division divides
+			// the underlying sets) projection of L qualifies.
+			cands.Each(func(a value.Tuple, _ int) { out.Add(a) })
+			return out
+		}
 		cands.Each(func(a value.Tuple, _ int) {
 			ok := true
 			r.Each(func(b value.Tuple, _ int) {
@@ -348,6 +387,10 @@ func crossEqConjunct(cond Cond, prod Product, env *evalEnv) (li, ri int, ok bool
 func hashJoin(sel Select, prod Product, li, ri int, env *evalEnv) *relation.Relation {
 	l, r := eval(prod.L, env), eval(prod.R, env)
 	out := relation.NewArity("σ⋈", l.Arity()+r.Arity())
+	cond := sel.Cond
+	if l.Len() > 0 {
+		cond = env.bindCond(cond)
+	}
 	l.Each(func(lt value.Tuple, lm int) {
 		key := lt[li]
 		if env.mode == ModeSQL && key.IsNull() {
@@ -355,12 +398,53 @@ func hashJoin(sel Select, prod Product, li, ri int, env *evalEnv) *relation.Rela
 		}
 		r.EachMatch(ri, key, func(rt value.Tuple, rm int) {
 			joined := lt.Concat(rt)
-			if evalCond(sel.Cond, joined, env.mode, env) == logic.T {
+			if evalCond(cond, joined, env.mode, env) == logic.T {
 				out.AddMult(joined, multOf(lm*rm, env))
 			}
 		})
 	})
 	return out
+}
+
+// bindCond resolves every IN-subquery atom of c once, up front: the
+// subquery result (and, under ModeSQL, its null-free/with-nulls split) is
+// looked up in the env caches a single time and captured in a boundIn atom,
+// so the per-row probes touch resolved pointers instead of re-rendering the
+// subquery expression on every lookup. Conditions without IN atoms are
+// returned unchanged.
+func (env *evalEnv) bindCond(c Cond) Cond {
+	if !condHasIn(c) {
+		return c
+	}
+	switch c := c.(type) {
+	case And:
+		return And{L: env.bindCond(c.L), R: env.bindCond(c.R)}
+	case Or:
+		return Or{L: env.bindCond(c.L), R: env.bindCond(c.R)}
+	case Not:
+		return Not{C: env.bindCond(c.C)}
+	case InSub:
+		b := boundIn{orig: c, sub: env.subResult(c.Sub)}
+		if env.mode == ModeSQL {
+			b.split = env.inSplitOf(c.Sub)
+		}
+		return b
+	}
+	return c
+}
+
+func condHasIn(c Cond) bool {
+	switch c := c.(type) {
+	case And:
+		return condHasIn(c.L) || condHasIn(c.R)
+	case Or:
+		return condHasIn(c.L) || condHasIn(c.R)
+	case Not:
+		return condHasIn(c.C)
+	case InSub:
+		return true
+	}
+	return false
 }
 
 // BooleanResult interprets a zero-ary query result as a truth value: true

@@ -36,9 +36,18 @@ import (
 
 	"incdb/internal/algebra"
 	"incdb/internal/engine"
+	"incdb/internal/plan"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
+
+// worldEval compiles and prepares q once per oracle invocation: the
+// returned evaluator is shared by all worker shards and re-executes the
+// same physical plan per world, with every null-free subplan (results and
+// hash-join build tables) frozen across the whole valuation space.
+func worldEval(db *relation.Database, q algebra.Expr, bag bool) func(*relation.Database) *relation.Relation {
+	return plan.WorldEval(db, q, algebra.ModeNaive, bag)
+}
 
 // Options bounds the exhaustive enumeration and configures parallelism.
 type Options struct {
@@ -300,6 +309,7 @@ func survivors(db *relation.Database, q algebra.Expr, space *Space, candidates [
 	if len(candidates) == 0 {
 		return alive, nil
 	}
+	eval := worldEval(db, q, false)
 	eliminate := func(ctx context.Context, lo, hi int, local []bool, allDead *engine.Flag) {
 		remaining := len(candidates)
 		for i := range local {
@@ -319,7 +329,7 @@ func survivors(db *relation.Database, q algebra.Expr, space *Space, candidates [
 			if ctx != nil && step%pollInterval == 0 && engine.Canceled(ctx) {
 				return false
 			}
-			res := algebra.Eval(db.Apply(v), q, algebra.ModeNaive)
+			res := eval(db.ApplyShared(v))
 			for i, t := range candidates {
 				if local[i] && !res.Contains(v.ApplyInto(buf, t)) {
 					local[i] = false
@@ -370,6 +380,7 @@ func Intersection(db *relation.Database, q algebra.Expr, opts Options) (*relatio
 	if err != nil {
 		return nil, err
 	}
+	eval := worldEval(db, q, false)
 	intersectRange := func(ctx context.Context, lo, hi int, empty *engine.Flag) *relation.Relation {
 		var acc *relation.Relation
 		step := 0
@@ -381,8 +392,7 @@ func Intersection(db *relation.Database, q algebra.Expr, opts Options) (*relatio
 			if ctx != nil && step%pollInterval == 0 && engine.Canceled(ctx) {
 				return false
 			}
-			world := db.Apply(v)
-			res := algebra.Eval(world, q, algebra.ModeNaive)
+			res := eval(db.ApplyShared(v))
 			if acc == nil {
 				acc = res
 				return true
@@ -503,8 +513,9 @@ func Bool(db *relation.Database, q algebra.Expr, opts Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	eval := worldEval(db, q, false)
 	return forallWorlds(space, opts, func(v value.Valuation) bool {
-		return algebra.BooleanResult(algebra.Eval(db.Apply(v), q, algebra.ModeNaive))
+		return algebra.BooleanResult(eval(db.ApplyShared(v)))
 	})
 }
 
@@ -531,15 +542,17 @@ func CertainTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opt
 // tupleInAnswerPred builds the per-world membership test v(t̄) ∈ Q(v(D)).
 // A null-free t̄ is invariant under every valuation, so the common case
 // probes with t̄ itself and allocates nothing per world. (The predicate is
-// shared by all workers, so it cannot carry a mutable scratch buffer.)
+// shared by all workers, so it cannot carry a mutable scratch buffer; the
+// prepared plan behind eval is concurrency-safe by construction.)
 func tupleInAnswerPred(db *relation.Database, q algebra.Expr, t value.Tuple) func(v value.Valuation) bool {
+	eval := worldEval(db, q, false)
 	if !t.HasNull() {
 		return func(v value.Valuation) bool {
-			return algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(t)
+			return eval(db.ApplyShared(v)).Contains(t)
 		}
 	}
 	return func(v value.Valuation) bool {
-		return algebra.Eval(db.Apply(v), q, algebra.ModeNaive).Contains(v.Apply(t))
+		return eval(db.ApplyShared(v)).Contains(v.Apply(t))
 	}
 }
 
@@ -566,6 +579,7 @@ func extremeMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opti
 	if err != nil {
 		return 0, err
 	}
+	eval := worldEval(db, q, true)
 	scanRange := func(ctx context.Context, lo, hi int, zero *engine.Flag) shardBest {
 		out := shardBest{}
 		buf := make(value.Tuple, len(t))
@@ -578,7 +592,7 @@ func extremeMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opti
 			if ctx != nil && step%pollInterval == 0 && engine.Canceled(ctx) {
 				return false
 			}
-			m := algebra.EvalBag(db.Apply(v), q, algebra.ModeNaive).Mult(v.ApplyInto(buf, t))
+			m := eval(db.ApplyShared(v)).Mult(v.ApplyInto(buf, t))
 			if !out.seen {
 				out.best = m
 				out.seen = true

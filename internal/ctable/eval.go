@@ -6,6 +6,7 @@ import (
 	"incdb/internal/algebra"
 	"incdb/internal/engine"
 	"incdb/internal/logic"
+	"incdb/internal/plan"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
@@ -80,6 +81,14 @@ func Eval(db *relation.Database, q algebra.Expr, s Strategy) (*CTable, error) {
 // construction, grounding and minimization loops are sharded over eng's
 // workers with order-preserving merges, so the resulting c-table is
 // row-for-row identical to the serial evaluation.
+//
+// Before evaluation the query runs through the planner's logical optimizer
+// (plan.Optimize): selection conjuncts are split and pushed below products
+// and unions, so rows whose conditions ground to f are dropped before the
+// quadratic product and difference steps instead of after them. The
+// rewrites stay inside the c-table fragment, and all four strategies see
+// the same optimized shape, preserving the Theorem 4.9 inclusion ordering
+// (which is a per-query statement).
 func EvalWith(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Options) (*CTable, error) {
 	var out *CTable
 	err := func() (err error) {
@@ -89,6 +98,7 @@ func EvalWith(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Opti
 			}
 		}()
 		checkFragment(q)
+		q = plan.Optimize(q, db)
 		out = eval(db, q, s, eng)
 		out = finalize(out, s, eng)
 		return nil

@@ -85,6 +85,11 @@ type QueryConfig struct {
 	Fragment Fragment
 	// ConstPool mirrors Config.ConstPool for condition constants.
 	ConstPool int
+	// InSubRate in [0,1] is the probability that a condition atom is an
+	// uncorrelated IN-subquery probe. Zero (the default) keeps queries
+	// inside the fragments every consumer supports; the planner-equivalence
+	// corpus raises it to exercise the IN compilation paths.
+	InSubRate float64
 }
 
 // Fragment names a class of queries from the paper.
@@ -194,6 +199,18 @@ func genCond(r *rand.Rand, cfg QueryConfig, arity int) algebra.Cond {
 	atom := func() algebra.Cond {
 		i := r.Intn(arity)
 		j := r.Intn(arity)
+		if cfg.InSubRate > 0 && r.Float64() < cfg.InSubRate {
+			// Uncorrelated IN probe over a shallow unary subquery; the
+			// subquery draws no IN atoms itself, keeping generation finite.
+			subCfg := cfg
+			subCfg.InSubRate = 0
+			sub := genExpr(r, subCfg, 1, 1)
+			c := algebra.CIn(sub, i)
+			if r.Intn(2) == 0 {
+				return algebra.CNot(c)
+			}
+			return c
+		}
 		cst := ConstOf(r.Intn(cfg.ConstPool))
 		// Conditions use the comparison atoms only. const/null tests are
 		// deliberately absent: a source query's semantics lives on

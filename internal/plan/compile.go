@@ -1,0 +1,495 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdb/internal/algebra"
+	"incdb/internal/value"
+)
+
+// Plan is a physical query plan: compiled once from an algebra expression,
+// executable any number of times — concurrently — against databases over
+// the same schema. A Plan holds no per-execution state.
+type Plan struct {
+	root  pnode
+	nodes []pnode // every node, indexed by its id (Prepared slots)
+	subs  []*Plan // IN-subquery plans, deduplicated by rendering
+	mode  algebra.Mode
+	bag   bool
+
+	arity int
+	// outName/outIsRel reproduce the reference interpreter's output naming:
+	// the root operator's symbol, or the source relation's name (and
+	// attribute labels) when the query is a bare relation reference.
+	outName  string
+	outIsRel bool
+}
+
+// Mode returns the evaluation mode the plan was compiled for.
+func (p *Plan) Mode() algebra.Mode { return p.mode }
+
+// Bag reports whether the plan evaluates under bag semantics.
+func (p *Plan) Bag() bool { return p.bag }
+
+// Arity returns the plan's output arity.
+func (p *Plan) Arity() int { return p.arity }
+
+// readSet is the set of base relations a subtree reads, plus whether it
+// reads the whole active domain (Dom). It decides which subplans are frozen
+// across valuations: a subtree reading only null-free relations evaluates
+// identically in every possible world.
+type readSet struct {
+	names []string // sorted, distinct
+	dom   bool
+}
+
+func (a readSet) union(b readSet) readSet {
+	out := readSet{dom: a.dom || b.dom}
+	out.names = append(append([]string{}, a.names...), b.names...)
+	sort.Strings(out.names)
+	j := 0
+	for i, n := range out.names {
+		if i == 0 || n != out.names[j-1] {
+			out.names[j] = n
+			j++
+		}
+	}
+	out.names = out.names[:j]
+	return out
+}
+
+// pnode is one physical operator. Concrete nodes embed pbase and implement
+// run (streaming emission); callers go through the stream dispatcher in
+// exec.go so that frozen results short-circuit uniformly.
+type pnode interface {
+	base() *pbase
+	run(x *exec, emit func(t value.Tuple, m int))
+	describe() string
+	children() []pnode
+}
+
+type pbase struct {
+	id    int
+	width int
+	reads readSet
+}
+
+func (b *pbase) base() *pbase { return b }
+
+// Physical operators.
+
+type pscan struct {
+	pbase
+	name string
+}
+
+type pfilter struct {
+	pbase
+	in    pnode
+	conds []pcond
+}
+
+type pproject struct {
+	pbase
+	in   pnode
+	cols []int
+}
+
+// pjoin is one step of a left-deep n-ary join: probe tuples stream out of
+// left, the right input is built into a multi-key hash table (frozen across
+// executions when the right subtree is null-free). With no keys it
+// degenerates into the nested-loop cross product. residual conditions are
+// those decidable once left++right columns are available.
+type pjoin struct {
+	pbase
+	left, right  pnode
+	lkeys, rkeys []int
+	residual     []pcond
+}
+
+type punion struct {
+	pbase
+	l, r pnode
+}
+
+type pdiff struct {
+	pbase
+	l, r pnode
+}
+
+type pinter struct {
+	pbase
+	l, r pnode
+}
+
+type pdivide struct {
+	pbase
+	l, r pnode
+}
+
+type pantiunify struct {
+	pbase
+	l, r pnode
+}
+
+type pdom struct {
+	pbase
+	k int
+}
+
+func (n *pscan) children() []pnode      { return nil }
+func (n *pfilter) children() []pnode    { return []pnode{n.in} }
+func (n *pproject) children() []pnode   { return []pnode{n.in} }
+func (n *pjoin) children() []pnode      { return []pnode{n.left, n.right} }
+func (n *punion) children() []pnode     { return []pnode{n.l, n.r} }
+func (n *pdiff) children() []pnode      { return []pnode{n.l, n.r} }
+func (n *pinter) children() []pnode     { return []pnode{n.l, n.r} }
+func (n *pdivide) children() []pnode    { return []pnode{n.l, n.r} }
+func (n *pantiunify) children() []pnode { return []pnode{n.l, n.r} }
+func (n *pdom) children() []pnode       { return nil }
+
+// Compile builds the physical plan for e under set semantics.
+func Compile(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode) *Plan {
+	return compile(e, cat, mode, false)
+}
+
+// CompileBag builds the physical plan for e under bag semantics.
+func CompileBag(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode) *Plan {
+	return compile(e, cat, mode, true)
+}
+
+func compile(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) *Plan {
+	p := &Plan{mode: mode, bag: bag, arity: algebra.Arity(e, cat)}
+	p.outName, p.outIsRel = rootName(e)
+	c := &compiler{p: p, top: p, cat: cat, subIdx: map[string]*Plan{}}
+	p.root = c.compile(Optimize(e, cat))
+	return p
+}
+
+// rootName maps the original root operator to the output relation name the
+// reference interpreter would produce.
+func rootName(e algebra.Expr) (string, bool) {
+	switch e := e.(type) {
+	case algebra.Rel:
+		return e.Name, true
+	case algebra.Select:
+		return "σ", false
+	case algebra.Project:
+		return "π", false
+	case algebra.Product:
+		return "×", false
+	case algebra.Union:
+		return "∪", false
+	case algebra.Diff:
+		return "−", false
+	case algebra.Intersect:
+		return "∩", false
+	case algebra.Divide:
+		return "÷", false
+	case algebra.AntiUnify:
+		return "⋉⇑", false
+	case algebra.Dom:
+		return "Dom", false
+	}
+	return "q", false
+}
+
+type compiler struct {
+	p   *Plan // plan whose node list this compiler fills
+	top *Plan // top-level plan: owns the flat subplan list
+	cat algebra.Catalog
+	// subIdx deduplicates IN subqueries by rendering across all nesting
+	// levels, mirroring the interpreter's rendering-keyed subquery cache.
+	subIdx map[string]*Plan
+}
+
+func (c *compiler) newBase(width int, reads readSet) pbase {
+	return pbase{id: -1, width: width, reads: reads}
+}
+
+// register assigns the node its id and records it on the plan.
+func (c *compiler) register(n pnode) pnode {
+	n.base().id = len(c.p.nodes)
+	c.p.nodes = append(c.p.nodes, n)
+	return n
+}
+
+func (c *compiler) compile(e algebra.Expr) pnode {
+	switch e := e.(type) {
+	case algebra.Select, algebra.Product:
+		return c.compileCluster(e)
+	case algebra.Rel:
+		ar := c.cat.Arity(e.Name)
+		if ar < 0 {
+			panic("plan: unknown relation " + e.Name)
+		}
+		return c.register(&pscan{
+			pbase: c.newBase(ar, readSet{names: []string{e.Name}}),
+			name:  e.Name,
+		})
+	case algebra.Project:
+		in := c.compile(e.In)
+		return c.register(&pproject{
+			pbase: c.newBase(len(e.Cols), in.base().reads),
+			in:    in, cols: e.Cols,
+		})
+	case algebra.Union:
+		l, r := c.compile(e.L), c.compile(e.R)
+		return c.register(&punion{
+			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
+			l:     l, r: r,
+		})
+	case algebra.Diff:
+		l, r := c.compile(e.L), c.compile(e.R)
+		return c.register(&pdiff{
+			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
+			l:     l, r: r,
+		})
+	case algebra.Intersect:
+		l, r := c.compile(e.L), c.compile(e.R)
+		return c.register(&pinter{
+			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
+			l:     l, r: r,
+		})
+	case algebra.Divide:
+		l, r := c.compile(e.L), c.compile(e.R)
+		return c.register(&pdivide{
+			pbase: c.newBase(l.base().width-r.base().width, l.base().reads.union(r.base().reads)),
+			l:     l, r: r,
+		})
+	case algebra.AntiUnify:
+		l, r := c.compile(e.L), c.compile(e.R)
+		return c.register(&pantiunify{
+			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
+			l:     l, r: r,
+		})
+	case algebra.Dom:
+		return c.register(&pdom{
+			pbase: c.newBase(e.K, readSet{dom: true}),
+			k:     e.K,
+		})
+	}
+	panic(fmt.Sprintf("plan: compile: unknown expression %T", e))
+}
+
+// conjunct is one selection conjunct positioned over the flattened join
+// cluster, with the columns it reads (already shifted to cluster-global
+// positions).
+type conjunct struct {
+	cond algebra.Cond
+	cols []int
+}
+
+// compileCluster normalizes a maximal σ/× cluster into an n-ary join graph:
+// the cluster's product leaves become join inputs, its selection conjuncts
+// become join keys (cross-input equalities), input-local filters, or
+// residual conditions applied as soon as their columns are available.
+// Inputs are joined left-deep in syntactic order, so the output column
+// layout matches the original product exactly and no re-permutation is
+// needed.
+func (c *compiler) compileCluster(e algebra.Expr) pnode {
+	var inputs []algebra.Expr
+	var offsets []int
+	var conjs []conjunct
+	var flatten func(e algebra.Expr, off int) int // returns width
+	flatten = func(e algebra.Expr, off int) int {
+		switch e := e.(type) {
+		case algebra.Select:
+			w := flatten(e.In, off)
+			for _, cj := range splitAnd(e.Cond) {
+				shifted := shiftCond(cj, off)
+				conjs = append(conjs, conjunct{cond: shifted, cols: condCols(shifted)})
+			}
+			return w
+		case algebra.Product:
+			lw := flatten(e.L, off)
+			rw := flatten(e.R, off+lw)
+			return lw + rw
+		default:
+			inputs = append(inputs, e)
+			offsets = append(offsets, off)
+			return algebra.Arity(e, c.cat)
+		}
+	}
+	width := flatten(e, 0)
+
+	// Compile each input, wrapping input-local conjuncts as filters below
+	// the join.
+	nodes := make([]pnode, len(inputs))
+	used := make([]bool, len(conjs))
+	for i, in := range inputs {
+		n := c.compile(in)
+		lo := offsets[i]
+		hi := lo + n.base().width
+		var local []pcond
+		for j, cj := range conjs {
+			if used[j] || len(cj.cols) == 0 {
+				continue
+			}
+			if cj.cols[0] >= lo && cj.cols[len(cj.cols)-1] < hi {
+				local = append(local, c.compileCond(shiftCond(cj.cond, -lo)))
+				used[j] = true
+			}
+		}
+		if local != nil {
+			n = c.register(&pfilter{
+				pbase: c.newBase(n.base().width, n.base().reads.union(condReads(local))),
+				in:    n, conds: local,
+			})
+		}
+		nodes[i] = n
+	}
+
+	// Column-free conjuncts (False, constant comparisons after rewrites)
+	// apply at the first step.
+	var zeroCol []pcond
+	for j, cj := range conjs {
+		if !used[j] && len(cj.cols) == 0 {
+			zeroCol = append(zeroCol, c.compileCond(cj.cond))
+			used[j] = true
+		}
+	}
+
+	acc := nodes[0]
+	if zeroCol != nil {
+		acc = c.register(&pfilter{
+			pbase: c.newBase(acc.base().width, acc.base().reads.union(condReads(zeroCol))),
+			in:    acc, conds: zeroCol,
+		})
+	}
+	accWidth := nodes[0].base().width
+	for i := 1; i < len(nodes); i++ {
+		right := nodes[i]
+		lo := offsets[i]
+		hi := lo + right.base().width
+		// Join keys: unused cross-input equalities with one side in the
+		// accumulated prefix and the other in this input. Several keys form
+		// one composite hash key — the multi-equality extension of the old
+		// single-conjunct hash join.
+		var lkeys, rkeys []int
+		for j, cj := range conjs {
+			if used[j] {
+				continue
+			}
+			eq, ok := cj.cond.(algebra.Eq)
+			if !ok {
+				continue
+			}
+			li, ri := eq.I, eq.J
+			if li >= lo && li < hi && ri < accWidth {
+				li, ri = ri, li
+			}
+			if li < accWidth && ri >= lo && ri < hi {
+				lkeys = append(lkeys, li)
+				rkeys = append(rkeys, ri-lo)
+				used[j] = true
+			}
+		}
+		// Residuals: every remaining conjunct decidable on the joined
+		// prefix (its columns all below hi).
+		var residual []pcond
+		for j, cj := range conjs {
+			if used[j] {
+				continue
+			}
+			if len(cj.cols) == 0 || cj.cols[len(cj.cols)-1] < hi {
+				residual = append(residual, c.compileCond(cj.cond))
+				used[j] = true
+			}
+		}
+		reads := acc.base().reads.union(right.base().reads).union(condReads(residual))
+		acc = c.register(&pjoin{
+			pbase: c.newBase(accWidth+right.base().width, reads),
+			left:  acc, right: right,
+			lkeys: lkeys, rkeys: rkeys,
+			residual: residual,
+		})
+		accWidth += right.base().width
+	}
+	// Anything left (should be none) guards the top.
+	var top []pcond
+	for j, cj := range conjs {
+		if !used[j] {
+			top = append(top, c.compileCond(cj.cond))
+		}
+	}
+	if top != nil {
+		acc = c.register(&pfilter{
+			pbase: c.newBase(width, acc.base().reads.union(condReads(top))),
+			in:    acc, conds: top,
+		})
+	}
+	return acc
+}
+
+// condReads collects the read-sets of compiled conditions (IN subqueries
+// make the enclosing operator depend on the subplan's reads).
+func condReads(cs []pcond) readSet {
+	var out readSet
+	for _, c := range cs {
+		out = out.union(c.reads())
+	}
+	return out
+}
+
+// subFor compiles (or reuses) the plan of an uncorrelated IN subquery.
+// Subqueries are compared set-wise by IN, so the subplan always uses set
+// semantics; textually identical subqueries share one subplan, mirroring
+// the interpreter's rendering-keyed cache. Nested subplans land on the
+// top-level plan's flat list so that Prepare can freeze them all.
+func (c *compiler) subFor(e algebra.Expr) *Plan {
+	key := e.String()
+	if s, ok := c.subIdx[key]; ok {
+		return s
+	}
+	sub := &Plan{mode: c.top.mode, bag: false, arity: algebra.Arity(e, c.cat)}
+	sub.outName, sub.outIsRel = "in", false
+	c.subIdx[key] = sub
+	c.top.subs = append(c.top.subs, sub)
+	sc := &compiler{p: sub, top: c.top, cat: c.cat, subIdx: c.subIdx}
+	sub.root = sc.compile(Optimize(e, c.cat))
+	return sub
+}
+
+// describe renders one operator for EXPLAIN output.
+func (n *pscan) describe() string { return "scan " + n.name }
+func (n *pfilter) describe() string {
+	parts := make([]string, len(n.conds))
+	for i, c := range n.conds {
+		parts[i] = c.String()
+	}
+	return "filter " + strings.Join(parts, " ∧ ")
+}
+func (n *pproject) describe() string {
+	parts := make([]string, len(n.cols))
+	for i, c := range n.cols {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return "project [" + strings.Join(parts, ",") + "]"
+}
+func (n *pjoin) describe() string {
+	if len(n.lkeys) == 0 {
+		return "cross-join"
+	}
+	keys := make([]string, len(n.lkeys))
+	for i := range n.lkeys {
+		keys[i] = fmt.Sprintf("#%d=#%d", n.lkeys[i], n.base().width-n.right.base().width+n.rkeys[i])
+	}
+	s := "hash-join " + strings.Join(keys, ",")
+	if len(n.residual) > 0 {
+		parts := make([]string, len(n.residual))
+		for i, c := range n.residual {
+			parts[i] = c.String()
+		}
+		s += " residual " + strings.Join(parts, " ∧ ")
+	}
+	return s
+}
+func (n *punion) describe() string     { return "union" }
+func (n *pdiff) describe() string      { return "diff" }
+func (n *pinter) describe() string     { return "intersect" }
+func (n *pdivide) describe() string    { return "divide" }
+func (n *pantiunify) describe() string { return "anti-unify" }
+func (n *pdom) describe() string       { return fmt.Sprintf("dom^%d", n.k) }

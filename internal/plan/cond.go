@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"fmt"
+
+	"incdb/internal/algebra"
+	"incdb/internal/logic"
+	"incdb/internal/value"
+)
+
+// pcond is a compiled selection condition. Conditions without IN subqueries
+// are evaluated directly off the algebra AST; IN atoms are compiled into
+// references to shared subplans so that the per-row probe never re-renders
+// or re-resolves the subquery.
+type pcond interface {
+	fmt.Stringer
+	eval(x *exec, t value.Tuple) logic.TV
+	reads() readSet
+}
+
+// catomic is a condition subtree containing no IN atoms.
+type catomic struct{ c algebra.Cond }
+
+// cand/cor/cnot are connectives over subtrees that do contain IN atoms.
+type cand struct{ l, r pcond }
+type cor struct{ l, r pcond }
+type cnot struct{ c pcond }
+
+// cin is a compiled (cols) IN (sub) probe.
+type cin struct {
+	cols []int
+	sub  *Plan
+	str  string
+}
+
+func (c catomic) String() string { return c.c.String() }
+func (c cand) String() string    { return "(" + c.l.String() + " ∧ " + c.r.String() + ")" }
+func (c cor) String() string     { return "(" + c.l.String() + " ∨ " + c.r.String() + ")" }
+func (c cnot) String() string    { return "¬(" + c.c.String() + ")" }
+func (c cin) String() string     { return c.str }
+
+func (c catomic) reads() readSet { return readSet{} }
+func (c cand) reads() readSet    { return c.l.reads().union(c.r.reads()) }
+func (c cor) reads() readSet     { return c.l.reads().union(c.r.reads()) }
+func (c cnot) reads() readSet    { return c.c.reads() }
+func (c cin) reads() readSet     { return c.sub.root.base().reads }
+
+// compileCond compiles one conjunct. The common IN-free case keeps the
+// algebra AST and pays no indirection.
+func (c *compiler) compileCond(cond algebra.Cond) pcond {
+	if !condHasIn(cond) {
+		return catomic{c: cond}
+	}
+	switch cond := cond.(type) {
+	case algebra.And:
+		return cand{l: c.compileCond(cond.L), r: c.compileCond(cond.R)}
+	case algebra.Or:
+		return cor{l: c.compileCond(cond.L), r: c.compileCond(cond.R)}
+	case algebra.Not:
+		return cnot{c: c.compileCond(cond.C)}
+	case algebra.InSub:
+		return cin{cols: cond.Cols, sub: c.subFor(cond.Sub), str: cond.String()}
+	}
+	panic(fmt.Sprintf("plan: compileCond: unexpected condition %T", cond))
+}
+
+func condHasIn(c algebra.Cond) bool {
+	switch c := c.(type) {
+	case algebra.And:
+		return condHasIn(c.L) || condHasIn(c.R)
+	case algebra.Or:
+		return condHasIn(c.L) || condHasIn(c.R)
+	case algebra.Not:
+		return condHasIn(c.C)
+	case algebra.InSub:
+		return true
+	}
+	return false
+}
+
+func (c catomic) eval(x *exec, t value.Tuple) logic.TV {
+	return evalAtomic(c.c, t, x.mode)
+}
+func (c cand) eval(x *exec, t value.Tuple) logic.TV {
+	return logic.And(c.l.eval(x, t), c.r.eval(x, t))
+}
+func (c cor) eval(x *exec, t value.Tuple) logic.TV {
+	return logic.Or(c.l.eval(x, t), c.r.eval(x, t))
+}
+func (c cnot) eval(x *exec, t value.Tuple) logic.TV {
+	return logic.Not(c.c.eval(x, t))
+}
+
+// eval mirrors the reference interpreter's evalIn: under naive evaluation
+// one set-membership probe; under SQL's three-valued semantics a null-free
+// probe is answered by one hash hit on the null-free part of the subquery
+// result plus a scan of its (typically few) rows with nulls.
+func (c cin) eval(x *exec, t value.Tuple) logic.TV {
+	probe := t.Project(c.cols)
+	if x.mode == algebra.ModeNaive {
+		return logic.FromBool(x.subRel(c.sub).Contains(probe))
+	}
+	split := x.subSplit(c.sub)
+	if !probe.HasNull() {
+		if split.nullFree.Contains(probe) {
+			return logic.T
+		}
+		res := logic.F
+		for _, row := range split.withNulls {
+			res = logic.Or(res, tupleEq(probe, row, x.mode))
+		}
+		return res
+	}
+	// A probe with nulls can match no row with t in SQL mode; fold for u
+	// vs f over both parts (order-insensitive).
+	res := logic.F
+	for _, row := range split.withNulls {
+		res = logic.Or(res, tupleEq(probe, row, x.mode))
+		if res == logic.T {
+			return logic.T
+		}
+	}
+	done := false
+	split.nullFree.EachUnordered(func(row value.Tuple, _ int) {
+		if done {
+			return
+		}
+		res = logic.Or(res, tupleEq(probe, row, x.mode))
+		if res == logic.T {
+			done = true
+		}
+	})
+	return res
+}
+
+// evalAtomic evaluates an IN-free condition on a tuple, mirroring the
+// reference interpreter exactly: two-valued with nulls as fresh constants
+// under ModeNaive, Kleene three-valued with null comparisons unknown under
+// ModeSQL.
+func evalAtomic(c algebra.Cond, t value.Tuple, mode algebra.Mode) logic.TV {
+	switch c := c.(type) {
+	case algebra.True:
+		return logic.T
+	case algebra.False:
+		return logic.F
+	case algebra.Eq:
+		return evalEq(t[c.I], t[c.J], mode)
+	case algebra.EqConst:
+		return evalEq(t[c.I], c.C, mode)
+	case algebra.Neq:
+		return logic.Not(evalEq(t[c.I], t[c.J], mode))
+	case algebra.NeqConst:
+		return logic.Not(evalEq(t[c.I], c.C, mode))
+	case algebra.Less:
+		return evalLess(t[c.I], t[c.J], mode)
+	case algebra.LessConst:
+		return evalLess(t[c.I], c.C, mode)
+	case algebra.GreaterConst:
+		return evalLess(c.C, t[c.I], mode)
+	case algebra.IsNull:
+		return logic.FromBool(t[c.I].IsNull())
+	case algebra.IsConst:
+		return logic.FromBool(t[c.I].IsConst())
+	case algebra.And:
+		return logic.And(evalAtomic(c.L, t, mode), evalAtomic(c.R, t, mode))
+	case algebra.Or:
+		return logic.Or(evalAtomic(c.L, t, mode), evalAtomic(c.R, t, mode))
+	case algebra.Not:
+		return logic.Not(evalAtomic(c.C, t, mode))
+	}
+	panic(fmt.Sprintf("plan: evalAtomic: unknown condition %T", c))
+}
+
+func evalEq(a, b value.Value, mode algebra.Mode) logic.TV {
+	if mode == algebra.ModeSQL && (a.IsNull() || b.IsNull()) {
+		return logic.U
+	}
+	return logic.FromBool(a == b)
+}
+
+func evalLess(a, b value.Value, mode algebra.Mode) logic.TV {
+	if mode == algebra.ModeSQL && (a.IsNull() || b.IsNull()) {
+		return logic.U
+	}
+	return logic.FromBool(value.Less(a, b))
+}
+
+func tupleEq(a, b value.Tuple, mode algebra.Mode) logic.TV {
+	eq := logic.T
+	for i := range a {
+		eq = logic.And(eq, evalEq(a[i], b[i], mode))
+	}
+	return eq
+}

@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+)
+
+// The process-wide plan cache: compiled plans keyed by the query rendering,
+// evaluation mode, semantics, and the arities of the relations read (the
+// only schema facts compilation consumes). Compiling the same query against
+// the same schema shape therefore happens once, no matter how many times —
+// or from how many goroutines — it is evaluated.
+var (
+	planCache     sync.Map // string → *Plan
+	planCacheSize atomic.Int64
+)
+
+// planCacheCap bounds the cache; a workload cycling through more distinct
+// queries than this simply recompiles (compilation is cheap, the cap only
+// prevents unbounded growth under generated-query workloads).
+const planCacheCap = 1024
+
+// PlanFor returns the cached (or freshly compiled) plan for e.
+func PlanFor(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) *Plan {
+	key := cacheKey(e, cat, mode, bag)
+	if v, ok := planCache.Load(key); ok {
+		return v.(*Plan)
+	}
+	p := compile(e, cat, mode, bag)
+	if planCacheSize.Load() < planCacheCap {
+		if _, loaded := planCache.LoadOrStore(key, p); !loaded {
+			planCacheSize.Add(1)
+		}
+	}
+	return p
+}
+
+func cacheKey(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) string {
+	var b strings.Builder
+	b.WriteString(e.String())
+	fmt.Fprintf(&b, "|%d|%t", mode, bag)
+	names, _ := algebra.RelationsOf(e)
+	for _, n := range names {
+		fmt.Fprintf(&b, "|%s:%d", n, cat.Arity(n))
+	}
+	return b.String()
+}
+
+// Eval evaluates e on db under set semantics through the planner; it is the
+// planned counterpart of algebra.Eval and produces identical results.
+func Eval(db *relation.Database, e algebra.Expr, mode algebra.Mode) *relation.Relation {
+	return PlanFor(e, db, mode, false).Exec(db)
+}
+
+// EvalBag evaluates e on db under bag semantics through the planner.
+func EvalBag(db *relation.Database, e algebra.Expr, mode algebra.Mode) *relation.Relation {
+	return PlanFor(e, db, mode, true).Exec(db)
+}
+
+// WorldEval compiles and prepares q once against the base database and
+// returns the per-world evaluator the oracles loop on: each call evaluates
+// one world derived from base, reusing the plan and every frozen null-free
+// subplan. The returned function is safe for concurrent use.
+func WorldEval(base *relation.Database, q algebra.Expr, mode algebra.Mode, bag bool) func(world *relation.Database) *relation.Relation {
+	return PlanFor(q, base, mode, bag).Prepare(base).Exec
+}
+
+func init() {
+	// Installing the planner makes algebra.Eval/EvalBag planned-by-default
+	// in every binary that (transitively) links this package; the
+	// interpreter stays reachable as algebra.EvalInterp/EvalBagInterp.
+	algebra.RegisterPlanner(func(db *relation.Database, e algebra.Expr, mode algebra.Mode, bag bool) *relation.Relation {
+		if bag {
+			return EvalBag(db, e, mode)
+		}
+		return Eval(db, e, mode)
+	})
+}

@@ -1,0 +1,408 @@
+package plan
+
+import (
+	"incdb/internal/algebra"
+	"incdb/internal/logic"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// exec carries per-execution state: the target database, the optional
+// Prepared freeze, and the memo of uncorrelated IN-subquery results (one
+// evaluation each per execution, shared across nesting levels like the
+// interpreter's env caches).
+type exec struct {
+	db   *relation.Database
+	prep *Prepared
+	mode algebra.Mode
+	bag  bool
+	plan *Plan // plan currently executing (main plan or an IN subplan)
+
+	subRels   map[*Plan]*relation.Relation
+	subSplits map[*Plan]*nullSplit
+}
+
+// Exec evaluates the plan against db with no cross-world freezing and
+// returns the result relation (normalized under set semantics, exact
+// multiplicities under bag semantics). Safe for concurrent use: the plan is
+// immutable and all execution state lives here.
+func (p *Plan) Exec(db *relation.Database) *relation.Relation {
+	return p.exec(db, nil)
+}
+
+func (p *Plan) exec(db *relation.Database, prep *Prepared) *relation.Relation {
+	x := &exec{db: db, prep: prep, mode: p.mode, bag: p.bag, plan: p,
+		subRels: map[*Plan]*relation.Relation{}, subSplits: map[*Plan]*nullSplit{}}
+	return p.materializeRoot(x)
+}
+
+func (p *Plan) materializeRoot(x *exec) *relation.Relation {
+	var out *relation.Relation
+	if p.outIsRel {
+		if src := x.db.Relation(p.outName); src != nil {
+			out = relation.New(p.outName, src.Attrs()...)
+		}
+	}
+	if out == nil {
+		out = relation.NewArity(p.outName, p.arity)
+	}
+	stream(p.root, x, out.AddMult)
+	if !p.bag {
+		out.Normalize()
+	}
+	return out
+}
+
+// stream is the dispatcher every operator goes through: a node whose result
+// was frozen by Prepare short-circuits to the cached relation.
+func stream(n pnode, x *exec, emit func(t value.Tuple, m int)) {
+	if r := x.frozenRel(n); r != nil {
+		r.EachUnordered(emit)
+		return
+	}
+	n.run(x, emit)
+}
+
+func (x *exec) frozenRel(n pnode) *relation.Relation {
+	if x.prep == nil {
+		return nil
+	}
+	if fs := x.prep.frozen[x.plan]; fs != nil {
+		return fs.rels[n.base().id]
+	}
+	return nil
+}
+
+// matRel materializes a node into a consolidated relation (exact
+// multiplicities under bag semantics). Frozen nodes and base-relation scans
+// are returned without copying: all consumers are read-only.
+func matRel(n pnode, x *exec) *relation.Relation {
+	if r := x.frozenRel(n); r != nil {
+		return r
+	}
+	if s, ok := n.(*pscan); ok {
+		return x.source(s.name)
+	}
+	out := relation.NewArity("t", n.base().width)
+	n.run(x, out.AddMult)
+	return out
+}
+
+func (x *exec) source(name string) *relation.Relation {
+	r := x.db.Relation(name)
+	if r == nil {
+		panic("plan: unknown relation " + name)
+	}
+	return r
+}
+
+// subRel returns the (set-semantics) result of an IN subplan, frozen,
+// memoized per execution, or computed on the spot.
+func (x *exec) subRel(sub *Plan) *relation.Relation {
+	if x.prep != nil {
+		if r := x.prep.subRels[sub]; r != nil {
+			return r
+		}
+	}
+	if r := x.subRels[sub]; r != nil {
+		return r
+	}
+	sx := &exec{db: x.db, prep: x.prep, mode: sub.mode, bag: false, plan: sub,
+		subRels: x.subRels, subSplits: x.subSplits}
+	r := sub.materializeRoot(sx)
+	x.subRels[sub] = r
+	return r
+}
+
+// nullSplit partitions a relation for three-valued probes: the null-free
+// part answered by one hash lookup and the rows with nulls, the only rows
+// that can contribute unknown (shared by the IN probe and the ⋉⇑ scan).
+type nullSplit struct {
+	nullFree  *relation.Relation
+	withNulls []value.Tuple
+}
+
+func splitNulls(r *relation.Relation) *nullSplit {
+	s := &nullSplit{nullFree: relation.NewArity("nf", r.Arity())}
+	r.EachUnordered(func(t value.Tuple, _ int) {
+		if t.HasNull() {
+			s.withNulls = append(s.withNulls, t)
+		} else {
+			s.nullFree.Add(t)
+		}
+	})
+	return s
+}
+
+func (x *exec) subSplit(sub *Plan) *nullSplit {
+	if x.prep != nil {
+		if s := x.prep.subSplits[sub]; s != nil {
+			return s
+		}
+	}
+	if s := x.subSplits[sub]; s != nil {
+		return s
+	}
+	s := splitNulls(x.subRel(sub))
+	x.subSplits[sub] = s
+	return s
+}
+
+func (x *exec) multOf(m int) int {
+	if x.bag {
+		return m
+	}
+	return 1
+}
+
+// Operator implementations. Multiplicity discipline: under bag semantics
+// every emission carries exact bag arithmetic; under set semantics
+// emissions may repeat tuples (set-insensitive consumers only probe
+// membership) and the root materialization normalizes once at the end.
+
+func (n *pscan) run(x *exec, emit func(t value.Tuple, m int)) {
+	src := x.source(n.name)
+	if x.bag {
+		src.EachUnordered(emit)
+		return
+	}
+	src.EachUnordered(func(t value.Tuple, _ int) { emit(t, 1) })
+}
+
+func (n *pfilter) run(x *exec, emit func(t value.Tuple, m int)) {
+	stream(n.in, x, func(t value.Tuple, m int) {
+		for _, c := range n.conds {
+			if c.eval(x, t) != logic.T {
+				return
+			}
+		}
+		emit(t, m)
+	})
+}
+
+func (n *pproject) run(x *exec, emit func(t value.Tuple, m int)) {
+	stream(n.in, x, func(t value.Tuple, m int) {
+		emit(t.Project(n.cols), m)
+	})
+}
+
+func (n *pjoin) run(x *exec, emit func(t value.Tuple, m int)) {
+	var table *joinTable
+	if x.prep != nil {
+		if fs := x.prep.frozen[x.plan]; fs != nil {
+			table = fs.tables[n.base().id]
+		}
+	}
+	if table == nil {
+		table = newJoinTable(n.rkeys)
+		stream(n.right, x, func(t value.Tuple, m int) {
+			table.add(t, m, x.mode)
+		})
+	}
+	sqlMode := x.mode == algebra.ModeSQL
+	stream(n.left, x, func(lt value.Tuple, lm int) {
+		if sqlMode {
+			for _, k := range n.lkeys {
+				if lt[k].IsNull() {
+					return // the key equality can never be t
+				}
+			}
+		}
+		table.probe(lt, n.lkeys, func(rt value.Tuple, rm int) {
+			joined := lt.Concat(rt)
+			for _, c := range n.residual {
+				if c.eval(x, joined) != logic.T {
+					return
+				}
+			}
+			emit(joined, lm*rm)
+		})
+	})
+}
+
+func (n *punion) run(x *exec, emit func(t value.Tuple, m int)) {
+	stream(n.l, x, emit)
+	stream(n.r, x, emit)
+}
+
+func (n *pdiff) run(x *exec, emit func(t value.Tuple, m int)) {
+	l, r := matRel(n.l, x), matRel(n.r, x)
+	if x.bag {
+		l.EachUnordered(func(t value.Tuple, m int) {
+			if rest := m - r.Mult(t); rest > 0 {
+				emit(t, rest)
+			}
+		})
+		return
+	}
+	l.EachUnordered(func(t value.Tuple, _ int) {
+		if !r.Contains(t) {
+			emit(t, 1)
+		}
+	})
+}
+
+func (n *pinter) run(x *exec, emit func(t value.Tuple, m int)) {
+	l, r := matRel(n.l, x), matRel(n.r, x)
+	l.EachUnordered(func(t value.Tuple, m int) {
+		rm := r.Mult(t)
+		if rm == 0 {
+			return
+		}
+		if x.bag {
+			if rm < m {
+				m = rm
+			}
+			emit(t, m)
+		} else {
+			emit(t, 1)
+		}
+	})
+}
+
+func (n *pdivide) run(x *exec, emit func(t value.Tuple, m int)) {
+	l, r := matRel(n.l, x), matRel(n.r, x)
+	w := n.base().width
+	cands := relation.NewArity("c", w)
+	l.EachUnordered(func(t value.Tuple, _ int) { cands.Add(t[:w].Clone()) })
+	if r.Len() == 0 {
+		// ∀ over an empty set: every deduplicated projection of L
+		// qualifies (division divides the underlying sets).
+		cands.EachUnordered(func(a value.Tuple, _ int) { emit(a, 1) })
+		return
+	}
+	cands.EachUnordered(func(a value.Tuple, _ int) {
+		ok := true
+		r.EachUnordered(func(b value.Tuple, _ int) {
+			if ok && !l.Contains(a.Concat(b)) {
+				ok = false
+			}
+		})
+		if ok {
+			emit(a, 1)
+		}
+	})
+}
+
+func (n *pantiunify) run(x *exec, emit func(t value.Tuple, m int)) {
+	var split *nullSplit
+	if x.prep != nil {
+		if fs := x.prep.frozen[x.plan]; fs != nil {
+			split = fs.au[n.base().id]
+		}
+	}
+	if split == nil {
+		split = splitNulls(matRel(n.r, x))
+	}
+	l := matRel(n.l, x)
+	l.EachUnordered(func(t value.Tuple, m int) {
+		if t.HasNull() {
+			// Rare path: scan everything.
+			blocked := false
+			split.nullFree.EachUnordered(func(s value.Tuple, _ int) {
+				if !blocked && value.Unifiable(t, s) {
+					blocked = true
+				}
+			})
+			if blocked {
+				return
+			}
+		} else if split.nullFree.Contains(t) {
+			return
+		}
+		for _, s := range split.withNulls {
+			if value.Unifiable(t, s) {
+				return
+			}
+		}
+		emit(t, x.multOf(m))
+	})
+}
+
+func (n *pdom) run(x *exec, emit func(t value.Tuple, m int)) {
+	if n.k == 0 {
+		emit(value.Tuple{}, 1)
+		return
+	}
+	adom := x.db.ActiveDomain()
+	tuple := make(value.Tuple, n.k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n.k {
+			emit(tuple.Clone(), 1)
+			return
+		}
+		for _, v := range adom {
+			tuple[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// joinTable is the multi-key hash table of one join step: rows bucketed by
+// the combined hash of their key columns, with componentwise equality
+// confirming matches. With no keys it is a plain row list (cross product).
+type joinTable struct {
+	rkeys []int
+	keyed map[uint64][]jrow
+	rows  []jrow
+}
+
+type jrow struct {
+	t value.Tuple
+	m int
+}
+
+func newJoinTable(rkeys []int) *joinTable {
+	t := &joinTable{rkeys: rkeys}
+	if len(rkeys) > 0 {
+		t.keyed = map[uint64][]jrow{}
+	}
+	return t
+}
+
+func (tb *joinTable) add(t value.Tuple, m int, mode algebra.Mode) {
+	if len(tb.rkeys) == 0 {
+		tb.rows = append(tb.rows, jrow{t: t, m: m})
+		return
+	}
+	if mode == algebra.ModeSQL {
+		for _, k := range tb.rkeys {
+			if t[k].IsNull() {
+				return // can never satisfy the key equalities with t
+			}
+		}
+	}
+	h := hashCols(t, tb.rkeys)
+	tb.keyed[h] = append(tb.keyed[h], jrow{t: t, m: m})
+}
+
+// probe calls f on every stored row whose key columns equal lt's at lkeys
+// (componentwise, in key order).
+func (tb *joinTable) probe(lt value.Tuple, lkeys []int, f func(rt value.Tuple, rm int)) {
+	if len(tb.rkeys) == 0 {
+		for _, e := range tb.rows {
+			f(e.t, e.m)
+		}
+		return
+	}
+	h := hashCols(lt, lkeys)
+next:
+	for _, e := range tb.keyed[h] {
+		for i, lk := range lkeys {
+			if lt[lk] != e.t[tb.rkeys[i]] {
+				continue next
+			}
+		}
+		f(e.t, e.m)
+	}
+}
+
+func hashCols(t value.Tuple, cols []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h = (h ^ t[c].Hash()) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,178 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+func testDB() *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a", "b")
+	r.Add(value.Consts("k1", "v1"))
+	r.Add(value.Consts("k2", "v2"))
+	r.Add(value.T(value.Const("k3"), db.FreshNull()))
+	db.Add(r)
+	s := relation.New("S", "a", "c")
+	s.Add(value.Consts("k1", "w1"))
+	s.Add(value.Consts("k2", "w2"))
+	db.Add(s)
+	t := relation.New("T", "x")
+	t.Add(value.Consts("w1"))
+	db.Add(t)
+	return db
+}
+
+func TestOptimizePushesConjunctsThroughProduct(t *testing.T) {
+	db := testDB()
+	// σ_{#0=#2 ∧ #1=v1 ∧ #3=w1}(R × S): the per-side conjuncts must sink
+	// into their inputs, the cross conjunct must stay above the product.
+	q := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")),
+		algebra.CAnd(algebra.CEq(0, 2),
+			algebra.CAnd(algebra.CEqC(1, value.Const("v1")), algebra.CEqC(3, value.Const("w1")))))
+	opt := Optimize(q, db).String()
+	want := "σ[#0=#2]((σ[#1=v1](R) × σ[#1=w1](S)))"
+	if opt != want {
+		t.Fatalf("Optimize = %s, want %s", opt, want)
+	}
+}
+
+func TestOptimizePushesThroughUnionAndProjection(t *testing.T) {
+	db := testDB()
+	q := algebra.Sel(algebra.Un(algebra.Proj(algebra.R("R"), 1, 0), algebra.R("S")),
+		algebra.CEqC(1, value.Const("k1")))
+	opt := Optimize(q, db).String()
+	// The condition re-indexes through the projection (#1 → column 0 of R)
+	// and distributes into both union branches.
+	want := "(π[1,0](σ[#0=k1](R)) ∪ σ[#1=k1](S))"
+	if opt != want {
+		t.Fatalf("Optimize = %s, want %s", opt, want)
+	}
+}
+
+func TestOptimizeCollapsesProjections(t *testing.T) {
+	db := testDB()
+	q := algebra.Proj(algebra.Proj(algebra.R("R"), 1, 0), 1)
+	if got, want := Optimize(q, db).String(), "π[0](R)"; got != want {
+		t.Fatalf("Optimize = %s, want %s", got, want)
+	}
+}
+
+func TestOptimizeDropsTrueKeepsSemantics(t *testing.T) {
+	db := testDB()
+	q := algebra.Sel(algebra.R("R"), algebra.CAnd(algebra.True{}, algebra.True{}))
+	if got, want := Optimize(q, db).String(), "R"; got != want {
+		t.Fatalf("Optimize = %s, want %s", got, want)
+	}
+	// The planned result still carries the interpreter's σ output name.
+	res := Eval(db, q, algebra.ModeNaive)
+	if res.Name() != "σ" {
+		t.Fatalf("output name = %q, want σ", res.Name())
+	}
+}
+
+func TestCompileExtractsMultiKeyJoin(t *testing.T) {
+	db := testDB()
+	// Two equalities between R and S → one two-key hash join.
+	q := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")),
+		algebra.CAnd(algebra.CEq(0, 2), algebra.CEq(1, 3)))
+	p := Compile(q, db, algebra.ModeNaive)
+	j, ok := p.root.(*pjoin)
+	if !ok {
+		t.Fatalf("root = %T, want *pjoin", p.root)
+	}
+	if len(j.lkeys) != 2 || len(j.rkeys) != 2 {
+		t.Fatalf("keys = %v/%v, want two each", j.lkeys, j.rkeys)
+	}
+	if len(j.residual) != 0 {
+		t.Fatalf("residual = %v, want none", j.residual)
+	}
+}
+
+func TestCompileFlattensNestedProducts(t *testing.T) {
+	db := testDB()
+	// ((R × S) × T) with chained equalities flattens into two hash-join
+	// steps, not one binary join over a materialized product.
+	q := algebra.Sel(
+		algebra.Times(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.R("T")),
+		algebra.CAnd(algebra.CEq(0, 2), algebra.CEq(3, 4)))
+	p := Compile(q, db, algebra.ModeNaive)
+	outer, ok := p.root.(*pjoin)
+	if !ok {
+		t.Fatalf("root = %T, want *pjoin", p.root)
+	}
+	inner, ok := outer.left.(*pjoin)
+	if !ok {
+		t.Fatalf("outer.left = %T, want *pjoin (flattened chain)", outer.left)
+	}
+	if len(inner.lkeys) != 1 || len(outer.lkeys) != 1 {
+		t.Fatalf("keys: inner %v outer %v, want one each", inner.lkeys, outer.lkeys)
+	}
+}
+
+func TestPrepareFreezesNullFreeSubplans(t *testing.T) {
+	db := testDB() // R has a null, S and T are null-free
+	q := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.CEq(0, 2))
+	p := Compile(q, db, algebra.ModeNaive)
+	prep := p.Prepare(db)
+	j := p.root.(*pjoin)
+	fs := prep.frozen[p]
+	if fs == nil {
+		t.Fatal("no frozen set for the main plan")
+	}
+	if fs.rels[j.right.base().id] == nil {
+		t.Fatal("null-free right scan must freeze")
+	}
+	if fs.tables[j.base().id] == nil {
+		t.Fatal("build table over the frozen right side must freeze")
+	}
+	if fs.rels[j.left.base().id] != nil {
+		t.Fatal("the null-bearing left scan must not freeze")
+	}
+	// Executing on worlds still matches from-scratch evaluation.
+	null := value.Null(1)
+	v := value.NewValuation()
+	v.Set(null.NullID(), value.Const("k1"))
+	world := db.Apply(v)
+	want := algebra.EvalInterp(world, q, algebra.ModeNaive)
+	if got := prep.Exec(world); !want.Equal(got) {
+		t.Fatalf("prepared exec = %v, want %v", got, want)
+	}
+}
+
+func TestPlanCacheReuse(t *testing.T) {
+	db := testDB()
+	q := algebra.Sel(algebra.R("S"), algebra.CEqC(0, value.Const("k1")))
+	p1 := PlanFor(q, db, algebra.ModeSQL, false)
+	p2 := PlanFor(q, db, algebra.ModeSQL, false)
+	if p1 != p2 {
+		t.Fatal("same query+schema+mode must reuse the compiled plan")
+	}
+	if p3 := PlanFor(q, db, algebra.ModeNaive, false); p3 == p1 {
+		t.Fatal("different mode must not share a plan")
+	}
+}
+
+func TestExplainMarksFrozenSubplans(t *testing.T) {
+	db := testDB()
+	q := algebra.Proj(algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.CEq(0, 2)), 1, 3)
+	out := Explain(q, db, algebra.ModeNaive, false, db)
+	for _, want := range []string{"logical:", "hash-join", "scan R", "scan S", "[build side frozen]", "used columns:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSQLModeJoinSkipsNullKeys(t *testing.T) {
+	db := testDB()
+	q := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.CEq(1, 2))
+	want := algebra.EvalInterp(db, q, algebra.ModeSQL)
+	got := Eval(db, q, algebra.ModeSQL)
+	if !want.Equal(got) {
+		t.Fatalf("SQL join = %v, want %v", got, want)
+	}
+}

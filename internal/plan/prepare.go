@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// Prepared binds a plan to a base incomplete database for repeated
+// execution over the worlds derived from it: every maximal subplan that
+// reads only null-free relations is materialized once — results, join build
+// tables, IN-subquery splits, anti-unify splits — because a valuation can
+// only change rows that mention nulls, so those subplans evaluate
+// identically in every v(D). Exec then re-probes only the hash tables whose
+// inputs actually contain relevant nulls.
+//
+// The freeze is computed eagerly here, so a Prepared is safe for concurrent
+// Exec calls (the oracle worker pools share one Prepared across shards).
+// Exec must only be given the base database itself or worlds derived from
+// it by applying valuations (relation.Database.Apply): those leave the
+// null-free relations' contents untouched, which is what makes the frozen
+// results valid.
+type Prepared struct {
+	p    *Plan
+	base *relation.Database
+
+	frozen    map[*Plan]*frozenSet
+	subRels   map[*Plan]*relation.Relation
+	subSplits map[*Plan]*nullSplit
+}
+
+// frozenSet holds one plan's per-node freezes, indexed by node id.
+type frozenSet struct {
+	rels   []*relation.Relation
+	tables []*joinTable
+	au     []*nullSplit
+}
+
+// Prepare computes the freeze of p against base.
+func (p *Plan) Prepare(base *relation.Database) *Prepared {
+	prep := &Prepared{p: p, base: base,
+		frozen:    map[*Plan]*frozenSet{},
+		subRels:   map[*Plan]*relation.Relation{},
+		subSplits: map[*Plan]*nullSplit{},
+	}
+	// Freeze subplans innermost-first (they are appended outermost-first
+	// during compilation), so outer freezes reuse inner ones. A static
+	// subquery root was already materialized by freezeNodes; reuse it.
+	for i := len(p.subs) - 1; i >= 0; i-- {
+		sub := p.subs[i]
+		prep.freezeNodes(sub)
+		if r := prep.frozen[sub].rels[sub.root.base().id]; r != nil {
+			prep.subRels[sub] = r
+			if p.mode == algebra.ModeSQL {
+				prep.subSplits[sub] = splitNulls(r)
+			}
+		}
+	}
+	prep.freezeNodes(p)
+	return prep
+}
+
+// static reports whether the node's result is world-invariant: it reads no
+// active domain and only relations that exist in the base database and
+// contain no nulls.
+func (prep *Prepared) static(n pnode) bool {
+	rs := n.base().reads
+	if rs.dom {
+		return false
+	}
+	for _, name := range rs.names {
+		rel := prep.base.Relation(name)
+		if rel == nil || rel.HasNulls() {
+			return false
+		}
+	}
+	return true
+}
+
+// freezeNodes walks q's operator tree and materializes every maximal
+// static node; below non-static joins and anti-unify operators whose right
+// input froze, the derived build table / split is frozen too.
+func (prep *Prepared) freezeNodes(q *Plan) {
+	fs := &frozenSet{
+		rels:   make([]*relation.Relation, len(q.nodes)),
+		tables: make([]*joinTable, len(q.nodes)),
+		au:     make([]*nullSplit, len(q.nodes)),
+	}
+	prep.frozen[q] = fs
+	var walk func(n pnode)
+	walk = func(n pnode) {
+		if prep.static(n) {
+			fs.rels[n.base().id] = prep.run(q, n)
+			return
+		}
+		for _, c := range n.children() {
+			walk(c)
+		}
+		switch n := n.(type) {
+		case *pjoin:
+			if r := fs.rels[n.right.base().id]; r != nil {
+				tb := newJoinTable(n.rkeys)
+				r.EachUnordered(func(t value.Tuple, m int) {
+					tb.add(t, m, q.mode)
+				})
+				fs.tables[n.base().id] = tb
+			}
+		case *pantiunify:
+			if r := fs.rels[n.r.base().id]; r != nil {
+				fs.au[n.base().id] = splitNulls(r)
+			}
+		}
+	}
+	walk(q.root)
+}
+
+// run materializes one node of q against the base database, reusing
+// already-frozen inner results.
+func (prep *Prepared) run(q *Plan, n pnode) *relation.Relation {
+	x := &exec{db: prep.base, prep: prep, mode: q.mode, bag: q.bag, plan: q,
+		subRels: map[*Plan]*relation.Relation{}, subSplits: map[*Plan]*nullSplit{}}
+	if s, ok := n.(*pscan); ok {
+		// A static base relation is shared as-is: stored rows are immutable
+		// and every consumer is read-only.
+		return x.source(s.name)
+	}
+	out := relation.NewArity("t", n.base().width)
+	n.run(x, out.AddMult)
+	return out
+}
+
+// Exec evaluates the plan against a world derived from the prepared base.
+func (prep *Prepared) Exec(world *relation.Database) *relation.Relation {
+	return prep.p.exec(world, prep)
+}

@@ -25,6 +25,7 @@ import (
 	"incdb/internal/algebra"
 	"incdb/internal/constraint"
 	"incdb/internal/engine"
+	"incdb/internal/plan"
 	"incdb/internal/relation"
 	"incdb/internal/value"
 )
@@ -112,17 +113,20 @@ func suppCounts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tup
 	if total < 0 {
 		return 0, 0, fmt.Errorf("prob: %d^%d valuations overflow the enumeration", len(rng), len(ids))
 	}
+	// Compile and prepare the query once for the whole kⁿ enumeration; the
+	// prepared plan is shared by all worker shards.
+	eval := plan.WorldEval(db, q, algebra.ModeNaive, false)
 	countRange := func(lo, hi int) (num, den int64) {
 		// One instantiation buffer per worker shard; ā is tiny but the
 		// enumeration visits kⁿ worlds, so per-world allocations add up.
 		buf := make(value.Tuple, len(tuple))
 		value.EnumValuations(ids, rng, lo, hi, func(v value.Valuation) bool {
-			world := db.Apply(v)
+			world := db.ApplyShared(v)
 			if sigma != nil && !sigma.Holds(world) {
 				return true
 			}
 			den++
-			if algebra.Eval(world, q, algebra.ModeNaive).Contains(v.ApplyInto(buf, tuple)) {
+			if eval(world).Contains(v.ApplyInto(buf, tuple)) {
 				num++
 			}
 			return true
@@ -170,6 +174,9 @@ type patternEnum struct {
 	ids   []uint64
 	rel   []value.Value
 	fresh []value.Value
+	// eval is the per-world evaluator: one prepared plan shared by every
+	// branch worker, frozen over the base database's null-free relations.
+	eval func(*relation.Database) *relation.Relation
 }
 
 // count enumerates the patterns extending v from position i with the given
@@ -181,12 +188,12 @@ type patternEnum struct {
 // enumeration is exponential in the nulls, so leaf checks must not allocate.
 func (e *patternEnum) count(v value.Valuation, buf value.Tuple, i, classes int, numTop, denTop []int64) {
 	if i == len(e.ids) {
-		world := e.db.Apply(v)
+		world := e.db.ApplyShared(v)
 		if e.sigma != nil && !e.sigma.Holds(world) {
 			return
 		}
 		denTop[classes]++
-		if algebra.Eval(world, e.q, algebra.ModeNaive).Contains(v.ApplyInto(buf, e.tuple)) {
+		if e.eval(world).Contains(v.ApplyInto(buf, e.tuple)) {
 			numTop[classes]++
 		}
 		return
@@ -216,7 +223,8 @@ func MuWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple v
 	}
 	rel := relevantConsts(db, q, tuple)
 	fresh := freshConsts(len(ids), rel)
-	e := &patternEnum{db: db, q: q, sigma: sigma, tuple: tuple, ids: ids, rel: rel, fresh: fresh}
+	e := &patternEnum{db: db, q: q, sigma: sigma, tuple: tuple, ids: ids, rel: rel, fresh: fresh,
+		eval: plan.WorldEval(db, q, algebra.ModeNaive, false)}
 
 	// numTop[m] / denTop[m]: number of patterns with m fresh classes
 	// satisfying Σ∧Q, resp. Σ.

@@ -141,6 +141,25 @@ func (d *Database) Apply(v value.Valuation) *Database {
 	return out
 }
 
+// ApplyShared returns v(D) like Apply, but relations without nulls are
+// shared with D by pointer instead of copied — a valuation cannot change
+// them. The caller must treat the returned database as read-only (the
+// oracle world loops do); Apply remains the right call when the world may
+// be mutated or indexed independently of D. Fresh-null bookkeeping is
+// skipped: worlds are evaluated, never extended.
+func (d *Database) ApplyShared(v value.Valuation) *Database {
+	out := &Database{rels: make(map[string]*Relation, len(d.rels)), order: d.order, nextNull: d.nextNull}
+	for _, name := range d.order {
+		r := d.rels[name]
+		if r.HasNulls() {
+			out.rels[name] = r.Apply(v)
+		} else {
+			out.rels[name] = r
+		}
+	}
+	return out
+}
+
 // Clone returns a deep copy of the database.
 func (d *Database) Clone() *Database {
 	out := NewDatabase()

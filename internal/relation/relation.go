@@ -44,6 +44,10 @@ type Relation struct {
 	// matching rows, buckets in deterministic tuple order). Any structural
 	// mutation invalidates the whole map; see EachMatch.
 	idx map[int]map[value.Value][]*row
+	// nullState caches HasNulls: 0 unknown, 1 null-free, 2 has nulls.
+	// Atomic for the same reason as sorted: concurrent readers of a stable
+	// relation may race on the first computation, which is idempotent.
+	nullState atomic.Int32
 }
 
 // row is one stored tuple with its multiplicity and cached content hash.
@@ -106,6 +110,7 @@ func (r *Relation) lookup(t value.Tuple, h uint64) *row {
 func (r *Relation) invalidate() {
 	r.idx = nil
 	r.sorted.Store(nil)
+	r.nullState.Store(0)
 }
 
 // removeRow deletes the stored row equal to t under hash h, if present.
@@ -261,6 +266,19 @@ func (r *Relation) Each(f func(t value.Tuple, mult int)) {
 	}
 }
 
+// EachUnordered calls f on every distinct tuple with its multiplicity, in
+// unspecified (storage) order. It builds no derived structures, so it is
+// both cheaper than Each and safe for concurrent readers of a shared
+// relation; use it whenever the consumer is order-insensitive (streaming
+// operators, hash-table builds, candidate collection).
+func (r *Relation) EachUnordered(f func(t value.Tuple, mult int)) {
+	for _, bucket := range r.rows {
+		for _, e := range bucket {
+			f(e.t, e.mult)
+		}
+	}
+}
+
 // eachStored calls f on every stored row in storage (bucket) order,
 // stopping early when f returns false: the cheap iteration for
 // order-insensitive consumers such as Apply and the database catalogue
@@ -389,16 +407,28 @@ func (r *Relation) SubsetOfSet(s *Relation) bool {
 	return true
 }
 
-// HasNulls reports whether any stored tuple contains a null.
+// HasNulls reports whether any stored tuple contains a null. The answer is
+// cached until the next structural mutation: the oracles consult it once
+// per relation per world when deciding which relations a valuation can
+// actually change.
 func (r *Relation) HasNulls() bool {
+	if s := r.nullState.Load(); s != 0 {
+		return s == 2
+	}
+	state := int32(1)
 	for _, bucket := range r.rows {
 		for _, e := range bucket {
 			if e.hasNull {
-				return true
+				state = 2
+				break
 			}
 		}
+		if state == 2 {
+			break
+		}
 	}
-	return false
+	r.nullState.Store(state)
+	return state == 2
 }
 
 // Apply returns the relation v(R): every bound null replaced, multiplicities

@@ -10,6 +10,13 @@
 #   BENCHTIME    go test -benchtime value  (default: 0.2s)
 #   COUNT        go test -count value      (default: 3)
 #   OUT          output directory          (default: bench-compare-out)
+#   PRNUM        PR number for the JSON report (default: 3)
+#   PRTITLE      PR title for the JSON report
+#
+# Besides the benchstat (or raw) text comparison, the run emits
+# BENCH_PR$PRNUM.json — median-of-$COUNT per benchmark, same schema as the
+# committed BENCH_PR2.json — via scripts/benchjson; CI uploads it as an
+# artifact alongside the text report.
 #
 # The base ref defaults to HEAD~1 (the previous commit), checked out into a
 # temporary git worktree so the working tree is never disturbed. Exit code
@@ -18,10 +25,12 @@
 set -eu
 
 BASE_REF="${1:-HEAD~1}"
-BENCH="${BENCH:-BenchmarkOperatorJoin|BenchmarkE5CTableStrategies|BenchmarkE1Figure1|BenchmarkOperatorDifference|BenchmarkOperatorAntiUnify}"
+BENCH="${BENCH:-BenchmarkOperatorJoin|BenchmarkE5CTableStrategies|BenchmarkE1Figure1|BenchmarkE11NaiveEval|BenchmarkOperatorDifference|BenchmarkOperatorAntiUnify}"
 BENCHTIME="${BENCHTIME:-0.2s}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-bench-compare-out}"
+PRNUM="${PRNUM:-3}"
+PRTITLE="${PRTITLE:-Compile-once query planner: pushdown, n-ary hash joins, and plan reuse across valuations}"
 
 mkdir -p "$OUT"
 
@@ -69,4 +78,12 @@ else
     } | tee -a "$OUT/benchstat.txt"
 fi
 
-echo "results in $OUT/"
+echo "== JSON report =="
+go run ./scripts/benchjson \
+    -old "$OUT/old.txt" -new "$OUT/new.txt" \
+    -out "BENCH_PR$PRNUM.json" -pr "$PRNUM" -title "$PRTITLE" \
+    -method "go test -run='^\$' -bench='$BENCH' -benchmem -benchtime=$BENCHTIME -count=$COUNT; medians of $COUNT runs" \
+    -before "$(git log -1 --format='%h (%s)' "$BASE_REF" | cut -c1-120)" \
+    || echo "benchjson failed; text report still available" >&2
+
+echo "results in $OUT/ and BENCH_PR$PRNUM.json"

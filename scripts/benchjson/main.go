@@ -1,0 +1,168 @@
+// Command benchjson turns two `go test -bench` output files (a base run and
+// a working-tree run) into the BENCH_PR<n>.json comparison format the repo
+// records per performance PR: per benchmark, the median ns/op, B/op and
+// allocs/op of each side plus the speedup ratios. It is invoked by
+// scripts/bench_compare.sh after the two measurement passes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type stats struct {
+	Ns     float64 `json:"ns_per_op"`
+	Bytes  float64 `json:"bytes_per_op"`
+	Allocs float64 `json:"allocs_per_op"`
+}
+
+type cmp struct {
+	Before          stats   `json:"before"`
+	After           stats   `json:"after"`
+	SpeedupNs       float64 `json:"speedup_ns"`
+	BytesReduction  float64 `json:"bytes_reduction"`
+	AllocsReduction float64 `json:"allocs_reduction"`
+}
+
+type report struct {
+	PR           int            `json:"pr"`
+	Title        string         `json:"title"`
+	Method       string         `json:"method"`
+	Machine      string         `json:"machine"`
+	BeforeCommit string         `json:"before_commit"`
+	Benchmarks   map[string]cmp `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result line; -benchmem adds B/op and
+// allocs/op columns.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(path string) (map[string][]stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][]stats{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := stats{Ns: atof(m[2]), Bytes: atof(m[3]), Allocs: atof(m[4])}
+		out[m[1]] = append(out[m[1]], s)
+	}
+	return out, sc.Err()
+}
+
+func atof(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func medians(runs []stats) stats {
+	var ns, bs, as []float64
+	for _, r := range runs {
+		ns = append(ns, r.Ns)
+		bs = append(bs, r.Bytes)
+		as = append(as, r.Allocs)
+	}
+	return stats{Ns: median(ns), Bytes: median(bs), Allocs: median(as)}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return round2(a / b)
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+
+func machine() string {
+	model := "unknown cpu"
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "model name") {
+				if i := strings.Index(line, ":"); i >= 0 {
+					model = strings.TrimSpace(line[i+1:])
+				}
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("%s, %d vCPU, %s/%s, %s",
+		model, runtime.NumCPU(), runtime.GOOS, runtime.GOARCH, runtime.Version())
+}
+
+func main() {
+	oldPath := flag.String("old", "", "bench output of the base commit")
+	newPath := flag.String("new", "", "bench output of the working tree")
+	out := flag.String("out", "", "output JSON path")
+	pr := flag.Int("pr", 0, "PR number")
+	title := flag.String("title", "", "PR title")
+	method := flag.String("method", "", "measurement method description")
+	before := flag.String("before", "", "base commit description")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRuns, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	newRuns, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep := report{PR: *pr, Title: *title, Method: *method,
+		Machine: machine(), BeforeCommit: *before, Benchmarks: map[string]cmp{}}
+	for name, after := range newRuns {
+		beforeRuns, ok := oldRuns[name]
+		if !ok {
+			continue // benchmark new in this PR: nothing to compare
+		}
+		b, a := medians(beforeRuns), medians(after)
+		rep.Benchmarks[name] = cmp{
+			Before: b, After: a,
+			SpeedupNs:       ratio(b.Ns, a.Ns),
+			BytesReduction:  ratio(b.Bytes, a.Bytes),
+			AllocsReduction: ratio(b.Allocs, a.Allocs),
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
