@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-compare ci
+.PHONY: all fmt fmt-check vet build test race bench bench-compare bench-server smoke ci
 
 all: build
 
@@ -37,4 +37,14 @@ BASE ?= HEAD~1
 bench-compare:
 	./scripts/bench_compare.sh $(BASE)
 
-ci: fmt-check vet build race bench
+# Warm-vs-cold prepared-plan cache throughput of the incdbd server; emits
+# BENCH_PR4.json (see scripts/bench_server.sh).
+bench-server:
+	./scripts/bench_server.sh
+
+# End-to-end incdbd smoke: start the server, load the example database,
+# assert a certain answer and a prepared-plan cache hit.
+smoke:
+	./scripts/smoke_incdbd.sh
+
+ci: fmt-check vet build race bench smoke

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"incdb/internal/server"
+)
+
+const clientHelp = `commands:
+  load <file>              replace the session database from a file
+  append <file>            append a file's rows into the session database
+  <proc> <query>           evaluate (procs: sql naive cert inter plus poss ctable-*)
+  <query>                  evaluate under sql
+  explain [sql] [bag] <query>   show the plan (as the server prepares it)
+  status                   server sessions, versions, cache counters
+  help                     this text
+  quit                     leave the REPL`
+
+// runClient runs the client subcommand: with positional arguments it
+// executes them as one command line; without, it drops into a REPL. Both
+// speak the incdbd HTTP/JSON protocol through server.Client, so the CLI
+// and the server share one set of wire types.
+func runClient(args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "incdbd base URL")
+	session := fs.String("session", "default", "server-side session name")
+	bag := fs.Bool("bag", false, "bag semantics for sql/naive queries")
+	maxWorlds := fs.Int("maxworlds", 0, "certainty oracle world bound (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := server.NewClient(*addr, *session)
+	opts := queryOpts{bag: *bag, maxWorlds: *maxWorlds}
+	if fs.NArg() > 0 {
+		return clientLine(c, strings.Join(fs.Args(), " "), opts)
+	}
+
+	fmt.Printf("incdbctl REPL — server %s, session %q (help for commands)\n", *addr, *session)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("incdb> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := clientLine(c, line, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+type queryOpts struct {
+	bag       bool
+	maxWorlds int
+}
+
+// clientLine executes one command line against the server.
+func clientLine(c *server.Client, line string, opts queryOpts) error {
+	head, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch head {
+	case "help":
+		fmt.Println(clientHelp)
+		return nil
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		printStatus(st)
+		return nil
+	case "load", "append":
+		if rest == "" {
+			return fmt.Errorf("usage: %s <file>", head)
+		}
+		lr, err := c.LoadFile(strings.Trim(rest, "'\""), head == "append")
+		if err != nil {
+			return err
+		}
+		for _, rel := range lr.Relations {
+			fmt.Printf("%s/%d: %d rows (version %d)\n", rel.Name, rel.Arity, rel.Rows, rel.Version)
+		}
+		return nil
+	case "explain":
+		sql, bag := false, false
+		for {
+			word, more, _ := strings.Cut(rest, " ")
+			if word == "sql" {
+				sql, rest = true, strings.TrimSpace(more)
+			} else if word == "bag" {
+				bag, rest = true, strings.TrimSpace(more)
+			} else {
+				break
+			}
+		}
+		if rest == "" {
+			return fmt.Errorf("usage: explain [sql] [bag] <query>")
+		}
+		er, err := c.Explain(rest, sql, bag)
+		if err != nil {
+			return err
+		}
+		fmt.Print(er.Text)
+		return nil
+	case "query":
+		// "query <proc> <expr>" — the explicit one-shot form.
+		head, rest, _ = strings.Cut(rest, " ")
+		rest = strings.TrimSpace(rest)
+		fallthrough
+	default:
+		// A line starting with an evaluation procedure the server accepts
+		// (server.Procs — one source for the server dispatch and the CLI)
+		// evaluates the rest of the line under it.
+		proc, query := head, rest
+		if !server.KnownProc(proc) {
+			// A bare query evaluates under sql.
+			proc, query = "sql", strings.TrimSpace(line)
+			if strings.HasPrefix(query, "query ") {
+				query = strings.TrimSpace(strings.TrimPrefix(query, "query "))
+			}
+		}
+		if query == "" {
+			return fmt.Errorf("empty query (try: cert minus(proj(0, A), B))")
+		}
+		qr, err := c.Query(query, proc, opts.bag, opts.maxWorlds)
+		if err != nil {
+			return err
+		}
+		printResults(qr)
+		return nil
+	}
+}
+
+func printResults(qr *server.QueryResponse) {
+	for _, rs := range qr.Results {
+		fmt.Printf("%s (%d rows, %.2fms)\n", rs.Name, len(rs.Rows), qr.ElapsedMs)
+		for i, row := range rs.Rows {
+			line := "  (" + strings.Join(row, ", ") + ")"
+			if rs.Mults != nil && rs.Mults[i] != 1 {
+				line += fmt.Sprintf(" ×%d", rs.Mults[i])
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+func printStatus(st *server.StatusResponse) {
+	fmt.Printf("uptime %.1fs, workers %d, in-flight %d/%d, %d session(s)\n",
+		st.UptimeSeconds, st.Workers, st.InFlight, st.MaxInFlight, len(st.Sessions))
+	for _, s := range st.Sessions {
+		fmt.Printf("session %q: %d queries, cache %d entries (%d hits, %d misses, %d invalidations)\n",
+			s.Name, s.Queries, s.Cache.Entries, s.Cache.Hits, s.Cache.Misses, s.Cache.Invalidations)
+		for _, rel := range s.Relations {
+			fmt.Printf("  %s/%d: %d rows (version %d)\n", rel.Name, rel.Arity, rel.Rows, rel.Version)
+		}
+	}
+}

@@ -12,12 +12,21 @@
 //
 // The explain subcommand prints the optimized logical expression and the
 // compiled physical plan (with the subplans frozen across valuations
-// marked) instead of evaluating:
+// marked) instead of evaluating; -format json emits the same structured
+// rendering the incdbd server's /v1/explain endpoint returns:
 //
-//	incdbctl explain -db data.idb [-sql] [-bag] "minus(proj(0, Customers), proj(0, Payments))"
+//	incdbctl explain -db data.idb [-sql] [-bag] [-format text|json] "minus(proj(0, Customers), proj(0, Payments))"
+//
+// The client subcommand speaks the incdbd HTTP/JSON protocol — one-shot or
+// as a REPL over a named server-side session (see runClient):
+//
+//	incdbctl client -addr http://localhost:8080 -session demo load data.idb
+//	incdbctl client -addr http://localhost:8080 -session demo cert "minus(proj(0, Customers), proj(0, Payments))"
+//	incdbctl client -addr http://localhost:8080 -session demo            (REPL)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +49,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "client" {
+		if err := runClient(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "incdbctl client:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	dbPath := flag.String("db", "", "database file (raparse format)")
 	mode := flag.String("mode", "report", "evaluation mode")
 	maxWorlds := flag.Int("maxworlds", 0, "certainty oracle world bound (0 = default)")
@@ -55,12 +71,15 @@ func main() {
 	}
 }
 
-// runExplain parses `explain` flags and prints the plan for the query.
+// runExplain parses `explain` flags and prints the plan for the query —
+// as text, or with -format json as the structured plan.Describe rendering
+// the server's /v1/explain endpoint returns (one rendering path for both).
 func runExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	dbPath := fs.String("db", "", "database file (raparse format)")
 	sql := fs.Bool("sql", false, "plan for SQL three-valued evaluation instead of naive")
 	bag := fs.Bool("bag", false, "plan under bag semantics")
+	format := fs.String("format", "text", "output format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,7 +107,18 @@ func runExplain(args []string) error {
 	if *sql {
 		mode = algebra.ModeSQL
 	}
-	fmt.Print(plan.Explain(q, db, mode, *bag, db))
+	info := plan.Describe(q, db, mode, *bag, db)
+	switch *format {
+	case "text":
+		fmt.Print(info.Text())
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		return enc.Encode(info)
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
 	return nil
 }
 

@@ -1,0 +1,70 @@
+// Command incdbd serves incomplete databases over HTTP/JSON: named,
+// session-scoped databases with a version-guarded prepared-plan cache per
+// session, so repeated queries against a stable database reuse compiled and
+// prepared plans across requests (see internal/server).
+//
+//	incdbd -addr :8080
+//	incdbd -addr :8080 -load examples/data/orders.idb -session default
+//
+// Endpoints: POST /v1/load, POST /v1/query, POST /v1/explain,
+// GET /v1/status. The incdbctl client subcommand (and its REPL) speaks the
+// same protocol:
+//
+//	incdbctl client -addr http://localhost:8080 -session default
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get the grace period to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"incdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "oracle worker goroutines (0 = one per CPU, 1 = serial)")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent evaluations (0 = 2x workers)")
+	maxWorlds := flag.Int("maxworlds", 0, "default certainty oracle world bound (0 = library default)")
+	cacheCap := flag.Int("cache-cap", 0, "prepared-plan cache entries per session (0 = default)")
+	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown window")
+	load := flag.String("load", "", "database file (raparse format) to preload")
+	session := flag.String("session", "default", "session name for -load")
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		Workers:       *workers,
+		MaxInFlight:   *maxInFlight,
+		MaxWorlds:     *maxWorlds,
+		CacheCap:      *cacheCap,
+		ShutdownGrace: *grace,
+	})
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			log.Fatalf("incdbd: %v", err)
+		}
+		rels, err := srv.Preload(*session, string(data))
+		if err != nil {
+			log.Fatalf("incdbd: preload %s: %v", *load, err)
+		}
+		log.Printf("loaded %s into session %q (%d relations)", *load, *session, rels)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("incdbd listening on %s", *addr)
+	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "incdbd:", err)
+		os.Exit(1)
+	}
+	log.Printf("incdbd: shut down cleanly")
+}

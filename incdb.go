@@ -190,9 +190,29 @@ var (
 	// would be frozen across its possible worlds.
 	Explain = plan.Explain
 
+	// Describe is the structured form of Explain (the JSON the incdbd
+	// server's /v1/explain endpoint and incdbctl explain -format json
+	// emit).
+	Describe = plan.Describe
+
 	// EvalMode evaluates a query in an explicit mode (ModeNaive/ModeSQL)
 	// through the planner; Naive and SQL are the common shorthands.
 	EvalMode = algebra.Eval
+
+	// NewPrepCache creates a version-guarded prepared-plan cache for
+	// long-lived workloads (REPL/server): pass it via
+	// CertainOptions.Prep so repeated oracle calls against an unchanged
+	// database reuse frozen subplan state across calls. Entries are
+	// invalidated exactly when a relation the plan reads mutates
+	// (Relation.Version moves).
+	NewPrepCache = plan.NewPrepCache
+)
+
+// PrepCache re-exports the version-guarded prepared-plan cache type, and
+// ExplainInfo the structured EXPLAIN rendering.
+type (
+	PrepCache   = plan.PrepCache
+	ExplainInfo = plan.ExplainInfo
 )
 
 // Evaluation modes for EvalMode and Explain.

@@ -44,9 +44,12 @@ import (
 // worldEval compiles and prepares q once per oracle invocation: the
 // returned evaluator is shared by all worker shards and re-executes the
 // same physical plan per world, with every null-free subplan (results and
-// hash-join build tables) frozen across the whole valuation space.
-func worldEval(db *relation.Database, q algebra.Expr, bag bool) func(*relation.Database) *relation.Relation {
-	return plan.WorldEval(db, q, algebra.ModeNaive, bag)
+// hash-join build tables) frozen across the whole valuation space. With a
+// prepared-plan cache in the options the freeze additionally survives
+// *across* oracle invocations, guarded by the base relations' mutation
+// versions — the REPL/server reuse path.
+func (o Options) worldEval(db *relation.Database, q algebra.Expr, bag bool) func(*relation.Database) *relation.Relation {
+	return o.Prep.WorldEval(db, q, algebra.ModeNaive, bag)
 }
 
 // Options bounds the exhaustive enumeration and configures parallelism.
@@ -66,6 +69,11 @@ type Options struct {
 	// enumeration: 0 means one per CPU, 1 forces the serial reference
 	// path. Results are independent of the setting.
 	Workers int
+	// Prep, when non-nil, supplies version-guarded prepared plans that
+	// survive across oracle invocations: repeated queries against an
+	// unchanged database skip re-materializing every frozen null-free
+	// subplan. Results are identical with or without it.
+	Prep *plan.PrepCache
 }
 
 // DefaultMaxWorlds bounds enumeration to about a million possible worlds.
@@ -203,6 +211,14 @@ func tupleSpace(db *relation.Database, q algebra.Expr, t value.Tuple, ids []uint
 }
 
 func newSpace(db *relation.Database, ids []uint64, qconsts []value.Value, opts Options) (*Space, error) {
+	if len(ids) == 0 {
+		// No nulls to bind: the space is the single empty valuation, and
+		// the candidate range is irrelevant — skip collecting Const(D),
+		// which walks the whole database. This is the hot case for
+		// complete databases and for queries whose read columns are
+		// null-free (server workloads repeat those per session).
+		return &Space{count: 1}, nil
+	}
 	rng := append([]value.Value(nil), db.Consts()...)
 	have := map[value.Value]bool{}
 	for _, c := range rng {
@@ -282,8 +298,12 @@ func WithNulls(db *relation.Database, q algebra.Expr, opts Options) (*relation.R
 	if err != nil {
 		return nil, err
 	}
-	candidates := algebra.Naive(db, q).Tuples()
-	alive, err := survivors(db, q, space, candidates, opts)
+	// The naive evaluation is the prepared plan run on the base itself (the
+	// base is trivially one of its own worlds), so candidate collection
+	// shares the frozen null-free subplans with the world loop below.
+	eval := opts.worldEval(db, q, false)
+	candidates := eval(db).Tuples()
+	alive, err := survivors(db, space, candidates, opts, eval)
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +321,8 @@ func WithNulls(db *relation.Database, q algebra.Expr, opts Options) (*relation.R
 // of the space. The parallel path shards the index range; each worker
 // eliminates candidates independently and the shard results are AND-merged,
 // which is order-insensitive and hence identical to the serial elimination.
-func survivors(db *relation.Database, q algebra.Expr, space *Space, candidates []value.Tuple, opts Options) ([]bool, error) {
+func survivors(db *relation.Database, space *Space, candidates []value.Tuple, opts Options,
+	eval func(*relation.Database) *relation.Relation) ([]bool, error) {
 	alive := make([]bool, len(candidates))
 	for i := range alive {
 		alive[i] = true
@@ -309,7 +330,6 @@ func survivors(db *relation.Database, q algebra.Expr, space *Space, candidates [
 	if len(candidates) == 0 {
 		return alive, nil
 	}
-	eval := worldEval(db, q, false)
 	eliminate := func(ctx context.Context, lo, hi int, local []bool, allDead *engine.Flag) {
 		remaining := len(candidates)
 		for i := range local {
@@ -380,7 +400,7 @@ func Intersection(db *relation.Database, q algebra.Expr, opts Options) (*relatio
 	if err != nil {
 		return nil, err
 	}
-	eval := worldEval(db, q, false)
+	eval := opts.worldEval(db, q, false)
 	intersectRange := func(ctx context.Context, lo, hi int, empty *engine.Flag) *relation.Relation {
 		var acc *relation.Relation
 		step := 0
@@ -513,7 +533,7 @@ func Bool(db *relation.Database, q algebra.Expr, opts Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	eval := worldEval(db, q, false)
+	eval := opts.worldEval(db, q, false)
 	return forallWorlds(space, opts, func(v value.Valuation) bool {
 		return algebra.BooleanResult(eval(db.ApplyShared(v)))
 	})
@@ -526,7 +546,7 @@ func PossibleTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Op
 	if err != nil {
 		return false, err
 	}
-	return existsWorld(space, opts, tupleInAnswerPred(db, q, t))
+	return existsWorld(space, opts, tupleInAnswerPred(db, q, t, opts))
 }
 
 // CertainTuple reports whether t̄ ∈ cert⊥(Q, D) without computing the whole
@@ -536,7 +556,7 @@ func CertainTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opt
 	if err != nil {
 		return false, err
 	}
-	return forallWorlds(space, opts, tupleInAnswerPred(db, q, t))
+	return forallWorlds(space, opts, tupleInAnswerPred(db, q, t, opts))
 }
 
 // tupleInAnswerPred builds the per-world membership test v(t̄) ∈ Q(v(D)).
@@ -544,8 +564,8 @@ func CertainTuple(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opt
 // probes with t̄ itself and allocates nothing per world. (The predicate is
 // shared by all workers, so it cannot carry a mutable scratch buffer; the
 // prepared plan behind eval is concurrency-safe by construction.)
-func tupleInAnswerPred(db *relation.Database, q algebra.Expr, t value.Tuple) func(v value.Valuation) bool {
-	eval := worldEval(db, q, false)
+func tupleInAnswerPred(db *relation.Database, q algebra.Expr, t value.Tuple, opts Options) func(v value.Valuation) bool {
+	eval := opts.worldEval(db, q, false)
 	if !t.HasNull() {
 		return func(v value.Valuation) bool {
 			return eval(db.ApplyShared(v)).Contains(t)
@@ -579,7 +599,7 @@ func extremeMult(db *relation.Database, q algebra.Expr, t value.Tuple, opts Opti
 	if err != nil {
 		return 0, err
 	}
-	eval := worldEval(db, q, true)
+	eval := opts.worldEval(db, q, true)
 	scanRange := func(ctx context.Context, lo, hi int, zero *engine.Flag) shardBest {
 		out := shardBest{}
 		buf := make(value.Tuple, len(t))

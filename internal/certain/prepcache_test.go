@@ -1,0 +1,71 @@
+package certain
+
+import (
+	"testing"
+
+	"incdb/internal/algebra"
+	"incdb/internal/plan"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// TestOraclesWithPrepCache replays every oracle through a shared
+// prepared-plan cache: results must be identical to the one-shot path,
+// across repeated calls and across a mutation of the base database.
+func TestOraclesWithPrepCache(t *testing.T) {
+	db := relation.NewDatabase()
+	orders := relation.New("Orders", "oid", "cid")
+	orders.Add(value.Consts("o1", "c1"))
+	orders.Add(value.T(value.Const("o2"), db.FreshNull()))
+	db.Add(orders)
+	pay := relation.New("Payments", "oid")
+	pay.Add(value.Consts("o1"))
+	db.Add(pay)
+
+	q := algebra.Minus(algebra.Proj(algebra.R("Orders"), 0), algebra.R("Payments"))
+	cache := plan.NewPrepCache(8)
+	fresh := Options{Workers: 1}
+	cached := Options{Workers: 1, Prep: cache}
+
+	step := func(stage string) {
+		t.Helper()
+		want, err := WithNulls(db, q, fresh)
+		if err != nil {
+			t.Fatalf("%s: fresh WithNulls: %v", stage, err)
+		}
+		got, err := WithNulls(db, q, cached)
+		if err != nil {
+			t.Fatalf("%s: cached WithNulls: %v", stage, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: cached cert⊥ %s, fresh %s", stage, got, want)
+		}
+		wantI, err := Intersection(db, q, fresh)
+		if err != nil {
+			t.Fatalf("%s: fresh Intersection: %v", stage, err)
+		}
+		gotI, err := Intersection(db, q, cached)
+		if err != nil {
+			t.Fatalf("%s: cached Intersection: %v", stage, err)
+		}
+		if !gotI.Equal(wantI) {
+			t.Fatalf("%s: cached cert∩ %s, fresh %s", stage, gotI, wantI)
+		}
+	}
+
+	step("cold")
+	if st := cache.Stats(); st.Misses == 0 {
+		t.Fatalf("cold run did not populate the cache: %+v", st)
+	}
+	step("warm")
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("warm run did not hit the cache: %+v", st)
+	}
+	// Mutate a read relation: the cache must invalidate, and the oracles
+	// must see the new contents.
+	pay.Add(value.Consts("o2"))
+	step("after mutation")
+	if st := cache.Stats(); st.Invalidations == 0 {
+		t.Fatalf("mutation did not invalidate: %+v", st)
+	}
+}

@@ -98,7 +98,10 @@ func EvalWith(db *relation.Database, q algebra.Expr, s Strategy, eng engine.Opti
 			}
 		}()
 		checkFragment(q)
-		q = plan.Optimize(q, db)
+		// The cached optimizer shares one logical rewrite per (query,
+		// schema) with the planner, so repeated c-table evaluations of the
+		// same query (server workloads) skip re-optimizing.
+		q = plan.OptimizedFor(q, db)
 		out = eval(db, q, s, eng)
 		out = finalize(out, s, eng)
 		return nil

@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+)
+
+// PrepCache caches Prepared plans across calls so that the freeze computed
+// by Prepare — materialized null-free subplans, join build tables, IN and
+// anti-unify splits — survives beyond a single oracle invocation. Entries
+// are keyed by (query rendering, mode, semantics, read-relation arities),
+// i.e. the same key the process-wide plan cache uses, and guarded by the
+// version vector Prepare recorded: a lookup revalidates the guard against
+// the caller's database, so an entry is invalidated exactly when a relation
+// its plan reads has mutated (or been replaced) since Prepare ran.
+//
+// All methods are safe for concurrent use, and the Prepared values handed
+// out are themselves safe for concurrent Exec — a server can share one
+// PrepCache per session across request goroutines, provided mutations of
+// the underlying database are externally excluded from running queries (the
+// usual reader/writer discipline; the cache itself never mutates the
+// database). A nil *PrepCache is valid everywhere one is accepted and
+// simply prepares afresh on every call.
+type PrepCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*Prepared
+	order   []string // LRU order, least recently used first
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// DefaultPrepCacheCap bounds a cache constructed with capacity <= 0.
+const DefaultPrepCacheCap = 64
+
+// NewPrepCache returns a cache holding at most capacity prepared plans
+// (capacity <= 0 means DefaultPrepCacheCap); least recently used entries
+// are evicted first.
+func NewPrepCache(capacity int) *PrepCache {
+	if capacity <= 0 {
+		capacity = DefaultPrepCacheCap
+	}
+	return &PrepCache{capacity: capacity, entries: map[string]*Prepared{}}
+}
+
+// CacheStats is a snapshot of the cache counters. An invalidation is a
+// lookup that found an entry whose version guard failed (the entry is
+// dropped and re-prepared); a miss is a lookup that found no entry at all.
+type CacheStats struct {
+	Entries       int    `json:"entries"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// Stats returns a snapshot of the counters.
+func (c *PrepCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:       n,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// Get returns a Prepared for q against base, reusing a cached one when its
+// version guard still holds, and preparing (and caching) a fresh one
+// otherwise. A nil receiver prepares afresh without caching.
+func (c *PrepCache) Get(base *relation.Database, q algebra.Expr, mode algebra.Mode, bag bool) *Prepared {
+	if c == nil {
+		return PlanFor(q, base, mode, bag).Prepare(base)
+	}
+	key := cacheKey(q, base, mode, bag)
+	c.mu.Lock()
+	if prep, ok := c.entries[key]; ok {
+		if prep.ValidFor(base) {
+			c.touch(key)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return prep
+		}
+		c.remove(key)
+		c.mu.Unlock()
+		c.invalidations.Add(1)
+	} else {
+		c.mu.Unlock()
+		c.misses.Add(1)
+	}
+	// Prepare outside the lock: it materializes every null-free subplan,
+	// which can dominate request latency. Concurrent misses on the same key
+	// prepare identical state and the last store wins harmlessly.
+	prep := PlanFor(q, base, mode, bag).Prepare(base)
+	c.mu.Lock()
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = prep
+	c.touch(key)
+	for len(c.entries) > c.capacity {
+		c.remove(c.order[0])
+	}
+	c.mu.Unlock()
+	return prep
+}
+
+// WorldEval is the cached counterpart of the package-level WorldEval: the
+// returned evaluator executes the (possibly reused) prepared plan against
+// worlds derived from base and is safe for concurrent use. A nil receiver
+// falls back to a one-shot Prepare.
+func (c *PrepCache) WorldEval(base *relation.Database, q algebra.Expr, mode algebra.Mode, bag bool) func(*relation.Database) *relation.Relation {
+	return c.Get(base, q, mode, bag).Exec
+}
+
+// touch moves key to the most-recently-used end; caller holds c.mu.
+func (c *PrepCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+}
+
+// remove drops key from the map and the LRU order; caller holds c.mu.
+func (c *PrepCache) remove(key string) {
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package plan
+
+import (
+	"sync"
+	"testing"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// guardDB builds a database with one null-bearing relation (R), one
+// null-free relation (S, freezable) and one relation the test queries never
+// read (U).
+func guardDB() *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a", "b")
+	r.Add(value.Consts("k1", "v1"))
+	r.Add(value.T(value.Const("k2"), db.FreshNull()))
+	db.Add(r)
+	s := relation.New("S", "a", "c")
+	s.Add(value.Consts("k1", "w1"))
+	s.Add(value.Consts("k2", "w2"))
+	db.Add(s)
+	u := relation.New("U", "x")
+	u.Add(value.Consts("z"))
+	db.Add(u)
+	return db
+}
+
+func TestPreparedValidFor(t *testing.T) {
+	db := guardDB()
+	q := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.CEq(0, 2))
+	prep := PlanFor(q, db, algebra.ModeNaive, false).Prepare(db)
+
+	if !prep.ValidFor(db) {
+		t.Fatal("fresh Prepared invalid for its own base")
+	}
+	// Mutating a relation the plan does not read keeps the guard intact.
+	db.MustRelation("U").Add(value.Consts("zz"))
+	if !prep.ValidFor(db) {
+		t.Fatal("mutating an unread relation invalidated the Prepared")
+	}
+	// Mutating a read relation moves its version and fails the guard.
+	db.MustRelation("S").Add(value.Consts("k3", "w3"))
+	if prep.ValidFor(db) {
+		t.Fatal("mutating a read relation left the Prepared valid")
+	}
+
+	// Replacing a read relation wholesale (same contents, new object) also
+	// fails the guard: frozen results alias the old object's rows.
+	db2 := guardDB()
+	prep2 := PlanFor(q, db2, algebra.ModeNaive, false).Prepare(db2)
+	db2.Add(db2.MustRelation("S").Clone())
+	if prep2.ValidFor(db2) {
+		t.Fatal("replacing a read relation left the Prepared valid")
+	}
+}
+
+func TestPreparedValidForDom(t *testing.T) {
+	db := guardDB()
+	q := algebra.Minus(algebra.DomK(1), algebra.Proj(algebra.R("R"), 0))
+	prep := PlanFor(q, db, algebra.ModeNaive, false).Prepare(db)
+	if !prep.ValidFor(db) {
+		t.Fatal("fresh Prepared invalid for its own base")
+	}
+	// Dom reads the whole active domain: mutating any relation — even one
+	// the algebra never names — invalidates.
+	db.MustRelation("U").Add(value.Consts("fresh-const"))
+	if prep.ValidFor(db) {
+		t.Fatal("Dom plan survived a mutation extending the active domain")
+	}
+
+	// Adding a new relation extends the catalogue, so it invalidates too.
+	db2 := guardDB()
+	prep2 := PlanFor(q, db2, algebra.ModeNaive, false).Prepare(db2)
+	fresh := relation.New("V", "x")
+	fresh.Add(value.Consts("new"))
+	db2.Add(fresh)
+	if prep2.ValidFor(db2) {
+		t.Fatal("Dom plan survived a catalogue extension")
+	}
+}
+
+// TestPrepCacheReuseAndInvalidation drives the cache the way a session
+// does: repeated queries hit, a mutation of a touched relation invalidates
+// exactly the entries reading it, and results always match fresh
+// evaluation.
+func TestPrepCacheReuseAndInvalidation(t *testing.T) {
+	db := guardDB()
+	c := NewPrepCache(8)
+	qRS := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.CEq(0, 2))
+	qU := algebra.Proj(algebra.R("U"), 0)
+
+	check := func(q algebra.Expr) {
+		t.Helper()
+		got := c.Get(db, q, algebra.ModeNaive, false).Exec(db)
+		want := PlanFor(q, db, algebra.ModeNaive, false).Exec(db)
+		if !got.Equal(want) {
+			t.Fatalf("cached result differs from fresh evaluation:\n%s\nvs\n%s", got, want)
+		}
+	}
+
+	check(qRS)
+	check(qRS)
+	check(qU)
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Invalidations != 0 || st.Entries != 2 {
+		t.Fatalf("after warmup: %+v, want 2 misses / 1 hit / 0 invalidations / 2 entries", st)
+	}
+
+	// Mutate S: the R⋈S entry must be invalidated, the U entry must not.
+	db.MustRelation("S").Add(value.Consts("k1", "w9"))
+	check(qRS)
+	check(qU)
+	st = c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("mutating S: invalidations = %d, want exactly 1 (the R⋈S entry)", st.Invalidations)
+	}
+	if st.Hits != 2 {
+		t.Fatalf("mutating S: hits = %d, want 2 (the U entry stayed valid)", st.Hits)
+	}
+
+	// The re-prepared entry serves hits again.
+	check(qRS)
+	if st := c.Stats(); st.Hits != 3 {
+		t.Fatalf("re-prepared entry did not hit: %+v", st)
+	}
+}
+
+func TestPrepCacheEviction(t *testing.T) {
+	db := guardDB()
+	c := NewPrepCache(2)
+	qs := []algebra.Expr{
+		algebra.Proj(algebra.R("R"), 0),
+		algebra.Proj(algebra.R("S"), 0),
+		algebra.Proj(algebra.R("U"), 0),
+	}
+	for _, q := range qs {
+		c.Get(db, q, algebra.ModeNaive, false)
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("capacity 2 cache holds %d entries", st.Entries)
+	}
+	// The least recently used entry (qs[0]) was evicted: using it again is
+	// a miss; qs[2] stays cached.
+	before := c.Stats()
+	c.Get(db, qs[0], algebra.ModeNaive, false)
+	c.Get(db, qs[2], algebra.ModeNaive, false)
+	st := c.Stats()
+	if st.Misses != before.Misses+1 || st.Hits != before.Hits+1 {
+		t.Fatalf("eviction order wrong: before %+v after %+v", before, st)
+	}
+}
+
+// TestPrepCacheWorldEvalMatchesFresh replays the oracle world loop through
+// a shared cache: per-world results must be byte-identical to a fresh
+// Prepare, across repeated calls and across a mutation.
+func TestPrepCacheWorldEvalMatchesFresh(t *testing.T) {
+	db := guardDB()
+	c := NewPrepCache(8)
+	q := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.CEq(0, 2))
+
+	worlds := func() []*relation.Database {
+		var out []*relation.Database
+		for _, cst := range []string{"k1", "k2", "other"} {
+			v := value.NewValuation()
+			v.Set(1, value.Const(cst))
+			out = append(out, db.ApplyShared(v))
+		}
+		return out
+	}
+
+	for round := 0; round < 3; round++ {
+		cached := c.WorldEval(db, q, algebra.ModeNaive, false)
+		fresh := WorldEval(db, q, algebra.ModeNaive, false)
+		for i, w := range worlds() {
+			got, want := cached(w), fresh(w)
+			if !got.Equal(want) {
+				t.Fatalf("round %d world %d: cached %s want %s", round, i, got, want)
+			}
+		}
+		if round == 1 {
+			// Mid-test mutation: subsequent rounds must re-prepare.
+			db.MustRelation("S").Add(value.Consts("k2", "w9"))
+		}
+	}
+	st := c.Stats()
+	if st.Invalidations == 0 {
+		t.Fatalf("mutation did not invalidate: %+v", st)
+	}
+}
+
+// TestPrepCacheConcurrent exercises concurrent Get/Exec on one cache (run
+// under -race): many goroutines share entries while verifying results.
+func TestPrepCacheConcurrent(t *testing.T) {
+	db := guardDB()
+	c := NewPrepCache(8)
+	q := algebra.Sel(algebra.Times(algebra.R("R"), algebra.R("S")), algebra.CEq(0, 2))
+	want := PlanFor(q, db, algebra.ModeNaive, false).Exec(db)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				got := c.Get(db, q, algebra.ModeNaive, false).Exec(db)
+				if !got.Equal(want) {
+					t.Error("concurrent cached result differs")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNilPrepCache(t *testing.T) {
+	db := guardDB()
+	var c *PrepCache
+	q := algebra.Proj(algebra.R("S"), 0)
+	got := c.Get(db, q, algebra.ModeNaive, false).Exec(db)
+	want := PlanFor(q, db, algebra.ModeNaive, false).Exec(db)
+	if !got.Equal(want) {
+		t.Fatal("nil cache result differs from fresh evaluation")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}

@@ -134,6 +134,18 @@ type pantiunify struct {
 	l, r pnode
 }
 
+// pdistinct eliminates duplicate tuples from its input stream, emitting
+// each distinct tuple exactly once with multiplicity one. The compiler
+// places it at the root of every IN subplan: IN only probes set
+// membership on the probed columns, so the hash sides built from the
+// subquery result (the membership set and the SQL-mode null split) are
+// fed deduplicated rows instead of absorbing one insertion per duplicate
+// the subplan emits — the semi-join reduction of wide subquery results.
+type pdistinct struct {
+	pbase
+	in pnode
+}
+
 type pdom struct {
 	pbase
 	k int
@@ -148,6 +160,7 @@ func (n *pdiff) children() []pnode      { return []pnode{n.l, n.r} }
 func (n *pinter) children() []pnode     { return []pnode{n.l, n.r} }
 func (n *pdivide) children() []pnode    { return []pnode{n.l, n.r} }
 func (n *pantiunify) children() []pnode { return []pnode{n.l, n.r} }
+func (n *pdistinct) children() []pnode  { return []pnode{n.in} }
 func (n *pdom) children() []pnode       { return nil }
 
 // Compile builds the physical plan for e under set semantics.
@@ -164,7 +177,7 @@ func compile(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) *
 	p := &Plan{mode: mode, bag: bag, arity: algebra.Arity(e, cat)}
 	p.outName, p.outIsRel = rootName(e)
 	c := &compiler{p: p, top: p, cat: cat, subIdx: map[string]*Plan{}}
-	p.root = c.compile(Optimize(e, cat))
+	p.root = c.compile(OptimizedFor(e, cat))
 	return p
 }
 
@@ -449,7 +462,14 @@ func (c *compiler) subFor(e algebra.Expr) *Plan {
 	c.subIdx[key] = sub
 	c.top.subs = append(c.top.subs, sub)
 	sc := &compiler{p: sub, top: c.top, cat: c.cat, subIdx: c.subIdx}
-	sub.root = sc.compile(Optimize(e, c.cat))
+	inner := sc.compile(OptimizedFor(e, c.cat))
+	// Semi-join reduction: IN probes only set membership over the probed
+	// columns, so dedup the subplan's stream before any hash side is built
+	// from it (membership set, SQL null split, frozen materialization).
+	sub.root = sc.register(&pdistinct{
+		pbase: sc.newBase(inner.base().width, inner.base().reads),
+		in:    inner,
+	})
 	return sub
 }
 
@@ -492,4 +512,5 @@ func (n *pdiff) describe() string      { return "diff" }
 func (n *pinter) describe() string     { return "intersect" }
 func (n *pdivide) describe() string    { return "divide" }
 func (n *pantiunify) describe() string { return "anti-unify" }
+func (n *pdistinct) describe() string  { return "distinct (semi-join dedup)" }
 func (n *pdom) describe() string       { return fmt.Sprintf("dom^%d", n.k) }

@@ -1,0 +1,157 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdb/internal/algebra"
+	"incdb/internal/relation"
+)
+
+// ExplainNode is one physical operator in a structured plan rendering.
+// Frozen marks a node whose whole result is world-invariant (materialized
+// once per Prepare and reused across valuations); BuildFrozen marks a join
+// whose build side alone is frozen. Children are always populated — text
+// rendering elides them below frozen nodes, JSON consumers see the full
+// tree.
+type ExplainNode struct {
+	Op          string         `json:"op"`
+	Frozen      bool           `json:"frozen,omitempty"`
+	BuildFrozen bool           `json:"build_frozen,omitempty"`
+	Children    []*ExplainNode `json:"children,omitempty"`
+}
+
+// ExplainInfo is the structured form of EXPLAIN output: the one rendering
+// path shared by the incdbctl explain subcommand (text and -format json)
+// and the server's /v1/explain endpoint.
+type ExplainInfo struct {
+	Query       string           `json:"query"`
+	Logical     string           `json:"logical"`
+	Mode        string           `json:"mode"`
+	Semantics   string           `json:"semantics"`
+	Physical    *ExplainNode     `json:"physical"`
+	Subqueries  []*ExplainNode   `json:"subqueries,omitempty"`
+	UsedColumns map[string][]int `json:"used_columns,omitempty"`
+}
+
+// Describe returns the structured explain information for q, compiled
+// through the process-wide plan cache. When base is non-nil the plan is
+// additionally prepared against it and world-invariant (frozen) subplans
+// are marked: those are computed once per oracle call and shared across
+// all valuations. The used-column masks of algebra.UsedColumns are
+// reported alongside, since they drive the certain oracle's
+// valuation-space pruning that composes with plan reuse.
+func Describe(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, base *relation.Database) *ExplainInfo {
+	p := PlanFor(q, cat, mode, bag)
+	var prep *Prepared
+	if base != nil {
+		prep = p.Prepare(base)
+	}
+	return describeInfo(q, cat, p, prep)
+}
+
+// DescribeCached is Describe drawing the prepared state from a
+// version-guarded cache instead of freezing afresh: the markers reflect
+// exactly the Prepared a subsequent query through the same cache will
+// reuse (and the call warms that cache). The incdbd /v1/explain handler
+// uses it with the session's cache.
+func DescribeCached(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, base *relation.Database, cache *PrepCache) *ExplainInfo {
+	prep := cache.Get(base, q, mode, bag)
+	return describeInfo(q, cat, prep.p, prep)
+}
+
+func describeInfo(q algebra.Expr, cat algebra.Catalog, p *Plan, prep *Prepared) *ExplainInfo {
+	info := &ExplainInfo{
+		Query:     q.String(),
+		Logical:   OptimizedFor(q, cat).String(),
+		Mode:      p.mode.String(),
+		Semantics: "set",
+	}
+	if p.bag {
+		info.Semantics = "bag"
+	}
+	info.Physical = describeTree(p, p.root, prep)
+	for _, sub := range p.subs {
+		info.Subqueries = append(info.Subqueries, describeTree(sub, sub.root, prep))
+	}
+	if usedExplainable(q) {
+		used := algebra.UsedColumns(q, cat)
+		info.UsedColumns = make(map[string][]int, len(used))
+		for name, mask := range used {
+			cols := []int{}
+			for i, u := range mask {
+				if u {
+					cols = append(cols, i)
+				}
+			}
+			info.UsedColumns[name] = cols
+		}
+	}
+	return info
+}
+
+func describeTree(q *Plan, n pnode, prep *Prepared) *ExplainNode {
+	out := &ExplainNode{Op: n.describe()}
+	if prep != nil {
+		if fs := prep.frozen[q]; fs != nil {
+			if fs.rels[n.base().id] != nil {
+				out.Frozen = true
+			} else if j, ok := n.(*pjoin); ok && fs.tables[j.base().id] != nil {
+				out.BuildFrozen = true
+			}
+		}
+	}
+	for _, c := range n.children() {
+		out.Children = append(out.Children, describeTree(q, c, prep))
+	}
+	return out
+}
+
+// Text renders the historical EXPLAIN text format from the structured
+// form; Explain is Describe followed by Text.
+func (info *ExplainInfo) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query:    %s\n", info.Query)
+	fmt.Fprintf(&b, "logical:  %s\n", info.Logical)
+	fmt.Fprintf(&b, "mode:     %s, %s semantics\n", info.Mode, info.Semantics)
+	b.WriteString("physical:\n")
+	textTree(&b, info.Physical, 1)
+	for i, sub := range info.Subqueries {
+		fmt.Fprintf(&b, "subquery %d (set semantics):\n", i)
+		textTree(&b, sub, 1)
+	}
+	if info.UsedColumns != nil {
+		names := make([]string, 0, len(info.UsedColumns))
+		for name := range info.UsedColumns {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		b.WriteString("used columns:\n")
+		for _, name := range names {
+			cols := make([]string, len(info.UsedColumns[name]))
+			for i, c := range info.UsedColumns[name] {
+				cols[i] = fmt.Sprintf("%d", c)
+			}
+			fmt.Fprintf(&b, "  %s: [%s]\n", name, strings.Join(cols, ","))
+		}
+	}
+	return b.String()
+}
+
+func textTree(b *strings.Builder, n *ExplainNode, depth int) {
+	marker := ""
+	switch {
+	case n.Frozen:
+		marker = "  [frozen across worlds]"
+	case n.BuildFrozen:
+		marker = "  [build side frozen]"
+	}
+	fmt.Fprintf(b, "%s%s%s\n", strings.Repeat("  ", depth), n.Op, marker)
+	if n.Frozen {
+		return // the subtree below a frozen result is never re-executed
+	}
+	for _, c := range n.Children {
+		textTree(b, c, depth+1)
+	}
+}

@@ -40,6 +40,32 @@ func PlanFor(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) *
 	return p
 }
 
+// The process-wide logical-optimization cache: Optimize is pure in the
+// expression and the arities of the relations it mentions, so repeated
+// evaluation of the same query — the planner compiling main plans and IN
+// subplans, and ctable.EvalWith optimizing before its own row machinery —
+// shares one rewrite.
+var (
+	optCache     sync.Map // string → algebra.Expr
+	optCacheSize atomic.Int64
+)
+
+// OptimizedFor returns the cached (or freshly computed) logical
+// optimization of e over cat.
+func OptimizedFor(e algebra.Expr, cat algebra.Catalog) algebra.Expr {
+	key := cacheKey(e, cat, 0, false)
+	if v, ok := optCache.Load(key); ok {
+		return v.(algebra.Expr)
+	}
+	opt := Optimize(e, cat)
+	if optCacheSize.Load() < planCacheCap {
+		if _, loaded := optCache.LoadOrStore(key, opt); !loaded {
+			optCacheSize.Add(1)
+		}
+	}
+	return opt
+}
+
 func cacheKey(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) string {
 	var b strings.Builder
 	b.WriteString(e.String())

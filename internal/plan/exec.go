@@ -319,6 +319,17 @@ func (n *pantiunify) run(x *exec, emit func(t value.Tuple, m int)) {
 	})
 }
 
+func (n *pdistinct) run(x *exec, emit func(t value.Tuple, m int)) {
+	var seen value.TupleMap[struct{}]
+	stream(n.in, x, func(t value.Tuple, _ int) {
+		if seen.Has(t) {
+			return
+		}
+		seen.Put(t, struct{}{})
+		emit(t, 1)
+	})
+}
+
 func (n *pdom) run(x *exec, emit func(t value.Tuple, m int)) {
 	if n.k == 0 {
 		emit(value.Tuple{}, 1)

@@ -1,63 +1,19 @@
 package plan
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"incdb/internal/algebra"
 	"incdb/internal/relation"
 )
 
 // Explain renders the optimized logical expression and the physical
-// operator tree for q. When base is non-nil the plan is additionally
-// prepared against it and world-invariant (frozen) subplans are marked:
-// those are computed once per oracle call and shared across all valuations.
-// The used-column masks of algebra.UsedColumns are reported alongside,
-// since they drive the certain oracle's valuation-space pruning that
-// composes with plan reuse.
+// operator tree for q as text. When base is non-nil the plan is
+// additionally prepared against it and world-invariant (frozen) subplans
+// are marked: those are computed once per oracle call and shared across all
+// valuations. Explain is Describe followed by ExplainInfo.Text; consumers
+// that need the structured form (JSON explain, the server endpoint) call
+// Describe directly, so both outputs come from one rendering path.
 func Explain(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, base *relation.Database) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "query:    %s\n", q)
-	opt := Optimize(q, cat)
-	fmt.Fprintf(&b, "logical:  %s\n", opt)
-	sem := "set"
-	if bag {
-		sem = "bag"
-	}
-	fmt.Fprintf(&b, "mode:     %s, %s semantics\n", mode, sem)
-
-	p := compile(q, cat, mode, bag)
-	var prep *Prepared
-	if base != nil {
-		prep = p.Prepare(base)
-	}
-	b.WriteString("physical:\n")
-	explainTree(&b, p, p.root, prep, 1)
-	for i, sub := range p.subs {
-		fmt.Fprintf(&b, "subquery %d (set semantics):\n", i)
-		explainTree(&b, sub, sub.root, prep, 1)
-	}
-
-	if usedExplainable(q) {
-		used := algebra.UsedColumns(q, cat)
-		names := make([]string, 0, len(used))
-		for name := range used {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		b.WriteString("used columns:\n")
-		for _, name := range names {
-			cols := []string{}
-			for i, u := range used[name] {
-				if u {
-					cols = append(cols, fmt.Sprintf("%d", i))
-				}
-			}
-			fmt.Fprintf(&b, "  %s: [%s]\n", name, strings.Join(cols, ","))
-		}
-	}
-	return b.String()
+	return Describe(q, cat, mode, bag, base).Text()
 }
 
 // usedExplainable reports whether UsedColumns applies (it needs a
@@ -65,21 +21,4 @@ func Explain(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, b
 func usedExplainable(q algebra.Expr) bool {
 	_, usesDom := algebra.RelationsOf(q)
 	return !usesDom
-}
-
-func explainTree(b *strings.Builder, q *Plan, n pnode, prep *Prepared, depth int) {
-	marker := ""
-	if prep != nil {
-		if fs := prep.frozen[q]; fs != nil && fs.rels[n.base().id] != nil {
-			marker = "  [frozen across worlds]"
-		} else if j, ok := n.(*pjoin); ok && fs != nil && fs.tables[j.base().id] != nil {
-			marker = "  [build side frozen]"
-		}
-	}
-	fmt.Fprintf(b, "%s%s%s\n", strings.Repeat("  ", depth), n.describe(), marker)
-	if marker == "" || !strings.Contains(marker, "frozen across") {
-		for _, c := range n.children() {
-			explainTree(b, q, c, prep, depth+1)
-		}
-	}
 }

@@ -27,7 +27,66 @@ type Prepared struct {
 	frozen    map[*Plan]*frozenSet
 	subRels   map[*Plan]*relation.Relation
 	subSplits map[*Plan]*nullSplit
+
+	// guards record, per relation the plan reads, the relation object and
+	// its mutation version at Prepare time; ValidFor re-checks them so a
+	// Prepared can outlive a single oracle invocation (REPL/server
+	// workloads) and be dropped exactly when a touched relation changes.
+	// A plan reading the active domain (Dom) depends on every relation of
+	// the base, so domAll extends the guard to the whole catalogue.
+	guards []relGuard
+	domAll bool
 }
+
+// relGuard pins one base relation: same object, same mutation version.
+type relGuard struct {
+	name    string
+	rel     *relation.Relation
+	version uint64
+}
+
+// captureGuards records the version guard for the plan's read set.
+func (prep *Prepared) captureGuards() {
+	rs := prep.p.root.base().reads
+	names := rs.names
+	if rs.dom {
+		prep.domAll = true
+		names = prep.base.Names()
+	}
+	prep.guards = make([]relGuard, 0, len(names))
+	for _, name := range names {
+		g := relGuard{name: name, rel: prep.base.Relation(name)}
+		if g.rel != nil {
+			g.version = g.rel.Version()
+		}
+		prep.guards = append(prep.guards, g)
+	}
+}
+
+// ValidFor reports whether the prepared state is still valid when executing
+// against db (or worlds derived from it): db must present, for every
+// relation the plan reads, the same relation object at the same mutation
+// version as when Prepare ran. A plan reading Dom additionally requires the
+// catalogue itself to be unchanged, since any new relation extends the
+// active domain.
+func (prep *Prepared) ValidFor(db *relation.Database) bool {
+	if prep.domAll && len(db.Names()) != len(prep.guards) {
+		return false
+	}
+	for _, g := range prep.guards {
+		r := db.Relation(g.name)
+		if r != g.rel {
+			return false
+		}
+		if r != nil && r.Version() != g.version {
+			return false
+		}
+	}
+	return true
+}
+
+// Base returns the database the plan was prepared against.
+func (prep *Prepared) Base() *relation.Database { return prep.base }
 
 // frozenSet holds one plan's per-node freezes, indexed by node id.
 type frozenSet struct {
@@ -43,6 +102,7 @@ func (p *Plan) Prepare(base *relation.Database) *Prepared {
 		subRels:   map[*Plan]*relation.Relation{},
 		subSplits: map[*Plan]*nullSplit{},
 	}
+	prep.captureGuards()
 	// Freeze subplans innermost-first (they are appended outermost-first
 	// during compilation), so outer freezes reuse inner ones. A static
 	// subquery root was already materialized by freezeNodes; reuse it.

@@ -34,6 +34,19 @@ import (
 // in the number of nulls (computing µ exactly is FP^#P-hard, Section 4.3).
 const MaxNulls = 8
 
+// Options configures the probabilistic procedures beyond their engine
+// pool: Prep, when non-nil, supplies version-guarded prepared plans that
+// survive across invocations (REPL/server workloads), exactly like
+// certain.Options.Prep. Results never depend on either field.
+type Options struct {
+	Engine engine.Options
+	Prep   *plan.PrepCache
+}
+
+func (o Options) worldEval(db *relation.Database, q algebra.Expr) func(*relation.Database) *relation.Relation {
+	return o.Prep.WorldEval(db, q, algebra.ModeNaive, false)
+}
+
 // relevantConsts collects R = Const(D) ∪ consts(Q) ∪ consts(ā).
 func relevantConsts(db *relation.Database, q algebra.Expr, tuple value.Tuple) []value.Value {
 	seen := map[value.Value]bool{}
@@ -86,7 +99,13 @@ func MuK(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple valu
 // sharded across eng's workers and the per-shard counters summed, so the
 // result is independent of the worker count.
 func MuKWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int, eng engine.Options) (*big.Rat, error) {
-	num, den, err := suppCounts(db, q, sigma, tuple, k, eng)
+	return MuKOpts(db, q, sigma, tuple, k, Options{Engine: eng})
+}
+
+// MuKOpts is MuKWith with full Options (worker pool and prepared-plan
+// reuse across calls).
+func MuKOpts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int, opts Options) (*big.Rat, error) {
+	num, den, err := suppCounts(db, q, sigma, tuple, k, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +118,8 @@ func MuKWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple 
 // suppCounts enumerates the kⁿ valuations once and returns
 // (|Suppᵏ(Σ∧Q)|, |Suppᵏ(Σ)|); with nil Σ the denominator counts every
 // valuation.
-func suppCounts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int, eng engine.Options) (int64, int64, error) {
+func suppCounts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int, opts Options) (int64, int64, error) {
+	eng := opts.Engine
 	ids := db.NullIDs()
 	if len(ids) > MaxNulls {
 		return 0, 0, fmt.Errorf("prob: %d nulls exceed MaxNulls=%d", len(ids), MaxNulls)
@@ -114,8 +134,9 @@ func suppCounts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tup
 		return 0, 0, fmt.Errorf("prob: %d^%d valuations overflow the enumeration", len(rng), len(ids))
 	}
 	// Compile and prepare the query once for the whole kⁿ enumeration; the
-	// prepared plan is shared by all worker shards.
-	eval := plan.WorldEval(db, q, algebra.ModeNaive, false)
+	// prepared plan is shared by all worker shards (and, with opts.Prep,
+	// reused across calls under its version guard).
+	eval := opts.worldEval(db, q)
 	countRange := func(lo, hi int) (num, den int64) {
 		// One instantiation buffer per worker shard; ā is tiny but the
 		// enumeration visits kⁿ worlds, so per-world allocations add up.
@@ -217,6 +238,13 @@ func (e *patternEnum) count(v value.Valuation, buf value.Tuple, i, classes int, 
 // class); the per-branch polynomial coefficients are summed, so the result
 // is independent of the worker count.
 func MuWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, eng engine.Options) (*big.Rat, error) {
+	return MuOpts(db, q, sigma, tuple, Options{Engine: eng})
+}
+
+// MuOpts is MuWith with full Options (worker pool and prepared-plan reuse
+// across calls).
+func MuOpts(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, opts Options) (*big.Rat, error) {
+	eng := opts.Engine
 	ids := db.NullIDs()
 	if len(ids) > MaxNulls {
 		return nil, fmt.Errorf("prob: %d nulls exceed MaxNulls=%d", len(ids), MaxNulls)
@@ -224,7 +252,7 @@ func MuWith(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple v
 	rel := relevantConsts(db, q, tuple)
 	fresh := freshConsts(len(ids), rel)
 	e := &patternEnum{db: db, q: q, sigma: sigma, tuple: tuple, ids: ids, rel: rel, fresh: fresh,
-		eval: plan.WorldEval(db, q, algebra.ModeNaive, false)}
+		eval: opts.worldEval(db, q)}
 
 	// numTop[m] / denTop[m]: number of patterns with m fresh classes
 	// satisfying Σ∧Q, resp. Σ.
@@ -295,7 +323,7 @@ func AlmostCertainlyTrue(db *relation.Database, q algebra.Expr, tuple value.Tupl
 // SuppCount returns |Suppᵏ(Σ∧Q)| and |Suppᵏ(Σ)| for diagnostics: the raw
 // counts behind µᵏ (with nil Σ the second count is all kⁿ valuations).
 func SuppCount(db *relation.Database, q algebra.Expr, sigma constraint.Set, tuple value.Tuple, k int) (sat, total int, err error) {
-	num, den, err := suppCounts(db, q, sigma, tuple, k, engine.Options{})
+	num, den, err := suppCounts(db, q, sigma, tuple, k, Options{})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -338,6 +338,43 @@ func (p *parser) parseCond() (algebra.Cond, error) {
 // ParseDatabase reads the line-oriented database format.
 func ParseDatabase(r io.Reader) (*relation.Database, error) {
 	db := relation.NewDatabase()
+	if err := ParseDatabaseInto(r, db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// ParseDatabaseInto parses the same format into an existing database — the
+// append path of a long-lived session. A "rel" line declaring a relation
+// that already exists is a no-op when the arity matches (so a file can be
+// re-loaded in append mode) and an error otherwise; "row" lines add to the
+// live relations. Null tokens (_k) are scoped to one parse: the same token
+// always denotes the same null within the call, and every call allocates
+// fresh nulls — appended data never aliases nulls loaded earlier.
+//
+// The whole payload is parsed and validated before anything is applied, so
+// on error the database is untouched (a client can fix the input and
+// re-post without duplicating the prefix); only the fresh-null allocator
+// may have advanced, which is harmless — it is monotonic anyway.
+func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
+	var newRels []*relation.Relation
+	type rowOp struct {
+		rel *relation.Relation // existing relation, nil for a new one
+		idx int                // index into newRels when rel is nil
+		t   value.Tuple
+	}
+	var rows []rowOp
+	staged := map[string]int{} // name → index into newRels
+	arity := func(name string) (existing *relation.Relation, idx, ar int) {
+		if i, ok := staged[name]; ok {
+			return nil, i, newRels[i].Arity()
+		}
+		if rel := db.Relation(name); rel != nil {
+			return rel, -1, rel.Arity()
+		}
+		return nil, -1, -1
+	}
+
 	nulls := map[string]value.Value{}
 	sc := bufio.NewScanner(r)
 	lineno := 0
@@ -349,20 +386,28 @@ func ParseDatabase(r io.Reader) (*relation.Database, error) {
 		}
 		toks := lexLine(line)
 		if len(toks) < 2 {
-			return nil, fmt.Errorf("raparse: line %d: expected 'rel NAME attrs…' or 'row NAME values…'", lineno)
+			return fmt.Errorf("raparse: line %d: expected 'rel NAME attrs…' or 'row NAME values…'", lineno)
 		}
 		switch strings.ToLower(toks[0]) {
 		case "rel":
-			db.Add(relation.New(toks[1], toks[2:]...))
+			if _, _, ar := arity(toks[1]); ar >= 0 {
+				if ar != len(toks)-2 {
+					return fmt.Errorf("raparse: line %d: relation %q exists with arity %d, redeclared with %d",
+						lineno, toks[1], ar, len(toks)-2)
+				}
+				continue
+			}
+			staged[toks[1]] = len(newRels)
+			newRels = append(newRels, relation.New(toks[1], toks[2:]...))
 		case "row":
-			rel := db.Relation(toks[1])
-			if rel == nil {
-				return nil, fmt.Errorf("raparse: line %d: unknown relation %q", lineno, toks[1])
+			rel, idx, ar := arity(toks[1])
+			if ar < 0 {
+				return fmt.Errorf("raparse: line %d: unknown relation %q", lineno, toks[1])
 			}
 			vals := toks[2:]
-			if len(vals) != rel.Arity() {
-				return nil, fmt.Errorf("raparse: line %d: %s expects %d values, got %d",
-					lineno, toks[1], rel.Arity(), len(vals))
+			if len(vals) != ar {
+				return fmt.Errorf("raparse: line %d: %s expects %d values, got %d",
+					lineno, toks[1], ar, len(vals))
 			}
 			t := make(value.Tuple, len(vals))
 			for i, v := range vals {
@@ -377,12 +422,25 @@ func ParseDatabase(r io.Reader) (*relation.Database, error) {
 				}
 				t[i] = value.Const(strings.Trim(v, "'"))
 			}
-			rel.Add(t)
+			rows = append(rows, rowOp{rel: rel, idx: idx, t: t})
 		default:
-			return nil, fmt.Errorf("raparse: line %d: unknown directive %q", lineno, toks[0])
+			return fmt.Errorf("raparse: line %d: unknown directive %q", lineno, toks[0])
 		}
 	}
-	return db, sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Apply: the payload is fully validated, so from here on nothing fails.
+	for _, rel := range newRels {
+		db.Add(rel)
+	}
+	for _, op := range rows {
+		if op.rel == nil {
+			op.rel = newRels[op.idx]
+		}
+		op.rel.Add(op.t)
+	}
+	return nil
 }
 
 // lexLine splits a database line on spaces, honouring single quotes.

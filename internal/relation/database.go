@@ -65,6 +65,18 @@ func (d *Database) Arity(name string) int {
 	return -1
 }
 
+// Versions returns the database's version vector: every relation's
+// mutation counter (Relation.Version), keyed by name. Two snapshots of the
+// same database object with equal vectors are guaranteed to hold identical
+// contents; a long-lived service keys cached prepared state on it.
+func (d *Database) Versions() map[string]uint64 {
+	out := make(map[string]uint64, len(d.rels))
+	for name, r := range d.rels {
+		out[name] = r.version
+	}
+	return out
+}
+
 // FreshNull allocates a marked null unused anywhere in the database so far.
 func (d *Database) FreshNull() value.Value {
 	v := value.Null(d.nextNull)

@@ -48,6 +48,14 @@ type Relation struct {
 	// Atomic for the same reason as sorted: concurrent readers of a stable
 	// relation may race on the first computation, which is idempotent.
 	nullState atomic.Int32
+	// version counts content mutations: every Add/AddMult/SetMult/Normalize
+	// call bumps it (even when the call turns out to be a no-op — the
+	// counter over-approximates change, it never misses one). Long-lived
+	// consumers key cached derived state (prepared plans, frozen subplan
+	// results) on it and re-derive exactly when the version moves. Mutation
+	// requires external exclusivity anyway, so the counter is a plain word;
+	// readers of a stable relation see a stable value.
+	version uint64
 }
 
 // row is one stored tuple with its multiplicity and cached content hash.
@@ -105,13 +113,21 @@ func (r *Relation) lookup(t value.Tuple, h uint64) *row {
 	return nil
 }
 
-// invalidate drops the derived structures; every structural mutation calls
-// it because rows may appear or vanish.
+// invalidate drops the derived structures and bumps the mutation version;
+// every structural mutation calls it because rows may appear or vanish.
 func (r *Relation) invalidate() {
 	r.idx = nil
 	r.sorted.Store(nil)
 	r.nullState.Store(0)
+	r.version++
 }
+
+// Version returns the mutation counter: it moves on every mutating call
+// (Add, AddMult, SetMult, Normalize), so equal versions of the same
+// relation object guarantee identical contents. Clone preserves the
+// version; valuation instantiation (Apply) builds fresh relations starting
+// at zero.
+func (r *Relation) Version() uint64 { return r.version }
 
 // removeRow deletes the stored row equal to t under hash h, if present.
 func (r *Relation) removeRow(t value.Tuple, h uint64) {
@@ -296,8 +312,11 @@ func (r *Relation) eachStored(f func(e *row) bool) {
 
 // Normalize sets every multiplicity to one (bag → set). Indexes and the
 // sorted snapshot survive: they hold row pointers, so multiplicity updates
-// are visible through them, and the sort order ignores multiplicities.
+// are visible through them, and the sort order ignores multiplicities. The
+// mutation version still moves — bag-semantics consumers of cached state
+// would otherwise miss the multiplicity change.
 func (r *Relation) Normalize() {
+	r.version++
 	for _, bucket := range r.rows {
 		for _, e := range bucket {
 			e.mult = 1
@@ -351,7 +370,7 @@ func (r *Relation) MatchCount(col int, v value.Value) int {
 // original; only the row entries themselves are fresh.
 func (r *Relation) Clone() *Relation {
 	c := &Relation{name: r.name, attrs: append([]string(nil), r.attrs...), arity: r.arity,
-		rows: make(map[uint64][]*row, len(r.rows)), distinct: r.distinct}
+		rows: make(map[uint64][]*row, len(r.rows)), distinct: r.distinct, version: r.version}
 	for h, bucket := range r.rows {
 		nb := make([]*row, len(bucket))
 		for i, e := range bucket {

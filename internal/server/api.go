@@ -1,0 +1,126 @@
+// Package server implements incdbd: a long-lived HTTP/JSON query service
+// over named, session-scoped incomplete databases.
+//
+// Each session holds one incomplete database (loaded and mutated through
+// /v1/load in the raparse text format) and one prepared-plan cache: the
+// compile-once planner's Prepared state — frozen null-free subplan results,
+// join build tables, IN splits — survives across requests and is shared
+// read-only by concurrent queries, guarded by the relations' mutation
+// versions so that mutating a touched relation invalidates exactly the
+// affected entries (see plan.PrepCache).
+//
+// Endpoints:
+//
+//	POST /v1/load     load or append data into a session's database
+//	POST /v1/query    evaluate a query under any evaluation procedure
+//	POST /v1/explain  structured plan rendering (shared with incdbctl)
+//	GET  /v1/status   sessions, version vectors, cache counters
+//
+// The wire types below are shared by the server handlers and the incdbctl
+// client/REPL, so the two cannot drift apart.
+package server
+
+import "incdb/internal/plan"
+
+// LoadRequest creates or extends a session database. Data is the raparse
+// text format ("rel NAME attrs…" / "row NAME values…" lines). With Append
+// false the session's database is replaced wholesale; with Append true the
+// lines are parsed into the live database — new "rel" lines extend the
+// schema, "row" lines add tuples (bumping the relations' mutation
+// versions, which invalidates exactly the prepared plans that read them).
+type LoadRequest struct {
+	Session string `json:"session"`
+	Data    string `json:"data"`
+	Append  bool   `json:"append,omitempty"`
+}
+
+// LoadResponse reports the resulting schema and version vector.
+type LoadResponse struct {
+	Session   string           `json:"session"`
+	Relations []RelationStatus `json:"relations"`
+}
+
+// RelationStatus describes one relation of a session database.
+type RelationStatus struct {
+	Name    string `json:"name"`
+	Arity   int    `json:"arity"`
+	Rows    int    `json:"rows"` // distinct tuples
+	Version uint64 `json:"version"`
+}
+
+// QueryRequest evaluates Query (raparse query syntax) against a session
+// database. Proc selects the evaluation procedure: sql (default), naive,
+// cert (cert⊥), inter (cert∩), plus (Q⁺), poss (Q?), or
+// ctable-eager|semi|lazy|aware (certain and possible parts). Bag switches
+// sql/naive to bag semantics. MaxWorlds bounds the certainty oracles (0 =
+// server default).
+type QueryRequest struct {
+	Session   string `json:"session"`
+	Query     string `json:"query"`
+	Proc      string `json:"proc,omitempty"`
+	Bag       bool   `json:"bag,omitempty"`
+	MaxWorlds int    `json:"max_worlds,omitempty"`
+}
+
+// Resultset is one relation of answers. Rows are rendered in the
+// database text format: constants verbatim, the null ⊥k as "_k". Mults is
+// set only when some multiplicity differs from one (bag semantics).
+type Resultset struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows"`
+	Mults   []int      `json:"mults,omitempty"`
+}
+
+// QueryResponse carries the evaluation results: one resultset for most
+// procedures, certain+possible for the ctable strategies.
+type QueryResponse struct {
+	Session   string      `json:"session"`
+	Proc      string      `json:"proc"`
+	Query     string      `json:"query"`
+	Results   []Resultset `json:"results"`
+	ElapsedMs float64     `json:"elapsed_ms"`
+}
+
+// ExplainRequest renders the plan for a query against a session database.
+type ExplainRequest struct {
+	Session string `json:"session"`
+	Query   string `json:"query"`
+	SQL     bool   `json:"sql,omitempty"` // plan for SQL three-valued evaluation
+	Bag     bool   `json:"bag,omitempty"`
+}
+
+// ExplainResponse returns the structured plan (the same plan.Describe
+// output incdbctl's explain -format json prints) plus its text rendering.
+type ExplainResponse struct {
+	Session string            `json:"session"`
+	Plan    *plan.ExplainInfo `json:"plan"`
+	Text    string            `json:"text"`
+}
+
+// StatusResponse is the server-wide status snapshot.
+type StatusResponse struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Workers       int             `json:"workers"`
+	MaxInFlight   int             `json:"max_in_flight"`
+	InFlight      int             `json:"in_flight"`
+	Sessions      []SessionStatus `json:"sessions"`
+}
+
+// SessionStatus describes one session: its schema with versions, how many
+// queries it has served, and its prepared-plan cache counters. A repeated
+// query against an unchanged database shows up as Cache.Hits moving while
+// Misses stands still; mutating a relation shows up as Invalidations
+// moving on the next affected query.
+type SessionStatus struct {
+	Name      string           `json:"name"`
+	CreatedAt string           `json:"created_at"`
+	Queries   uint64           `json:"queries"`
+	Relations []RelationStatus `json:"relations"`
+	Cache     plan.CacheStats  `json:"cache"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

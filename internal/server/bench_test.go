@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"incdb/internal/plan"
+)
+
+// benchData builds a database whose prepared state is expensive: Payments
+// is a wide null-free relation (frozen and dedup'd once per Prepare),
+// Orders carries two nulls in a column the query never reads, so the
+// certain-answer oracle runs on a single world and request latency is
+// dominated by plan preparation versus reuse.
+func benchData(orders, payments int) string {
+	var b strings.Builder
+	b.WriteString("rel Orders oid cid\nrel Payments oid\n")
+	for i := 0; i < orders; i++ {
+		fmt.Fprintf(&b, "row Orders o%d c%d\n", i, i%97)
+	}
+	b.WriteString("row Orders ox1 _1\nrow Orders ox2 _2\n")
+	for i := 0; i < payments; i++ {
+		// Every order except the ox nulls and the last few is paid twice
+		// over (duplicate oids exercise the semi-join dedup).
+		fmt.Fprintf(&b, "row Payments o%d\n", i%(orders-3))
+	}
+	return b.String()
+}
+
+// BenchmarkServerQuery measures end-to-end repeated-query latency over
+// HTTP for a certain-answer query: cache=warm reuses the session's
+// prepared plans across requests, cache=cold resets the prepared-plan
+// cache before every request (the pre-PR behaviour of re-freezing every
+// null-free subplan per oracle invocation). scripts/bench_server.sh turns
+// the pair into the BENCH_PR4.json warm-vs-cold report.
+func BenchmarkServerQuery(b *testing.B) {
+	const query = "proj(0, sel(not(in(0, Payments)), Orders))"
+	srv := New(Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, "bench")
+	if _, err := c.Load(benchData(500, 20000), false); err != nil {
+		b.Fatalf("load: %v", err)
+	}
+	run := func(b *testing.B, cold bool) {
+		sess := srv.sessionFor("bench")
+		if _, err := c.Query(query, "cert", false, 0); err != nil {
+			b.Fatalf("query: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cold {
+				b.StopTimer()
+				sess.mu.Lock()
+				sess.prep = plan.NewPrepCache(srv.opts.CacheCap)
+				sess.mu.Unlock()
+				b.StartTimer()
+			}
+			if _, err := c.Query(query, "cert", false, 0); err != nil {
+				b.Fatalf("query: %v", err)
+			}
+		}
+	}
+	b.Run("cache=cold", func(b *testing.B) { run(b, true) })
+	b.Run("cache=warm", func(b *testing.B) { run(b, false) })
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Client speaks the incdbd HTTP/JSON protocol; incdbctl's client/REPL mode
+// and the smoke tests are built on it, so the CLI and the server share the
+// wire types above by construction.
+type Client struct {
+	base    string
+	session string
+	hc      *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080") operating on the named session.
+func NewClient(base, session string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), session: session, hc: &http.Client{}}
+}
+
+// Session returns the session name the client operates on.
+func (c *Client) Session() string { return c.session }
+
+// Load replaces (or, with append_, extends) the session database with data
+// in the raparse text format.
+func (c *Client) Load(data string, append_ bool) (*LoadResponse, error) {
+	var out LoadResponse
+	err := c.post("/v1/load", LoadRequest{Session: c.session, Data: data, Append: append_}, &out)
+	return &out, err
+}
+
+// LoadFile is Load from a file.
+func (c *Client) LoadFile(path string, append_ bool) (*LoadResponse, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.Load(string(data), append_)
+}
+
+// Query evaluates a query under the given procedure (see QueryRequest).
+func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*QueryResponse, error) {
+	var out QueryResponse
+	err := c.post("/v1/query", QueryRequest{
+		Session: c.session, Query: query, Proc: proc, Bag: bag, MaxWorlds: maxWorlds,
+	}, &out)
+	return &out, err
+}
+
+// Explain renders the plan for a query.
+func (c *Client) Explain(query string, sql, bag bool) (*ExplainResponse, error) {
+	var out ExplainResponse
+	err := c.post("/v1/explain", ExplainRequest{Session: c.session, Query: query, SQL: sql, Bag: bag}, &out)
+	return &out, err
+}
+
+// Status fetches the server-wide status snapshot.
+func (c *Client) Status() (*StatusResponse, error) {
+	resp, err := c.hc.Get(c.base + "/v1/status")
+	if err != nil {
+		return nil, err
+	}
+	var out StatusResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) post(path string, body, into any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, into)
+}
+
+func decodeResponse(resp *http.Response, into any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s", e.Error)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		return fmt.Errorf("server: bad response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"incdb/internal/algebra"
+	"incdb/internal/certain"
+	"incdb/internal/core"
+	"incdb/internal/ctable"
+	"incdb/internal/engine"
+	"incdb/internal/plan"
+	"incdb/internal/raparse"
+	"incdb/internal/relation"
+	"incdb/internal/translate"
+	"incdb/internal/value"
+)
+
+// ctableStrategies maps the ctable-* procedure names.
+var ctableStrategies = map[string]ctable.Strategy{
+	"ctable-eager": ctable.Eager,
+	"ctable-semi":  ctable.SemiEager,
+	"ctable-lazy":  ctable.Lazy,
+	"ctable-aware": ctable.Aware,
+}
+
+// Procs lists every evaluation procedure /v1/query accepts, in display
+// order. It is the single source the evaluate dispatch, the error message
+// and the incdbctl client's command recognition all derive from.
+func Procs() []string {
+	return []string{"sql", "naive", "cert", "inter", "plus", "poss",
+		"ctable-eager", "ctable-semi", "ctable-lazy", "ctable-aware"}
+}
+
+// KnownProc reports whether name is an accepted procedure.
+func KnownProc(name string) bool {
+	switch name {
+	case "sql", "naive", "cert", "inter", "plus", "poss":
+		return true
+	}
+	_, ok := ctableStrategies[name]
+	return ok
+}
+
+func procName(proc string) string {
+	if proc == "" {
+		return "sql"
+	}
+	return proc
+}
+
+// evaluate runs one query request against the session database. The caller
+// holds the session read lock; every path below is read-only on the
+// database and shares the session's prepared-plan cache, so concurrent
+// requests reuse each other's prepared state.
+func (s *Server) evaluate(sess *session, req *QueryRequest) ([]Resultset, error) {
+	q, err := raparse.ParseQuery(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	if err := algebra.Validate(q, sess.db); err != nil {
+		return nil, err
+	}
+	db := sess.db
+	proc := procName(req.Proc)
+	certOpts := certain.Options{
+		MaxWorlds: req.MaxWorlds,
+		Workers:   s.opts.Workers,
+		Prep:      sess.prep,
+	}
+	if certOpts.MaxWorlds <= 0 {
+		certOpts.MaxWorlds = s.opts.MaxWorlds
+	}
+
+	one := func(name string, r *relation.Relation) []Resultset {
+		return []Resultset{resultset(name, r)}
+	}
+	// direct evaluates q (or a rewriting of it) through the session's
+	// prepared-plan cache: the base database is trivially a world of
+	// itself, so Prepared.Exec(db) matches a fresh evaluation while
+	// reusing every frozen null-free subplan across requests.
+	direct := func(e algebra.Expr, mode algebra.Mode, bag bool) *relation.Relation {
+		return sess.prep.Get(db, e, mode, bag).Exec(db)
+	}
+
+	switch proc {
+	case "sql":
+		return one(proc, direct(q, algebra.ModeSQL, req.Bag)), nil
+	case "naive":
+		return one(proc, direct(q, algebra.ModeNaive, req.Bag)), nil
+	case "cert":
+		r, err := certain.WithNulls(db, q, certOpts)
+		if err != nil {
+			return nil, err
+		}
+		return one("cert⊥", r), nil
+	case "inter":
+		r, err := certain.Intersection(db, q, certOpts)
+		if err != nil {
+			return nil, err
+		}
+		return one("cert∩", r), nil
+	case "plus", "poss":
+		r, err := approx(db, q, proc, direct)
+		if err != nil {
+			return nil, err
+		}
+		name := "Q+"
+		if proc == "poss" {
+			name = "Q?"
+		}
+		return one(name, r), nil
+	default:
+		strat, ok := ctableStrategies[proc]
+		if !ok {
+			return nil, fmt.Errorf("unknown proc %q (want one of %s)", req.Proc, strings.Join(Procs(), ", "))
+		}
+		cpart, ppart, err := core.CTableAnswersWith(db, q, strat, engine.Options{Workers: s.opts.Workers})
+		if err != nil {
+			return nil, err
+		}
+		return []Resultset{resultset("certain", cpart), resultset("possible", ppart)}, nil
+	}
+}
+
+// approx evaluates the Figure 2(b) rewritings through the prepared cache:
+// Q⁺ and Q? are plain naive evaluations of rewritten queries, so they reuse
+// frozen subplans exactly like sql/naive do.
+func approx(db *relation.Database, q algebra.Expr, proc string,
+	direct func(algebra.Expr, algebra.Mode, bool) *relation.Relation) (*relation.Relation, error) {
+	plus, poss, err := translate.Fig2b(q)
+	if err != nil {
+		return nil, err
+	}
+	rew := plus
+	if proc == "poss" {
+		rew = poss
+	}
+	return direct(rew, algebra.ModeNaive, false), nil
+}
+
+// explain renders the plan for the request's query; the caller holds the
+// session read lock. The structured form comes from the same rendering
+// path incdbctl explain uses (plan.Describe), drawing prepared state from
+// the session's cache: the [frozen across worlds] markers reflect exactly
+// the Prepared a subsequent query will reuse, and explaining warms the
+// cache for it.
+func (s *Server) explain(sess *session, req *ExplainRequest) (*plan.ExplainInfo, error) {
+	q, err := raparse.ParseQuery(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	if err := algebra.Validate(q, sess.db); err != nil {
+		return nil, err
+	}
+	mode := algebra.ModeNaive
+	if req.SQL {
+		mode = algebra.ModeSQL
+	}
+	return plan.DescribeCached(q, sess.db, mode, req.Bag, sess.db, sess.prep), nil
+}
+
+// resultset renders a relation for the wire: deterministic row order,
+// values in the database text format (nulls as _k), multiplicities only
+// when some row's differs from one.
+func resultset(name string, r *relation.Relation) Resultset {
+	out := Resultset{Name: name, Columns: append([]string(nil), r.Attrs()...), Rows: [][]string{}}
+	var mults []int
+	hasMult := false
+	r.Each(func(t value.Tuple, m int) {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = renderValue(v)
+		}
+		out.Rows = append(out.Rows, row)
+		mults = append(mults, m)
+		if m != 1 {
+			hasMult = true
+		}
+	})
+	if hasMult {
+		out.Mults = mults
+	}
+	return out
+}
+
+func renderValue(v value.Value) string {
+	if v.IsNull() {
+		return "_" + strconv.FormatUint(v.NullID(), 10)
+	}
+	return v.ConstVal()
+}

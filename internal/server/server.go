@@ -1,0 +1,390 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incdb/internal/engine"
+	"incdb/internal/plan"
+	"incdb/internal/raparse"
+	"incdb/internal/relation"
+)
+
+// Options configures the service.
+type Options struct {
+	// Workers sizes the engine pool the certainty oracles shard their
+	// valuation enumeration over: 0 means one per CPU, 1 forces the serial
+	// reference path (results never depend on it).
+	Workers int
+	// MaxInFlight bounds concurrently evaluating requests (query and
+	// explain); further requests wait, failing with 503 when the client
+	// gives up first. Zero means twice the engine worker count — enough to
+	// keep the pool busy without unbounded queueing.
+	MaxInFlight int
+	// MaxWorlds is the default bound on the certainty oracles' valuation
+	// enumeration (0 = certain.DefaultMaxWorlds); a request may override it.
+	MaxWorlds int
+	// CacheCap is each session's prepared-plan cache capacity
+	// (0 = plan.DefaultPrepCacheCap).
+	CacheCap int
+	// ShutdownGrace is how long ListenAndServe waits for in-flight
+	// requests after its context is canceled (0 = 5s).
+	ShutdownGrace time.Duration
+}
+
+func (o Options) maxInFlight() int {
+	if o.MaxInFlight > 0 {
+		return o.MaxInFlight
+	}
+	return 2 * engine.Options{Workers: o.Workers}.WorkerCount()
+}
+
+func (o Options) shutdownGrace() time.Duration {
+	if o.ShutdownGrace > 0 {
+		return o.ShutdownGrace
+	}
+	return 5 * time.Second
+}
+
+// Server is the incdbd service: named sessions, each owning one incomplete
+// database and one version-guarded prepared-plan cache. All handlers are
+// safe for concurrent use; database mutation (load) excludes running
+// queries per session via an RWMutex, so queries always see a consistent
+// database and cache guards are checked under the same read lock.
+type Server struct {
+	opts  Options
+	start time.Time
+	mux   *http.ServeMux
+
+	sem      chan struct{}
+	inflight atomic.Int64
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+}
+
+// session is one named database with its prepared-plan cache.
+type session struct {
+	name    string
+	created time.Time
+	queries atomic.Uint64
+
+	// mu orders mutation against evaluation: load (append or replace)
+	// takes the write side, query/explain the read side. The prepared
+	// state handed out by prep is itself safe for concurrent execution.
+	mu   sync.RWMutex
+	db   *relation.Database
+	prep *plan.PrepCache
+}
+
+// New returns a ready-to-serve Server.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:     opts,
+		start:    time.Now(),
+		sessions: map[string]*session{},
+		sem:      make(chan struct{}, opts.maxInFlight()),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return s
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// maxBodyBytes caps request bodies (/v1/load payloads dominate); beyond it
+// the JSON decoder fails with a 400 instead of buffering without bound.
+const maxBodyBytes = 64 << 20
+
+// ListenAndServe serves until ctx is canceled, then shuts down gracefully:
+// the listener closes immediately, in-flight requests get ShutdownGrace to
+// finish. Header-read and idle timeouts guard against slow-client
+// connection exhaustion; there is deliberately no write timeout, since
+// oracle queries may legitimately run long.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.opts.shutdownGrace())
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	return nil
+}
+
+// acquire takes an evaluation slot, respecting the request context. A free
+// slot is taken even when the context is already done (the fast path below
+// never loses that race), so the error always means the caller actually
+// waited: it reports the live in-flight gauge and the context's own cause
+// so a client-side timeout is not misread as server saturation.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("no evaluation slot (%d of %d in flight): %w",
+			s.inflight.Load(), s.opts.maxInFlight(), ctx.Err())
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// sessionFor returns the named session, or nil.
+func (s *Server) sessionFor(name string) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[name]
+}
+
+// ensureSession returns the named session, creating an empty one on first
+// use.
+func (s *Server) ensureSession(name string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[name]; ok {
+		return sess
+	}
+	sess := &session{
+		name:    name,
+		created: time.Now(),
+		db:      relation.NewDatabase(),
+		prep:    plan.NewPrepCache(s.opts.CacheCap),
+	}
+	s.sessions[name] = sess
+	return sess
+}
+
+// Preload loads data (raparse text) into the named session before serving;
+// it returns the number of relations loaded. Used by incdbd -load.
+func (s *Server) Preload(session, data string) (int, error) {
+	db, err := raparse.ParseDatabase(strings.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	sess := s.ensureSession(session)
+	sess.mu.Lock()
+	sess.db = db
+	sess.prep = plan.NewPrepCache(s.opts.CacheCap)
+	n := len(db.Names())
+	sess.mu.Unlock()
+	return n, nil
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Session == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing session name"))
+		return
+	}
+	if req.Append {
+		if sess := s.sessionFor(req.Session); sess != nil {
+			sess.mu.Lock()
+			defer sess.mu.Unlock()
+			// Parse into the live database (atomic: a payload error leaves
+			// it untouched); version bumps on the touched relations
+			// invalidate exactly the prepared plans reading them.
+			if err := raparse.ParseDatabaseInto(strings.NewReader(req.Data), sess.db); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, LoadResponse{
+				Session:   req.Session,
+				Relations: relationStatuses(sess.db),
+			})
+			return
+		}
+		// Appending to a session that does not exist yet is its first load.
+	}
+	// Replace path: parse and validate the payload before the session is
+	// even created, so a failed first load leaves no phantom empty session
+	// behind and a failed replace leaves the old database untouched.
+	db, err := raparse.ParseDatabase(strings.NewReader(req.Data))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.ensureSession(req.Session)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	// Replacing the database wholesale replaces every relation object, so
+	// no cached prepared plan can survive its pointer guard — drop the
+	// cache now rather than letting stale entries pin the old database's
+	// frozen materializations until they happen to be looked up again.
+	sess.db = db
+	sess.prep = plan.NewPrepCache(s.opts.CacheCap)
+	writeJSON(w, http.StatusOK, LoadResponse{
+		Session:   req.Session,
+		Relations: relationStatuses(sess.db),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.sessionFor(req.Session)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q (load data first)", req.Session))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	sess.mu.RLock()
+	results, err := s.evaluate(sess, &req)
+	sess.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sess.queries.Add(1)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Session:   req.Session,
+		Proc:      procName(req.Proc),
+		Query:     req.Query,
+		Results:   results,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess := s.sessionFor(req.Session)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q (load data first)", req.Session))
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+
+	sess.mu.RLock()
+	info, err := s.explain(sess, &req)
+	sess.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Session: req.Session,
+		Plan:    info,
+		Text:    info.Text(),
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sessions := make([]*session, len(names))
+	for i, name := range names {
+		sessions[i] = s.sessions[name]
+	}
+	s.mu.RUnlock()
+
+	resp := StatusResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       engine.Options{Workers: s.opts.Workers}.WorkerCount(),
+		MaxInFlight:   s.opts.maxInFlight(),
+		InFlight:      int(s.inflight.Load()),
+	}
+	for _, sess := range sessions {
+		sess.mu.RLock()
+		st := SessionStatus{
+			Name:      sess.name,
+			CreatedAt: sess.created.UTC().Format(time.RFC3339),
+			Queries:   sess.queries.Load(),
+			Relations: relationStatuses(sess.db),
+			Cache:     sess.prep.Stats(),
+		}
+		sess.mu.RUnlock()
+		resp.Sessions = append(resp.Sessions, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func relationStatuses(db *relation.Database) []RelationStatus {
+	var out []RelationStatus
+	for _, name := range db.Names() {
+		r := db.MustRelation(name)
+		out = append(out, RelationStatus{
+			Name:    name,
+			Arity:   r.Arity(),
+			Rows:    r.Len(),
+			Version: r.Version(),
+		})
+	}
+	return out
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const ordersData = `
+rel Customers cid name
+rel Orders oid cid
+rel Payments oid
+row Customers c1 'Ann'
+row Customers c2 'Bob'
+row Orders o1 c1
+row Orders o2 _1
+row Payments o1
+`
+
+// unpaid is a certain-answer workload: orders with no payment. o2 is
+// certain regardless of how ⊥1 is resolved.
+const unpaid = "proj(0, sel(not(in(0, Payments)), Orders))"
+
+func newTestServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	srv := httptest.NewServer(New(Options{Workers: 2}).Handler())
+	t.Cleanup(srv.Close)
+	return srv, NewClient(srv.URL, "test")
+}
+
+func sessionStatus(t *testing.T, c *Client, name string) SessionStatus {
+	t.Helper()
+	st, err := c.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	for _, s := range st.Sessions {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("session %q not in status %+v", name, st)
+	return SessionStatus{}
+}
+
+func TestLoadQueryStatusRoundTrip(t *testing.T) {
+	_, c := newTestServer(t)
+	lr, err := c.Load(ordersData, false)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(lr.Relations) != 3 {
+		t.Fatalf("load reported %d relations, want 3", len(lr.Relations))
+	}
+
+	qr, err := c.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(qr.Results) != 1 {
+		t.Fatalf("cert returned %d resultsets, want 1", len(qr.Results))
+	}
+	if want := [][]string{{"o2"}}; !reflect.DeepEqual(qr.Results[0].Rows, want) {
+		t.Fatalf("cert rows = %v, want %v", qr.Results[0].Rows, want)
+	}
+
+	ss := sessionStatus(t, c, "test")
+	if ss.Queries != 1 {
+		t.Fatalf("status queries = %d, want 1", ss.Queries)
+	}
+	for _, rel := range ss.Relations {
+		if rel.Name == "Orders" && rel.Rows != 2 {
+			t.Fatalf("status Orders rows = %d, want 2", rel.Rows)
+		}
+	}
+}
+
+// TestRepeatedQueryHitsPreparedCache is the acceptance path: a repeated
+// certain-answer query against an unchanged session database reuses the
+// cached Prepared, observable via the /v1/status cache counters, with
+// byte-identical results.
+func TestRepeatedQueryHitsPreparedCache(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	first, err := c.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("cold query: %v", err)
+	}
+	cold := sessionStatus(t, c, "test").Cache
+	if cold.Misses == 0 {
+		t.Fatalf("cold query did not miss the cache: %+v", cold)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := c.Query(unpaid, "cert", false, 0)
+		if err != nil {
+			t.Fatalf("warm query %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(again.Results, first.Results) {
+			t.Fatalf("warm result differs: %+v vs %+v", again.Results, first.Results)
+		}
+	}
+	warm := sessionStatus(t, c, "test").Cache
+	if warm.Hits == 0 {
+		t.Fatalf("warm queries did not hit the cache: %+v", warm)
+	}
+	if warm.Misses != cold.Misses {
+		t.Fatalf("warm queries missed: cold %+v warm %+v", cold, warm)
+	}
+	if warm.Invalidations != 0 {
+		t.Fatalf("no mutation happened, yet invalidations = %d", warm.Invalidations)
+	}
+}
+
+// TestMutationInvalidatesExactlyAffectedEntries: appending rows to a
+// relation invalidates the cached plans reading it — and only those — and
+// subsequent queries see the new data.
+func TestMutationInvalidatesExactlyAffectedEntries(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// Warm two entries: one reading Orders+Payments, one reading Customers.
+	if _, err := c.Query(unpaid, "cert", false, 0); err != nil {
+		t.Fatalf("warm unpaid: %v", err)
+	}
+	customers := "proj(0, Customers)"
+	if _, err := c.Query(customers, "naive", false, 0); err != nil {
+		t.Fatalf("warm customers: %v", err)
+	}
+	if _, err := c.Query(customers, "naive", false, 0); err != nil {
+		t.Fatalf("re-warm customers: %v", err)
+	}
+	before := sessionStatus(t, c, "test").Cache
+
+	// A new order arrives and is paid immediately: Orders and Payments
+	// both mutate mid-session; the certain unpaid set stays {o2}.
+	if _, err := c.Load("row Orders o3 c2\nrow Payments o3", true); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	qr, err := c.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("post-mutation query: %v", err)
+	}
+	if want := [][]string{{"o2"}}; !reflect.DeepEqual(qr.Results[0].Rows, want) {
+		t.Fatalf("after paid o3, unpaid cert = %v, want %v", qr.Results[0].Rows, want)
+	}
+	mid := sessionStatus(t, c, "test").Cache
+	if mid.Invalidations == 0 {
+		t.Fatalf("mutation did not invalidate: before %+v after %+v", before, mid)
+	}
+
+	// The Customers entry was untouched: querying it again must hit.
+	if _, err := c.Query(customers, "naive", false, 0); err != nil {
+		t.Fatalf("customers after mutation: %v", err)
+	}
+	after := sessionStatus(t, c, "test").Cache
+	if after.Hits <= mid.Hits {
+		t.Fatalf("unaffected entry did not hit after mutation: %+v -> %+v", mid, after)
+	}
+	if after.Invalidations != mid.Invalidations {
+		t.Fatalf("unaffected entry was invalidated: %+v -> %+v", mid, after)
+	}
+}
+
+// TestConcurrentQueriesShareCache runs many concurrent requests over one
+// session (run under -race): results must all be byte-identical to the
+// serial answer while sharing one prepared-plan cache.
+func TestConcurrentQueriesShareCache(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	want, err := c.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("reference query: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	procs := []string{"cert", "sql", "naive", "inter"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				proc := procs[(g+i)%len(procs)]
+				qr, err := c.Query(unpaid, proc, false, 0)
+				if err != nil {
+					t.Errorf("concurrent %s: %v", proc, err)
+					return
+				}
+				if proc == "cert" && !reflect.DeepEqual(qr.Results, want.Results) {
+					t.Errorf("concurrent cert differs: %+v", qr.Results)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := sessionStatus(t, c, "test").Cache
+	if st.Hits == 0 {
+		t.Fatalf("concurrent load shared no prepared state: %+v", st)
+	}
+}
+
+// TestConcurrentMutationAndQueries interleaves appends with queries (run
+// under -race): every response must be internally consistent — the unpaid
+// answer shrinks monotonically as payments arrive, and no request may
+// observe a torn database.
+func TestConcurrentMutationAndQueries(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := c.Load(fmt.Sprintf("row Orders ox%d c1\nrow Payments ox%d", i, i), true); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			qr, err := c.Query(unpaid, "cert", false, 0)
+			if err != nil {
+				t.Errorf("query %d: %v", i, err)
+				return
+			}
+			// Every paid order appears with its payment in one append, so
+			// the certain unpaid set is always exactly {o2}.
+			if len(qr.Results[0].Rows) != 1 || qr.Results[0].Rows[0][0] != "o2" {
+				t.Errorf("query %d saw torn state: %v", i, qr.Results[0].Rows)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestAllProcs(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	q := "minus(proj(0, Orders), Payments)"
+	for _, proc := range Procs() {
+		qr, err := c.Query(q, proc, false, 0)
+		if err != nil {
+			t.Fatalf("proc %s: %v", proc, err)
+		}
+		wantSets := 1
+		if strings.HasPrefix(proc, "ctable-") {
+			wantSets = 2
+		}
+		if len(qr.Results) != wantSets {
+			t.Fatalf("proc %s: %d resultsets, want %d", proc, len(qr.Results), wantSets)
+		}
+	}
+}
+
+func TestExplainEndpointSharesPlanRendering(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	er, err := c.Explain(unpaid, true, false)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if er.Plan == nil || er.Plan.Physical == nil {
+		t.Fatalf("explain returned no structured plan: %+v", er)
+	}
+	if !strings.Contains(er.Text, "physical:") {
+		t.Fatalf("explain text missing physical tree:\n%s", er.Text)
+	}
+	// The IN subquery must carry the semi-join dedup, visible in both
+	// renderings.
+	if !strings.Contains(er.Text, "distinct (semi-join dedup)") {
+		t.Fatalf("explain text missing semi-join dedup:\n%s", er.Text)
+	}
+	data, _ := json.Marshal(er.Plan)
+	if !strings.Contains(string(data), "distinct (semi-join dedup)") {
+		t.Fatalf("structured plan missing semi-join dedup:\n%s", data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Query("proj(0, R)", "sql", false, 0); err == nil {
+		t.Fatal("query against unknown session did not fail")
+	}
+	if _, err := c.Load("nonsense line", false); err == nil {
+		t.Fatal("bad load did not fail")
+	}
+	// A failed first load must not leave a phantom session behind.
+	if st, err := c.Status(); err != nil || len(st.Sessions) != 0 {
+		t.Fatalf("failed load left sessions: %+v (err %v)", st.Sessions, err)
+	}
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := c.Query("proj(9, Orders)", "sql", false, 0); err == nil {
+		t.Fatal("invalid query did not fail")
+	}
+	if _, err := c.Query(unpaid, "no-such-proc", false, 0); err == nil {
+		t.Fatal("unknown proc did not fail")
+	}
+	if _, err := c.Load("rel Orders a b c", true); err == nil {
+		t.Fatal("arity-clashing append did not fail")
+	}
+}
+
+// TestAppendIsAtomic: a payload that fails mid-parse must leave the
+// session database untouched, so the client can fix it and re-post
+// without duplicating the valid prefix.
+func TestAppendIsAtomic(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	before := sessionStatus(t, c, "test")
+	bad := "row Orders o9 c1\nrow Payments o9\nrow Nope x\n"
+	if _, err := c.Load(bad, true); err == nil {
+		t.Fatal("append with an unknown relation did not fail")
+	}
+	after := sessionStatus(t, c, "test")
+	if !reflect.DeepEqual(after.Relations, before.Relations) {
+		t.Fatalf("failed append mutated the database:\nbefore %+v\nafter  %+v",
+			before.Relations, after.Relations)
+	}
+	// Re-posting the fixed payload applies exactly once.
+	if _, err := c.Load("row Orders o9 c1\nrow Payments o9\n", true); err != nil {
+		t.Fatalf("fixed append: %v", err)
+	}
+	for _, rel := range sessionStatus(t, c, "test").Relations {
+		if rel.Name == "Orders" && rel.Rows != 3 {
+			t.Fatalf("Orders rows = %d after retry, want 3", rel.Rows)
+		}
+	}
+}
+
+// TestSessionsAreIsolated: two sessions with the same relation names do
+// not share data or cache entries.
+func TestSessionsAreIsolated(t *testing.T) {
+	srv, a := newTestServer(t)
+	b := NewClient(srv.URL, "other")
+	if _, err := a.Load(ordersData, false); err != nil {
+		t.Fatalf("load a: %v", err)
+	}
+	if _, err := b.Load(ordersData+"row Payments o2\n", false); err != nil {
+		t.Fatalf("load b: %v", err)
+	}
+	qa, err := a.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("query a: %v", err)
+	}
+	qb, err := b.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("query b: %v", err)
+	}
+	if len(qa.Results[0].Rows) != 1 || len(qb.Results[0].Rows) != 0 {
+		t.Fatalf("sessions not isolated: a=%v b=%v", qa.Results[0].Rows, qb.Results[0].Rows)
+	}
+}

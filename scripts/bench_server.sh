@@ -1,0 +1,39 @@
+#!/usr/bin/env sh
+# bench_server.sh — measure incdbd's repeated-query latency with a warm
+# versus cold prepared-plan cache and emit BENCH_PR4.json.
+#
+# The two sides of the comparison are the sub-benchmarks of
+# BenchmarkServerQuery (internal/server/bench_test.go): cache=cold resets
+# the session's prepared-plan cache before every request (the pre-PR
+# behaviour of re-freezing every null-free subplan per oracle call),
+# cache=warm reuses it. The suffixes are stripped so scripts/benchjson can
+# pair the runs: "before" = cold, "after" = warm, so speedup_ns is the
+# warm-over-cold win.
+#
+# Environment: BENCHTIME (default 0.5s), COUNT (default 5),
+# OUT (default bench-compare-out).
+set -eu
+
+BENCHTIME="${BENCHTIME:-0.5s}"
+COUNT="${COUNT:-5}"
+OUT="${OUT:-bench-compare-out}"
+mkdir -p "$OUT"
+
+echo "== measuring server warm/cold prepared-plan cache =="
+go test -run '^$' -bench 'BenchmarkServerQuery/' -benchmem \
+    -benchtime="$BENCHTIME" -count="$COUNT" ./internal/server >"$OUT/server.txt" 2>&1 || {
+    cat "$OUT/server.txt" >&2
+    exit 1
+}
+
+grep 'cache=cold' "$OUT/server.txt" | sed 's#/cache=cold##' >"$OUT/server-cold.txt"
+grep 'cache=warm' "$OUT/server.txt" | sed 's#/cache=warm##' >"$OUT/server-warm.txt"
+
+go run ./scripts/benchjson \
+    -old "$OUT/server-cold.txt" -new "$OUT/server-warm.txt" \
+    -out BENCH_PR4.json -pr 4 \
+    -title "incdbd: concurrent query service with session-scoped databases and version-guarded prepared-plan reuse" \
+    -method "go test -bench='BenchmarkServerQuery/' -benchmem -benchtime=$BENCHTIME -count=$COUNT ./internal/server; medians of $COUNT runs; before = cold prepared-plan cache (reset per request), after = warm (version-guarded reuse)" \
+    -before "cold cache: session prepared-plan cache reset before every request"
+
+echo "results in $OUT/ and BENCH_PR4.json"

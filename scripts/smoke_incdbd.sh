@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# smoke_incdbd.sh — end-to-end smoke of the incdbd service: build the
+# binaries, start the server, load the example database through the
+# incdbctl client, run a certain-answer query twice, assert the answer and
+# that the repeat hit the prepared-plan cache, and shut down gracefully.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:8123}"
+BIN="${BIN:-./bin}"
+QUERY='proj(0, sel(not(in(0, Payments)), Orders))'
+
+mkdir -p "$BIN"
+go build -o "$BIN/incdbd" ./cmd/incdbd
+go build -o "$BIN/incdbctl" ./cmd/incdbctl
+
+"$BIN/incdbd" -addr "$ADDR" &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+ok=0
+for _ in $(seq 1 50); do
+    if curl -fs "http://$ADDR/v1/status" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.2
+done
+[ "$ok" = 1 ] || { echo "incdbd did not come up on $ADDR" >&2; exit 1; }
+
+CTL="$BIN/incdbctl client -addr http://$ADDR -session smoke"
+$CTL load examples/data/orders.idb
+
+echo "== certain-answer query (cold) =="
+out=$($CTL cert "$QUERY")
+echo "$out"
+echo "$out" | grep -q "o2" || { echo "expected certain answer o2" >&2; exit 1; }
+
+echo "== certain-answer query (warm: must hit the prepared-plan cache) =="
+$CTL cert "$QUERY" >/dev/null
+status=$($CTL status)
+echo "$status"
+echo "$status" | grep -q "1 hits" || { echo "repeat query did not hit the prepared-plan cache" >&2; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$SRV"
+wait "$SRV"
+trap - EXIT
+echo "incdbd smoke OK"
