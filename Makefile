@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-compare bench-server smoke ci
+.PHONY: all fmt fmt-check vet build test race bench bench-compare bench-server smoke clean ci
 
 all: build
+
+# Remove build and benchmark artifacts.
+clean:
+	rm -rf bin bench-compare-out
 
 fmt:
 	gofmt -w .

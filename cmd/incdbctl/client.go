@@ -16,7 +16,9 @@ const clientHelp = `commands:
   <proc> <query>           evaluate (procs: sql naive cert inter plus poss ctable-*)
   <query>                  evaluate under sql
   explain [sql] [bag] <query>   show the plan (as the server prepares it)
-  status                   server sessions, versions, cache counters
+  status                   server sessions, versions, cache counters, durability
+  snapshot [file]          export a consistent session snapshot (stdout or file)
+  restore <file>           bootstrap the session from a snapshot export
   help                     this text
   quit                     leave the REPL`
 
@@ -92,6 +94,37 @@ func clientLine(c *server.Client, line string, opts queryOpts) error {
 			fmt.Printf("%s/%d: %d rows (version %d)\n", rel.Name, rel.Arity, rel.Rows, rel.Version)
 		}
 		return nil
+	case "snapshot":
+		data, err := c.Snapshot()
+		if err != nil {
+			return err
+		}
+		if rest == "" {
+			fmt.Print(data)
+			return nil
+		}
+		path := strings.Trim(rest, "'\"")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d bytes to %s\n", len(data), path)
+		return nil
+	case "restore":
+		if rest == "" {
+			return fmt.Errorf("usage: restore <file>")
+		}
+		data, err := os.ReadFile(strings.Trim(rest, "'\""))
+		if err != nil {
+			return err
+		}
+		lr, err := c.Restore(string(data))
+		if err != nil {
+			return err
+		}
+		for _, rel := range lr.Relations {
+			fmt.Printf("%s/%d: %d rows (version %d)\n", rel.Name, rel.Arity, rel.Rows, rel.Version)
+		}
+		return nil
 	case "explain":
 		sql, bag := false, false
 		for {
@@ -158,9 +191,25 @@ func printResults(qr *server.QueryResponse) {
 func printStatus(st *server.StatusResponse) {
 	fmt.Printf("uptime %.1fs, workers %d, in-flight %d/%d, %d session(s)\n",
 		st.UptimeSeconds, st.Workers, st.InFlight, st.MaxInFlight, len(st.Sessions))
+	if st.DataDir != "" {
+		fmt.Printf("durable data dir: %s\n", st.DataDir)
+	}
 	for _, s := range st.Sessions {
 		fmt.Printf("session %q: %d queries, cache %d entries (%d hits, %d misses, %d invalidations)\n",
 			s.Name, s.Queries, s.Cache.Entries, s.Cache.Hits, s.Cache.Misses, s.Cache.Invalidations)
+		fmt.Printf("  results %d entries (%d hits, %d misses)\n",
+			s.ResultCache.Entries, s.ResultCache.Hits, s.ResultCache.Misses)
+		if d := s.Durability; d != nil {
+			fmt.Printf("  wal %d bytes, %d records, seq %d (snapshot seq %d", d.WalBytes, d.WalRecords, d.Seq, d.SnapshotSeq)
+			if d.LastSnapshot != "" {
+				fmt.Printf(" at %s", d.LastSnapshot)
+			}
+			fmt.Print(")")
+			if d.LastSync != "" {
+				fmt.Printf(", last sync %s", d.LastSync)
+			}
+			fmt.Println()
+		}
 		for _, rel := range s.Relations {
 			fmt.Printf("  %s/%d: %d rows (version %d)\n", rel.Name, rel.Arity, rel.Rows, rel.Version)
 		}

@@ -5,10 +5,17 @@
 //
 //	incdbd -addr :8080
 //	incdbd -addr :8080 -load examples/data/orders.idb -session default
+//	incdbd -addr :8080 -data-dir /var/lib/incdbd
+//
+// With -data-dir the server is durable (see internal/store): every load is
+// written ahead to a per-session log and fsync'd before it is
+// acknowledged, snapshots compact the log, and a restart — graceful or
+// SIGKILL — recovers every session to the last acknowledged load, version
+// vectors, null identities and warm prepared plans included.
 //
 // Endpoints: POST /v1/load, POST /v1/query, POST /v1/explain,
-// GET /v1/status. The incdbctl client subcommand (and its REPL) speaks the
-// same protocol:
+// GET /v1/status, GET /v1/snapshot. The incdbctl client subcommand (and
+// its REPL) speaks the same protocol:
 //
 //	incdbctl client -addr http://localhost:8080 -session default
 //
@@ -35,18 +42,29 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent evaluations (0 = 2x workers)")
 	maxWorlds := flag.Int("maxworlds", 0, "default certainty oracle world bound (0 = library default)")
 	cacheCap := flag.Int("cache-cap", 0, "prepared-plan cache entries per session (0 = default)")
+	resultCacheCap := flag.Int("result-cache-cap", 0, "oracle result cache entries per session (0 = default)")
+	dataDir := flag.String("data-dir", "", "data directory for durable sessions (WAL + snapshots); empty = memory-only")
+	snapshotBytes := flag.Int64("snapshot-bytes", 0, "WAL size triggering a compacting snapshot (0 = default)")
 	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown window")
 	load := flag.String("load", "", "database file (raparse format) to preload")
 	session := flag.String("session", "default", "session name for -load")
 	flag.Parse()
 
 	srv := server.New(server.Options{
-		Workers:       *workers,
-		MaxInFlight:   *maxInFlight,
-		MaxWorlds:     *maxWorlds,
-		CacheCap:      *cacheCap,
-		ShutdownGrace: *grace,
+		Workers:        *workers,
+		MaxInFlight:    *maxInFlight,
+		MaxWorlds:      *maxWorlds,
+		CacheCap:       *cacheCap,
+		ResultCacheCap: *resultCacheCap,
+		SnapshotBytes:  *snapshotBytes,
+		ShutdownGrace:  *grace,
 	})
+	if *dataDir != "" {
+		if err := srv.EnableDurability(*dataDir); err != nil {
+			log.Fatalf("incdbd: %v", err)
+		}
+		log.Printf("durable sessions in %s", *dataDir)
+	}
 	if *load != "" {
 		data, err := os.ReadFile(*load)
 		if err != nil {
@@ -63,8 +81,10 @@ func main() {
 	defer stop()
 	log.Printf("incdbd listening on %s", *addr)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
+		srv.Close()
 		fmt.Fprintln(os.Stderr, "incdbd:", err)
 		os.Exit(1)
 	}
+	srv.Close()
 	log.Printf("incdbd: shut down cleanly")
 }

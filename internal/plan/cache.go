@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"incdb/internal/algebra"
+	"incdb/internal/lru"
 	"incdb/internal/relation"
 )
 
@@ -29,7 +30,7 @@ type PrepCache struct {
 
 	mu      sync.Mutex
 	entries map[string]*Prepared
-	order   []string // LRU order, least recently used first
+	order   lru.Order
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
@@ -86,7 +87,7 @@ func (c *PrepCache) Get(base *relation.Database, q algebra.Expr, mode algebra.Mo
 	c.mu.Lock()
 	if prep, ok := c.entries[key]; ok {
 		if prep.ValidFor(base) {
-			c.touch(key)
+			c.order.Touch(key)
 			c.mu.Unlock()
 			c.hits.Add(1)
 			return prep
@@ -103,13 +104,10 @@ func (c *PrepCache) Get(base *relation.Database, q algebra.Expr, mode algebra.Mo
 	// prepare identical state and the last store wins harmlessly.
 	prep := PlanFor(q, base, mode, bag).Prepare(base)
 	c.mu.Lock()
-	if _, ok := c.entries[key]; !ok {
-		c.order = append(c.order, key)
-	}
 	c.entries[key] = prep
-	c.touch(key)
+	c.order.Touch(key)
 	for len(c.entries) > c.capacity {
-		c.remove(c.order[0])
+		c.remove(c.order.Oldest())
 	}
 	c.mu.Unlock()
 	return prep
@@ -123,24 +121,8 @@ func (c *PrepCache) WorldEval(base *relation.Database, q algebra.Expr, mode alge
 	return c.Get(base, q, mode, bag).Exec
 }
 
-// touch moves key to the most-recently-used end; caller holds c.mu.
-func (c *PrepCache) touch(key string) {
-	for i, k := range c.order {
-		if k == key {
-			copy(c.order[i:], c.order[i+1:])
-			c.order[len(c.order)-1] = key
-			return
-		}
-	}
-}
-
 // remove drops key from the map and the LRU order; caller holds c.mu.
 func (c *PrepCache) remove(key string) {
 	delete(c.entries, key)
-	for i, k := range c.order {
-		if k == key {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			return
-		}
-	}
+	c.order.Remove(key)
 }

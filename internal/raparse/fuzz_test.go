@@ -1,0 +1,72 @@
+package raparse
+
+import (
+	"strings"
+	"testing"
+
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// FuzzDatabaseRoundTrip feeds arbitrary text through the database parser;
+// whenever the parser accepts it, the resulting database must render, the
+// rendering must re-parse under PreserveNulls to an identical database
+// (null identifiers included), and rendering must be idempotent. This is
+// the property the durable snapshots rely on.
+func FuzzDatabaseRoundTrip(f *testing.F) {
+	f.Add("rel R a b\nrow R x y\nrow R x _1\n")
+	f.Add("rel Orders oid title\nrow Orders o1 'Big Data'\nrow Orders o2 _k\nrow Orders o2 _k *4\n")
+	f.Add("rel T v\nrow T ''\nrow T '*3'\nrow T '_1'\nrow T 'a\\'b'\nrow T 'x\\\\y'\n")
+	f.Add("# comment\nrel A x\nrel B y\nrow A _2\nrow B _2\nrow B 5\n")
+	f.Add("rel R a\nrow R 'tab\\there' *12\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		db := relation.NewDatabase()
+		if err := ParseDatabaseInto(strings.NewReader(src), db); err != nil {
+			t.Skip()
+		}
+		text, err := RenderDatabase(db)
+		if err != nil {
+			t.Fatalf("parser accepted %q but renderer refused: %v", src, err)
+		}
+		db2 := relation.NewDatabase()
+		if err := ParseDatabaseIntoOpts(strings.NewReader(text), db2, DBOptions{PreserveNulls: true}); err != nil {
+			t.Fatalf("rendering does not re-parse: %v\n--- rendering of %q ---\n%s", err, src, text)
+		}
+		assertSameDB(t, db, db2)
+		text2, err := RenderDatabase(db2)
+		if err != nil {
+			t.Fatalf("re-render: %v", err)
+		}
+		if text2 != text {
+			t.Fatalf("render not idempotent for %q:\n--- first ---\n%s\n--- second ---\n%s", src, text, text2)
+		}
+	})
+}
+
+// FuzzConstantRoundTrip drives the quoting and escaping rules with
+// arbitrary constant payloads (any bytes: quotes, backslashes, newlines,
+// control bytes, invalid UTF-8), multiplicities and null identifiers,
+// bypassing the parser on the way in.
+func FuzzConstantRoundTrip(f *testing.F) {
+	f.Add("plain", "it's", uint8(0), uint16(0))
+	f.Add("", " pad ", uint8(3), uint16(7))
+	f.Add("*3", "_1", uint8(200), uint16(65535))
+	f.Add("a\\'b", "line\nbreak\r\t", uint8(1), uint16(1))
+	f.Add("\x00\x01\x02", "\xff\xfe bad utf8", uint8(9), uint16(42))
+	f.Fuzz(func(t *testing.T, a, b string, mult uint8, nid uint16) {
+		db := relation.NewDatabase()
+		r := relation.New("R", "x", "y")
+		r.AddMult(value.T(value.Const(a), value.Const(b)), int(mult)%5+1)
+		r.Add(value.T(value.Const(b), value.Null(uint64(nid)+1)))
+		db.Add(r)
+		text, err := RenderDatabase(db)
+		if err != nil {
+			t.Fatalf("RenderDatabase: %v", err)
+		}
+		db2 := relation.NewDatabase()
+		if err := ParseDatabaseIntoOpts(strings.NewReader(text), db2, DBOptions{PreserveNulls: true}); err != nil {
+			t.Fatalf("reparse: %v\n--- rendering ---\n%q", err, text)
+		}
+		assertSameDB(t, db, db2)
+	})
+}

@@ -344,24 +344,43 @@ func ParseDatabase(r io.Reader) (*relation.Database, error) {
 	return db, nil
 }
 
+// DBOptions selects parsing variants of the database format.
+type DBOptions struct {
+	// PreserveNulls maps a numeric null token _k to the null ⊥k verbatim
+	// (reserving the identifier in the database's allocator) instead of
+	// allocating a fresh null per first occurrence. The snapshot loader uses
+	// it so that RenderDatabase output restores with identical null
+	// identities; regular loads keep the fresh-null behaviour, where
+	// appended data can never alias nulls loaded earlier.
+	PreserveNulls bool
+}
+
 // ParseDatabaseInto parses the same format into an existing database — the
 // append path of a long-lived session. A "rel" line declaring a relation
 // that already exists is a no-op when the arity matches (so a file can be
 // re-loaded in append mode) and an error otherwise; "row" lines add to the
-// live relations. Null tokens (_k) are scoped to one parse: the same token
-// always denotes the same null within the call, and every call allocates
-// fresh nulls — appended data never aliases nulls loaded earlier.
+// live relations, with an optional trailing *N token setting the tuple's
+// multiplicity (so bag-semantics relations render and reload compactly).
+// Null tokens (_k) are scoped to one parse: the same token always denotes
+// the same null within the call, and every call allocates fresh nulls —
+// appended data never aliases nulls loaded earlier.
 //
 // The whole payload is parsed and validated before anything is applied, so
 // on error the database is untouched (a client can fix the input and
 // re-post without duplicating the prefix); only the fresh-null allocator
 // may have advanced, which is harmless — it is monotonic anyway.
 func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
+	return ParseDatabaseIntoOpts(r, db, DBOptions{})
+}
+
+// ParseDatabaseIntoOpts is ParseDatabaseInto with explicit options.
+func ParseDatabaseIntoOpts(r io.Reader, db *relation.Database, opts DBOptions) error {
 	var newRels []*relation.Relation
 	type rowOp struct {
-		rel *relation.Relation // existing relation, nil for a new one
-		idx int                // index into newRels when rel is nil
-		t   value.Tuple
+		rel  *relation.Relation // existing relation, nil for a new one
+		idx  int                // index into newRels when rel is nil
+		t    value.Tuple
+		mult int
 	}
 	var rows []rowOp
 	staged := map[string]int{} // name → index into newRels
@@ -377,6 +396,7 @@ func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
 
 	nulls := map[string]value.Value{}
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -397,6 +417,14 @@ func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
 				}
 				continue
 			}
+			if !PlainToken(toks[1]) {
+				return fmt.Errorf("raparse: line %d: relation name %q is not a plain token", lineno, toks[1])
+			}
+			for _, a := range toks[2:] {
+				if !PlainToken(a) {
+					return fmt.Errorf("raparse: line %d: attribute name %q is not a plain token", lineno, a)
+				}
+			}
 			staged[toks[1]] = len(newRels)
 			newRels = append(newRels, relation.New(toks[1], toks[2:]...))
 		case "row":
@@ -405,6 +433,13 @@ func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
 				return fmt.Errorf("raparse: line %d: unknown relation %q", lineno, toks[1])
 			}
 			vals := toks[2:]
+			mult := 1
+			if len(vals) == ar+1 {
+				if m, ok := multToken(vals[len(vals)-1]); ok {
+					mult = m
+					vals = vals[:len(vals)-1]
+				}
+			}
 			if len(vals) != ar {
 				return fmt.Errorf("raparse: line %d: %s expects %d values, got %d",
 					lineno, toks[1], ar, len(vals))
@@ -412,6 +447,19 @@ func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
 			t := make(value.Tuple, len(vals))
 			for i, v := range vals {
 				if strings.HasPrefix(v, "_") {
+					if opts.PreserveNulls {
+						// Only canonical _<id> tokens (what RenderDatabase
+						// emits) are legal here: falling back to fresh
+						// allocation could silently alias a fresh null with
+						// a later verbatim one.
+						id, err := strconv.ParseUint(v[1:], 10, 64)
+						if err != nil || id == 0 {
+							return fmt.Errorf("raparse: line %d: null token %q must be _<id> when null identifiers are preserved", lineno, v)
+						}
+						db.ReserveNull(id)
+						t[i] = value.Null(id)
+						continue
+					}
 					nv, ok := nulls[v]
 					if !ok {
 						nv = db.FreshNull()
@@ -420,9 +468,9 @@ func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
 					t[i] = nv
 					continue
 				}
-				t[i] = value.Const(strings.Trim(v, "'"))
+				t[i] = value.Const(unquoteValue(v))
 			}
-			rows = append(rows, rowOp{rel: rel, idx: idx, t: t})
+			rows = append(rows, rowOp{rel: rel, idx: idx, t: t, mult: mult})
 		default:
 			return fmt.Errorf("raparse: line %d: unknown directive %q", lineno, toks[0])
 		}
@@ -438,12 +486,67 @@ func ParseDatabaseInto(r io.Reader, db *relation.Database) error {
 		if op.rel == nil {
 			op.rel = newRels[op.idx]
 		}
-		op.rel.Add(op.t)
+		op.rel.AddMult(op.t, op.mult)
 	}
 	return nil
 }
 
-// lexLine splits a database line on spaces, honouring single quotes.
+// maxLineBytes bounds one database line; RenderDatabase escapes newlines,
+// so even pathological constants stay on one (possibly long) line.
+const maxLineBytes = 64 << 20
+
+// multToken recognizes the trailing multiplicity token *N of a row line.
+func multToken(tok string) (int, bool) {
+	if len(tok) < 2 || tok[0] != '*' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n <= 0 || tok[1] == '+' || tok[1] == '-' {
+		return 0, false
+	}
+	return n, true
+}
+
+// unquoteValue interprets one row-value token: a token opening with a
+// single quote has the quotes stripped and backslash escapes decoded
+// (\' \\ \n \r \t; an unknown escape keeps the backslash); any other token
+// is the constant payload verbatim.
+func unquoteValue(tok string) string {
+	if tok == "" || tok[0] != '\'' {
+		return tok
+	}
+	var b strings.Builder
+	b.Grow(len(tok))
+	for i := 1; i < len(tok); i++ {
+		c := tok[i]
+		if c == '\'' { // closing quote: escaped ones are consumed below
+			break
+		}
+		if c == '\\' && i+1 < len(tok) {
+			i++
+			switch tok[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'':
+				b.WriteByte(tok[i])
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(tok[i])
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// lexLine splits a database line on spaces, honouring single quotes. Inside
+// a quoted token a backslash escapes the next byte (so quoted constants can
+// contain quotes and backslashes; unquoteValue decodes them).
 func lexLine(line string) []string {
 	var toks []string
 	i := 0
@@ -454,6 +557,9 @@ func lexLine(line string) []string {
 		case line[i] == '\'':
 			j := i + 1
 			for j < len(line) && line[j] != '\'' {
+				if line[j] == '\\' && j+1 < len(line) {
+					j++
+				}
 				j++
 			}
 			toks = append(toks, line[i:min(j+1, len(line))])

@@ -1,0 +1,134 @@
+package raparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// RenderDatabase serializes a database back to the line-oriented .idb text
+// format, the inverse of ParseDatabase: relations in catalogue order, each
+// declared by a "rel" line and followed by its rows in deterministic
+// (sorted) tuple order, multiplicities other than one as a trailing *N
+// token. Constants that the lexer could misread — empty, containing
+// whitespace or a newline, opening with a quote, shaped like a null (_…) or
+// a multiplicity (*N) token — are single-quoted with backslash escapes;
+// everything else renders verbatim.
+//
+// Nulls render as _<id>. Re-parsing with ParseDatabase allocates fresh
+// identifiers (structurally equal up to null renaming); the snapshot loader
+// re-parses with DBOptions{PreserveNulls: true}, mapping every _k back to
+// ⊥k so the restored database is identical, null identities included.
+//
+// It errors on relation or attribute names that are not plain tokens —
+// exactly the names ParseDatabaseInto rejects — so any database assembled
+// through the parser round-trips.
+func RenderDatabase(db *relation.Database) (string, error) {
+	var b strings.Builder
+	for _, name := range db.Names() {
+		r := db.MustRelation(name)
+		if !PlainToken(name) {
+			return "", fmt.Errorf("raparse: relation name %q is not renderable (not a plain token)", name)
+		}
+		b.WriteString("rel ")
+		b.WriteString(name)
+		for _, a := range r.Attrs() {
+			if !PlainToken(a) {
+				return "", fmt.Errorf("raparse: attribute name %q of %s is not renderable (not a plain token)", a, name)
+			}
+			b.WriteByte(' ')
+			b.WriteString(a)
+		}
+		b.WriteByte('\n')
+		r.Each(func(t value.Tuple, mult int) {
+			b.WriteString("row ")
+			b.WriteString(name)
+			for _, v := range t {
+				b.WriteByte(' ')
+				renderDBValue(&b, v)
+			}
+			if mult != 1 {
+				b.WriteString(" *")
+				b.WriteString(strconv.Itoa(mult))
+			}
+			b.WriteByte('\n')
+		})
+	}
+	return b.String(), nil
+}
+
+// PlainToken reports whether s survives lexLine as one verbatim token: it
+// is non-empty, opens with neither a quote nor the comment marker, and
+// contains no whitespace or control bytes. Relation and attribute names
+// must be plain tokens (they are referenced verbatim from row lines and
+// queries).
+func PlainToken(s string) bool {
+	if s == "" || s[0] == '\'' || s[0] == '#' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= ' ' { // space, tab, newline, CR, control bytes
+			return false
+		}
+	}
+	return true
+}
+
+// renderDBValue writes one value in row-line syntax.
+func renderDBValue(b *strings.Builder, v value.Value) {
+	if v.IsNull() {
+		b.WriteByte('_')
+		b.WriteString(strconv.FormatUint(v.NullID(), 10))
+		return
+	}
+	s := v.ConstVal()
+	if !needsQuoting(s) {
+		b.WriteString(s)
+		return
+	}
+	b.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\'':
+			b.WriteString(`\'`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('\'')
+}
+
+// needsQuoting reports whether the constant payload s must be quoted to
+// parse back verbatim: unquoted tokens end at whitespace, a leading quote
+// starts a quoted token, a leading underscore denotes a null, a trailing
+// *N token is a multiplicity, control bytes break line framing, and a
+// payload opening or closing with Unicode space would be eaten by the
+// parser's per-line TrimSpace when the value sits at the end of its line.
+func needsQuoting(s string) bool {
+	if s == "" || s[0] == '\'' || s[0] == '_' {
+		return true
+	}
+	if _, ok := multToken(s); ok {
+		return true
+	}
+	if strings.TrimSpace(s) != s {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == ' ' {
+			return true
+		}
+	}
+	return false
+}

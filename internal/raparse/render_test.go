@@ -1,0 +1,159 @@
+package raparse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incdb/internal/relation"
+	"incdb/internal/value"
+)
+
+// goldenDB is a fixed database exercising everything the renderer must get
+// right: nulls, multiplicities, and every constant shape that needs
+// quoting or escaping.
+func goldenDB() *relation.Database {
+	db := relation.NewDatabase()
+	orders := relation.New("Orders", "oid", "title", "price")
+	orders.Add(value.T(value.Const("o1"), value.Const("Big Data"), value.Const("30")))
+	orders.Add(value.T(value.Const("o2"), value.Null(1), value.Const("25")))
+	orders.AddMult(value.T(value.Const("o3"), value.Const("Parsing"), value.Const("19")), 3)
+	db.Add(orders)
+	tricky := relation.New("Tricky", "v")
+	for _, s := range []string{
+		"", "plain", "it's", "_1", "a b", "*3", `back\slash`, "tab\there",
+		"line\nbreak", "'lead", "trail'", " pad ", "quote'n\\mix 1",
+	} {
+		tricky.Add(value.T(value.Const(s)))
+	}
+	db.Add(tricky)
+	return db
+}
+
+// TestRenderGolden pins the snapshot text format: the exact bytes
+// RenderDatabase emits for goldenDB. A diff here means the durable snapshot
+// format changed — deliberate changes must update the golden file (and
+// consider old snapshots on disk).
+func TestRenderGolden(t *testing.T) {
+	got, err := RenderDatabase(goldenDB())
+	if err != nil {
+		t.Fatalf("RenderDatabase: %v", err)
+	}
+	path := filepath.Join("testdata", "render.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate by writing the got output)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("render drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRenderRoundTripPreserve: render → parse with PreserveNulls is the
+// identity, including null identifiers, catalogue order, attribute names
+// and the next-null allocator; rendering again is byte-identical.
+func TestRenderRoundTripPreserve(t *testing.T) {
+	db := goldenDB()
+	text, err := RenderDatabase(db)
+	if err != nil {
+		t.Fatalf("RenderDatabase: %v", err)
+	}
+	db2 := relation.NewDatabase()
+	if err := ParseDatabaseIntoOpts(strings.NewReader(text), db2, DBOptions{PreserveNulls: true}); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	assertSameDB(t, db, db2)
+	if db2.NextNull() != db.NextNull() {
+		t.Fatalf("next null: got %d, want %d", db2.NextNull(), db.NextNull())
+	}
+	text2, err := RenderDatabase(db2)
+	if err != nil {
+		t.Fatalf("re-render: %v", err)
+	}
+	if text2 != text {
+		t.Fatalf("render not idempotent:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+// TestRenderRoundTripFresh: render → plain ParseDatabase re-allocates nulls
+// in first-seen order; for a database whose nulls were allocated in row
+// order that reproduces the identifiers, so the round trip is exact here
+// too.
+func TestRenderRoundTripFresh(t *testing.T) {
+	db := goldenDB()
+	text, err := RenderDatabase(db)
+	if err != nil {
+		t.Fatalf("RenderDatabase: %v", err)
+	}
+	db2, err := ParseDatabase(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	assertSameDB(t, db, db2)
+}
+
+func TestRenderRejectsUnrenderableNames(t *testing.T) {
+	db := relation.NewDatabase()
+	db.Add(relation.New("bad name", "a"))
+	if _, err := RenderDatabase(db); err == nil {
+		t.Fatalf("expected error for relation name with a space")
+	}
+	db = relation.NewDatabase()
+	db.Add(relation.New("R", "bad attr"))
+	if _, err := RenderDatabase(db); err == nil {
+		t.Fatalf("expected error for attribute name with a space")
+	}
+}
+
+// TestParseRejectsNonPlainNames pins the parser side of the renderability
+// contract: names the renderer cannot emit are rejected on the way in.
+func TestParseRejectsNonPlainNames(t *testing.T) {
+	for _, src := range []string{"rel 'My Rel' a", "rel R 'a b'"} {
+		if _, err := ParseDatabase(strings.NewReader(src)); err == nil {
+			t.Fatalf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestParseMultToken(t *testing.T) {
+	db, err := ParseDatabase(strings.NewReader("rel R a b\nrow R x y *3\nrow R '*3' z\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r := db.MustRelation("R")
+	if m := r.Mult(value.Consts("x", "y")); m != 3 {
+		t.Fatalf("mult of (x,y): got %d, want 3", m)
+	}
+	if m := r.Mult(value.Consts("*3", "z")); m != 1 {
+		t.Fatalf("quoted *3 constant: got mult %d, want 1", m)
+	}
+}
+
+// assertSameDB checks full structural identity: catalogue order, attribute
+// names, and bag-equal contents (null identifiers included).
+func assertSameDB(t *testing.T, want, got *relation.Database) {
+	t.Helper()
+	wn, gn := want.Names(), got.Names()
+	if len(wn) != len(gn) {
+		t.Fatalf("catalogue: got %v, want %v", gn, wn)
+	}
+	for i := range wn {
+		if wn[i] != gn[i] {
+			t.Fatalf("catalogue order: got %v, want %v", gn, wn)
+		}
+		wr, gr := want.MustRelation(wn[i]), got.MustRelation(wn[i])
+		wa, ga := wr.Attrs(), gr.Attrs()
+		if len(wa) != len(ga) {
+			t.Fatalf("%s attrs: got %v, want %v", wn[i], ga, wa)
+		}
+		for j := range wa {
+			if wa[j] != ga[j] {
+				t.Fatalf("%s attrs: got %v, want %v", wn[i], ga, wa)
+			}
+		}
+		if !wr.Equal(gr) {
+			t.Fatalf("%s contents differ:\ngot  %s\nwant %s", wn[i], gr, wr)
+		}
+	}
+}

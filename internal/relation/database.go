@@ -84,6 +84,21 @@ func (d *Database) FreshNull() value.Value {
 	return v
 }
 
+// NextNull returns the identifier the next FreshNull call would allocate.
+// A durable snapshot records it so that a restored database keeps allocating
+// exactly where the original left off — replaying the same load sequence
+// after recovery then reproduces the same null identifiers.
+func (d *Database) NextNull() uint64 { return d.nextNull }
+
+// ReserveNull marks ⊥id as used: FreshNull will never return it (or any
+// smaller identifier) afterwards. The snapshot loader calls it when null
+// tokens are mapped back verbatim instead of being freshly allocated.
+func (d *Database) ReserveNull(id uint64) {
+	if id >= d.nextNull {
+		d.nextNull = id + 1
+	}
+}
+
 // Consts returns the set Const(D) of constants occurring in the database,
 // in deterministic order.
 func (d *Database) Consts() []value.Value {

@@ -129,6 +129,19 @@ func (r *Relation) invalidate() {
 // at zero.
 func (r *Relation) Version() uint64 { return r.version }
 
+// RestoreVersion raises the mutation counter to v (a no-op when the counter
+// is already past it). Crash recovery uses it so that a relation rebuilt
+// from a snapshot reports the same version vector as the original did at
+// snapshot time — the counter over-approximates change, so jumping it
+// forward is always safe, while lowering it could revive stale cached
+// state; hence the clamp. Requires the external exclusivity every mutation
+// does.
+func (r *Relation) RestoreVersion(v uint64) {
+	if v > r.version {
+		r.version = v
+	}
+}
+
 // removeRow deletes the stored row equal to t under hash h, if present.
 func (r *Relation) removeRow(t value.Tuple, h uint64) {
 	bucket := r.rows[h]

@@ -11,16 +11,26 @@
 //
 // Endpoints:
 //
-//	POST /v1/load     load or append data into a session's database
-//	POST /v1/query    evaluate a query under any evaluation procedure
-//	POST /v1/explain  structured plan rendering (shared with incdbctl)
-//	GET  /v1/status   sessions, version vectors, cache counters
+//	POST /v1/load      load or append data into a session's database
+//	POST /v1/query     evaluate a query under any evaluation procedure
+//	POST /v1/explain   structured plan rendering (shared with incdbctl)
+//	GET  /v1/status    sessions, version vectors, cache counters, durability
+//	GET  /v1/snapshot  consistent snapshot export for replica bootstrap
+//
+// With a data directory attached (incdbd -data-dir, see internal/store)
+// every load is written ahead to a per-session log and fsync'd before it is
+// acknowledged, snapshots compact the log, and startup recovers all
+// sessions — catalogue, version vectors, null identities and warm
+// prepared-plan keys — to the last acknowledged load.
 //
 // The wire types below are shared by the server handlers and the incdbctl
 // client/REPL, so the two cannot drift apart.
 package server
 
-import "incdb/internal/plan"
+import (
+	"incdb/internal/plan"
+	"incdb/internal/store"
+)
 
 // LoadRequest creates or extends a session database. Data is the raparse
 // text format ("rel NAME attrs…" / "row NAME values…" lines). With Append
@@ -28,10 +38,15 @@ import "incdb/internal/plan"
 // lines are parsed into the live database — new "rel" lines extend the
 // schema, "row" lines add tuples (bumping the relations' mutation
 // versions, which invalidates exactly the prepared plans that read them).
+// With Snapshot true, Data is instead a /v1/snapshot export (or durable
+// snapshot file): the session is replaced by the decoded database with
+// null identifiers and version vector preserved — the replica bootstrap
+// path.
 type LoadRequest struct {
-	Session string `json:"session"`
-	Data    string `json:"data"`
-	Append  bool   `json:"append,omitempty"`
+	Session  string `json:"session"`
+	Data     string `json:"data"`
+	Append   bool   `json:"append,omitempty"`
+	Snapshot bool   `json:"snapshot,omitempty"`
 }
 
 // LoadResponse reports the resulting schema and version vector.
@@ -73,13 +88,15 @@ type Resultset struct {
 }
 
 // QueryResponse carries the evaluation results: one resultset for most
-// procedures, certain+possible for the ctable strategies.
+// procedures, certain+possible for the ctable strategies. Cached reports
+// that the oracle result cache answered without evaluating anything.
 type QueryResponse struct {
 	Session   string      `json:"session"`
 	Proc      string      `json:"proc"`
 	Query     string      `json:"query"`
 	Results   []Resultset `json:"results"`
 	ElapsedMs float64     `json:"elapsed_ms"`
+	Cached    bool        `json:"cached,omitempty"`
 }
 
 // ExplainRequest renders the plan for a query against a session database.
@@ -98,26 +115,34 @@ type ExplainResponse struct {
 	Text    string            `json:"text"`
 }
 
-// StatusResponse is the server-wide status snapshot.
+// StatusResponse is the server-wide status snapshot. DataDir is set when
+// durability is enabled.
 type StatusResponse struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Workers       int             `json:"workers"`
 	MaxInFlight   int             `json:"max_in_flight"`
 	InFlight      int             `json:"in_flight"`
+	DataDir       string          `json:"data_dir,omitempty"`
 	Sessions      []SessionStatus `json:"sessions"`
 }
 
 // SessionStatus describes one session: its schema with versions, how many
-// queries it has served, and its prepared-plan cache counters. A repeated
-// query against an unchanged database shows up as Cache.Hits moving while
-// Misses stands still; mutating a relation shows up as Invalidations
-// moving on the next affected query.
+// queries it has served, its prepared-plan and oracle-result cache
+// counters, and — when durability is enabled — the session's durable
+// state (WAL size, sequence numbers, last snapshot and last fsync). A
+// byte-identical repeated query shows up as ResultCache.Hits moving; a
+// plan-equal but differently spelled one as Cache.Hits; mutating a
+// relation shows up as Cache.Invalidations moving on the next affected
+// query (result-cache entries simply stop being reachable, their key
+// embeds the version vector).
 type SessionStatus struct {
-	Name      string           `json:"name"`
-	CreatedAt string           `json:"created_at"`
-	Queries   uint64           `json:"queries"`
-	Relations []RelationStatus `json:"relations"`
-	Cache     plan.CacheStats  `json:"cache"`
+	Name        string            `json:"name"`
+	CreatedAt   string            `json:"created_at"`
+	Queries     uint64            `json:"queries"`
+	Relations   []RelationStatus  `json:"relations"`
+	Cache       plan.CacheStats   `json:"cache"`
+	ResultCache ResultCacheStats  `json:"result_cache"`
+	Durability  *store.Durability `json:"durability,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 )
@@ -58,6 +59,38 @@ func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*QueryRespo
 func (c *Client) Explain(query string, sql, bag bool) (*ExplainResponse, error) {
 	var out ExplainResponse
 	err := c.post("/v1/explain", ExplainRequest{Session: c.session, Query: query, SQL: sql, Bag: bag}, &out)
+	return &out, err
+}
+
+// Snapshot fetches the session's consistent snapshot export (the
+// store.Snapshot encoding): the bootstrap payload Restore (or a durable
+// snapshot file) accepts.
+func (c *Client) Snapshot() (string, error) {
+	resp, err := c.hc.Get(c.base + "/v1/snapshot?session=" + url.QueryEscape(c.session))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return "", fmt.Errorf("server: %s", e.Error)
+		}
+		return "", fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return string(data), nil
+}
+
+// Restore replaces the session database from a snapshot export, preserving
+// null identities, version vector and warm prepared-plan keys — the
+// replica bootstrap call.
+func (c *Client) Restore(data string) (*LoadResponse, error) {
+	var out LoadResponse
+	err := c.post("/v1/load", LoadRequest{Session: c.session, Data: data, Snapshot: true}, &out)
 	return &out, err
 }
 

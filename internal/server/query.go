@@ -13,6 +13,7 @@ import (
 	"incdb/internal/plan"
 	"incdb/internal/raparse"
 	"incdb/internal/relation"
+	"incdb/internal/store"
 	"incdb/internal/translate"
 	"incdb/internal/value"
 )
@@ -138,6 +139,64 @@ func approx(db *relation.Database, q algebra.Expr, proc string,
 		rew = poss
 	}
 	return direct(rew, algebra.ModeNaive, false), nil
+}
+
+// prepProcs are the procedures whose evaluation flows through the
+// session's prepared-plan cache (the ctable strategies keep their own row
+// machinery): exactly the ones worth recording as warm keys for recovery.
+var prepProcs = map[string]bool{
+	"sql": true, "naive": true, "cert": true, "inter": true, "plus": true, "poss": true,
+}
+
+// recordWarm notes a successfully served query in the session's warm set;
+// durable snapshots persist the set so recovery re-prepares the working
+// set before the first request.
+func (s *Server) recordWarm(sess *session, req *QueryRequest) {
+	proc := procName(req.Proc)
+	if !prepProcs[proc] {
+		return
+	}
+	sess.warm.record(store.WarmKey{Query: req.Query, Proc: proc, Bag: req.Bag})
+}
+
+// warmSession re-prepares the recorded warm keys against the session's
+// current database, mirroring exactly the prep.Get calls each procedure's
+// evaluation performs — so the first post-recovery request finds the same
+// cache state a warmed-up server would have. Best effort: keys that no
+// longer parse or validate (the schema may have moved past them) are
+// skipped.
+func (s *Server) warmSession(sess *session, keys []store.WarmKey) {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	for _, k := range keys {
+		q, err := raparse.ParseQuery(k.Query)
+		if err != nil {
+			continue
+		}
+		if err := algebra.Validate(q, sess.db); err != nil {
+			continue
+		}
+		switch k.Proc {
+		case "sql":
+			sess.prep.Get(sess.db, q, algebra.ModeSQL, k.Bag)
+		case "naive":
+			sess.prep.Get(sess.db, q, algebra.ModeNaive, k.Bag)
+		case "cert", "inter":
+			// The oracles evaluate per world through a ModeNaive set-
+			// semantics prepared plan (certain.Options.worldEval).
+			sess.prep.Get(sess.db, q, algebra.ModeNaive, false)
+		case "plus", "poss":
+			plusQ, possQ, err := translate.Fig2b(q)
+			if err != nil {
+				continue
+			}
+			rew := plusQ
+			if k.Proc == "poss" {
+				rew = possQ
+			}
+			sess.prep.Get(sess.db, rew, algebra.ModeNaive, false)
+		}
+	}
 }
 
 // explain renders the plan for the request's query; the caller holds the

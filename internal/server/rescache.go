@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"incdb/internal/lru"
+	"incdb/internal/relation"
+	"incdb/internal/store"
+)
+
+// resultCache memoizes whole query results per session, keyed by the raw
+// query text, evaluation procedure, semantics knobs and the database's
+// version vector — the same guard the prepared-plan cache validates
+// against, lifted into the key: mutating any relation moves its version,
+// so every entry computed before the mutation simply stops being reachable
+// and ages out of the LRU. A byte-identical repeated query against an
+// unchanged database is answered without touching the planner or the
+// oracles at all.
+//
+// Replacing the database wholesale could reuse a vector (fresh relations
+// restart their counters), so the server discards the whole cache on
+// replace — the same rule the prepared-plan cache follows.
+type resultCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string][]Resultset
+	order   lru.Order
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// defaultResultCacheCap bounds a cache constructed with capacity <= 0.
+const defaultResultCacheCap = 256
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = defaultResultCacheCap
+	}
+	return &resultCache{capacity: capacity, entries: map[string][]Resultset{}}
+}
+
+// resultKey builds the cache key for one request against the session's
+// current database. The caller holds the session read lock (the version
+// vector must be consistent with the evaluation that follows).
+func resultKey(req *QueryRequest, db *relation.Database) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%t|%d", req.Query, procName(req.Proc), req.Bag, req.MaxWorlds)
+	versions := db.Versions()
+	names := make([]string, 0, len(versions))
+	for name := range versions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "|%s:%d", name, versions[name])
+	}
+	return b.String()
+}
+
+func (c *resultCache) get(key string) ([]Resultset, bool) {
+	c.mu.Lock()
+	rs, ok := c.entries[key]
+	if ok {
+		c.order.Touch(key)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return rs, ok
+}
+
+func (c *resultCache) put(key string, rs []Resultset) {
+	c.mu.Lock()
+	c.entries[key] = rs
+	c.order.Touch(key)
+	for len(c.entries) > c.capacity {
+		oldest := c.order.Oldest()
+		delete(c.entries, oldest)
+		c.order.Remove(oldest)
+	}
+	c.mu.Unlock()
+}
+
+// ResultCacheStats is the /v1/status snapshot of a session's oracle result
+// cache.
+type ResultCacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+func (c *resultCache) stats() ResultCacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return ResultCacheStats{Entries: n, Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// warmSet tracks the session's recently used prepared-plan warm keys —
+// (query, procedure, semantics) triples — deduplicated, most recently used
+// last, capped. Snapshots persist it so recovery can re-prepare the
+// working set before the first request arrives.
+type warmSet struct {
+	mu   sync.Mutex
+	cap  int
+	keys []store.WarmKey
+}
+
+// warmSetCap bounds how many keys a snapshot carries.
+const warmSetCap = 32
+
+func newWarmSet() *warmSet { return &warmSet{cap: warmSetCap} }
+
+func (ws *warmSet) record(k store.WarmKey) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for i, have := range ws.keys {
+		if have == k {
+			copy(ws.keys[i:], ws.keys[i+1:])
+			ws.keys[len(ws.keys)-1] = k
+			return
+		}
+	}
+	ws.keys = append(ws.keys, k)
+	if len(ws.keys) > ws.cap {
+		ws.keys = append(ws.keys[:0], ws.keys[len(ws.keys)-ws.cap:]...)
+	}
+}
+
+// seed installs recovered keys (oldest first) without touching recency.
+func (ws *warmSet) seed(keys []store.WarmKey) {
+	for _, k := range keys {
+		ws.record(k)
+	}
+}
+
+func (ws *warmSet) snapshot() []store.WarmKey {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return append([]store.WarmKey(nil), ws.keys...)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"incdb/internal/plan"
 	"incdb/internal/raparse"
 	"incdb/internal/relation"
+	"incdb/internal/store"
 )
 
 // Options configures the service.
@@ -34,6 +36,13 @@ type Options struct {
 	// CacheCap is each session's prepared-plan cache capacity
 	// (0 = plan.DefaultPrepCacheCap).
 	CacheCap int
+	// ResultCacheCap is each session's oracle result cache capacity
+	// (0 = a server default); see resultCache.
+	ResultCacheCap int
+	// SnapshotBytes is the per-session WAL size beyond which a durable
+	// server snapshots and compacts (0 = store.DefaultSnapshotBytes);
+	// meaningful only after EnableDurability.
+	SnapshotBytes int64
 	// ShutdownGrace is how long ListenAndServe waits for in-flight
 	// requests after its context is canceled (0 = 5s).
 	ShutdownGrace time.Duration
@@ -66,11 +75,16 @@ type Server struct {
 	sem      chan struct{}
 	inflight atomic.Int64
 
+	// st is the durability subsystem; nil for a memory-only server. Set
+	// once by EnableDurability before serving.
+	st *store.Store
+
 	mu       sync.RWMutex
 	sessions map[string]*session
 }
 
-// session is one named database with its prepared-plan cache.
+// session is one named database with its prepared-plan and oracle-result
+// caches, plus — when durability is enabled — its write-ahead log.
 type session struct {
 	name    string
 	created time.Time
@@ -79,9 +93,20 @@ type session struct {
 	// mu orders mutation against evaluation: load (append or replace)
 	// takes the write side, query/explain the read side. The prepared
 	// state handed out by prep is itself safe for concurrent execution.
-	mu   sync.RWMutex
-	db   *relation.Database
-	prep *plan.PrepCache
+	mu      sync.RWMutex
+	db      *relation.Database
+	prep    *plan.PrepCache
+	results *resultCache
+	warm    *warmSet
+
+	// logMu serializes durable commits: it is held across the in-memory
+	// apply (which takes mu) and the WAL append + fsync (which does not),
+	// so the log order is exactly the apply order while queries proceed
+	// under the read lock during the fsync — the WAL write stays outside
+	// the mu critical section except for the commit point itself. It also
+	// covers snapshot installs and consistent snapshot exports.
+	logMu sync.Mutex
+	log   *store.SessionLog // nil when the server is memory-only
 }
 
 // New returns a ready-to-serve Server.
@@ -97,7 +122,51 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	return s
+}
+
+// EnableDurability attaches a data directory: every session already on
+// disk is recovered — database contents, version vectors, null identities
+// restored to the last acknowledged load, prepared-plan cache re-warmed
+// from the snapshot's warm keys — and every future load is written ahead
+// and fsync'd before it is acknowledged. Must be called before serving.
+func (s *Server) EnableDurability(dir string) error {
+	st, err := store.Open(dir, store.Options{SnapshotBytes: s.opts.SnapshotBytes})
+	if err != nil {
+		return err
+	}
+	recovered, err := st.Recover()
+	if err != nil {
+		return err
+	}
+	s.st = st
+	for _, rec := range recovered {
+		sess := &session{
+			name:    rec.Name,
+			created: time.Now(),
+			db:      rec.DB,
+			prep:    plan.NewPrepCache(s.opts.CacheCap),
+			results: newResultCache(s.opts.ResultCacheCap),
+			warm:    newWarmSet(),
+			log:     rec.Log,
+		}
+		sess.warm.seed(rec.Warm)
+		s.sessions[rec.Name] = sess
+		s.warmSession(sess, rec.Warm)
+		log.Printf("server: recovered session %q (%d relations, wal seq %d) and warmed %d plan(s)",
+			rec.Name, len(rec.DB.Names()), rec.Log.Seq(), len(rec.Warm))
+	}
+	return nil
+}
+
+// Close releases the durability subsystem's file handles (after serving
+// stops); a memory-only server has nothing to close.
+func (s *Server) Close() error {
+	if s.st == nil {
+		return nil
+	}
+	return s.st.Close()
 }
 
 // Handler returns the HTTP handler (for tests and embedding).
@@ -169,37 +238,50 @@ func (s *Server) sessionFor(name string) *session {
 }
 
 // ensureSession returns the named session, creating an empty one on first
-// use.
-func (s *Server) ensureSession(name string) *session {
+// use. On a durable server the session's write-ahead log is attached (and
+// its directory created) here.
+func (s *Server) ensureSession(name string) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sess, ok := s.sessions[name]; ok {
-		return sess
+		return sess, nil
 	}
 	sess := &session{
 		name:    name,
 		created: time.Now(),
 		db:      relation.NewDatabase(),
 		prep:    plan.NewPrepCache(s.opts.CacheCap),
+		results: newResultCache(s.opts.ResultCacheCap),
+		warm:    newWarmSet(),
+	}
+	if s.st != nil {
+		l, err := s.st.Session(name)
+		if err != nil {
+			return nil, err
+		}
+		sess.log = l
 	}
 	s.sessions[name] = sess
-	return sess
+	return sess, nil
 }
 
 // Preload loads data (raparse text) into the named session before serving;
-// it returns the number of relations loaded. Used by incdbd -load.
+// it returns the number of relations loaded. Used by incdbd -load. On a
+// durable server the preload commits through the WAL like any other load.
 func (s *Server) Preload(session, data string) (int, error) {
 	db, err := raparse.ParseDatabase(strings.NewReader(data))
 	if err != nil {
 		return 0, err
 	}
-	sess := s.ensureSession(session)
-	sess.mu.Lock()
-	sess.db = db
-	sess.prep = plan.NewPrepCache(s.opts.CacheCap)
-	n := len(db.Names())
-	sess.mu.Unlock()
-	return n, nil
+	sess, err := s.ensureSession(session)
+	if err != nil {
+		return 0, err
+	}
+	resp, _, err := s.commitReplace(sess, db, store.OpReplace, data)
+	if err != nil {
+		return 0, err
+	}
+	return len(resp.Relations), nil
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -212,21 +294,18 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing session name"))
 		return
 	}
+	if req.Snapshot {
+		s.handleRestore(w, &req)
+		return
+	}
 	if req.Append {
 		if sess := s.sessionFor(req.Session); sess != nil {
-			sess.mu.Lock()
-			defer sess.mu.Unlock()
-			// Parse into the live database (atomic: a payload error leaves
-			// it untouched); version bumps on the touched relations
-			// invalidate exactly the prepared plans reading them.
-			if err := raparse.ParseDatabaseInto(strings.NewReader(req.Data), sess.db); err != nil {
-				writeErr(w, http.StatusBadRequest, err)
+			resp, code, err := s.commitAppend(sess, req.Data)
+			if err != nil {
+				writeErr(w, code, err)
 				return
 			}
-			writeJSON(w, http.StatusOK, LoadResponse{
-				Session:   req.Session,
-				Relations: relationStatuses(sess.db),
-			})
+			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		// Appending to a session that does not exist yet is its first load.
@@ -239,19 +318,161 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sess := s.ensureSession(req.Session)
+	sess, err := s.ensureSession(req.Session)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, code, err := s.commitReplace(sess, db, store.OpReplace, req.Data)
+	if err != nil {
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRestore bootstraps (or resets) a session from a snapshot export —
+// the payload a /v1/snapshot endpoint (possibly of another server)
+// produced. Null identifiers and the version vector are preserved, and the
+// snapshot's warm keys re-prepare the working set.
+func (s *Server) handleRestore(w http.ResponseWriter, req *LoadRequest) {
+	snap, err := store.DecodeSnapshot(strings.NewReader(req.Data))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	db, err := snap.Database()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.ensureSession(req.Session)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, code, err := s.commitReplace(sess, db, store.OpRestore, req.Data)
+	if err != nil {
+		writeErr(w, code, err)
+		return
+	}
+	sess.warm.seed(snap.Warm)
+	s.warmSession(sess, snap.Warm)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// commitAppend applies an append mutation and makes it durable: parse into
+// the live database under the write lock, then append the payload to the
+// session WAL and fsync before acknowledging. logMu spans both so the log
+// order is the apply order; the fsync itself runs outside the session
+// RWMutex, so concurrent queries are never blocked on the disk.
+func (s *Server) commitAppend(sess *session, data string) (LoadResponse, int, error) {
+	sess.logMu.Lock()
+	defer sess.logMu.Unlock()
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
+	// Parse into the live database (atomic: a payload error leaves it
+	// untouched); version bumps on the touched relations invalidate
+	// exactly the prepared plans reading them, and result-cache keys
+	// embedding the old vector stop matching.
+	if err := raparse.ParseDatabaseInto(strings.NewReader(data), sess.db); err != nil {
+		sess.mu.Unlock()
+		return LoadResponse{}, http.StatusBadRequest, err
+	}
+	resp := LoadResponse{Session: sess.name, Relations: relationStatuses(sess.db)}
+	versions := sess.db.Versions()
+	sess.mu.Unlock()
+	if code, err := s.logCommit(sess, store.OpAppend, data, versions); err != nil {
+		return LoadResponse{}, code, err
+	}
+	return resp, http.StatusOK, nil
+}
+
+// commitReplace installs db as the session database (replace and
+// snapshot-restore loads, and Preload) and makes the mutation durable.
+func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op, data string) (LoadResponse, int, error) {
+	sess.logMu.Lock()
+	defer sess.logMu.Unlock()
+	sess.mu.Lock()
 	// Replacing the database wholesale replaces every relation object, so
 	// no cached prepared plan can survive its pointer guard — drop the
 	// cache now rather than letting stale entries pin the old database's
-	// frozen materializations until they happen to be looked up again.
+	// frozen materializations. The result cache goes with it: fresh
+	// relations restart their version counters, so its vector-embedding
+	// keys could otherwise collide with the old database's.
 	sess.db = db
 	sess.prep = plan.NewPrepCache(s.opts.CacheCap)
-	writeJSON(w, http.StatusOK, LoadResponse{
-		Session:   req.Session,
-		Relations: relationStatuses(sess.db),
-	})
+	sess.results = newResultCache(s.opts.ResultCacheCap)
+	resp := LoadResponse{Session: sess.name, Relations: relationStatuses(sess.db)}
+	versions := sess.db.Versions()
+	sess.mu.Unlock()
+	if code, err := s.logCommit(sess, op, data, versions); err != nil {
+		return LoadResponse{}, code, err
+	}
+	return resp, http.StatusOK, nil
+}
+
+// logCommit writes the WAL record for an applied mutation (no-op on a
+// memory-only server) and takes a compacting snapshot when the log has
+// outgrown the threshold. Caller holds logMu.
+func (s *Server) logCommit(sess *session, op store.Op, data string, versions map[string]uint64) (int, error) {
+	if sess.log == nil {
+		return http.StatusOK, nil
+	}
+	if _, err := sess.log.Append(op, data, versions); err != nil {
+		// The mutation is applied in memory but not durable; surface that
+		// honestly — the client must not treat this load as acknowledged.
+		return http.StatusInternalServerError,
+			fmt.Errorf("load applied but not durable (wal append failed): %w", err)
+	}
+	if sess.log.WalBytes() >= s.st.SnapshotBytes() {
+		snap, err := s.snapshotOf(sess)
+		if err != nil {
+			log.Printf("server: snapshot session %q: %v", sess.name, err)
+			return http.StatusOK, nil
+		}
+		if err := sess.log.InstallSnapshot(snap); err != nil {
+			log.Printf("server: snapshot session %q: %v", sess.name, err)
+		}
+	}
+	return http.StatusOK, nil
+}
+
+// snapshotOf renders a consistent snapshot of the session: database text,
+// version vector, null allocator and warm keys under the read lock, with
+// the WAL sequence number consistent because the caller holds logMu (no
+// load can be mid-commit).
+func (s *Server) snapshotOf(sess *session) (*store.Snapshot, error) {
+	var seq uint64
+	if sess.log != nil {
+		seq = sess.log.Seq()
+	}
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return store.TakeSnapshot(sess.name, sess.db, seq, sess.warm.snapshot())
+}
+
+// handleSnapshot is the read-only snapshot export: the same encoding the
+// durable store writes, served over HTTP so a fresh replica (or incdbctl)
+// can bootstrap a session from a running server via the snapshot-load
+// path. Works on memory-only servers too (the sequence number is then 0).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("session")
+	sess := s.sessionFor(name)
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q (load data first)", name))
+		return
+	}
+	sess.logMu.Lock()
+	snap, err := s.snapshotOf(sess)
+	sess.logMu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := snap.EncodeTo(w); err != nil {
+		log.Printf("server: snapshot export %q: %v", name, err)
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -265,21 +486,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q (load data first)", req.Session))
 		return
 	}
+	start := time.Now()
+
+	// Result-cache fast path: a byte-identical repeated request against an
+	// unchanged version vector is answered without taking an evaluation
+	// slot — O(1) regardless of what the query costs to evaluate.
+	sess.mu.RLock()
+	key := resultKey(&req, sess.db)
+	cached, hit := sess.results.get(key)
+	sess.mu.RUnlock()
+	if hit {
+		sess.queries.Add(1)
+		s.recordWarm(sess, &req)
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Session:   req.Session,
+			Proc:      procName(req.Proc),
+			Query:     req.Query,
+			Results:   cached,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+			Cached:    true,
+		})
+		return
+	}
+
 	if err := s.acquire(r.Context()); err != nil {
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	defer s.release()
 
-	start := time.Now()
 	sess.mu.RLock()
+	// Re-key under the same lock as the evaluation: the vector may have
+	// moved between the fast path and acquiring a slot.
+	key = resultKey(&req, sess.db)
 	results, err := s.evaluate(sess, &req)
+	if err == nil {
+		sess.results.put(key, results)
+	}
 	sess.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	sess.queries.Add(1)
+	s.recordWarm(sess, &req)
 	writeJSON(w, http.StatusOK, QueryResponse{
 		Session:   req.Session,
 		Proc:      procName(req.Proc),
@@ -339,14 +589,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:   s.opts.maxInFlight(),
 		InFlight:      int(s.inflight.Load()),
 	}
+	if s.st != nil {
+		resp.DataDir = s.st.Dir()
+	}
 	for _, sess := range sessions {
 		sess.mu.RLock()
 		st := SessionStatus{
-			Name:      sess.name,
-			CreatedAt: sess.created.UTC().Format(time.RFC3339),
-			Queries:   sess.queries.Load(),
-			Relations: relationStatuses(sess.db),
-			Cache:     sess.prep.Stats(),
+			Name:        sess.name,
+			CreatedAt:   sess.created.UTC().Format(time.RFC3339),
+			Queries:     sess.queries.Load(),
+			Relations:   relationStatuses(sess.db),
+			Cache:       sess.prep.Stats(),
+			ResultCache: sess.results.stats(),
+		}
+		if sess.log != nil {
+			d := sess.log.Stats()
+			st.Durability = &d
 		}
 		sess.mu.RUnlock()
 		resp.Sessions = append(resp.Sessions, st)

@@ -96,10 +96,17 @@ func TestRepeatedQueryHitsPreparedCache(t *testing.T) {
 	if cold.Misses == 0 {
 		t.Fatalf("cold query did not miss the cache: %+v", cold)
 	}
+	// Re-spell the query each round (extra whitespace — same canonical
+	// rendering, so the same prepared plan) so the byte-exact result cache
+	// stays out of the way and the prepared-plan path itself is exercised.
 	for i := 0; i < 3; i++ {
-		again, err := c.Query(unpaid, "cert", false, 0)
+		respelled := strings.Replace(unpaid, "proj(0,", "proj( 0,"+strings.Repeat(" ", i+1), 1)
+		again, err := c.Query(respelled, "cert", false, 0)
 		if err != nil {
 			t.Fatalf("warm query %d: %v", i, err)
+		}
+		if again.Cached {
+			t.Fatalf("respelled query %d must not hit the result cache", i)
 		}
 		if !reflect.DeepEqual(again.Results, first.Results) {
 			t.Fatalf("warm result differs: %+v vs %+v", again.Results, first.Results)
@@ -114,6 +121,64 @@ func TestRepeatedQueryHitsPreparedCache(t *testing.T) {
 	}
 	if warm.Invalidations != 0 {
 		t.Fatalf("no mutation happened, yet invalidations = %d", warm.Invalidations)
+	}
+}
+
+// TestResultCache: a byte-identical repeated query is answered from the
+// oracle result cache (Cached flag, hit counter) without touching the
+// prepared-plan cache; a mutation moves the version vector and the next
+// evaluation repopulates it.
+func TestResultCache(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	first, err := c.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("cold query: %v", err)
+	}
+	if first.Cached {
+		t.Fatalf("cold query reported cached")
+	}
+	prepBefore := sessionStatus(t, c, "test").Cache
+	again, err := c.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("repeat query: %v", err)
+	}
+	if !again.Cached {
+		t.Fatalf("byte-identical repeat did not hit the result cache")
+	}
+	if !reflect.DeepEqual(again.Results, first.Results) {
+		t.Fatalf("cached result differs: %+v vs %+v", again.Results, first.Results)
+	}
+	ss := sessionStatus(t, c, "test")
+	if ss.ResultCache.Hits != 1 || ss.ResultCache.Entries == 0 {
+		t.Fatalf("result cache counters: %+v", ss.ResultCache)
+	}
+	if ss.Cache.Hits != prepBefore.Hits || ss.Cache.Misses != prepBefore.Misses {
+		t.Fatalf("result-cache hit touched the prepared-plan cache: %+v -> %+v", prepBefore, ss.Cache)
+	}
+	// Same query under a different procedure must not alias.
+	other, err := c.Query(unpaid, "sql", false, 0)
+	if err != nil {
+		t.Fatalf("sql query: %v", err)
+	}
+	if other.Cached {
+		t.Fatalf("different procedure served from the cert result entry")
+	}
+	// A mutation moves the version vector: the stale entry is unreachable.
+	if _, err := c.Load("row Orders o9 c1\nrow Payments o9", true); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	after, err := c.Query(unpaid, "cert", false, 0)
+	if err != nil {
+		t.Fatalf("post-mutation query: %v", err)
+	}
+	if after.Cached {
+		t.Fatalf("mutated session served a stale cached result")
+	}
+	if !reflect.DeepEqual(after.Results, first.Results) {
+		t.Fatalf("post-mutation certain answers changed: %+v", after.Results)
 	}
 }
 

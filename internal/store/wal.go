@@ -1,0 +1,369 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.idb"
+
+	// walMagic opens every WAL file; a header shorter than this is a torn
+	// first write and resets the file, a different one is a foreign file
+	// and fails recovery rather than being silently wiped.
+	walMagic = "incdbwl1"
+
+	// maxRecordBytes bounds one record's payload on replay: a longer length
+	// prefix is treated as corruption (the server caps request bodies well
+	// below this).
+	maxRecordBytes = 256 << 20
+)
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Op is the kind of load mutation a WAL record carries.
+type Op string
+
+const (
+	// OpAppend parses the payload into the live database.
+	OpAppend Op = "append"
+	// OpReplace replaces the database with a fresh parse of the payload.
+	OpReplace Op = "replace"
+	// OpRestore replaces the database with a decoded snapshot payload
+	// (the /v1/load snapshot-bootstrap path).
+	OpRestore Op = "restore"
+)
+
+// Record is one acknowledged load mutation: the raparse (or snapshot)
+// payload and the version vector the database reported after applying it.
+// Replay re-applies Data and cross-checks Versions.
+type Record struct {
+	Seq      uint64            `json:"seq"`
+	Op       Op                `json:"op"`
+	Data     string            `json:"data"`
+	Versions map[string]uint64 `json:"versions"`
+}
+
+// SessionLog is the durable state of one session: its write-ahead log file
+// and snapshot slot. Append and InstallSnapshot must be serialized by the
+// caller (the server holds a per-session commit mutex across the in-memory
+// apply and the WAL append, so log order is apply order); Stats, Seq and
+// WalBytes are safe to call concurrently with them.
+type SessionLog struct {
+	name string
+	dir  string
+	f    *os.File
+
+	seq        atomic.Uint64 // last appended (or replayed) record
+	snapSeq    atomic.Uint64 // last record covered by the on-disk snapshot
+	walBytes   atomic.Int64
+	walRecords atomic.Int64
+	lastSync   atomic.Int64 // unix nanos of the last fsync'd append
+	lastSnap   atomic.Int64 // unix nanos of the last snapshot install
+
+	// failed latches after a write or fsync error: the file may hold torn
+	// bytes and — because the in-memory apply happens before the append —
+	// the live database has diverged from the log, so accepting further
+	// records would make replay reconstruct a different history than the
+	// one acknowledged. The log fail-stops instead: every later Append
+	// errors (the server keeps refusing this session's loads with 500)
+	// and a restart recovers to the last durable record.
+	failed atomic.Bool
+}
+
+// openSessionLog opens (creating if needed) the session directory and WAL
+// for a session with no prior state in memory.
+func openSessionLog(name, dir string) (*SessionLog, error) {
+	// A pre-existing directory means prior durable state; replay it so the
+	// sequence numbers continue instead of colliding. (The server recovers
+	// everything up front, so this is the fresh-session path in practice.)
+	if _, err := os.Stat(dir); err == nil {
+		records, err := replayWAL(filepath.Join(dir, walFile))
+		if err != nil {
+			return nil, err
+		}
+		var seq, snapSeq uint64
+		if f, err := os.Open(filepath.Join(dir, snapshotFile)); err == nil {
+			if snap, derr := DecodeSnapshot(f); derr == nil {
+				snapSeq = snap.Seq
+			}
+			f.Close()
+		}
+		seq = snapSeq
+		for _, r := range records {
+			if r.Seq > seq {
+				seq = r.Seq
+			}
+		}
+		return openSessionLogAt(name, dir, seq, snapSeq)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	syncDir(filepath.Dir(dir))
+	return openSessionLogAt(name, dir, 0, 0)
+}
+
+// openSessionLogAt opens the WAL for appending with known sequence state;
+// replayWAL must already have run (it truncates any torn tail).
+func openSessionLogAt(name, dir string, seq, snapSeq uint64) (*SessionLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	l := &SessionLog{name: name, dir: dir, f: f}
+	if st.Size() == 0 {
+		if _, err := f.WriteString(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		l.walBytes.Store(int64(len(walMagic)))
+	} else {
+		l.walBytes.Store(st.Size())
+	}
+	l.seq.Store(seq)
+	l.snapSeq.Store(snapSeq)
+	return l, nil
+}
+
+// Name returns the session name.
+func (l *SessionLog) Name() string { return l.name }
+
+// Seq returns the sequence number of the last appended (or replayed)
+// record.
+func (l *SessionLog) Seq() uint64 { return l.seq.Load() }
+
+// WalBytes returns the current WAL file size.
+func (l *SessionLog) WalBytes() int64 { return l.walBytes.Load() }
+
+// Append frames, writes and fsyncs one load record, assigning it the next
+// sequence number. It returns only after the record is durable — the
+// server acknowledges the mutation to the client after this returns. After
+// any write or fsync failure the log permanently refuses further appends
+// (see failed); restarting the server is the recovery path.
+func (l *SessionLog) Append(op Op, data string, versions map[string]uint64) (uint64, error) {
+	if l.failed.Load() {
+		return 0, fmt.Errorf("store: session %q wal failed earlier; refusing further appends (restart to recover)", l.name)
+	}
+	rec := Record{Seq: l.seq.Load() + 1, Op: op, Data: data, Versions: versions}
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, walCRC))
+	copy(buf[8:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		l.failed.Store(true)
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed.Store(true)
+		return 0, fmt.Errorf("store: wal sync: %w", err)
+	}
+	l.seq.Store(rec.Seq)
+	l.walBytes.Add(int64(len(buf)))
+	l.walRecords.Add(1)
+	l.lastSync.Store(time.Now().UnixNano())
+	return rec.Seq, nil
+}
+
+// InstallSnapshot makes snap the session's durable snapshot and compacts
+// the WAL it covers: the snapshot is written to a temporary file, fsync'd
+// and atomically renamed over the previous one, then the log is truncated
+// back to its header. A crash between the rename and the truncation leaves
+// covered records in the log; replay skips them by sequence number.
+func (l *SessionLog) InstallSnapshot(snap *Snapshot) error {
+	if l.failed.Load() {
+		// A fail-stopped log means memory and disk have diverged; a
+		// snapshot here would quietly promote unacknowledged state.
+		return fmt.Errorf("store: session %q wal failed earlier; refusing snapshot (restart to recover)", l.name)
+	}
+	tmp := filepath.Join(l.dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := snap.EncodeTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	syncDir(l.dir)
+	// The snapshot is durable; every record it covers is dead weight now.
+	if err := l.f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("store: wal compact: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal compact: %w", err)
+	}
+	l.walBytes.Store(int64(len(walMagic)))
+	l.walRecords.Store(0)
+	l.snapSeq.Store(snap.Seq)
+	l.lastSnap.Store(time.Now().UnixNano())
+	return nil
+}
+
+// Durability is the status snapshot of one session's durable state, as
+// reported by /v1/status.
+type Durability struct {
+	WalBytes     int64  `json:"wal_bytes"`
+	WalRecords   int64  `json:"wal_records"`
+	Seq          uint64 `json:"seq"`
+	SnapshotSeq  uint64 `json:"snapshot_seq"`
+	LastSnapshot string `json:"last_snapshot,omitempty"`
+	LastSync     string `json:"last_sync,omitempty"`
+	// Failed reports a fail-stopped log (a write or fsync error): the
+	// session refuses mutations until the server restarts and recovers.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Stats returns the durability status; safe concurrently with Append and
+// InstallSnapshot.
+func (l *SessionLog) Stats() Durability {
+	d := Durability{
+		WalBytes:    l.walBytes.Load(),
+		WalRecords:  l.walRecords.Load(),
+		Seq:         l.seq.Load(),
+		SnapshotSeq: l.snapSeq.Load(),
+		Failed:      l.failed.Load(),
+	}
+	if ns := l.lastSnap.Load(); ns != 0 {
+		d.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	if ns := l.lastSync.Load(); ns != 0 {
+		d.LastSync = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	return d
+}
+
+// Close closes the WAL file.
+func (l *SessionLog) Close() error { return l.f.Close() }
+
+// replayWAL reads every intact record of a WAL file, in order. Anything
+// after the last intact record — a length or checksum mismatch, a short
+// read, a non-monotonic sequence number: the signature of a write torn by
+// a crash — is discarded and truncated from the file so the next append
+// starts at a clean boundary. A missing file is an empty log.
+func replayWAL(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	header := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(f, header); err != nil {
+		// Shorter than the magic: a torn very first write. Reset the file.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, truncateWAL(path, 0)
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if string(header) != walMagic {
+		return nil, fmt.Errorf("store: %s is not an incdb WAL (bad magic)", path)
+	}
+
+	var out []Record
+	good := int64(len(walMagic))
+	var lastSeq uint64
+	frame := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(f, frame); err != nil {
+			if err == io.EOF {
+				return out, nil // clean end
+			}
+			break // torn frame
+		}
+		n := binary.BigEndian.Uint32(frame[0:4])
+		sum := binary.BigEndian.Uint32(frame[4:8])
+		if n == 0 || n > maxRecordBytes {
+			break // corrupt length
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, walCRC) != sum {
+			break // corrupt payload
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break // corrupt payload that happened to checksum
+		}
+		if rec.Seq <= lastSeq {
+			break // sequence must be strictly monotonic
+		}
+		lastSeq = rec.Seq
+		out = append(out, rec)
+		good += int64(8 + len(payload))
+	}
+	return out, truncateWAL(path, good)
+}
+
+// truncateWAL drops the torn tail (or resets a torn header when good == 0,
+// rewriting the magic).
+func truncateWAL(path string, good int64) error {
+	if err := os.Truncate(path, good); err != nil {
+		return fmt.Errorf("store: truncate torn wal: %w", err)
+	}
+	if good == 0 {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		defer f.Close()
+		if _, err := f.WriteString(walMagic); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return f.Sync()
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry is
+// durable; best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

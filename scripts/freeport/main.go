@@ -1,0 +1,22 @@
+// Command freeport prints a free TCP port on 127.0.0.1: the OS picks it
+// (listen on port 0), we print it and close the listener. CI smoke scripts
+// use it so parallel jobs never collide on a fixed port; the tiny window
+// between close and reuse is covered by the scripts' retry loops.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "freeport:", err)
+		os.Exit(1)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	fmt.Println(port)
+}

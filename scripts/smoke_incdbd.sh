@@ -1,28 +1,43 @@
 #!/usr/bin/env sh
 # smoke_incdbd.sh — end-to-end smoke of the incdbd service: build the
-# binaries, start the server, load the example database through the
-# incdbctl client, run a certain-answer query twice, assert the answer and
-# that the repeat hit the prepared-plan cache, and shut down gracefully.
+# binaries, start a durable server on a random free port, load and append
+# data through the incdbctl client, assert a certain answer plus the
+# prepared-plan and result cache hits, then SIGKILL the server
+# mid-load-sequence, restart it on the same data directory and assert that
+# every answer and version vector matches the pre-kill state. Ends with a
+# graceful-shutdown check.
 set -eu
 
-ADDR="${ADDR:-127.0.0.1:8123}"
 BIN="${BIN:-./bin}"
 QUERY='proj(0, sel(not(in(0, Payments)), Orders))'
+# Same plan (whitespace is insignificant), different bytes: exercises the
+# prepared-plan cache without being absorbed by the byte-exact result cache.
+QUERY_RESPELLED='proj(0,  sel(not(in(0, Payments)), Orders))'
 
 mkdir -p "$BIN"
 go build -o "$BIN/incdbd" ./cmd/incdbd
 go build -o "$BIN/incdbctl" ./cmd/incdbctl
 
-"$BIN/incdbd" -addr "$ADDR" &
-SRV=$!
-trap 'kill "$SRV" 2>/dev/null || true' EXIT
+# Random free port so parallel CI jobs cannot collide.
+PORT="${PORT:-$(go run ./scripts/freeport)}"
+ADDR="127.0.0.1:$PORT"
+DATA_DIR="$(mktemp -d)"
+trap 'kill "$SRV" 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
 
-ok=0
-for _ in $(seq 1 50); do
-    if curl -fs "http://$ADDR/v1/status" >/dev/null 2>&1; then ok=1; break; fi
-    sleep 0.2
-done
-[ "$ok" = 1 ] || { echo "incdbd did not come up on $ADDR" >&2; exit 1; }
+wait_up() {
+    i=0
+    while [ $i -lt 50 ]; do
+        if curl -fs "http://$ADDR/v1/status" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+        i=$((i + 1))
+    done
+    echo "incdbd did not come up on $ADDR" >&2
+    exit 1
+}
+
+"$BIN/incdbd" -addr "$ADDR" -data-dir "$DATA_DIR" &
+SRV=$!
+wait_up
 
 CTL="$BIN/incdbctl client -addr http://$ADDR -session smoke"
 $CTL load examples/data/orders.idb
@@ -32,14 +47,50 @@ out=$($CTL cert "$QUERY")
 echo "$out"
 echo "$out" | grep -q "o2" || { echo "expected certain answer o2" >&2; exit 1; }
 
-echo "== certain-answer query (warm: must hit the prepared-plan cache) =="
-$CTL cert "$QUERY" >/dev/null
+echo "== plan-equal respelled query (must hit the prepared-plan cache) =="
+$CTL cert "$QUERY_RESPELLED" >/dev/null
 status=$($CTL status)
 echo "$status"
-echo "$status" | grep -q "1 hits" || { echo "repeat query did not hit the prepared-plan cache" >&2; exit 1; }
+echo "$status" | grep 'cache' | grep -q "1 hits" || {
+    echo "respelled query did not hit the prepared-plan cache" >&2; exit 1; }
+
+echo "== byte-identical repeat (must hit the oracle result cache) =="
+$CTL cert "$QUERY_RESPELLED" >/dev/null
+status=$($CTL status)
+echo "$status" | grep 'results' | grep -q "1 hits" || {
+    echo "repeated query did not hit the result cache" >&2; exit 1; }
+
+echo "== crash recovery: append, SIGKILL mid-sequence, restart, compare =="
+APPEND_FILE="$DATA_DIR/append.idb"
+printf "row Orders o3 c2\nrow Payments o3\nrow Orders o4 _7\n" >"$APPEND_FILE"
+$CTL append "$APPEND_FILE"
+pre_answer=$($CTL cert "$QUERY" | grep '^  ')
+pre_possible=$($CTL ctable-eager 'proj(1, Orders)' | grep '^  ')
+pre_versions=$($CTL status | grep 'rows (version')
+
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+
+"$BIN/incdbd" -addr "$ADDR" -data-dir "$DATA_DIR" &
+SRV=$!
+wait_up
+
+post_answer=$($CTL cert "$QUERY" | grep '^  ')
+post_possible=$($CTL ctable-eager 'proj(1, Orders)' | grep '^  ')
+post_versions=$($CTL status | grep 'rows (version')
+[ "$pre_answer" = "$post_answer" ] || {
+    echo "certain answers diverged after recovery:" >&2
+    echo "pre:  $pre_answer" >&2; echo "post: $post_answer" >&2; exit 1; }
+[ "$pre_possible" = "$post_possible" ] || {
+    echo "ctable answers (null identities) diverged after recovery:" >&2
+    echo "pre:  $pre_possible" >&2; echo "post: $post_possible" >&2; exit 1; }
+[ "$pre_versions" = "$post_versions" ] || {
+    echo "version vectors diverged after recovery:" >&2
+    echo "pre:  $pre_versions" >&2; echo "post: $post_versions" >&2; exit 1; }
+echo "recovered state matches pre-kill state"
 
 echo "== graceful shutdown =="
 kill -TERM "$SRV"
 wait "$SRV"
-trap - EXIT
+trap 'rm -rf "$DATA_DIR"' EXIT
 echo "incdbd smoke OK"
