@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-compare bench-server smoke clean ci
+.PHONY: all fmt fmt-check vet build test race bench bench-compare bench-server smoke smoke-replication clean ci
 
 all: build
 
@@ -41,8 +41,9 @@ BASE ?= HEAD~1
 bench-compare:
 	./scripts/bench_compare.sh $(BASE)
 
-# Warm-vs-cold prepared-plan cache throughput of the incdbd server; emits
-# BENCH_PR4.json (see scripts/bench_server.sh).
+# Warm-vs-cold prepared-plan cache throughput and the durable-load
+# group-commit concurrency curve of the incdbd server; emits
+# BENCH_PR4.json and BENCH_PR6.json (see scripts/bench_server.sh).
 bench-server:
 	./scripts/bench_server.sh
 
@@ -51,4 +52,9 @@ bench-server:
 smoke:
 	./scripts/smoke_incdbd.sh
 
-ci: fmt-check vet build race bench smoke
+# End-to-end replication smoke: durable primary + follower, byte-identical
+# answers, consistency tokens, kill/restart resume.
+smoke-replication:
+	./scripts/smoke_replication.sh
+
+ci: fmt-check vet build race bench smoke smoke-replication

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"incdb/internal/api"
 	"incdb/internal/server"
 )
 
@@ -16,7 +18,8 @@ const clientHelp = `commands:
   <proc> <query>           evaluate (procs: sql naive cert inter plus poss ctable-*)
   <query>                  evaluate under sql
   explain [sql] [bag] <query>   show the plan (as the server prepares it)
-  status                   server sessions, versions, cache counters, durability
+  status                   server sessions, versions, caches, durability, replication
+  vector                   print the consistency token (for -read-after elsewhere)
   snapshot [file]          export a consistent session snapshot (stdout or file)
   restore <file>           bootstrap the session from a snapshot export
   help                     this text
@@ -25,17 +28,25 @@ const clientHelp = `commands:
 // runClient runs the client subcommand: with positional arguments it
 // executes them as one command line; without, it drops into a REPL. Both
 // speak the incdbd HTTP/JSON protocol through server.Client, so the CLI
-// and the server share one set of wire types.
+// and the server share one set of wire types (incdb/internal/api).
 func runClient(args []string) error {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "incdbd base URL")
 	session := fs.String("session", "default", "server-side session name")
 	bag := fs.Bool("bag", false, "bag semantics for sql/naive queries")
 	maxWorlds := fs.Int("maxworlds", 0, "certainty oracle world bound (0 = server default)")
+	readAfter := fs.String("read-after", "", `consistency token to read at least as new as (JSON, e.g. '{"A":2}'; print one with the vector command)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	c := server.NewClient(*addr, *session)
+	if *readAfter != "" {
+		var vec map[string]uint64
+		if err := json.Unmarshal([]byte(*readAfter), &vec); err != nil {
+			return fmt.Errorf("bad -read-after (want JSON like '{\"A\":2}'): %w", err)
+		}
+		c.SetVector(vec)
+	}
 	opts := queryOpts{bag: *bag, maxWorlds: *maxWorlds}
 	if fs.NArg() > 0 {
 		return clientLine(c, strings.Join(fs.Args(), " "), opts)
@@ -81,6 +92,17 @@ func clientLine(c *server.Client, line string, opts queryOpts) error {
 			return err
 		}
 		printStatus(st)
+		return nil
+	case "vector":
+		// The client's consistency token: every version vector the server
+		// has reported, merged. Feed it to another incdbctl invocation (or
+		// any client) via -read-after to make its reads at least this new —
+		// monotonic reads across processes and replicas.
+		data, err := json.Marshal(c.Vector())
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
 		return nil
 	case "load", "append":
 		if rest == "" {
@@ -175,7 +197,7 @@ func clientLine(c *server.Client, line string, opts queryOpts) error {
 	}
 }
 
-func printResults(qr *server.QueryResponse) {
+func printResults(qr *api.QueryResponse) {
 	for _, rs := range qr.Results {
 		fmt.Printf("%s (%d rows, %.2fms)\n", rs.Name, len(rs.Rows), qr.ElapsedMs)
 		for i, row := range rs.Rows {
@@ -188,11 +210,22 @@ func printResults(qr *server.QueryResponse) {
 	}
 }
 
-func printStatus(st *server.StatusResponse) {
+func printStatus(st *api.StatusResponse) {
 	fmt.Printf("uptime %.1fs, workers %d, in-flight %d/%d, %d session(s)\n",
 		st.UptimeSeconds, st.Workers, st.InFlight, st.MaxInFlight, len(st.Sessions))
 	if st.DataDir != "" {
 		fmt.Printf("durable data dir: %s\n", st.DataDir)
+	}
+	if r := st.Replication; r != nil {
+		fmt.Printf("replica of %s:\n", r.Primary)
+		for _, rs := range r.Sessions {
+			fmt.Printf("  session %q: %s, applied seq %d (%d frames, %d bootstraps)",
+				rs.Session, rs.State, rs.AppliedSeq, rs.Frames, rs.Bootstraps)
+			if rs.LastError != "" {
+				fmt.Printf(", last error: %s", rs.LastError)
+			}
+			fmt.Println()
+		}
 	}
 	for _, s := range st.Sessions {
 		fmt.Printf("session %q: %d queries, cache %d entries (%d hits, %d misses, %d invalidations)\n",
@@ -200,7 +233,8 @@ func printStatus(st *server.StatusResponse) {
 		fmt.Printf("  results %d entries (%d hits, %d misses)\n",
 			s.ResultCache.Entries, s.ResultCache.Hits, s.ResultCache.Misses)
 		if d := s.Durability; d != nil {
-			fmt.Printf("  wal %d bytes, %d records, seq %d (snapshot seq %d", d.WalBytes, d.WalRecords, d.Seq, d.SnapshotSeq)
+			fmt.Printf("  wal %d bytes, %d records, seq %d durable %d, %d fsyncs (snapshot seq %d",
+				d.WalBytes, d.WalRecords, d.Seq, d.DurableSeq, d.Syncs, d.SnapshotSeq)
 			if d.LastSnapshot != "" {
 				fmt.Printf(" at %s", d.LastSnapshot)
 			}

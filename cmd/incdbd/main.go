@@ -6,16 +6,26 @@
 //	incdbd -addr :8080
 //	incdbd -addr :8080 -load examples/data/orders.idb -session default
 //	incdbd -addr :8080 -data-dir /var/lib/incdbd
+//	incdbd -addr :8081 -data-dir /var/lib/incdbd-replica -follow http://primary:8080
 //
 // With -data-dir the server is durable (see internal/store): every load is
-// written ahead to a per-session log and fsync'd before it is
-// acknowledged, snapshots compact the log, and a restart — graceful or
-// SIGKILL — recovers every session to the last acknowledged load, version
-// vectors, null identities and warm prepared plans included.
+// written ahead to a per-session log and fsync'd before it is acknowledged
+// (concurrent loads group-commit, sharing fsyncs), snapshots compact the
+// log, and a restart — graceful or SIGKILL — recovers every session to the
+// last acknowledged load, version vectors, null identities and warm
+// prepared plans included.
 //
-// Endpoints: POST /v1/load, POST /v1/query, POST /v1/explain,
-// GET /v1/status, GET /v1/snapshot. The incdbctl client subcommand (and
-// its REPL) speaks the same protocol:
+// With -follow the server is a read replica: it bootstraps every session
+// from the primary's snapshot endpoint, tails the primary's WAL stream,
+// and serves queries (rejecting loads with 403 read_only_replica). Query
+// responses carry the session's version vector as a consistency token;
+// -stale-wait bounds how long a replica holds a read whose token it does
+// not yet cover before answering 412 stale_replica.
+//
+// Endpoints are session-scoped — POST /v1/sessions/{name}/load|query|explain,
+// GET /v1/sessions/{name}/status|snapshot|wal — plus GET /v1/status and
+// legacy flat routes (see internal/server). The incdbctl client subcommand
+// (and its REPL) speaks the same protocol:
 //
 //	incdbctl client -addr http://localhost:8080 -session default
 //
@@ -45,6 +55,8 @@ func main() {
 	resultCacheCap := flag.Int("result-cache-cap", 0, "oracle result cache entries per session (0 = default)")
 	dataDir := flag.String("data-dir", "", "data directory for durable sessions (WAL + snapshots); empty = memory-only")
 	snapshotBytes := flag.Int64("snapshot-bytes", 0, "WAL size triggering a compacting snapshot (0 = default)")
+	follow := flag.String("follow", "", "primary URL to follow as a read replica (e.g. http://primary:8080)")
+	staleWait := flag.Duration("stale-wait", 0, "how long a replica holds a read for its consistency token (0 = 2s)")
 	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown window")
 	load := flag.String("load", "", "database file (raparse format) to preload")
 	session := flag.String("session", "default", "session name for -load")
@@ -57,6 +69,7 @@ func main() {
 		CacheCap:       *cacheCap,
 		ResultCacheCap: *resultCacheCap,
 		SnapshotBytes:  *snapshotBytes,
+		StaleWait:      *staleWait,
 		ShutdownGrace:  *grace,
 	})
 	if *dataDir != "" {
@@ -66,6 +79,9 @@ func main() {
 		log.Printf("durable sessions in %s", *dataDir)
 	}
 	if *load != "" {
+		if *follow != "" {
+			log.Fatalf("incdbd: -load conflicts with -follow (a replica only accepts data from its primary)")
+		}
 		data, err := os.ReadFile(*load)
 		if err != nil {
 			log.Fatalf("incdbd: %v", err)
@@ -79,6 +95,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *follow != "" {
+		srv.StartFollow(ctx, *follow)
+		log.Printf("following primary %s (read-only replica)", *follow)
+	}
 	log.Printf("incdbd listening on %s", *addr)
 	if err := srv.ListenAndServe(ctx, *addr); err != nil {
 		srv.Close()

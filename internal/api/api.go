@@ -1,0 +1,190 @@
+// Package api holds the wire format of the incdbd HTTP/JSON protocol:
+// every request and response type exchanged between the server
+// (internal/server), its client (server.Client, backing incdbctl), and the
+// replication tier. One source of truth — handlers and clients cannot
+// drift apart, because they marshal the same structs.
+//
+// Routes are session-scoped: the session name lives in the URL path,
+//
+//	POST /v1/sessions/{name}/load      load or append data
+//	POST /v1/sessions/{name}/query     evaluate a query
+//	POST /v1/sessions/{name}/explain   structured plan rendering
+//	GET  /v1/sessions/{name}/status    one session's status
+//	GET  /v1/sessions/{name}/snapshot  consistent snapshot export
+//	GET  /v1/sessions/{name}/wal       stream WAL records (replication)
+//	GET  /v1/status                    server-wide status
+//
+// The pre-PR-6 flat routes (POST /v1/load|query|explain with the session
+// name in the body, GET /v1/snapshot?session=) survive as thin delegating
+// shims; the Session fields below exist for them and are ignored when the
+// path names the session.
+//
+// Consistency tokens: every load and query response carries the session's
+// version vector (relation name → mutation version). A client that echoes
+// its last-seen vector as QueryRequest.ReadAfter is guaranteed monotonic
+// reads across a primary/replica fleet — a replica serves the query only
+// once its own vector covers the token, briefly blocking while it catches
+// up and failing with ErrStaleReplica (HTTP 412) when it cannot.
+package api
+
+import (
+	"incdb/internal/plan"
+	"incdb/internal/store"
+)
+
+// LoadRequest creates or extends a session database. Data is the raparse
+// text format ("rel NAME attrs…" / "row NAME values…" lines). With Append
+// false the session's database is replaced wholesale; with Append true the
+// lines are parsed into the live database — new "rel" lines extend the
+// schema, "row" lines add tuples (bumping the relations' mutation
+// versions, which invalidates exactly the prepared plans that read them).
+// With Snapshot true, Data is instead a snapshot export (or durable
+// snapshot file): the session is replaced by the decoded database with
+// null identifiers and version vector preserved — the replica bootstrap
+// path.
+type LoadRequest struct {
+	Session  string `json:"session,omitempty"` // legacy body-field routing
+	Data     string `json:"data"`
+	Append   bool   `json:"append,omitempty"`
+	Snapshot bool   `json:"snapshot,omitempty"`
+}
+
+// LoadResponse reports the resulting schema and version vector. Versions
+// is the consistency token for read-your-writes routing: echo it as
+// QueryRequest.ReadAfter and no replica will answer from a state older
+// than this load.
+type LoadResponse struct {
+	Session   string            `json:"session"`
+	Relations []RelationStatus  `json:"relations"`
+	Versions  map[string]uint64 `json:"versions"`
+}
+
+// RelationStatus describes one relation of a session database.
+type RelationStatus struct {
+	Name    string `json:"name"`
+	Arity   int    `json:"arity"`
+	Rows    int    `json:"rows"` // distinct tuples
+	Version uint64 `json:"version"`
+}
+
+// QueryRequest evaluates Query (raparse query syntax) against a session
+// database. Proc selects the evaluation procedure: sql (default), naive,
+// cert (cert⊥), inter (cert∩), plus (Q⁺), poss (Q?), or
+// ctable-eager|semi|lazy|aware (certain and possible parts). Bag switches
+// sql/naive to bag semantics. MaxWorlds bounds the certainty oracles (0 =
+// server default). ReadAfter is the consistency token: the server answers
+// only from a database state whose version vector covers it (a replica
+// waits briefly for replication to catch up, then fails with
+// ErrStaleReplica).
+type QueryRequest struct {
+	Session   string            `json:"session,omitempty"` // legacy body-field routing
+	Query     string            `json:"query"`
+	Proc      string            `json:"proc,omitempty"`
+	Bag       bool              `json:"bag,omitempty"`
+	MaxWorlds int               `json:"max_worlds,omitempty"`
+	ReadAfter map[string]uint64 `json:"read_after,omitempty"`
+}
+
+// Resultset is one relation of answers. Rows are rendered in the
+// database text format: constants verbatim, the null ⊥k as "_k". Mults is
+// set only when some multiplicity differs from one (bag semantics).
+type Resultset struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows"`
+	Mults   []int      `json:"mults,omitempty"`
+}
+
+// QueryResponse carries the evaluation results: one resultset for most
+// procedures, certain+possible for the ctable strategies. Cached reports
+// that the oracle result cache answered without evaluating anything.
+// Versions is the version vector of the state that answered — the
+// consistency token for subsequent monotonic reads.
+type QueryResponse struct {
+	Session   string            `json:"session"`
+	Proc      string            `json:"proc"`
+	Query     string            `json:"query"`
+	Results   []Resultset       `json:"results"`
+	ElapsedMs float64           `json:"elapsed_ms"`
+	Cached    bool              `json:"cached,omitempty"`
+	Versions  map[string]uint64 `json:"versions,omitempty"`
+}
+
+// ExplainRequest renders the plan for a query against a session database.
+type ExplainRequest struct {
+	Session string `json:"session,omitempty"` // legacy body-field routing
+	Query   string `json:"query"`
+	SQL     bool   `json:"sql,omitempty"` // plan for SQL three-valued evaluation
+	Bag     bool   `json:"bag,omitempty"`
+}
+
+// ExplainResponse returns the structured plan (the same plan.Describe
+// output incdbctl's explain -format json prints) plus its text rendering.
+type ExplainResponse struct {
+	Session string            `json:"session"`
+	Plan    *plan.ExplainInfo `json:"plan"`
+	Text    string            `json:"text"`
+}
+
+// StatusResponse is the server-wide status snapshot. DataDir is set when
+// durability is enabled; Replication when the server follows a primary.
+type StatusResponse struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Workers       int                `json:"workers"`
+	MaxInFlight   int                `json:"max_in_flight"`
+	InFlight      int                `json:"in_flight"`
+	DataDir       string             `json:"data_dir,omitempty"`
+	Replication   *ReplicationStatus `json:"replication,omitempty"`
+	Sessions      []SessionStatus    `json:"sessions"`
+}
+
+// SessionStatus describes one session: its schema with versions, how many
+// queries it has served, its prepared-plan and oracle-result cache
+// counters, and — when durability is enabled — the session's durable
+// state (WAL size, sequence numbers, last snapshot and last fsync). A
+// byte-identical repeated query shows up as ResultCache.Hits moving; a
+// plan-equal but differently spelled one as Cache.Hits; mutating a
+// relation shows up as Cache.Invalidations moving on the next affected
+// query (result-cache entries simply stop being reachable, their key
+// embeds the version vector). Versions is the session's current vector —
+// the freshest possible consistency token.
+type SessionStatus struct {
+	Name        string            `json:"name"`
+	CreatedAt   string            `json:"created_at"`
+	Queries     uint64            `json:"queries"`
+	Versions    map[string]uint64 `json:"versions"`
+	Relations   []RelationStatus  `json:"relations"`
+	Cache       plan.CacheStats   `json:"cache"`
+	ResultCache ResultCacheStats  `json:"result_cache"`
+	Durability  *store.Durability `json:"durability,omitempty"`
+}
+
+// ResultCacheStats is the status snapshot of a session's oracle result
+// cache.
+type ResultCacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// ReplicationStatus reports a replica's view of its primary: one entry per
+// followed session.
+type ReplicationStatus struct {
+	Primary  string           `json:"primary"`
+	Sessions []ReplicaSession `json:"sessions"`
+}
+
+// ReplicaSession is the replication state of one followed session.
+// AppliedSeq is the last primary WAL sequence number applied locally;
+// State is "bootstrapping" (restoring a snapshot), "streaming" (tailing
+// the WAL) or "retrying" (reconnecting after an error). Bootstraps counts
+// snapshot restores since this process started — a durable replica that
+// resumed from its own log after a restart shows 0.
+type ReplicaSession struct {
+	Session    string `json:"session"`
+	State      string `json:"state"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Bootstraps uint64 `json:"bootstraps"`
+	Frames     uint64 `json:"frames"`
+	LastError  string `json:"last_error,omitempty"`
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"incdb/internal/plan"
@@ -75,4 +76,66 @@ func BenchmarkServerQuery(b *testing.B) {
 	b.Run("cache=cold", func(b *testing.B) { run(b, "cold") })
 	b.Run("cache=warm", func(b *testing.B) { run(b, "warm") })
 	b.Run("cache=result", func(b *testing.B) { run(b, "result") })
+}
+
+// BenchmarkDurableLoadConcurrency measures acknowledged durable-append
+// throughput against one session as client concurrency grows. Every append
+// is fsync'd before its 200 comes back, so with one client the ceiling is
+// fsync latency; with 4 and 16 clients the group commit batches appends
+// that arrive during an in-flight fsync into the next one, and throughput
+// should scale well past the single-fsync rate (ns/op here is wall time
+// per append across all clients — scripts/bench_server.sh converts the
+// curve into BENCH_PR6.json). The snapshot threshold is pushed high so
+// compaction does not interleave.
+func BenchmarkDurableLoadConcurrency(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			srv := New(Options{Workers: 1, SnapshotBytes: 1 << 40})
+			if err := srv.EnableDurability(b.TempDir()); err != nil {
+				b.Fatalf("durability: %v", err)
+			}
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			if _, err := NewClient(ts.URL, "bench").Load("rel R a b\n", false); err != nil {
+				b.Fatalf("load: %v", err)
+			}
+			b.ResetTimer()
+			// Split b.N across free-running workers (a shared feed channel
+			// would serialize on the producer handoff and understate the
+			// group-commit batching).
+			var wg sync.WaitGroup
+			for w := 0; w < clients; w++ {
+				n := b.N / clients
+				if w < b.N%clients {
+					n++
+				}
+				wg.Add(1)
+				go func(w, n int) {
+					defer wg.Done()
+					c := NewClient(ts.URL, "bench")
+					for i := 0; i < n; i++ {
+						data := fmt.Sprintf("row R w%d i%d\n", w, i)
+						if _, err := c.Load(data, true); err != nil {
+							b.Errorf("append: %v", err)
+							return
+						}
+					}
+				}(w, n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if sess := srv.sessionFor("bench"); sess != nil && sess.log != nil {
+				st := sess.log.Stats()
+				b.ReportMetric(float64(st.WalRecords)/float64(max64(st.Syncs, 1)), "records/fsync")
+			}
+		})
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,15 +10,30 @@ import (
 	"net/url"
 	"os"
 	"strings"
+	"sync"
+
+	"incdb/internal/api"
+	"incdb/internal/store"
 )
 
-// Client speaks the incdbd HTTP/JSON protocol; incdbctl's client/REPL mode
-// and the smoke tests are built on it, so the CLI and the server share the
-// wire types above by construction.
+// Client speaks the incdbd HTTP/JSON protocol; incdbctl's client/REPL mode,
+// the replication follower and the smoke tests are built on it, so the CLI
+// and the server share the wire types (incdb/internal/api) by construction.
+//
+// The client tracks the session's version vector as responses report it
+// and echoes it as the consistency token of every query, so a session of
+// reads through one client is monotonic even when its requests land on a
+// replica that lags the primary: the replica holds the read until
+// replication covers the token (or answers 412 stale_replica, api.Error
+// code CodeStaleReplica). Vector/SetVector expose the token so it can also
+// be carried across processes (incdbctl -read-after).
 type Client struct {
 	base    string
 	session string
 	hc      *http.Client
+
+	mu  sync.Mutex
+	vec map[string]uint64
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -29,16 +45,84 @@ func NewClient(base, session string) *Client {
 // Session returns the session name the client operates on.
 func (c *Client) Session() string { return c.session }
 
+// Base returns the server URL the client talks to.
+func (c *Client) Base() string { return c.base }
+
+// Vector returns the client's current consistency token: the merge of
+// every version vector the server has reported to it.
+func (c *Client) Vector() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.vec))
+	for k, v := range c.vec {
+		out[k] = v
+	}
+	return out
+}
+
+// SetVector installs a consistency token obtained elsewhere (another
+// client, incdbctl vector) so the next query reads at least that state.
+func (c *Client) SetVector(vec map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vec = make(map[string]uint64, len(vec))
+	for k, v := range vec {
+		c.vec[k] = v
+	}
+}
+
+// mergeVector folds a response's vector into the token, keeping the newest
+// version per relation.
+func (c *Client) mergeVector(vec map[string]uint64) {
+	if len(vec) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.vec == nil {
+		c.vec = map[string]uint64{}
+	}
+	for k, v := range vec {
+		if c.vec[k] < v {
+			c.vec[k] = v
+		}
+	}
+}
+
+// assignVector replaces the token outright — after a wholesale replace or
+// snapshot restore the relations restart their counters, so merging would
+// pin the client to versions that no longer exist.
+func (c *Client) assignVector(vec map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vec = make(map[string]uint64, len(vec))
+	for k, v := range vec {
+		c.vec[k] = v
+	}
+}
+
+func (c *Client) sessionPath(suffix string) string {
+	return "/v1/sessions/" + url.PathEscape(c.session) + suffix
+}
+
 // Load replaces (or, with append_, extends) the session database with data
 // in the raparse text format.
-func (c *Client) Load(data string, append_ bool) (*LoadResponse, error) {
-	var out LoadResponse
-	err := c.post("/v1/load", LoadRequest{Session: c.session, Data: data, Append: append_}, &out)
-	return &out, err
+func (c *Client) Load(data string, append_ bool) (*api.LoadResponse, error) {
+	var out api.LoadResponse
+	err := c.post(c.sessionPath("/load"), api.LoadRequest{Data: data, Append: append_}, &out)
+	if err != nil {
+		return nil, err
+	}
+	if append_ {
+		c.mergeVector(out.Versions)
+	} else {
+		c.assignVector(out.Versions)
+	}
+	return &out, nil
 }
 
 // LoadFile is Load from a file.
-func (c *Client) LoadFile(path string, append_ bool) (*LoadResponse, error) {
+func (c *Client) LoadFile(path string, append_ bool) (*api.LoadResponse, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -46,27 +130,36 @@ func (c *Client) LoadFile(path string, append_ bool) (*LoadResponse, error) {
 	return c.Load(string(data), append_)
 }
 
-// Query evaluates a query under the given procedure (see QueryRequest).
-func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*QueryResponse, error) {
-	var out QueryResponse
-	err := c.post("/v1/query", QueryRequest{
-		Session: c.session, Query: query, Proc: proc, Bag: bag, MaxWorlds: maxWorlds,
+// Query evaluates a query under the given procedure (see api.QueryRequest),
+// sending the client's consistency token and folding the response's vector
+// back in.
+func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	err := c.post(c.sessionPath("/query"), api.QueryRequest{
+		Query: query, Proc: proc, Bag: bag, MaxWorlds: maxWorlds, ReadAfter: c.Vector(),
 	}, &out)
-	return &out, err
+	if err != nil {
+		return nil, err
+	}
+	c.mergeVector(out.Versions)
+	return &out, nil
 }
 
 // Explain renders the plan for a query.
-func (c *Client) Explain(query string, sql, bag bool) (*ExplainResponse, error) {
-	var out ExplainResponse
-	err := c.post("/v1/explain", ExplainRequest{Session: c.session, Query: query, SQL: sql, Bag: bag}, &out)
-	return &out, err
+func (c *Client) Explain(query string, sql, bag bool) (*api.ExplainResponse, error) {
+	var out api.ExplainResponse
+	err := c.post(c.sessionPath("/explain"), api.ExplainRequest{Query: query, SQL: sql, Bag: bag}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Snapshot fetches the session's consistent snapshot export (the
 // store.Snapshot encoding): the bootstrap payload Restore (or a durable
 // snapshot file) accepts.
 func (c *Client) Snapshot() (string, error) {
-	resp, err := c.hc.Get(c.base + "/v1/snapshot?session=" + url.QueryEscape(c.session))
+	resp, err := c.hc.Get(c.base + c.sessionPath("/snapshot"))
 	if err != nil {
 		return "", err
 	}
@@ -76,11 +169,7 @@ func (c *Client) Snapshot() (string, error) {
 		return "", err
 	}
 	if resp.StatusCode/100 != 2 {
-		var e ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return "", fmt.Errorf("server: %s", e.Error)
-		}
-		return "", fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		return "", api.DecodeError(resp.StatusCode, data)
 	}
 	return string(data), nil
 }
@@ -88,23 +177,78 @@ func (c *Client) Snapshot() (string, error) {
 // Restore replaces the session database from a snapshot export, preserving
 // null identities, version vector and warm prepared-plan keys — the
 // replica bootstrap call.
-func (c *Client) Restore(data string) (*LoadResponse, error) {
-	var out LoadResponse
-	err := c.post("/v1/load", LoadRequest{Session: c.session, Data: data, Snapshot: true}, &out)
-	return &out, err
+func (c *Client) Restore(data string) (*api.LoadResponse, error) {
+	var out api.LoadResponse
+	err := c.post(c.sessionPath("/load"), api.LoadRequest{Data: data, Snapshot: true}, &out)
+	if err != nil {
+		return nil, err
+	}
+	c.assignVector(out.Versions)
+	return &out, nil
 }
 
 // Status fetches the server-wide status snapshot.
-func (c *Client) Status() (*StatusResponse, error) {
+func (c *Client) Status() (*api.StatusResponse, error) {
 	resp, err := c.hc.Get(c.base + "/v1/status")
 	if err != nil {
 		return nil, err
 	}
-	var out StatusResponse
+	var out api.StatusResponse
 	if err := decodeResponse(resp, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// SessionStatus fetches this session's status.
+func (c *Client) SessionStatus() (*api.SessionStatus, error) {
+	resp, err := c.hc.Get(c.base + c.sessionPath("/status"))
+	if err != nil {
+		return nil, err
+	}
+	var out api.SessionStatus
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TailWAL opens the session's replication stream at the given position
+// (records with sequence numbers strictly greater than from) and invokes
+// fn for every record until the stream ends or ctx is done. The returned
+// error is nil on a server-side clean close (the follower reconnects), an
+// *api.Error on a request-time refusal — notably CodeWALGap, demanding a
+// snapshot re-bootstrap — and the transport error otherwise.
+func (c *Client) TailWAL(ctx context.Context, from uint64, fn func(*store.Record) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+c.sessionPath(fmt.Sprintf("/wal?from=%d", from)), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return api.DecodeError(resp.StatusCode, data)
+	}
+	for {
+		rec, err := store.ReadFrame(resp.Body)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
 }
 
 func (c *Client) post(path string, body, into any) error {
@@ -126,11 +270,7 @@ func decodeResponse(resp *http.Response, into any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		var e ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s", e.Error)
-		}
-		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		return api.DecodeError(resp.StatusCode, data)
 	}
 	if err := json.Unmarshal(data, into); err != nil {
 		return fmt.Errorf("server: bad response: %w", err)

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"incdb/internal/api"
+)
+
+// postJSON posts a raw body and returns status + decoded-into.
+func postJSON(t *testing.T, url string, body any, into any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if into != nil && resp.StatusCode/100 == 2 {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestLegacyRoutesDelegate: the pre-PR-6 flat routes (session name in the
+// body or query string) keep working and answer exactly like the
+// session-in-path routes — same handlers behind thin shims.
+func TestLegacyRoutesDelegate(t *testing.T) {
+	srv, _ := newTestServer(t)
+	base := srv.URL
+
+	// Legacy load with the session in the body.
+	var lr api.LoadResponse
+	if code := postJSON(t, base+"/v1/load",
+		api.LoadRequest{Session: "legacy", Data: ordersData}, &lr); code != 200 {
+		t.Fatalf("legacy load: HTTP %d", code)
+	}
+	if lr.Session != "legacy" || len(lr.Relations) != 3 {
+		t.Fatalf("legacy load response: %+v", lr)
+	}
+
+	// Legacy query against the legacy-loaded session; new-route query
+	// against the same session must agree byte for byte.
+	var legacyQR, pathQR api.QueryResponse
+	if code := postJSON(t, base+"/v1/query",
+		api.QueryRequest{Session: "legacy", Query: unpaid, Proc: "cert"}, &legacyQR); code != 200 {
+		t.Fatalf("legacy query: HTTP %d", code)
+	}
+	if code := postJSON(t, base+"/v1/sessions/legacy/query",
+		api.QueryRequest{Query: unpaid, Proc: "cert"}, &pathQR); code != 200 {
+		t.Fatalf("path query: HTTP %d", code)
+	}
+	if !reflect.DeepEqual(legacyQR.Results, pathQR.Results) {
+		t.Fatalf("legacy and path routes disagree: %+v vs %+v", legacyQR.Results, pathQR.Results)
+	}
+	if len(pathQR.Versions) == 0 || !reflect.DeepEqual(legacyQR.Versions, pathQR.Versions) {
+		t.Fatalf("version vectors differ across routes: %v vs %v", legacyQR.Versions, pathQR.Versions)
+	}
+
+	// Legacy explain.
+	var er api.ExplainResponse
+	if code := postJSON(t, base+"/v1/explain",
+		api.ExplainRequest{Session: "legacy", Query: unpaid}, &er); code != 200 {
+		t.Fatalf("legacy explain: HTTP %d", code)
+	}
+	if er.Text == "" {
+		t.Fatalf("legacy explain returned no text")
+	}
+
+	// Legacy snapshot with the session in the query string.
+	resp, err := http.Get(base + "/v1/snapshot?session=legacy")
+	if err != nil {
+		t.Fatalf("legacy snapshot: %v", err)
+	}
+	legacySnap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(legacySnap) == 0 {
+		t.Fatalf("legacy snapshot: HTTP %d, %d bytes", resp.StatusCode, len(legacySnap))
+	}
+	resp, err = http.Get(base + "/v1/sessions/legacy/snapshot")
+	if err != nil {
+		t.Fatalf("path snapshot: %v", err)
+	}
+	pathSnap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(legacySnap, pathSnap) {
+		t.Fatalf("snapshot exports differ across routes")
+	}
+
+	// Session in the path wins over a conflicting body field... by simply
+	// ignoring the body's (the path is authoritative on scoped routes).
+	var other api.LoadResponse
+	if code := postJSON(t, base+"/v1/sessions/pathwins/load",
+		api.LoadRequest{Session: "legacy", Data: "rel Solo a\nrow Solo x\n"}, &other); code != 200 {
+		t.Fatalf("path-scoped load: HTTP %d", code)
+	}
+	if other.Session != "pathwins" {
+		t.Fatalf("path-scoped load landed in %q, want pathwins", other.Session)
+	}
+}
+
+// TestErrorEnvelope: every non-2xx reply carries the uniform
+// {"error":{"code","message"}} envelope with the right machine code, and
+// the Go client surfaces it as *api.Error.
+func TestErrorEnvelope(t *testing.T) {
+	srv, c := newTestServer(t)
+	base := srv.URL
+
+	check := func(method, url, body, wantCode string, wantStatus int) {
+		t.Helper()
+		var resp *http.Response
+		var err error
+		if method == "GET" {
+			resp, err = http.Get(url)
+		} else {
+			resp, err = http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, url, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s %s: HTTP %d, want %d\n%s", method, url, resp.StatusCode, wantStatus, raw)
+		}
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil {
+			t.Fatalf("%s %s: body is not the error envelope: %s", method, url, raw)
+		}
+		if env.Error.Code != wantCode {
+			t.Fatalf("%s %s: code %q, want %q", method, url, env.Error.Code, wantCode)
+		}
+		if env.Error.Message == "" {
+			t.Fatalf("%s %s: empty error message", method, url)
+		}
+	}
+
+	check("POST", base+"/v1/sessions/nope/query", `{"query":"proj(0, R)"}`,
+		api.CodeSessionNotFound, http.StatusNotFound)
+	check("GET", base+"/v1/sessions/nope/status", "",
+		api.CodeSessionNotFound, http.StatusNotFound)
+	check("GET", base+"/v1/sessions/nope/snapshot", "",
+		api.CodeSessionNotFound, http.StatusNotFound)
+	check("POST", base+"/v1/sessions/s/load", `{"data": 42}`,
+		api.CodeBadRequest, http.StatusBadRequest)
+	check("POST", base+"/v1/load", `{"data":"rel R a"}`,
+		api.CodeBadRequest, http.StatusBadRequest) // missing session name
+	check("POST", base+"/v1/sessions/s/load", `{"data":"nonsense"}`,
+		api.CodeBadQuery, http.StatusBadRequest)
+
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	check("POST", base+"/v1/sessions/test/query", `{"query":"proj(9, Orders)"}`,
+		api.CodeBadQuery, http.StatusUnprocessableEntity)
+	check("GET", base+"/v1/sessions/test/wal", "",
+		api.CodeNotDurable, http.StatusConflict) // memory-only server
+	check("GET", base+"/v1/sessions/test/wal?from=oops", "",
+		api.CodeNotDurable, http.StatusConflict)
+
+	// The Go client surfaces the typed error.
+	_, err := NewClient(base, "ghost").Query("proj(0, R)", "sql", false, 0)
+	var aerr *api.Error
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeSessionNotFound || aerr.Status != 404 {
+		t.Fatalf("client error = %#v, want *api.Error{session_not_found, 404}", err)
+	}
+}
+
+// TestWALEndpointParamErrors: a durable server validates the from
+// parameter and 410s positions behind the snapshot.
+func TestWALEndpointParamErrors(t *testing.T) {
+	_, hs, c := newDurableServer(t, t.TempDir(), 1) // snapshot after every load
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := c.Load("row Payments o2\n", true); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	resp, err := http.Get(hs.URL + "/v1/sessions/test/wal?from=bogus")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from: HTTP %d\n%s", resp.StatusCode, raw)
+	}
+	// Both loads are snapshot-compacted (threshold 1), so from=0 is behind
+	// the snapshot: 410 wal_gap.
+	resp, err = http.Get(hs.URL + "/v1/sessions/test/wal?from=0")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("compacted from: HTTP %d, want 410\n%s", resp.StatusCode, raw)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil || env.Error.Code != api.CodeWALGap {
+		t.Fatalf("compacted from: body %s, want wal_gap envelope", raw)
+	}
+}

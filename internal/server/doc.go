@@ -1,0 +1,40 @@
+// Package server implements incdbd: a long-lived HTTP/JSON query service
+// over named, session-scoped incomplete databases.
+//
+// Each session holds one incomplete database (loaded and mutated through
+// its load endpoint in the raparse text format) and one prepared-plan
+// cache: the compile-once planner's Prepared state — frozen null-free
+// subplan results, join build tables, IN splits — survives across requests
+// and is shared read-only by concurrent queries, guarded by the relations'
+// mutation versions so that mutating a touched relation invalidates
+// exactly the affected entries (see plan.PrepCache).
+//
+// Endpoints (wire types in incdb/internal/api):
+//
+//	POST /v1/sessions/{session}/load      load or append data
+//	POST /v1/sessions/{session}/query     evaluate under any procedure
+//	POST /v1/sessions/{session}/explain   structured plan rendering
+//	GET  /v1/sessions/{session}/status    one session's status
+//	GET  /v1/sessions/{session}/snapshot  consistent snapshot export
+//	GET  /v1/sessions/{session}/wal       stream WAL records (replication)
+//	GET  /v1/status                       server-wide status
+//
+// plus legacy flat routes (POST /v1/load|query|explain, GET /v1/snapshot)
+// that read the session name from the body or query string and delegate.
+// Every non-2xx reply carries the uniform envelope
+// {"error":{"code":"…","message":"…"}} (api.Error).
+//
+// With a data directory attached (incdbd -data-dir, see internal/store)
+// every load is written ahead to a per-session log and fsync'd before it
+// is acknowledged — concurrent loads group-commit, sharing fsyncs — then
+// snapshots compact the log, and startup recovers all sessions to the
+// last acknowledged load. The WAL doubles as the replication feed: a
+// second incdbd started with -follow bootstraps each session from the
+// primary's snapshot endpoint and tails its WAL endpoint, replaying
+// records through the same recovery machinery, so the follower converges
+// to a byte-identical database (null identities and version vectors
+// included) and serves reads. Query responses carry the session's version
+// vector; a client may echo it as a consistency token (read_after) and a
+// replica holds the read until replication covers it, so reads are
+// monotonic across the fleet.
+package server

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"incdb/internal/algebra"
+	"incdb/internal/api"
 	"incdb/internal/certain"
 	"incdb/internal/core"
 	"incdb/internal/ctable"
@@ -55,7 +56,7 @@ func procName(proc string) string {
 // holds the session read lock; every path below is read-only on the
 // database and shares the session's prepared-plan cache, so concurrent
 // requests reuse each other's prepared state.
-func (s *Server) evaluate(sess *session, req *QueryRequest) ([]Resultset, error) {
+func (s *Server) evaluate(sess *session, req *api.QueryRequest) ([]api.Resultset, error) {
 	q, err := raparse.ParseQuery(req.Query)
 	if err != nil {
 		return nil, err
@@ -74,8 +75,8 @@ func (s *Server) evaluate(sess *session, req *QueryRequest) ([]Resultset, error)
 		certOpts.MaxWorlds = s.opts.MaxWorlds
 	}
 
-	one := func(name string, r *relation.Relation) []Resultset {
-		return []Resultset{resultset(name, r)}
+	one := func(name string, r *relation.Relation) []api.Resultset {
+		return []api.Resultset{resultset(name, r)}
 	}
 	// direct evaluates q (or a rewriting of it) through the session's
 	// prepared-plan cache: the base database is trivially a world of
@@ -121,7 +122,7 @@ func (s *Server) evaluate(sess *session, req *QueryRequest) ([]Resultset, error)
 		if err != nil {
 			return nil, err
 		}
-		return []Resultset{resultset("certain", cpart), resultset("possible", ppart)}, nil
+		return []api.Resultset{resultset("certain", cpart), resultset("possible", ppart)}, nil
 	}
 }
 
@@ -151,7 +152,7 @@ var prepProcs = map[string]bool{
 // recordWarm notes a successfully served query in the session's warm set;
 // durable snapshots persist the set so recovery re-prepares the working
 // set before the first request.
-func (s *Server) recordWarm(sess *session, req *QueryRequest) {
+func (s *Server) recordWarm(sess *session, req *api.QueryRequest) {
 	proc := procName(req.Proc)
 	if !prepProcs[proc] {
 		return
@@ -205,7 +206,7 @@ func (s *Server) warmSession(sess *session, keys []store.WarmKey) {
 // the session's cache: the [frozen across worlds] markers reflect exactly
 // the Prepared a subsequent query will reuse, and explaining warms the
 // cache for it.
-func (s *Server) explain(sess *session, req *ExplainRequest) (*plan.ExplainInfo, error) {
+func (s *Server) explain(sess *session, req *api.ExplainRequest) (*plan.ExplainInfo, error) {
 	q, err := raparse.ParseQuery(req.Query)
 	if err != nil {
 		return nil, err
@@ -223,8 +224,8 @@ func (s *Server) explain(sess *session, req *ExplainRequest) (*plan.ExplainInfo,
 // resultset renders a relation for the wire: deterministic row order,
 // values in the database text format (nulls as _k), multiplicities only
 // when some row's differs from one.
-func resultset(name string, r *relation.Relation) Resultset {
-	out := Resultset{Name: name, Columns: append([]string(nil), r.Attrs()...), Rows: [][]string{}}
+func resultset(name string, r *relation.Relation) api.Resultset {
+	out := api.Resultset{Name: name, Columns: append([]string(nil), r.Attrs()...), Rows: [][]string{}}
 	var mults []int
 	hasMult := false
 	r.Each(func(t value.Tuple, m int) {

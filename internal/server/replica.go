@@ -1,0 +1,326 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incdb/internal/api"
+	"incdb/internal/plan"
+	"incdb/internal/store"
+)
+
+// replicator makes this server a read replica of a primary incdbd: it
+// discovers the primary's sessions by polling its status endpoint, and for
+// each one runs a follow loop that bootstraps the session from the
+// primary's snapshot endpoint and then tails its WAL endpoint, replaying
+// every record through the same machinery crash recovery uses
+// (store.ApplyRecord) — so the replica converges to a byte-identical
+// database, null identities and version vectors included. Each applied
+// record's logged version vector is cross-checked; any divergence, gap or
+// compacted-away WAL position makes the follower re-bootstrap from a fresh
+// snapshot rather than serve diverged data.
+//
+// On a durable replica every applied record is also mirrored, verbatim and
+// with the primary's sequence numbers, into the replica's own WAL (fsync'd
+// by a per-session syncer that batches like the primary's group commit),
+// so a restarted replica recovers locally and resumes tailing from its
+// last applied sequence number without re-bootstrapping.
+type replicator struct {
+	s       *Server
+	primary string
+
+	mu       sync.Mutex
+	sessions map[string]*followState
+}
+
+// followState is one session's replication progress.
+type followState struct {
+	name       string
+	state      atomic.Value // string: bootstrapping | tailing | retrying
+	applied    atomic.Uint64
+	bootstraps atomic.Uint64
+	frames     atomic.Uint64
+	lastErr    atomic.Value // string
+
+	// The durable mirror's group-commit syncer: apply buffers the record
+	// and pokes syncCh; the syncer fsyncs the newest buffered sequence
+	// number, so one fsync covers every record applied while the previous
+	// fsync was in flight.
+	pending atomic.Uint64
+	syncCh  chan struct{}
+}
+
+// errDiverged forces a re-bootstrap: the replica's state no longer lines
+// up with the primary's log.
+var errDiverged = errors.New("server: replica diverged from primary log")
+
+// StartFollow turns the server into a read replica of the primary at the
+// given base URL. Must be called before serving; every load handler then
+// answers 403 read_only_replica. Discovery and the per-session follow
+// loops run until ctx is done.
+func (s *Server) StartFollow(ctx context.Context, primary string) {
+	r := &replicator{
+		s:        s,
+		primary:  strings.TrimRight(primary, "/"),
+		sessions: map[string]*followState{},
+	}
+	s.repl = r
+	// Sessions recovered from the replica's own data directory resume
+	// immediately; discovery adds the ones it has not seen yet.
+	s.mu.RLock()
+	var names []string
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	for _, name := range names {
+		r.ensureFollow(ctx, name)
+	}
+	go r.discover(ctx)
+}
+
+// Following returns the primary URL when this server is a replica, else "".
+func (s *Server) Following() string {
+	if s.repl == nil {
+		return ""
+	}
+	return s.repl.primary
+}
+
+// discover polls the primary's status for sessions to follow.
+func (r *replicator) discover(ctx context.Context) {
+	c := NewClient(r.primary, "")
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		if st, err := c.Status(); err == nil {
+			for _, sess := range st.Sessions {
+				r.ensureFollow(ctx, sess.Name)
+			}
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// ensureFollow starts the follow loop for a session once.
+func (r *replicator) ensureFollow(ctx context.Context, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[name]; ok {
+		return
+	}
+	fs := &followState{name: name, syncCh: make(chan struct{}, 1)}
+	fs.state.Store("bootstrapping")
+	fs.lastErr.Store("")
+	r.sessions[name] = fs
+	go r.follow(ctx, fs)
+}
+
+// follow is the per-session loop: follow the primary until ctx is done,
+// backing off on errors (200ms doubling to 3s; any progress resets it).
+func (r *replicator) follow(ctx context.Context, fs *followState) {
+	backoff := 200 * time.Millisecond
+	for ctx.Err() == nil {
+		before := fs.frames.Load()
+		err := r.followOnce(ctx, fs)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			fs.lastErr.Store(err.Error())
+			fs.state.Store("retrying")
+		}
+		if err == nil || fs.frames.Load() > before {
+			backoff = 200 * time.Millisecond
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return
+		}
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
+
+// followOnce runs one bootstrap-if-needed + tail cycle. A nil return means
+// the primary closed the stream cleanly (e.g. it restarted, or compacted
+// past our position mid-stream) — the caller reconnects, and a position
+// that truly is gone answers the reconnect with wal_gap.
+func (r *replicator) followOnce(ctx context.Context, fs *followState) error {
+	sess, err := r.s.ensureSession(fs.name)
+	if err != nil {
+		return err
+	}
+	fs.applied.Store(sess.replSeq.Load())
+	c := NewClient(r.primary, fs.name)
+	if sess.replSeq.Load() == 0 {
+		if err := r.bootstrap(ctx, c, fs, sess); err != nil {
+			return err
+		}
+	}
+	fs.state.Store("tailing")
+	err = c.TailWAL(ctx, sess.replSeq.Load(), func(rec *store.Record) error {
+		if err := r.apply(fs, sess, rec); err != nil {
+			return err
+		}
+		// The mirrored WAL compacts on the replica's own threshold, so a
+		// long-lived follower's disk usage tracks the primary's.
+		r.s.snapshotIfNeeded(sess)
+		backoffReset(fs)
+		return nil
+	})
+	var aerr *api.Error
+	if errors.As(err, &aerr) && aerr.Code == api.CodeWALGap {
+		// Our position was compacted away: start over from a snapshot.
+		return r.bootstrap(ctx, c, fs, sess)
+	}
+	if errors.Is(err, errDiverged) {
+		return r.bootstrap(ctx, c, fs, sess)
+	}
+	return err
+}
+
+// backoffReset marks progress so the caller-side error accounting clears.
+func backoffReset(fs *followState) { fs.lastErr.Store("") }
+
+// bootstrap fetches a consistent snapshot from the primary and installs it
+// wholesale: database, null identities, version vector, warm plan keys and
+// the primary's WAL position. On a durable replica the snapshot also lands
+// in the local store (truncating the mirrored WAL), so recovery starts
+// from it.
+func (r *replicator) bootstrap(ctx context.Context, c *Client, fs *followState, sess *session) error {
+	fs.state.Store("bootstrapping")
+	data, err := c.Snapshot()
+	if err != nil {
+		return fmt.Errorf("bootstrap %q: %w", fs.name, err)
+	}
+	snap, err := store.DecodeSnapshot(strings.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("bootstrap %q: %w", fs.name, err)
+	}
+	db, err := snap.Database()
+	if err != nil {
+		return fmt.Errorf("bootstrap %q: %w", fs.name, err)
+	}
+	sess.logMu.Lock()
+	sess.mu.Lock()
+	sess.db = db
+	sess.prep = plan.NewPrepCache(r.s.opts.CacheCap)
+	sess.results = newResultCache(r.s.opts.ResultCacheCap)
+	sess.bumpVector()
+	sess.mu.Unlock()
+	sess.replSeq.Store(snap.Seq)
+	var ierr error
+	if sess.log != nil {
+		ierr = sess.log.InstallSnapshot(snap)
+	}
+	sess.logMu.Unlock()
+	if ierr != nil {
+		return fmt.Errorf("bootstrap %q: install snapshot: %w", fs.name, ierr)
+	}
+	sess.warm.seed(snap.Warm)
+	r.s.warmSession(sess, snap.Warm)
+	fs.applied.Store(snap.Seq)
+	fs.bootstraps.Add(1)
+	log.Printf("server: replica bootstrapped session %q at seq %d (%d relations)",
+		fs.name, snap.Seq, len(db.Names()))
+	return nil
+}
+
+// apply replays one primary WAL record into the session, mirroring the
+// commit path: in-memory apply and local WAL buffering under the commit
+// mutex (log order = apply order), fsync batched by the session syncer.
+// Gaps, duplicates behind a hole, vector mismatches and local-log sequence
+// clashes all surface as errDiverged, forcing a re-bootstrap.
+func (r *replicator) apply(fs *followState, sess *session, rec *store.Record) error {
+	sess.logMu.Lock()
+	defer sess.logMu.Unlock()
+	last := sess.replSeq.Load()
+	if rec.Seq <= last {
+		return nil // already applied (stream overlap after reconnect)
+	}
+	if rec.Seq != last+1 {
+		return fmt.Errorf("%w: got seq %d after %d", errDiverged, rec.Seq, last)
+	}
+	sess.mu.Lock()
+	if err := store.ApplyRecord(sess.db, rec); err != nil {
+		sess.mu.Unlock()
+		return fmt.Errorf("%w: apply seq %d: %v", errDiverged, rec.Seq, err)
+	}
+	if !store.VersionsEqual(sess.db.Versions(), rec.Versions) {
+		vec := sess.db.Versions()
+		sess.mu.Unlock()
+		return fmt.Errorf("%w: seq %d replayed vector %v, primary logged %v",
+			errDiverged, rec.Seq, vec, rec.Versions)
+	}
+	if rec.Op != store.OpAppend {
+		// Replace and restore reset the relations' version counters; the
+		// caches could otherwise serve entries keyed by colliding vectors
+		// (the same rule the primary's commitReplace applies).
+		sess.prep = plan.NewPrepCache(r.s.opts.CacheCap)
+		sess.results = newResultCache(r.s.opts.ResultCacheCap)
+	}
+	sess.bumpVector()
+	sess.mu.Unlock()
+	if sess.log != nil {
+		if err := sess.log.BufferRecord(rec); err != nil {
+			return fmt.Errorf("%w: mirror seq %d: %v", errDiverged, rec.Seq, err)
+		}
+		fs.pending.Store(rec.Seq)
+		select {
+		case fs.syncCh <- struct{}{}:
+			go r.syncOne(fs, sess)
+		default: // a sync is already pending; it will cover this record
+		}
+	}
+	sess.replSeq.Store(rec.Seq)
+	fs.applied.Store(rec.Seq)
+	fs.frames.Add(1)
+	return nil
+}
+
+// syncOne drains one syncer token: fsync everything buffered so far. New
+// records arriving while this runs buffer behind it and schedule the next
+// one — the replica's group commit.
+func (r *replicator) syncOne(fs *followState, sess *session) {
+	defer func() { <-fs.syncCh }()
+	if err := sess.log.Sync(fs.pending.Load()); err != nil {
+		log.Printf("server: replica wal sync %q: %v", fs.name, err)
+	}
+}
+
+// status renders the replication section of the status response.
+func (r *replicator) status() *api.ReplicationStatus {
+	r.mu.Lock()
+	states := make([]*followState, 0, len(r.sessions))
+	for _, fs := range r.sessions {
+		states = append(states, fs)
+	}
+	r.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].name < states[j].name })
+	out := &api.ReplicationStatus{Primary: r.primary}
+	for _, fs := range states {
+		out.Sessions = append(out.Sessions, api.ReplicaSession{
+			Session:    fs.name,
+			State:      fs.state.Load().(string),
+			AppliedSeq: fs.applied.Load(),
+			Bootstraps: fs.bootstraps.Load(),
+			Frames:     fs.frames.Load(),
+			LastError:  fs.lastErr.Load().(string),
+		})
+	}
+	return out
+}

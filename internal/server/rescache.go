@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"incdb/internal/api"
 	"incdb/internal/lru"
 	"incdb/internal/relation"
 	"incdb/internal/store"
@@ -28,7 +29,7 @@ type resultCache struct {
 	capacity int
 
 	mu      sync.Mutex
-	entries map[string][]Resultset
+	entries map[string][]api.Resultset
 	order   lru.Order
 
 	hits   atomic.Uint64
@@ -42,13 +43,13 @@ func newResultCache(capacity int) *resultCache {
 	if capacity <= 0 {
 		capacity = defaultResultCacheCap
 	}
-	return &resultCache{capacity: capacity, entries: map[string][]Resultset{}}
+	return &resultCache{capacity: capacity, entries: map[string][]api.Resultset{}}
 }
 
 // resultKey builds the cache key for one request against the session's
 // current database. The caller holds the session read lock (the version
 // vector must be consistent with the evaluation that follows).
-func resultKey(req *QueryRequest, db *relation.Database) string {
+func resultKey(req *api.QueryRequest, db *relation.Database) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%s|%t|%d", req.Query, procName(req.Proc), req.Bag, req.MaxWorlds)
 	versions := db.Versions()
@@ -63,7 +64,7 @@ func resultKey(req *QueryRequest, db *relation.Database) string {
 	return b.String()
 }
 
-func (c *resultCache) get(key string) ([]Resultset, bool) {
+func (c *resultCache) get(key string) ([]api.Resultset, bool) {
 	c.mu.Lock()
 	rs, ok := c.entries[key]
 	if ok {
@@ -78,7 +79,7 @@ func (c *resultCache) get(key string) ([]Resultset, bool) {
 	return rs, ok
 }
 
-func (c *resultCache) put(key string, rs []Resultset) {
+func (c *resultCache) put(key string, rs []api.Resultset) {
 	c.mu.Lock()
 	c.entries[key] = rs
 	c.order.Touch(key)
@@ -90,19 +91,11 @@ func (c *resultCache) put(key string, rs []Resultset) {
 	c.mu.Unlock()
 }
 
-// ResultCacheStats is the /v1/status snapshot of a session's oracle result
-// cache.
-type ResultCacheStats struct {
-	Entries int    `json:"entries"`
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-}
-
-func (c *resultCache) stats() ResultCacheStats {
+func (c *resultCache) stats() api.ResultCacheStats {
 	c.mu.Lock()
 	n := len(c.entries)
 	c.mu.Unlock()
-	return ResultCacheStats{Entries: n, Hits: c.hits.Load(), Misses: c.misses.Load()}
+	return api.ResultCacheStats{Entries: n, Hits: c.hits.Load(), Misses: c.misses.Load()}
 }
 
 // warmSet tracks the session's recently used prepared-plan warm keys —

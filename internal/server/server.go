@@ -7,11 +7,13 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"incdb/internal/api"
 	"incdb/internal/engine"
 	"incdb/internal/plan"
 	"incdb/internal/raparse"
@@ -43,6 +45,10 @@ type Options struct {
 	// server snapshots and compacts (0 = store.DefaultSnapshotBytes);
 	// meaningful only after EnableDurability.
 	SnapshotBytes int64
+	// StaleWait is how long a replica blocks for replication to cover a
+	// request's consistency token before answering 412 stale_replica
+	// (0 = 2s).
+	StaleWait time.Duration
 	// ShutdownGrace is how long ListenAndServe waits for in-flight
 	// requests after its context is canceled (0 = 5s).
 	ShutdownGrace time.Duration
@@ -55,6 +61,13 @@ func (o Options) maxInFlight() int {
 	return 2 * engine.Options{Workers: o.Workers}.WorkerCount()
 }
 
+func (o Options) staleWait() time.Duration {
+	if o.StaleWait > 0 {
+		return o.StaleWait
+	}
+	return 2 * time.Second
+}
+
 func (o Options) shutdownGrace() time.Duration {
 	if o.ShutdownGrace > 0 {
 		return o.ShutdownGrace
@@ -64,9 +77,10 @@ func (o Options) shutdownGrace() time.Duration {
 
 // Server is the incdbd service: named sessions, each owning one incomplete
 // database and one version-guarded prepared-plan cache. All handlers are
-// safe for concurrent use; database mutation (load) excludes running
-// queries per session via an RWMutex, so queries always see a consistent
-// database and cache guards are checked under the same read lock.
+// safe for concurrent use; database mutation (load or replicated apply)
+// excludes running queries per session via an RWMutex, so queries always
+// see a consistent database and cache guards are checked under the same
+// read lock.
 type Server struct {
 	opts  Options
 	start time.Time
@@ -79,6 +93,11 @@ type Server struct {
 	// once by EnableDurability before serving.
 	st *store.Store
 
+	// repl is the replication subsystem; nil unless this server follows a
+	// primary. Set once by StartFollow before serving; a non-nil repl makes
+	// every load handler read-only.
+	repl *replicator
+
 	mu       sync.RWMutex
 	sessions map[string]*session
 }
@@ -90,23 +109,40 @@ type session struct {
 	created time.Time
 	queries atomic.Uint64
 
-	// mu orders mutation against evaluation: load (append or replace)
-	// takes the write side, query/explain the read side. The prepared
-	// state handed out by prep is itself safe for concurrent execution.
+	// mu orders mutation against evaluation: load (append or replace) and
+	// replicated apply take the write side, query/explain the read side.
+	// The prepared state handed out by prep is itself safe for concurrent
+	// execution.
 	mu      sync.RWMutex
 	db      *relation.Database
 	prep    *plan.PrepCache
 	results *resultCache
 	warm    *warmSet
 
+	// vecCh is closed (and replaced) whenever the version vector advances;
+	// consistency-token waiters block on it. Guarded by mu.
+	vecCh chan struct{}
+
+	// replSeq is the last primary WAL sequence number applied to this
+	// session (replica mode only; on a durable replica it mirrors
+	// log.Seq()).
+	replSeq atomic.Uint64
+
 	// logMu serializes durable commits: it is held across the in-memory
-	// apply (which takes mu) and the WAL append + fsync (which does not),
-	// so the log order is exactly the apply order while queries proceed
-	// under the read lock during the fsync — the WAL write stays outside
-	// the mu critical section except for the commit point itself. It also
+	// apply (which takes mu) and the WAL Buffer (which does not), so the
+	// log order is exactly the apply order; the group-commit fsync
+	// (SessionLog.Sync) runs outside both, so concurrent loads batch into
+	// shared fsyncs while queries proceed under the read lock. It also
 	// covers snapshot installs and consistent snapshot exports.
 	logMu sync.Mutex
 	log   *store.SessionLog // nil when the server is memory-only
+}
+
+// bumpVector wakes consistency-token waiters after a mutation advanced the
+// session's version vector. Caller holds the session write lock.
+func (sess *session) bumpVector() {
+	close(sess.vecCh)
+	sess.vecCh = make(chan struct{})
 }
 
 // New returns a ready-to-serve Server.
@@ -118,12 +154,51 @@ func New(opts Options) *Server {
 		sem:      make(chan struct{}, opts.maxInFlight()),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	// Session-scoped routes: the session name lives in the path.
+	s.mux.HandleFunc("POST /v1/sessions/{session}/load", func(w http.ResponseWriter, r *http.Request) {
+		s.handleLoad(w, r, r.PathValue("session"))
+	})
+	s.mux.HandleFunc("POST /v1/sessions/{session}/query", func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, r.PathValue("session"))
+	})
+	s.mux.HandleFunc("POST /v1/sessions/{session}/explain", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExplain(w, r, r.PathValue("session"))
+	})
+	s.mux.HandleFunc("GET /v1/sessions/{session}/status", s.handleSessionStatus)
+	s.mux.HandleFunc("GET /v1/sessions/{session}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSnapshot(w, r, r.PathValue("session"))
+	})
+	s.mux.HandleFunc("GET /v1/sessions/{session}/wal", s.handleWAL)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	// Legacy flat routes (pre-PR-6 clients): thin shims that read the
+	// session name from the request body or query string and delegate to
+	// the same handlers.
+	s.mux.HandleFunc("POST /v1/load", func(w http.ResponseWriter, r *http.Request) {
+		s.handleLoad(w, r, "")
+	})
+	s.mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, "")
+	})
+	s.mux.HandleFunc("POST /v1/explain", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExplain(w, r, "")
+	})
+	s.mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSnapshot(w, r, r.URL.Query().Get("session"))
+	})
 	return s
+}
+
+// newSession builds an empty session (no database, no log attached).
+func (s *Server) newSession(name string) *session {
+	return &session{
+		name:    name,
+		created: time.Now(),
+		db:      relation.NewDatabase(),
+		prep:    plan.NewPrepCache(s.opts.CacheCap),
+		results: newResultCache(s.opts.ResultCacheCap),
+		warm:    newWarmSet(),
+		vecCh:   make(chan struct{}),
+	}
 }
 
 // EnableDurability attaches a data directory: every session already on
@@ -142,15 +217,10 @@ func (s *Server) EnableDurability(dir string) error {
 	}
 	s.st = st
 	for _, rec := range recovered {
-		sess := &session{
-			name:    rec.Name,
-			created: time.Now(),
-			db:      rec.DB,
-			prep:    plan.NewPrepCache(s.opts.CacheCap),
-			results: newResultCache(s.opts.ResultCacheCap),
-			warm:    newWarmSet(),
-			log:     rec.Log,
-		}
+		sess := s.newSession(rec.Name)
+		sess.db = rec.DB
+		sess.log = rec.Log
+		sess.replSeq.Store(rec.Log.Seq())
 		sess.warm.seed(rec.Warm)
 		s.sessions[rec.Name] = sess
 		s.warmSession(sess, rec.Warm)
@@ -172,7 +242,7 @@ func (s *Server) Close() error {
 // Handler returns the HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// maxBodyBytes caps request bodies (/v1/load payloads dominate); beyond it
+// maxBodyBytes caps request bodies (load payloads dominate); beyond it
 // the JSON decoder fails with a 400 instead of buffering without bound.
 const maxBodyBytes = 64 << 20
 
@@ -180,7 +250,8 @@ const maxBodyBytes = 64 << 20
 // the listener closes immediately, in-flight requests get ShutdownGrace to
 // finish. Header-read and idle timeouts guard against slow-client
 // connection exhaustion; there is deliberately no write timeout, since
-// oracle queries may legitimately run long.
+// oracle queries may legitimately run long and WAL tails stream
+// indefinitely.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	hs := &http.Server{
 		Addr:              addr,
@@ -208,7 +279,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // never loses that race), so the error always means the caller actually
 // waited: it reports the live in-flight gauge and the context's own cause
 // so a client-side timeout is not misread as server saturation.
-func (s *Server) acquire(ctx context.Context) error {
+func (s *Server) acquire(ctx context.Context) *api.Error {
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Add(1)
@@ -220,7 +291,8 @@ func (s *Server) acquire(ctx context.Context) error {
 		s.inflight.Add(1)
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("no evaluation slot (%d of %d in flight): %w",
+		return api.Errorf(http.StatusServiceUnavailable, api.CodeOverloaded,
+			"no evaluation slot (%d of %d in flight): %v",
 			s.inflight.Load(), s.opts.maxInFlight(), ctx.Err())
 	}
 }
@@ -246,14 +318,7 @@ func (s *Server) ensureSession(name string) (*session, error) {
 	if sess, ok := s.sessions[name]; ok {
 		return sess, nil
 	}
-	sess := &session{
-		name:    name,
-		created: time.Now(),
-		db:      relation.NewDatabase(),
-		prep:    plan.NewPrepCache(s.opts.CacheCap),
-		results: newResultCache(s.opts.ResultCacheCap),
-		warm:    newWarmSet(),
-	}
+	sess := s.newSession(name)
 	if s.st != nil {
 		l, err := s.st.Session(name)
 		if err != nil {
@@ -277,32 +342,40 @@ func (s *Server) Preload(session, data string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, _, err := s.commitReplace(sess, db, store.OpReplace, data)
-	if err != nil {
-		return 0, err
+	resp, aerr := s.commitReplace(sess, db, store.OpReplace, data)
+	if aerr != nil {
+		return 0, aerr
 	}
 	return len(resp.Relations), nil
 }
 
-func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
-	var req LoadRequest
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string) {
+	var req api.LoadRequest
 	if err := decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
-	if req.Session == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing session name"))
+	if name == "" {
+		name = req.Session
+	}
+	if name == "" {
+		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "missing session name"))
+		return
+	}
+	if s.repl != nil {
+		writeErr(w, api.Errorf(http.StatusForbidden, api.CodeReadOnlyReplica,
+			"this server follows %s; load data on the primary", s.repl.primary))
 		return
 	}
 	if req.Snapshot {
-		s.handleRestore(w, &req)
+		s.handleRestore(w, name, &req)
 		return
 	}
 	if req.Append {
-		if sess := s.sessionFor(req.Session); sess != nil {
-			resp, code, err := s.commitAppend(sess, req.Data)
-			if err != nil {
-				writeErr(w, code, err)
+		if sess := s.sessionFor(name); sess != nil {
+			resp, aerr := s.commitAppend(sess, req.Data)
+			if aerr != nil {
+				writeErr(w, aerr)
 				return
 			}
 			writeJSON(w, http.StatusOK, resp)
@@ -315,45 +388,45 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	// behind and a failed replace leaves the old database untouched.
 	db, err := raparse.ParseDatabase(strings.NewReader(req.Data))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
 		return
 	}
-	sess, err := s.ensureSession(req.Session)
+	sess, err := s.ensureSession(name)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
 		return
 	}
-	resp, code, err := s.commitReplace(sess, db, store.OpReplace, req.Data)
-	if err != nil {
-		writeErr(w, code, err)
+	resp, aerr := s.commitReplace(sess, db, store.OpReplace, req.Data)
+	if aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRestore bootstraps (or resets) a session from a snapshot export —
-// the payload a /v1/snapshot endpoint (possibly of another server)
-// produced. Null identifiers and the version vector are preserved, and the
+// the payload a snapshot endpoint (possibly of another server) produced.
+// Null identifiers and the version vector are preserved, and the
 // snapshot's warm keys re-prepare the working set.
-func (s *Server) handleRestore(w http.ResponseWriter, req *LoadRequest) {
+func (s *Server) handleRestore(w http.ResponseWriter, name string, req *api.LoadRequest) {
 	snap, err := store.DecodeSnapshot(strings.NewReader(req.Data))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
 		return
 	}
 	db, err := snap.Database()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
 		return
 	}
-	sess, err := s.ensureSession(req.Session)
+	sess, err := s.ensureSession(name)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
 		return
 	}
-	resp, code, err := s.commitReplace(sess, db, store.OpRestore, req.Data)
-	if err != nil {
-		writeErr(w, code, err)
+	resp, aerr := s.commitReplace(sess, db, store.OpRestore, req.Data)
+	if aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
 	sess.warm.seed(snap.Warm)
@@ -362,13 +435,13 @@ func (s *Server) handleRestore(w http.ResponseWriter, req *LoadRequest) {
 }
 
 // commitAppend applies an append mutation and makes it durable: parse into
-// the live database under the write lock, then append the payload to the
-// session WAL and fsync before acknowledging. logMu spans both so the log
-// order is the apply order; the fsync itself runs outside the session
-// RWMutex, so concurrent queries are never blocked on the disk.
-func (s *Server) commitAppend(sess *session, data string) (LoadResponse, int, error) {
+// the live database under the write lock and buffer the WAL record under
+// logMu (so log order is apply order), then group-commit the fsync outside
+// both locks — appends that arrive while the fsync is in flight buffer
+// behind it and ride the next one together, and concurrent queries are
+// never blocked on the disk.
+func (s *Server) commitAppend(sess *session, data string) (api.LoadResponse, *api.Error) {
 	sess.logMu.Lock()
-	defer sess.logMu.Unlock()
 	sess.mu.Lock()
 	// Parse into the live database (atomic: a payload error leaves it
 	// untouched); version bumps on the touched relations invalidate
@@ -376,22 +449,28 @@ func (s *Server) commitAppend(sess *session, data string) (LoadResponse, int, er
 	// embedding the old vector stop matching.
 	if err := raparse.ParseDatabaseInto(strings.NewReader(data), sess.db); err != nil {
 		sess.mu.Unlock()
-		return LoadResponse{}, http.StatusBadRequest, err
+		sess.logMu.Unlock()
+		return api.LoadResponse{}, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err)
 	}
-	resp := LoadResponse{Session: sess.name, Relations: relationStatuses(sess.db)}
-	versions := sess.db.Versions()
+	resp := loadResponse(sess)
+	sess.bumpVector()
 	sess.mu.Unlock()
-	if code, err := s.logCommit(sess, store.OpAppend, data, versions); err != nil {
-		return LoadResponse{}, code, err
+	seq, aerr := s.logBuffer(sess, store.OpAppend, data, resp.Versions)
+	sess.logMu.Unlock()
+	if aerr != nil {
+		return api.LoadResponse{}, aerr
 	}
-	return resp, http.StatusOK, nil
+	if aerr := s.logSync(sess, seq); aerr != nil {
+		return api.LoadResponse{}, aerr
+	}
+	s.snapshotIfNeeded(sess)
+	return resp, nil
 }
 
 // commitReplace installs db as the session database (replace and
 // snapshot-restore loads, and Preload) and makes the mutation durable.
-func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op, data string) (LoadResponse, int, error) {
+func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op, data string) (api.LoadResponse, *api.Error) {
 	sess.logMu.Lock()
-	defer sess.logMu.Unlock()
 	sess.mu.Lock()
 	// Replacing the database wholesale replaces every relation object, so
 	// no cached prepared plan can survive its pointer guard — drop the
@@ -402,39 +481,72 @@ func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op
 	sess.db = db
 	sess.prep = plan.NewPrepCache(s.opts.CacheCap)
 	sess.results = newResultCache(s.opts.ResultCacheCap)
-	resp := LoadResponse{Session: sess.name, Relations: relationStatuses(sess.db)}
-	versions := sess.db.Versions()
+	resp := loadResponse(sess)
+	sess.bumpVector()
 	sess.mu.Unlock()
-	if code, err := s.logCommit(sess, op, data, versions); err != nil {
-		return LoadResponse{}, code, err
+	seq, aerr := s.logBuffer(sess, op, data, resp.Versions)
+	sess.logMu.Unlock()
+	if aerr != nil {
+		return api.LoadResponse{}, aerr
 	}
-	return resp, http.StatusOK, nil
+	if aerr := s.logSync(sess, seq); aerr != nil {
+		return api.LoadResponse{}, aerr
+	}
+	s.snapshotIfNeeded(sess)
+	return resp, nil
 }
 
-// logCommit writes the WAL record for an applied mutation (no-op on a
-// memory-only server) and takes a compacting snapshot when the log has
-// outgrown the threshold. Caller holds logMu.
-func (s *Server) logCommit(sess *session, op store.Op, data string, versions map[string]uint64) (int, error) {
+// logBuffer assigns the applied mutation its WAL record (no-op on a
+// memory-only server). Caller holds logMu.
+func (s *Server) logBuffer(sess *session, op store.Op, data string, versions map[string]uint64) (uint64, *api.Error) {
 	if sess.log == nil {
-		return http.StatusOK, nil
+		return 0, nil
 	}
-	if _, err := sess.log.Append(op, data, versions); err != nil {
+	seq, err := sess.log.Buffer(op, data, versions)
+	if err != nil {
 		// The mutation is applied in memory but not durable; surface that
 		// honestly — the client must not treat this load as acknowledged.
-		return http.StatusInternalServerError,
-			fmt.Errorf("load applied but not durable (wal append failed): %w", err)
+		return 0, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+			"load applied but not durable (wal append failed): %v", err)
 	}
-	if sess.log.WalBytes() >= s.st.SnapshotBytes() {
-		snap, err := s.snapshotOf(sess)
-		if err != nil {
-			log.Printf("server: snapshot session %q: %v", sess.name, err)
-			return http.StatusOK, nil
-		}
-		if err := sess.log.InstallSnapshot(snap); err != nil {
-			log.Printf("server: snapshot session %q: %v", sess.name, err)
-		}
+	return seq, nil
+}
+
+// logSync blocks until the buffered record is fsync'd (group commit: it
+// rides or leads a shared flush). No-op on a memory-only server.
+func (s *Server) logSync(sess *session, seq uint64) *api.Error {
+	if sess.log == nil {
+		return nil
 	}
-	return http.StatusOK, nil
+	if err := sess.log.Sync(seq); err != nil {
+		return api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+			"load applied but not durable (wal sync failed): %v", err)
+	}
+	return nil
+}
+
+// snapshotIfNeeded takes a compacting snapshot when the session's WAL has
+// outgrown the threshold.
+func (s *Server) snapshotIfNeeded(sess *session) {
+	if sess.log == nil || s.st == nil {
+		return
+	}
+	if sess.log.WalBytes() < s.st.SnapshotBytes() {
+		return
+	}
+	sess.logMu.Lock()
+	defer sess.logMu.Unlock()
+	if sess.log.WalBytes() < s.st.SnapshotBytes() {
+		return // another commit already compacted
+	}
+	snap, err := s.snapshotOf(sess)
+	if err != nil {
+		log.Printf("server: snapshot session %q: %v", sess.name, err)
+		return
+	}
+	if err := sess.log.InstallSnapshot(snap); err != nil {
+		log.Printf("server: snapshot session %q: %v", sess.name, err)
+	}
 }
 
 // snapshotOf renders a consistent snapshot of the session: database text,
@@ -445,6 +557,8 @@ func (s *Server) snapshotOf(sess *session) (*store.Snapshot, error) {
 	var seq uint64
 	if sess.log != nil {
 		seq = sess.log.Seq()
+	} else {
+		seq = sess.replSeq.Load()
 	}
 	sess.mu.RLock()
 	defer sess.mu.RUnlock()
@@ -455,18 +569,17 @@ func (s *Server) snapshotOf(sess *session) (*store.Snapshot, error) {
 // durable store writes, served over HTTP so a fresh replica (or incdbctl)
 // can bootstrap a session from a running server via the snapshot-load
 // path. Works on memory-only servers too (the sequence number is then 0).
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("session")
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, name string) {
 	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q (load data first)", name))
+		writeErr(w, errSessionNotFound(name))
 		return
 	}
 	sess.logMu.Lock()
 	snap, err := s.snapshotOf(sess)
 	sess.logMu.Unlock()
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeInternal, "%v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -475,15 +588,127 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
-	if err := decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+// handleWAL streams a session's write-ahead log from a given position:
+// GET /v1/sessions/{name}/wal?from=<seq> writes every durable record with
+// a sequence number greater than from as a length-prefixed CRC-checked
+// frame (the WAL's own on-disk framing), then blocks and keeps streaming
+// records as they commit — the replication feed a follower tails. When the
+// requested position was already compacted into a snapshot the response is
+// 410 wal_gap and the follower must re-bootstrap from /snapshot.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("session")
+	sess := s.sessionFor(name)
+	if sess == nil {
+		writeErr(w, errSessionNotFound(name))
 		return
 	}
-	sess := s.sessionFor(req.Session)
+	if sess.log == nil {
+		writeErr(w, api.Errorf(http.StatusConflict, api.CodeNotDurable,
+			"session %q has no write-ahead log (server is memory-only); replication needs -data-dir", name))
+		return
+	}
+	from := uint64(0)
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad from=%q: %v", v, err))
+			return
+		}
+		from = n
+	}
+	tail, err := sess.log.TailFrom(from)
+	if err != nil {
+		writeErr(w, api.Errorf(http.StatusGone, api.CodeWALGap,
+			"wal position %d compacted away (snapshot covers seq %d); re-bootstrap from the snapshot",
+			from, sess.log.SnapshotSeq()))
+		return
+	}
+	defer tail.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	for {
+		frame, _, err := tail.Next(r.Context())
+		if err != nil {
+			// Client gone, or the log compacted past the tail: close the
+			// stream; the follower reconnects and resolves (a reconnect
+			// behind the snapshot gets 410 and re-bootstraps).
+			return
+		}
+		if _, err := w.Write(frame); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+// vectorCovers reports whether the vector have is at least as new as want
+// for every relation want mentions.
+func vectorCovers(have, want map[string]uint64) bool {
+	for name, v := range want {
+		if have[name] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// waitCovered blocks until the session's version vector covers the
+// consistency token. On a primary an uncovered token fails immediately
+// (its vector is authoritative — the token came from another history, e.g.
+// a wholesale replace reset the counters); on a replica the request waits
+// up to StaleWait for replication to catch up before failing with 412
+// stale_replica, so reads are monotonic across the fleet.
+func (s *Server) waitCovered(ctx context.Context, sess *session, want map[string]uint64) *api.Error {
+	if len(want) == 0 {
+		return nil
+	}
+	deadline := time.NewTimer(s.opts.staleWait())
+	defer deadline.Stop()
+	for {
+		sess.mu.RLock()
+		have := sess.db.Versions()
+		ch := sess.vecCh
+		sess.mu.RUnlock()
+		if vectorCovers(have, want) {
+			return nil
+		}
+		stale := api.Errorf(http.StatusPreconditionFailed, api.CodeStaleReplica,
+			"session vector %v does not cover consistency token %v", have, want)
+		if s.repl == nil {
+			return stale
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return stale
+		case <-ctx.Done():
+			return stale
+		}
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string) {
+	var req api.QueryRequest
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if name == "" {
+		name = req.Session
+	}
+	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q (load data first)", req.Session))
+		writeErr(w, errSessionNotFound(name))
+		return
+	}
+	if aerr := s.waitCovered(r.Context(), sess, req.ReadAfter); aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
 	start := time.Now()
@@ -493,24 +718,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// slot — O(1) regardless of what the query costs to evaluate.
 	sess.mu.RLock()
 	key := resultKey(&req, sess.db)
+	versions := sess.db.Versions()
 	cached, hit := sess.results.get(key)
 	sess.mu.RUnlock()
 	if hit {
 		sess.queries.Add(1)
 		s.recordWarm(sess, &req)
-		writeJSON(w, http.StatusOK, QueryResponse{
-			Session:   req.Session,
+		writeJSON(w, http.StatusOK, api.QueryResponse{
+			Session:   name,
 			Proc:      procName(req.Proc),
 			Query:     req.Query,
 			Results:   cached,
 			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
 			Cached:    true,
+			Versions:  versions,
 		})
 		return
 	}
 
-	if err := s.acquire(r.Context()); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+	if aerr := s.acquire(r.Context()); aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
 	defer s.release()
@@ -519,39 +746,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Re-key under the same lock as the evaluation: the vector may have
 	// moved between the fast path and acquiring a slot.
 	key = resultKey(&req, sess.db)
+	versions = sess.db.Versions()
 	results, err := s.evaluate(sess, &req)
 	if err == nil {
 		sess.results.put(key, results)
 	}
 	sess.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeBadQuery, "%v", err))
 		return
 	}
 	sess.queries.Add(1)
 	s.recordWarm(sess, &req)
-	writeJSON(w, http.StatusOK, QueryResponse{
-		Session:   req.Session,
+	writeJSON(w, http.StatusOK, api.QueryResponse{
+		Session:   name,
 		Proc:      procName(req.Proc),
 		Query:     req.Query,
 		Results:   results,
 		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+		Versions:  versions,
 	})
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	var req ExplainRequest
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name string) {
+	var req api.ExplainRequest
 	if err := decode(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
-	sess := s.sessionFor(req.Session)
+	if name == "" {
+		name = req.Session
+	}
+	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q (load data first)", req.Session))
+		writeErr(w, errSessionNotFound(name))
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+	if aerr := s.acquire(r.Context()); aerr != nil {
+		writeErr(w, aerr)
 		return
 	}
 	defer s.release()
@@ -560,11 +792,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	info, err := s.explain(sess, &req)
 	sess.mu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeBadQuery, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, ExplainResponse{
-		Session: req.Session,
+	writeJSON(w, http.StatusOK, api.ExplainResponse{
+		Session: name,
 		Plan:    info,
 		Text:    info.Text(),
 	})
@@ -583,7 +815,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 
-	resp := StatusResponse{
+	resp := api.StatusResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       engine.Options{Workers: s.opts.Workers}.WorkerCount(),
 		MaxInFlight:   s.opts.maxInFlight(),
@@ -592,31 +824,60 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.st != nil {
 		resp.DataDir = s.st.Dir()
 	}
+	if s.repl != nil {
+		resp.Replication = s.repl.status()
+	}
 	for _, sess := range sessions {
-		sess.mu.RLock()
-		st := SessionStatus{
-			Name:        sess.name,
-			CreatedAt:   sess.created.UTC().Format(time.RFC3339),
-			Queries:     sess.queries.Load(),
-			Relations:   relationStatuses(sess.db),
-			Cache:       sess.prep.Stats(),
-			ResultCache: sess.results.stats(),
-		}
-		if sess.log != nil {
-			d := sess.log.Stats()
-			st.Durability = &d
-		}
-		sess.mu.RUnlock()
-		resp.Sessions = append(resp.Sessions, st)
+		resp.Sessions = append(resp.Sessions, s.sessionStatusOf(sess))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func relationStatuses(db *relation.Database) []RelationStatus {
-	var out []RelationStatus
+// handleSessionStatus reports one session's status.
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("session")
+	sess := s.sessionFor(name)
+	if sess == nil {
+		writeErr(w, errSessionNotFound(name))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sessionStatusOf(sess))
+}
+
+func (s *Server) sessionStatusOf(sess *session) api.SessionStatus {
+	sess.mu.RLock()
+	st := api.SessionStatus{
+		Name:        sess.name,
+		CreatedAt:   sess.created.UTC().Format(time.RFC3339),
+		Queries:     sess.queries.Load(),
+		Versions:    sess.db.Versions(),
+		Relations:   relationStatuses(sess.db),
+		Cache:       sess.prep.Stats(),
+		ResultCache: sess.results.stats(),
+	}
+	if sess.log != nil {
+		d := sess.log.Stats()
+		st.Durability = &d
+	}
+	sess.mu.RUnlock()
+	return st
+}
+
+// loadResponse renders a load acknowledgement for the session's current
+// state; caller holds the session lock.
+func loadResponse(sess *session) api.LoadResponse {
+	return api.LoadResponse{
+		Session:   sess.name,
+		Relations: relationStatuses(sess.db),
+		Versions:  sess.db.Versions(),
+	}
+}
+
+func relationStatuses(db *relation.Database) []api.RelationStatus {
+	var out []api.RelationStatus
 	for _, name := range db.Names() {
 		r := db.MustRelation(name)
-		out = append(out, RelationStatus{
+		out = append(out, api.RelationStatus{
 			Name:    name,
 			Arity:   r.Arity(),
 			Rows:    r.Len(),
@@ -626,11 +887,16 @@ func relationStatuses(db *relation.Database) []RelationStatus {
 	return out
 }
 
-func decode(w http.ResponseWriter, r *http.Request, into any) error {
+func errSessionNotFound(name string) *api.Error {
+	return api.Errorf(http.StatusNotFound, api.CodeSessionNotFound,
+		"unknown session %q (load data first)", name)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) *api.Error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		return fmt.Errorf("bad request body: %w", err)
+		return api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 	}
 	return nil
 }
@@ -643,6 +909,8 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	_ = enc.Encode(body)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+// writeErr writes the uniform error envelope:
+// {"error":{"code":"...","message":"..."}}.
+func writeErr(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.Status, api.ErrorEnvelope{Error: e})
 }

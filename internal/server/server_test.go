@@ -2,7 +2,9 @@ package server
 
 import (
 	"encoding/json"
+
 	"fmt"
+	"incdb/internal/api"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -32,7 +34,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *Client) {
 	return srv, NewClient(srv.URL, "test")
 }
 
-func sessionStatus(t *testing.T, c *Client, name string) SessionStatus {
+func sessionStatus(t *testing.T, c *Client, name string) api.SessionStatus {
 	t.Helper()
 	st, err := c.Status()
 	if err != nil {
@@ -44,7 +46,7 @@ func sessionStatus(t *testing.T, c *Client, name string) SessionStatus {
 		}
 	}
 	t.Fatalf("session %q not in status %+v", name, st)
-	return SessionStatus{}
+	return api.SessionStatus{}
 }
 
 func TestLoadQueryStatusRoundTrip(t *testing.T) {

@@ -203,10 +203,10 @@ func (s *Store) recoverSession(name string) (*Recovered, error) {
 		if rec.Seq <= snapSeq {
 			continue // already covered by the snapshot
 		}
-		if err := applyRecord(db, &rec); err != nil {
+		if err := ApplyRecord(db, &rec); err != nil {
 			return nil, fmt.Errorf("wal record %d: %w", rec.Seq, err)
 		}
-		if !versionsEqual(db.Versions(), rec.Versions) {
+		if !VersionsEqual(db.Versions(), rec.Versions) {
 			// The record was acknowledged with this vector; replay is
 			// deterministic, so a mismatch means corruption or a logic bug.
 			// Surface it loudly rather than serving silently diverged data.
@@ -226,8 +226,12 @@ func (s *Store) recoverSession(name string) (*Recovered, error) {
 	return &Recovered{Name: name, DB: db, Warm: warm, Log: l}, nil
 }
 
-// applyRecord replays one load mutation.
-func applyRecord(db *relation.Database, rec *Record) error {
+// ApplyRecord replays one load mutation into db — the shared machinery of
+// crash recovery and replica WAL application: re-applying the same
+// acknowledged records in the same order onto the same base state
+// reproduces the original database byte for byte, null identities and
+// version vectors included.
+func ApplyRecord(db *relation.Database, rec *Record) error {
 	switch rec.Op {
 	case OpAppend:
 		return raparse.ParseDatabaseInto(strings.NewReader(rec.Data), db)
@@ -254,7 +258,10 @@ func applyRecord(db *relation.Database, rec *Record) error {
 	}
 }
 
-func versionsEqual(a, b map[string]uint64) bool {
+// VersionsEqual reports whether two version vectors are identical. A
+// replica cross-checks every applied record's logged vector with it; a
+// mismatch means divergence.
+func VersionsEqual(a, b map[string]uint64) bool {
 	if len(a) != len(b) {
 		return false
 	}

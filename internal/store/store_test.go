@@ -92,7 +92,7 @@ func assertRecovered(t *testing.T, dir string, want *relation.Database) *Recover
 	if !got.Equal(want) {
 		t.Fatalf("recovered database differs:\ngot  %s\nwant %s", got, want)
 	}
-	if !versionsEqual(got.Versions(), want.Versions()) {
+	if !VersionsEqual(got.Versions(), want.Versions()) {
 		t.Fatalf("recovered versions %v, want %v", got.Versions(), want.Versions())
 	}
 	if got.NextNull() != want.NextNull() {

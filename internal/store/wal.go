@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -38,13 +39,15 @@ const (
 	// OpReplace replaces the database with a fresh parse of the payload.
 	OpReplace Op = "replace"
 	// OpRestore replaces the database with a decoded snapshot payload
-	// (the /v1/load snapshot-bootstrap path).
+	// (the snapshot-bootstrap load path).
 	OpRestore Op = "restore"
 )
 
 // Record is one acknowledged load mutation: the raparse (or snapshot)
 // payload and the version vector the database reported after applying it.
-// Replay re-applies Data and cross-checks Versions.
+// Replay re-applies Data and cross-checks Versions. The same frames travel
+// over the replication stream (GET /v1/sessions/{name}/wal), so a follower
+// applies exactly what the primary logged.
 type Record struct {
 	Seq      uint64            `json:"seq"`
 	Op       Op                `json:"op"`
@@ -53,27 +56,54 @@ type Record struct {
 }
 
 // SessionLog is the durable state of one session: its write-ahead log file
-// and snapshot slot. Append and InstallSnapshot must be serialized by the
-// caller (the server holds a per-session commit mutex across the in-memory
-// apply and the WAL append, so log order is apply order); Stats, Seq and
-// WalBytes are safe to call concurrently with them.
+// and snapshot slot.
+//
+// Commit is split in two so appends can group-commit: Buffer frames a
+// record and assigns it the next sequence number (cheap, no I/O — the
+// caller serializes Buffer/BufferRecord calls and InstallSnapshot with its
+// own commit mutex so log order is apply order), and Sync blocks until the
+// record is on disk. Records buffered while an fsync is in flight ride the
+// next one together: durable load throughput scales with concurrency
+// instead of fsync latency. Append is Buffer+Sync for sequential callers.
+// Stats, Seq, DurableSeq and WalBytes are safe to call concurrently.
 type SessionLog struct {
 	name string
 	dir  string
 	f    *os.File
 
-	seq        atomic.Uint64 // last appended (or replayed) record
-	snapSeq    atomic.Uint64 // last record covered by the on-disk snapshot
+	// mu guards the pending batch and sequence assignment.
+	mu         sync.Mutex
+	buf        []byte // framed records awaiting write+fsync
+	bufRecords int64
+	seqLocked  uint64 // last assigned sequence number (mirrored in seq)
+
+	// syncMu is held by the group-commit flush leader across write+fsync
+	// (and by InstallSnapshot across the truncation). Syncs queue on it;
+	// whoever acquires it next flushes everything buffered meanwhile in a
+	// single fsync.
+	syncMu sync.Mutex
+
+	seq      atomic.Uint64 // last assigned (buffered) record
+	durable  atomic.Uint64 // last fsync'd record
+	snapSeq  atomic.Uint64 // last record covered by the on-disk snapshot
+	walEpoch atomic.Uint64 // bumped on every truncation (tailers re-base)
+
 	walBytes   atomic.Int64
 	walRecords atomic.Int64
+	syncs      atomic.Int64 // fsyncs issued (records/syncs = group-commit ratio)
 	lastSync   atomic.Int64 // unix nanos of the last fsync'd append
 	lastSnap   atomic.Int64 // unix nanos of the last snapshot install
+
+	// noteMu/note broadcast "the durable state changed" to WAL tailers:
+	// note is closed and replaced after every flush and every truncation.
+	noteMu sync.Mutex
+	note   chan struct{}
 
 	// failed latches after a write or fsync error: the file may hold torn
 	// bytes and — because the in-memory apply happens before the append —
 	// the live database has diverged from the log, so accepting further
 	// records would make replay reconstruct a different history than the
-	// one acknowledged. The log fail-stops instead: every later Append
+	// one acknowledged. The log fail-stops instead: every later Buffer
 	// errors (the server keeps refusing this session's loads with 500)
 	// and a restart recovers to the last durable record.
 	failed atomic.Bool
@@ -128,7 +158,7 @@ func openSessionLogAt(name, dir string, seq, snapSeq uint64) (*SessionLog, error
 		f.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	l := &SessionLog{name: name, dir: dir, f: f}
+	l := &SessionLog{name: name, dir: dir, f: f, note: make(chan struct{})}
 	if st.Size() == 0 {
 		if _, err := f.WriteString(walMagic); err != nil {
 			f.Close()
@@ -142,7 +172,9 @@ func openSessionLogAt(name, dir string, seq, snapSeq uint64) (*SessionLog, error
 	} else {
 		l.walBytes.Store(st.Size())
 	}
+	l.seqLocked = seq
 	l.seq.Store(seq)
+	l.durable.Store(seq)
 	l.snapSeq.Store(snapSeq)
 	return l, nil
 }
@@ -150,56 +182,224 @@ func openSessionLogAt(name, dir string, seq, snapSeq uint64) (*SessionLog, error
 // Name returns the session name.
 func (l *SessionLog) Name() string { return l.name }
 
-// Seq returns the sequence number of the last appended (or replayed)
-// record.
+// Seq returns the sequence number of the last assigned (buffered or
+// replayed) record — the apply-order position of the session.
 func (l *SessionLog) Seq() uint64 { return l.seq.Load() }
+
+// DurableSeq returns the sequence number of the last fsync'd record.
+func (l *SessionLog) DurableSeq() uint64 { return l.durable.Load() }
+
+// SnapshotSeq returns the last sequence number covered by the on-disk
+// snapshot; WAL records at or below it have been compacted away.
+func (l *SessionLog) SnapshotSeq() uint64 { return l.snapSeq.Load() }
 
 // WalBytes returns the current WAL file size.
 func (l *SessionLog) WalBytes() int64 { return l.walBytes.Load() }
 
-// Append frames, writes and fsyncs one load record, assigning it the next
-// sequence number. It returns only after the record is durable — the
-// server acknowledges the mutation to the client after this returns. After
-// any write or fsync failure the log permanently refuses further appends
-// (see failed); restarting the server is the recovery path.
-func (l *SessionLog) Append(op Op, data string, versions map[string]uint64) (uint64, error) {
-	if l.failed.Load() {
-		return 0, fmt.Errorf("store: session %q wal failed earlier; refusing further appends (restart to recover)", l.name)
-	}
-	rec := Record{Seq: l.seq.Load() + 1, Op: op, Data: data, Versions: versions}
-	payload, err := json.Marshal(&rec)
+// encodeFrame renders one record in the WAL wire framing: a 4-byte
+// big-endian payload length, a CRC32-C of the payload, then the JSON
+// payload. The same frames travel over the replication stream.
+func encodeFrame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
 	if err != nil {
-		return 0, fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	buf := make([]byte, 8+len(payload))
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, walCRC))
 	copy(buf[8:], payload)
-	if _, err := l.f.Write(buf); err != nil {
-		l.failed.Store(true)
-		return 0, fmt.Errorf("store: wal append: %w", err)
+	return buf, nil
+}
+
+// ReadFrame decodes one framed record from a stream (the body of a WAL
+// tailing response). io.EOF marks a cleanly closed stream; any torn or
+// corrupt frame is an error (over TCP, framing damage means a broken
+// stream, not a crash artifact to skip).
+func ReadFrame(r io.Reader) (*Record, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("store: torn frame header")
+		}
+		return nil, err // io.EOF: clean end
 	}
-	if err := l.f.Sync(); err != nil {
-		l.failed.Store(true)
-		return 0, fmt.Errorf("store: wal sync: %w", err)
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	sum := binary.BigEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxRecordBytes {
+		return nil, fmt.Errorf("store: bad frame length %d", n)
 	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("store: torn frame payload: %w", err)
+	}
+	if crc32.Checksum(payload, walCRC) != sum {
+		return nil, fmt.Errorf("store: frame checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("store: frame decode: %w", err)
+	}
+	return &rec, nil
+}
+
+// Buffer frames a record, assigns it the next sequence number and queues
+// it for the next group fsync. The caller must serialize Buffer,
+// BufferRecord and InstallSnapshot (the server's per-session commit mutex
+// spans the in-memory apply and the Buffer, so log order is apply order);
+// Sync may then be called concurrently.
+func (l *SessionLog) Buffer(op Op, data string, versions map[string]uint64) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed.Load() {
+		return 0, fmt.Errorf("store: session %q wal failed earlier; refusing further appends (restart to recover)", l.name)
+	}
+	rec := Record{Seq: l.seqLocked + 1, Op: op, Data: data, Versions: versions}
+	frame, err := encodeFrame(&rec)
+	if err != nil {
+		return 0, err
+	}
+	l.buf = append(l.buf, frame...)
+	l.bufRecords++
+	l.seqLocked = rec.Seq
 	l.seq.Store(rec.Seq)
-	l.walBytes.Add(int64(len(buf)))
-	l.walRecords.Add(1)
-	l.lastSync.Store(time.Now().UnixNano())
 	return rec.Seq, nil
 }
 
+// BufferRecord queues an existing record verbatim — the replica mirror
+// path: a follower logs exactly the records the primary shipped, keeping
+// the primary's sequence numbers, so its own recovery resumes tailing from
+// the right position. The record must directly follow the log.
+func (l *SessionLog) BufferRecord(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed.Load() {
+		return fmt.Errorf("store: session %q wal failed earlier; refusing further appends (restart to recover)", l.name)
+	}
+	if rec.Seq != l.seqLocked+1 {
+		return fmt.Errorf("store: session %q: mirrored record seq %d does not follow %d", l.name, rec.Seq, l.seqLocked)
+	}
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	l.buf = append(l.buf, frame...)
+	l.bufRecords++
+	l.seqLocked = rec.Seq
+	l.seq.Store(rec.Seq)
+	return nil
+}
+
+// Sync blocks until the record with the given sequence number is durable.
+// Group commit lives here: whoever wins syncMu flushes everything buffered
+// — its own record and every record buffered while the previous fsync was
+// in flight — in one write+fsync. Everyone else parks on the durable-state
+// broadcast channel instead of queueing on the mutex, so a finished flush
+// releases the whole batch of waiters with one channel close rather than a
+// convoy of sequential mutex handoffs.
+func (l *SessionLog) Sync(seq uint64) error {
+	for l.durable.Load() < seq {
+		if l.failed.Load() {
+			return fmt.Errorf("store: session %q wal failed earlier; record %d is not durable (restart to recover)", l.name, seq)
+		}
+		if l.syncMu.TryLock() {
+			var err error
+			if l.durable.Load() < seq {
+				err = l.flush()
+			}
+			l.syncMu.Unlock()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		// A flush is in flight. Subscribe, re-check (the flusher may have
+		// finished in between — the subscribe-then-check order makes that
+		// race safe), then wait for its completion broadcast.
+		ch := l.changed()
+		if l.durable.Load() >= seq || l.failed.Load() {
+			continue
+		}
+		<-ch
+	}
+	return nil
+}
+
+// flush writes and fsyncs everything buffered. Caller holds syncMu.
+func (l *SessionLog) flush() error {
+	l.mu.Lock()
+	buf, n, end := l.buf, l.bufRecords, l.seqLocked
+	l.buf, l.bufRecords = nil, 0
+	l.mu.Unlock()
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		l.failed.Store(true)
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.failed.Store(true)
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	l.walBytes.Add(int64(len(buf)))
+	l.walRecords.Add(n)
+	l.syncs.Add(1)
+	l.lastSync.Store(time.Now().UnixNano())
+	l.durable.Store(end)
+	l.notify()
+	return nil
+}
+
+// Append frames, writes and fsyncs one load record, assigning it the next
+// sequence number: Buffer followed by Sync. It returns only after the
+// record is durable — the server acknowledges the mutation to the client
+// after this returns. Concurrent Appends are safe and group-commit, but
+// their relative log order is then arbitrary; callers who apply state
+// in-memory first must serialize Buffer themselves.
+func (l *SessionLog) Append(op Op, data string, versions map[string]uint64) (uint64, error) {
+	seq, err := l.Buffer(op, data, versions)
+	if err != nil {
+		return 0, err
+	}
+	return seq, l.Sync(seq)
+}
+
+// notify wakes every WAL tailer waiting for new durable records.
+func (l *SessionLog) notify() {
+	l.noteMu.Lock()
+	close(l.note)
+	l.note = make(chan struct{})
+	l.noteMu.Unlock()
+}
+
+// changed returns a channel closed at the next durable-state change.
+func (l *SessionLog) changed() <-chan struct{} {
+	l.noteMu.Lock()
+	ch := l.note
+	l.noteMu.Unlock()
+	return ch
+}
+
 // InstallSnapshot makes snap the session's durable snapshot and compacts
-// the WAL it covers: the snapshot is written to a temporary file, fsync'd
-// and atomically renamed over the previous one, then the log is truncated
-// back to its header. A crash between the rename and the truncation leaves
-// covered records in the log; replay skips them by sequence number.
+// the WAL it covers: pending records are flushed first (nothing buffered
+// may be lost to the truncation), the snapshot is written to a temporary
+// file, fsync'd and atomically renamed over the previous one, then the log
+// is truncated back to its header. A crash between the rename and the
+// truncation leaves covered records in the log; replay skips them by
+// sequence number. On a replica installing a bootstrap snapshot from its
+// primary, snap.Seq may be ahead of the local log — the sequence state
+// jumps forward so mirroring resumes from the snapshot. The caller
+// serializes InstallSnapshot with Buffer/BufferRecord.
 func (l *SessionLog) InstallSnapshot(snap *Snapshot) error {
 	if l.failed.Load() {
 		// A fail-stopped log means memory and disk have diverged; a
 		// snapshot here would quietly promote unacknowledged state.
 		return fmt.Errorf("store: session %q wal failed earlier; refusing snapshot (restart to recover)", l.name)
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if err := l.flush(); err != nil {
+		return err
 	}
 	tmp := filepath.Join(l.dir, snapshotFile+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
@@ -235,17 +435,33 @@ func (l *SessionLog) InstallSnapshot(snap *Snapshot) error {
 	l.walBytes.Store(int64(len(walMagic)))
 	l.walRecords.Store(0)
 	l.snapSeq.Store(snap.Seq)
+	// The truncated log holds zero records, so the sequence state IS the
+	// snapshot's — exactly where it already was for a primary compaction
+	// (flush ran under syncMu and the caller's commit mutex excludes new
+	// buffers), and a deliberate jump (either direction) for a replica
+	// installing a bootstrap snapshot from its primary.
+	l.mu.Lock()
+	l.seqLocked = snap.Seq
+	l.seq.Store(snap.Seq)
+	l.mu.Unlock()
+	l.durable.Store(snap.Seq)
 	l.lastSnap.Store(time.Now().UnixNano())
+	l.walEpoch.Add(1)
+	l.notify()
 	return nil
 }
 
 // Durability is the status snapshot of one session's durable state, as
 // reported by /v1/status.
 type Durability struct {
-	WalBytes     int64  `json:"wal_bytes"`
-	WalRecords   int64  `json:"wal_records"`
-	Seq          uint64 `json:"seq"`
-	SnapshotSeq  uint64 `json:"snapshot_seq"`
+	WalBytes    int64  `json:"wal_bytes"`
+	WalRecords  int64  `json:"wal_records"`
+	Seq         uint64 `json:"seq"`
+	DurableSeq  uint64 `json:"durable_seq"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Syncs counts fsyncs issued; WalRecords/Syncs > 1 means group commit
+	// batched concurrent appends into shared fsyncs.
+	Syncs        int64  `json:"syncs"`
 	LastSnapshot string `json:"last_snapshot,omitempty"`
 	LastSync     string `json:"last_sync,omitempty"`
 	// Failed reports a fail-stopped log (a write or fsync error): the
@@ -260,7 +476,9 @@ func (l *SessionLog) Stats() Durability {
 		WalBytes:    l.walBytes.Load(),
 		WalRecords:  l.walRecords.Load(),
 		Seq:         l.seq.Load(),
+		DurableSeq:  l.durable.Load(),
 		SnapshotSeq: l.snapSeq.Load(),
+		Syncs:       l.syncs.Load(),
 		Failed:      l.failed.Load(),
 	}
 	if ns := l.lastSnap.Load(); ns != 0 {

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # bench_server.sh — measure incdbd's repeated-query latency with a warm
-# versus cold prepared-plan cache and emit BENCH_PR4.json.
+# versus cold prepared-plan cache (BENCH_PR4.json) and the durable-load
+# group-commit concurrency curve (BENCH_PR6.json).
 #
-# The two sides of the comparison are the sub-benchmarks of
+# The two sides of the PR4 comparison are the sub-benchmarks of
 # BenchmarkServerQuery (internal/server/bench_test.go): cache=cold resets
 # the session's prepared-plan cache before every request (the pre-PR
 # behaviour of re-freezing every null-free subplan per oracle call),
@@ -10,11 +11,17 @@
 # pair the runs: "before" = cold, "after" = warm, so speedup_ns is the
 # warm-over-cold win.
 #
-# Environment: BENCHTIME (default 0.5s), COUNT (default 5),
-# OUT (default bench-compare-out).
+# The PR6 curve comes from BenchmarkDurableLoadConcurrency: acknowledged
+# (fsync'd) appends per second against one session at 1, 4 and 16 HTTP
+# clients. A fixed iteration count (DURABLE_BENCHTIME) keeps the database
+# growth identical across concurrency levels so the runs are comparable.
+#
+# Environment: BENCHTIME (default 0.5s), DURABLE_BENCHTIME (default
+# 1500x), COUNT (default 5), OUT (default bench-compare-out).
 set -eu
 
 BENCHTIME="${BENCHTIME:-0.5s}"
+DURABLE_BENCHTIME="${DURABLE_BENCHTIME:-1500x}"
 COUNT="${COUNT:-5}"
 OUT="${OUT:-bench-compare-out}"
 mkdir -p "$OUT"
@@ -36,4 +43,43 @@ go run ./scripts/benchjson \
     -method "go test -bench='BenchmarkServerQuery/' -benchmem -benchtime=$BENCHTIME -count=$COUNT ./internal/server; medians of $COUNT runs; before = cold prepared-plan cache (reset per request), after = warm (version-guarded reuse)" \
     -before "cold cache: session prepared-plan cache reset before every request"
 
-echo "results in $OUT/ and BENCH_PR4.json"
+echo "== measuring durable-load group-commit concurrency curve =="
+go test -run '^$' -bench 'BenchmarkDurableLoadConcurrency/' \
+    -benchtime="$DURABLE_BENCHTIME" -count="$COUNT" ./internal/server >"$OUT/durable.txt" 2>&1 || {
+    cat "$OUT/durable.txt" >&2
+    exit 1
+}
+
+# Median ns/op per concurrency level -> RPS curve + the 16-over-1 speedup
+# the group commit buys (every append is individually acknowledged after
+# its fsync, so scaling past 1 requires batched fsyncs).
+awk -v method="go test -bench=BenchmarkDurableLoadConcurrency -benchtime=$DURABLE_BENCHTIME -count=$COUNT ./internal/server; median ns/op per concurrency level; every append fsync'd before its 200" '
+/BenchmarkDurableLoadConcurrency\/clients=/ {
+    split($1, parts, "=")
+    c = parts[2]; sub(/-[0-9]+$/, "", c)
+    n[c]++; v[c, n[c]] = $3
+}
+END {
+    printf "{\n  \"pr\": 6,\n"
+    printf "  \"title\": \"incdbd: WAL group commit — durable-load throughput vs client concurrency\",\n"
+    printf "  \"method\": \"%s\",\n", method
+    printf "  \"concurrency\": {\n"
+    sep = ""
+    for (ci = 1; ci <= 64; ci *= 2) {
+        c = ci ""
+        if (!(c in n)) continue
+        m = n[c]
+        for (i = 1; i <= m; i++)
+            for (j = i + 1; j <= m; j++)
+                if (v[c, j] + 0 < v[c, i] + 0) { t = v[c, i]; v[c, i] = v[c, j]; v[c, j] = t }
+        med = (m % 2) ? v[c, (m + 1) / 2] : (v[c, m / 2] + v[c, m / 2 + 1]) / 2
+        rps[c] = 1e9 / med
+        printf "%s    \"%s\": {\"ns_per_op\": %.0f, \"rps\": %.0f}", sep, c, med, rps[c]
+        sep = ",\n"
+    }
+    printf "\n  },\n"
+    printf "  \"speedup_16_over_1\": %.2f\n}\n", rps["16"] / rps["1"]
+}' "$OUT/durable.txt" >BENCH_PR6.json
+cat BENCH_PR6.json
+
+echo "results in $OUT/ and BENCH_PR4.json, BENCH_PR6.json"

@@ -1,0 +1,145 @@
+#!/usr/bin/env sh
+# smoke_replication.sh — end-to-end smoke of WAL-shipping replication:
+# start a durable primary, load and append through incdbctl, start a
+# durable follower with -follow, assert the follower converges to
+# byte-identical answers and version vectors, read-your-writes across
+# servers via the consistency token, 412 stale_replica on an uncoverable
+# token, 403 read_only_replica on follower loads, and a SIGKILL'd follower
+# restarted on its data directory resuming without a snapshot re-bootstrap.
+set -eu
+
+BIN="${BIN:-./bin}"
+UNPAID='proj(0, sel(not(in(0, Payments)), Orders))'
+ALL_ORDERS='proj(0, Orders)'
+
+mkdir -p "$BIN"
+go build -o "$BIN/incdbd" ./cmd/incdbd
+go build -o "$BIN/incdbctl" ./cmd/incdbctl
+
+PPORT="$(go run ./scripts/freeport)"
+RPORT="$(go run ./scripts/freeport)"
+PADDR="127.0.0.1:$PPORT"
+RADDR="127.0.0.1:$RPORT"
+PDATA="$(mktemp -d)"
+RDATA="$(mktemp -d)"
+PRIMARY=""
+FOLLOWER=""
+trap 'kill "$PRIMARY" "$FOLLOWER" 2>/dev/null || true; rm -rf "$PDATA" "$RDATA"' EXIT
+
+wait_up() {
+    i=0
+    while [ $i -lt 50 ]; do
+        if curl -fs "http://$1/v1/status" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+        i=$((i + 1))
+    done
+    echo "incdbd did not come up on $1" >&2
+    exit 1
+}
+
+PCTL="$BIN/incdbctl client -addr http://$PADDR -session smoke"
+RCTL="$BIN/incdbctl client -addr http://$RADDR -session smoke"
+
+# The primary's version vector as a -read-after consistency token, scraped
+# from the per-relation status lines ("  Orders/2: 3 rows (version 1)").
+primary_token() {
+    $PCTL status | awk '/rows \(version/ {
+        split($1, a, "/"); v = $5; sub(/\)/, "", v)
+        printf "%s\"%s\":%s", sep, a[1], v; sep = ","
+    } BEGIN { printf "{" } END { printf "}\n" }'
+}
+
+wait_caught_up() {
+    want_rows="$($PCTL status | grep 'rows (version')"
+    i=0
+    while [ $i -lt 100 ]; do
+        if [ "$($RCTL status | grep 'rows (version' || true)" = "$want_rows" ]; then
+            return 0
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "follower never caught up with the primary" >&2
+    $RCTL status >&2 || true
+    exit 1
+}
+
+"$BIN/incdbd" -addr "$PADDR" -data-dir "$PDATA" &
+PRIMARY=$!
+wait_up "$PADDR"
+$PCTL load examples/data/orders.idb
+printf "row Orders o3 c2\nrow Payments o3\n" >"$PDATA/a1.idb"
+$PCTL append "$PDATA/a1.idb"
+
+echo "== follower bootstraps from the primary's snapshot and tails its WAL =="
+"$BIN/incdbd" -addr "$RADDR" -data-dir "$RDATA" -follow "http://$PADDR" -stale-wait 1s &
+FOLLOWER=$!
+wait_up "$RADDR"
+wait_caught_up
+
+echo "== byte-identical answers (certain, c-tables with null identities) =="
+for q in "$UNPAID" "$ALL_ORDERS"; do
+    p="$($PCTL cert "$q" | grep '^  ')"
+    r="$($RCTL cert "$q" | grep '^  ')"
+    [ "$p" = "$r" ] || {
+        echo "certain answers diverge for $q:" >&2
+        echo "primary:  $p" >&2; echo "follower: $r" >&2; exit 1; }
+done
+p="$($PCTL ctable-eager 'proj(1, Orders)' | grep '^  ')"
+r="$($RCTL ctable-eager 'proj(1, Orders)' | grep '^  ')"
+[ "$p" = "$r" ] || {
+    echo "c-table answers (null identities) diverge:" >&2
+    echo "primary:  $p" >&2; echo "follower: $r" >&2; exit 1; }
+
+echo "== read-your-writes across servers via the consistency token =="
+printf "row Orders o4 c3\nrow Payments o4\n" >"$PDATA/a2.idb"
+$PCTL append "$PDATA/a2.idb"
+TOKEN="$(primary_token)"
+echo "token: $TOKEN"
+out="$($RCTL -read-after "$TOKEN" cert "$ALL_ORDERS")"
+echo "$out" | grep -q "o4" || {
+    echo "follower read with token $TOKEN missed the primary's write:" >&2
+    echo "$out" >&2; exit 1; }
+
+echo "== an uncoverable token fails 412 stale_replica after -stale-wait =="
+if out="$($RCTL -read-after '{"Orders":999999}' cert "$ALL_ORDERS" 2>&1)"; then
+    echo "follower served a read it could not cover:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+echo "$out" | grep -q "stale_replica" || {
+    echo "expected stale_replica, got: $out" >&2; exit 1; }
+
+echo "== the follower refuses loads as read_only_replica =="
+if out="$($RCTL append "$PDATA/a2.idb" 2>&1)"; then
+    echo "follower accepted a load" >&2
+    exit 1
+fi
+echo "$out" | grep -q "read_only_replica" || {
+    echo "expected read_only_replica, got: $out" >&2; exit 1; }
+
+echo "== SIGKILL'd follower restarts on its data dir and resumes, no re-bootstrap =="
+kill -9 "$FOLLOWER"
+wait "$FOLLOWER" 2>/dev/null || true
+printf "row Orders o5 _9\n" >"$PDATA/a3.idb"
+$PCTL append "$PDATA/a3.idb"
+
+"$BIN/incdbd" -addr "$RADDR" -data-dir "$RDATA" -follow "http://$PADDR" -stale-wait 1s &
+FOLLOWER=$!
+wait_up "$RADDR"
+wait_caught_up
+status="$($RCTL status)"
+echo "$status" | grep "session" | grep -q "0 bootstraps" || {
+    echo "restarted follower re-bootstrapped instead of resuming its WAL position:" >&2
+    echo "$status" >&2; exit 1; }
+p="$($PCTL cert "$UNPAID" | grep '^  ')"
+r="$($RCTL cert "$UNPAID" | grep '^  ')"
+[ "$p" = "$r" ] || {
+    echo "answers diverge after follower restart:" >&2
+    echo "primary:  $p" >&2; echo "follower: $r" >&2; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$FOLLOWER" "$PRIMARY"
+wait "$FOLLOWER" "$PRIMARY"
+trap 'rm -rf "$PDATA" "$RDATA"' EXIT
+echo "replication smoke OK"
