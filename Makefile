@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all fmt fmt-check vet build test race bench bench-compare bench-server smoke smoke-replication clean ci
+.PHONY: all fmt fmt-check vet build test race bench bench-compare bench-server smoke smoke-replication smoke-failover clean ci
 
 all: build
 
@@ -57,4 +57,10 @@ smoke:
 smoke-replication:
 	./scripts/smoke_replication.sh
 
-ci: fmt-check vet build race bench smoke smoke-replication
+# End-to-end failover smoke: kill -9 the primary, promote the follower,
+# assert no acknowledged write lost, failover client re-routing, and the
+# revived old primary fenced read-only then rejoining as a follower.
+smoke-failover:
+	./scripts/smoke_failover.sh
+
+ci: fmt-check vet build race bench smoke smoke-replication smoke-failover

@@ -22,6 +22,7 @@ const clientHelp = `commands:
   vector                   print the consistency token (for -read-after elsewhere)
   snapshot [file]          export a consistent session snapshot (stdout or file)
   restore <file>           bootstrap the session from a snapshot export
+  promote [force]          promote this follower to writable primary at epoch+1
   help                     this text
   quit                     leave the REPL`
 
@@ -31,7 +32,7 @@ const clientHelp = `commands:
 // and the server share one set of wire types (incdb/internal/api).
 func runClient(args []string) error {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:8080", "incdbd base URL")
+	addr := fs.String("addr", "http://127.0.0.1:8080", "incdbd base URL(s), comma-separated; more than one makes the client failover-aware")
 	session := fs.String("session", "default", "server-side session name")
 	bag := fs.Bool("bag", false, "bag semantics for sql/naive queries")
 	maxWorlds := fs.Int("maxworlds", 0, "certainty oracle world bound (0 = server default)")
@@ -39,7 +40,7 @@ func runClient(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c := server.NewClient(*addr, *session)
+	c := server.NewFailoverClient(strings.Split(*addr, ","), *session)
 	if *readAfter != "" {
 		var vec map[string]uint64
 		if err := json.Unmarshal([]byte(*readAfter), &vec); err != nil {
@@ -71,6 +72,29 @@ func runClient(args []string) error {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
+}
+
+// runPromote runs the promote subcommand: flip the follower at -addr into
+// the writable primary at epoch+1. The server refuses unless its
+// replication tail is drained; -force skips the check for disaster
+// recovery (the old primary's unshipped tail is accepted as lost).
+func runPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "incdbd base URL of the follower to promote")
+	force := fs.Bool("force", false, "promote even if the replication tail is not drained")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	pr, err := server.NewClient(*addr, "").Promote(*force)
+	if err != nil {
+		return err
+	}
+	printPromotion(pr)
+	return nil
 }
 
 type queryOpts struct {
@@ -130,6 +154,16 @@ func clientLine(c *server.Client, line string, opts queryOpts) error {
 			return err
 		}
 		fmt.Printf("wrote %d bytes to %s\n", len(data), path)
+		return nil
+	case "promote":
+		if rest != "" && rest != "force" {
+			return fmt.Errorf("usage: promote [force]")
+		}
+		pr, err := c.Promote(rest == "force")
+		if err != nil {
+			return err
+		}
+		printPromotion(pr)
 		return nil
 	case "restore":
 		if rest == "" {
@@ -210,9 +244,17 @@ func printResults(qr *api.QueryResponse) {
 	}
 }
 
+func printPromotion(pr *api.PromoteResponse) {
+	fmt.Printf("promoted to primary at epoch %d\n", pr.Epoch)
+	for sess, seq := range pr.Sessions {
+		fmt.Printf("  session %q: epoch record at seq %d\n", sess, seq)
+	}
+}
+
 func printStatus(st *api.StatusResponse) {
 	fmt.Printf("uptime %.1fs, workers %d, in-flight %d/%d, %d session(s)\n",
 		st.UptimeSeconds, st.Workers, st.InFlight, st.MaxInFlight, len(st.Sessions))
+	fmt.Printf("role %s, epoch %d\n", st.Role, st.Epoch)
 	if st.DataDir != "" {
 		fmt.Printf("durable data dir: %s\n", st.DataDir)
 	}

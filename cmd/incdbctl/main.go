@@ -18,11 +18,19 @@
 //	incdbctl explain -db data.idb [-sql] [-bag] [-format text|json] "minus(proj(0, Customers), proj(0, Payments))"
 //
 // The client subcommand speaks the incdbd HTTP/JSON protocol — one-shot or
-// as a REPL over a named server-side session (see runClient):
+// as a REPL over a named server-side session (see runClient). -addr takes
+// a comma-separated endpoint list; with more than one the client is
+// failover-aware (retries retryable errors, re-discovers the writable
+// primary by role/epoch):
 //
 //	incdbctl client -addr http://localhost:8080 -session demo load data.idb
 //	incdbctl client -addr http://localhost:8080 -session demo cert "minus(proj(0, Customers), proj(0, Payments))"
-//	incdbctl client -addr http://localhost:8080 -session demo            (REPL)
+//	incdbctl client -addr http://localhost:8080,http://localhost:8081 -session demo   (REPL, failover-aware)
+//
+// The promote subcommand flips a caught-up follower into the writable
+// primary at epoch+1 (see the README failover runbook):
+//
+//	incdbctl promote -addr http://localhost:8081 [-force]
 package main
 
 import (
@@ -52,6 +60,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "client" {
 		if err := runClient(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "incdbctl client:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "promote" {
+		if err := runPromote(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "incdbctl promote:", err)
 			os.Exit(1)
 		}
 		return

@@ -29,8 +29,17 @@
 //
 //	incdbctl client -addr http://localhost:8080 -session default
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
-// immediately, in-flight requests get the grace period to finish.
+// The server shuts down gracefully on SIGINT/SIGTERM: new loads are
+// refused (503 shutting_down), the listener closes, in-flight requests
+// get the grace period to finish, and every durable session takes a
+// final fsync before exit. -write-timeout bounds slow response writes
+// (the replication WAL stream, which is long-lived by design, exempts
+// itself).
+//
+// Failover: a follower is promoted to writable primary at epoch+1 with
+// `incdbctl promote` (POST /v1/promote); a revived stale primary fences
+// itself read-only on observing the higher epoch. GET /v1/healthz and
+// GET /v1/readyz serve liveness/readiness probes.
 package main
 
 import (
@@ -57,6 +66,7 @@ func main() {
 	snapshotBytes := flag.Int64("snapshot-bytes", 0, "WAL size triggering a compacting snapshot (0 = default)")
 	follow := flag.String("follow", "", "primary URL to follow as a read replica (e.g. http://primary:8080)")
 	staleWait := flag.Duration("stale-wait", 0, "how long a replica holds a read for its consistency token (0 = 2s)")
+	writeTimeout := flag.Duration("write-timeout", 0, "HTTP response write deadline (0 = none; WAL streaming is exempt)")
 	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown window")
 	load := flag.String("load", "", "database file (raparse format) to preload")
 	session := flag.String("session", "default", "session name for -load")
@@ -70,6 +80,7 @@ func main() {
 		ResultCacheCap: *resultCacheCap,
 		SnapshotBytes:  *snapshotBytes,
 		StaleWait:      *staleWait,
+		WriteTimeout:   *writeTimeout,
 		ShutdownGrace:  *grace,
 	})
 	if *dataDir != "" {

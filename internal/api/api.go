@@ -13,6 +13,9 @@
 //	GET  /v1/sessions/{name}/snapshot  consistent snapshot export
 //	GET  /v1/sessions/{name}/wal       stream WAL records (replication)
 //	GET  /v1/status                    server-wide status
+//	POST /v1/promote                   promote a follower to primary
+//	GET  /v1/healthz                   liveness probe
+//	GET  /v1/readyz                    readiness probe
 //
 // The pre-PR-6 flat routes (POST /v1/load|query|explain with the session
 // name in the body, GET /v1/snapshot?session=) survive as thin delegating
@@ -42,11 +45,16 @@ import (
 // snapshot file): the session is replaced by the decoded database with
 // null identifiers and version vector preserved — the replica bootstrap
 // path.
+// Epoch, when non-zero, is the highest replication epoch the client has
+// observed: a server whose own epoch is lower learns it has been
+// superseded and fences itself (fenced_stale_primary) instead of
+// accepting a divergent write.
 type LoadRequest struct {
 	Session  string `json:"session,omitempty"` // legacy body-field routing
 	Data     string `json:"data"`
 	Append   bool   `json:"append,omitempty"`
 	Snapshot bool   `json:"snapshot,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 }
 
 // LoadResponse reports the resulting schema and version vector. Versions
@@ -57,6 +65,7 @@ type LoadResponse struct {
 	Session   string            `json:"session"`
 	Relations []RelationStatus  `json:"relations"`
 	Versions  map[string]uint64 `json:"versions"`
+	Epoch     uint64            `json:"epoch,omitempty"` // epoch the load committed under
 }
 
 // RelationStatus describes one relation of a session database.
@@ -76,6 +85,8 @@ type RelationStatus struct {
 // only from a database state whose version vector covers it (a replica
 // waits briefly for replication to catch up, then fails with
 // ErrStaleReplica).
+// Epoch, like LoadRequest.Epoch, is the client's highest observed
+// replication epoch — a stale primary fences itself on seeing a higher one.
 type QueryRequest struct {
 	Session   string            `json:"session,omitempty"` // legacy body-field routing
 	Query     string            `json:"query"`
@@ -83,6 +94,7 @@ type QueryRequest struct {
 	Bag       bool              `json:"bag,omitempty"`
 	MaxWorlds int               `json:"max_worlds,omitempty"`
 	ReadAfter map[string]uint64 `json:"read_after,omitempty"`
+	Epoch     uint64            `json:"epoch,omitempty"`
 }
 
 // Resultset is one relation of answers. Rows are rendered in the
@@ -108,6 +120,7 @@ type QueryResponse struct {
 	ElapsedMs float64           `json:"elapsed_ms"`
 	Cached    bool              `json:"cached,omitempty"`
 	Versions  map[string]uint64 `json:"versions,omitempty"`
+	Epoch     uint64            `json:"epoch,omitempty"` // epoch of the answering state
 }
 
 // ExplainRequest renders the plan for a query against a session database.
@@ -128,14 +141,51 @@ type ExplainResponse struct {
 
 // StatusResponse is the server-wide status snapshot. DataDir is set when
 // durability is enabled; Replication when the server follows a primary.
+// Role and Epoch are the failover coordinates: Role is "primary",
+// "replica", or "fenced" (a former primary that observed a higher epoch
+// and refuses writes); Epoch is the server's highest replication epoch
+// across sessions. A failover-aware client probes Role/Epoch to find the
+// writable primary.
 type StatusResponse struct {
 	UptimeSeconds float64            `json:"uptime_seconds"`
 	Workers       int                `json:"workers"`
 	MaxInFlight   int                `json:"max_in_flight"`
 	InFlight      int                `json:"in_flight"`
+	Role          string             `json:"role"`
+	Epoch         uint64             `json:"epoch"`
 	DataDir       string             `json:"data_dir,omitempty"`
 	Replication   *ReplicationStatus `json:"replication,omitempty"`
 	Sessions      []SessionStatus    `json:"sessions"`
+}
+
+// Server roles reported in StatusResponse.Role.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+	RoleFenced  = "fenced"
+)
+
+// PromoteRequest asks a follower to become the writable primary at
+// epoch+1. The server refuses unless its replication tail is drained
+// (every shipped record applied) — Force skips that check for disaster
+// recovery when the old primary is truly gone and its unshipped tail is
+// accepted as lost.
+type PromoteRequest struct {
+	Force bool `json:"force,omitempty"`
+}
+
+// PromoteResponse reports the successful promotion: the new epoch and the
+// per-session WAL positions the server took over at.
+type PromoteResponse struct {
+	Epoch    uint64            `json:"epoch"`
+	Sessions map[string]uint64 `json:"sessions"` // session → seq of its epoch record
+}
+
+// HealthResponse is the body of /v1/healthz and /v1/readyz. Ok mirrors the
+// HTTP status (200 ↔ true, 503 ↔ false); Reason says why not.
+type HealthResponse struct {
+	Ok     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // SessionStatus describes one session: its schema with versions, how many

@@ -33,6 +33,18 @@ const (
 	// CodeWALGap: the requested WAL position was compacted away; the
 	// follower must re-bootstrap from a snapshot.
 	CodeWALGap = "wal_gap"
+	// CodeFencedStalePrimary: this server observed a higher replication
+	// epoch than its own — another server has been promoted primary — and
+	// has fenced itself read-only. Writes must go to the current primary;
+	// this server can rejoin the fleet as a follower of it.
+	CodeFencedStalePrimary = "fenced_stale_primary"
+	// CodeNotCaughtUp: promotion was refused because the follower has not
+	// applied its primary's full WAL (as far as it can tell); retry once
+	// replication drains, or promote with force.
+	CodeNotCaughtUp = "not_caught_up"
+	// CodeShuttingDown: the server is draining for shutdown and no longer
+	// accepts new mutations; retry against another endpoint.
+	CodeShuttingDown = "shutting_down"
 	// CodeInternal: the server failed in a way the client cannot repair
 	// (e.g. the load applied but could not be made durable).
 	CodeInternal = "internal"

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"incdb/internal/api"
 	"incdb/internal/store"
@@ -27,26 +29,95 @@ import (
 // replication covers the token (or answers 412 stale_replica, api.Error
 // code CodeStaleReplica). Vector/SetVector expose the token so it can also
 // be carried across processes (incdbctl -read-after).
+//
+// A client built with NewFailoverClient is failover-aware: it holds a list
+// of endpoints (the primary and its replicas), classifies errors as
+// retryable (connection refused/reset, overloaded, shutting_down, and —
+// for writes — read_only_replica and fenced_stale_primary) versus terminal
+// (bad query, unknown session), retries with jittered exponential backoff,
+// and re-discovers the writable primary by probing /v1/status for
+// role+epoch. The consistency token and the highest observed epoch carry
+// across the switch, so read-your-writes holds through a failover and a
+// revived stale primary is fenced by the first write that reaches it. A
+// single-endpoint client (NewClient) never retries — errors surface
+// immediately, exactly as before failover awareness existed.
 type Client struct {
-	base    string
-	session string
-	hc      *http.Client
+	endpoints []string
+	session   string
+	hc        *http.Client
 
-	mu  sync.Mutex
-	vec map[string]uint64
+	// retryWindow bounds how long a multi-endpoint client keeps retrying a
+	// retryable failure before surfacing it.
+	retryWindow time.Duration
+
+	mu    sync.Mutex
+	vec   map[string]uint64
+	epoch uint64 // highest epoch observed in any response
+	cur   int    // preferred endpoint index
 }
 
-// NewClient returns a client for the server at base (e.g.
-// "http://127.0.0.1:8080") operating on the named session.
+// NewClient returns a client for the single server at base (e.g.
+// "http://127.0.0.1:8080") operating on the named session. It never
+// retries or fails over.
 func NewClient(base, session string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), session: session, hc: &http.Client{}}
+	return NewFailoverClient([]string{base}, session)
 }
+
+// NewFailoverClient returns a client that fails over across the given
+// endpoints (first one preferred). With more than one endpoint, retryable
+// errors are retried with jittered exponential backoff for up to
+// DefaultRetryWindow (see SetRetryWindow) while the client re-discovers
+// the writable primary.
+func NewFailoverClient(endpoints []string, session string) *Client {
+	eps := make([]string, 0, len(endpoints))
+	for _, e := range endpoints {
+		if e = strings.TrimRight(strings.TrimSpace(e), "/"); e != "" {
+			eps = append(eps, e)
+		}
+	}
+	return &Client{
+		endpoints:   eps,
+		session:     session,
+		hc:          &http.Client{},
+		retryWindow: DefaultRetryWindow,
+	}
+}
+
+// DefaultRetryWindow is how long a failover client retries retryable
+// failures before giving up.
+const DefaultRetryWindow = 15 * time.Second
+
+// SetRetryWindow adjusts the retry budget (multi-endpoint clients only).
+func (c *Client) SetRetryWindow(d time.Duration) { c.retryWindow = d }
 
 // Session returns the session name the client operates on.
 func (c *Client) Session() string { return c.session }
 
-// Base returns the server URL the client talks to.
-func (c *Client) Base() string { return c.base }
+// Base returns the server URL the client currently prefers.
+func (c *Client) Base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoints[c.cur]
+}
+
+// Endpoints returns the full endpoint list.
+func (c *Client) Endpoints() []string { return append([]string(nil), c.endpoints...) }
+
+// Epoch returns the highest replication epoch the client has observed.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// observeEpoch folds a response's epoch into the client's (monotonic).
+func (c *Client) observeEpoch(e uint64) {
+	c.mu.Lock()
+	if e > c.epoch {
+		c.epoch = e
+	}
+	c.mu.Unlock()
+}
 
 // Vector returns the client's current consistency token: the merge of
 // every version vector the server has reported to it.
@@ -105,14 +176,145 @@ func (c *Client) sessionPath(suffix string) string {
 	return "/v1/sessions/" + url.PathEscape(c.session) + suffix
 }
 
+// retryable classifies an error: can another attempt (possibly against
+// another endpoint) succeed where this one failed? Transport errors
+// (connection refused/reset — the endpoint is dead or restarting) are
+// always retryable; protocol errors are retryable by code: overloaded and
+// shutting_down are transient anywhere, read_only_replica and
+// fenced_stale_primary mean a write landed on a non-primary (re-discover
+// and retry there), stale_replica means a read landed on a lagging replica
+// (another endpoint may be fresher). Everything else — bad query, unknown
+// session, internal — is terminal: retrying cannot change the answer.
+func retryable(err error, write bool) bool {
+	var aerr *api.Error
+	if !errors.As(err, &aerr) {
+		return true // transport-level: endpoint unreachable
+	}
+	switch aerr.Code {
+	case api.CodeOverloaded, api.CodeShuttingDown:
+		return true
+	case api.CodeReadOnlyReplica, api.CodeFencedStalePrimary:
+		return write
+	case api.CodeStaleReplica:
+		return !write
+	default:
+		return false
+	}
+}
+
+// retry runs fn against the preferred endpoint, and — multi-endpoint
+// clients only — keeps retrying retryable failures with jittered
+// exponential backoff (50ms doubling to 1s) until the retry window runs
+// out, re-picking the endpoint after each failure: writes re-discover the
+// primary, reads rotate. fn must be safe to re-run (request bodies are
+// rebuilt per attempt).
+func (c *Client) retry(write bool, fn func(base string) error) error {
+	if len(c.endpoints) == 1 {
+		return fn(c.endpoints[0])
+	}
+	deadline := time.Now().Add(c.retryWindow)
+	backoff := 50 * time.Millisecond
+	for {
+		err := fn(c.Base())
+		if err == nil || !retryable(err, write) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		c.reroute(err, write)
+		time.Sleep(jitter(backoff))
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// reroute picks the next endpoint after a retryable failure: failed writes
+// (and writes bounced by a non-primary) probe every endpoint's status for
+// the writable primary; failed reads rotate to the next endpoint.
+func (c *Client) reroute(err error, write bool) {
+	var aerr *api.Error
+	if errors.As(err, &aerr) {
+		switch aerr.Code {
+		case api.CodeReadOnlyReplica, api.CodeFencedStalePrimary:
+			c.discoverPrimary()
+			return
+		case api.CodeStaleReplica:
+			c.advance()
+			return
+		}
+	}
+	if write {
+		c.discoverPrimary()
+	} else {
+		c.advance()
+	}
+}
+
+// advance rotates the preferred endpoint (reads go anywhere).
+func (c *Client) advance() {
+	c.mu.Lock()
+	c.cur = (c.cur + 1) % len(c.endpoints)
+	c.mu.Unlock()
+}
+
+// discoverPrimary probes every endpoint's /v1/status (briefly) and prefers
+// the reachable writable primary with the highest epoch — after a
+// failover, the promoted follower; every probed epoch folds into the
+// client's, so subsequent writes fence any stale primary they reach.
+func (c *Client) discoverPrimary() {
+	best, bestEpoch := -1, uint64(0)
+	for i, ep := range c.endpoints {
+		st, err := c.statusAt(ep, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		c.observeEpoch(st.Epoch)
+		if st.Role == api.RolePrimary && (best < 0 || st.Epoch > bestEpoch) {
+			best, bestEpoch = i, st.Epoch
+		}
+	}
+	if best >= 0 {
+		c.mu.Lock()
+		c.cur = best
+		c.mu.Unlock()
+	} else {
+		c.advance() // nothing claims primary yet; keep rotating
+	}
+}
+
+// statusAt fetches one endpoint's status with a bounded wait.
+func (c *Client) statusAt(base string, timeout time.Duration) (*api.StatusResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out api.StatusResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Load replaces (or, with append_, extends) the session database with data
 // in the raparse text format.
 func (c *Client) Load(data string, append_ bool) (*api.LoadResponse, error) {
 	var out api.LoadResponse
-	err := c.post(c.sessionPath("/load"), api.LoadRequest{Data: data, Append: append_}, &out)
+	err := c.retry(true, func(base string) error {
+		return c.post(base, c.sessionPath("/load"),
+			api.LoadRequest{Data: data, Append: append_, Epoch: c.Epoch()}, &out)
+	})
 	if err != nil {
 		return nil, err
 	}
+	c.observeEpoch(out.Epoch)
 	if append_ {
 		c.mergeVector(out.Versions)
 	} else {
@@ -135,12 +337,16 @@ func (c *Client) LoadFile(path string, append_ bool) (*api.LoadResponse, error) 
 // back in.
 func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*api.QueryResponse, error) {
 	var out api.QueryResponse
-	err := c.post(c.sessionPath("/query"), api.QueryRequest{
-		Query: query, Proc: proc, Bag: bag, MaxWorlds: maxWorlds, ReadAfter: c.Vector(),
-	}, &out)
+	err := c.retry(false, func(base string) error {
+		return c.post(base, c.sessionPath("/query"), api.QueryRequest{
+			Query: query, Proc: proc, Bag: bag, MaxWorlds: maxWorlds,
+			ReadAfter: c.Vector(), Epoch: c.Epoch(),
+		}, &out)
+	})
 	if err != nil {
 		return nil, err
 	}
+	c.observeEpoch(out.Epoch)
 	c.mergeVector(out.Versions)
 	return &out, nil
 }
@@ -148,10 +354,24 @@ func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*api.QueryR
 // Explain renders the plan for a query.
 func (c *Client) Explain(query string, sql, bag bool) (*api.ExplainResponse, error) {
 	var out api.ExplainResponse
-	err := c.post(c.sessionPath("/explain"), api.ExplainRequest{Query: query, SQL: sql, Bag: bag}, &out)
+	err := c.retry(false, func(base string) error {
+		return c.post(base, c.sessionPath("/explain"), api.ExplainRequest{Query: query, SQL: sql, Bag: bag}, &out)
+	})
 	if err != nil {
 		return nil, err
 	}
+	return &out, nil
+}
+
+// Promote asks the preferred endpoint to become the writable primary at
+// epoch+1 (see api.PromoteRequest for force). Deliberately not retried:
+// promotion is an operator action against one chosen server.
+func (c *Client) Promote(force bool) (*api.PromoteResponse, error) {
+	var out api.PromoteResponse
+	if err := c.post(c.Base(), "/v1/promote", api.PromoteRequest{Force: force}, &out); err != nil {
+		return nil, err
+	}
+	c.observeEpoch(out.Epoch)
 	return &out, nil
 }
 
@@ -159,7 +379,7 @@ func (c *Client) Explain(query string, sql, bag bool) (*api.ExplainResponse, err
 // store.Snapshot encoding): the bootstrap payload Restore (or a durable
 // snapshot file) accepts.
 func (c *Client) Snapshot() (string, error) {
-	resp, err := c.hc.Get(c.base + c.sessionPath("/snapshot"))
+	resp, err := c.hc.Get(c.Base() + c.sessionPath("/snapshot"))
 	if err != nil {
 		return "", err
 	}
@@ -179,17 +399,21 @@ func (c *Client) Snapshot() (string, error) {
 // replica bootstrap call.
 func (c *Client) Restore(data string) (*api.LoadResponse, error) {
 	var out api.LoadResponse
-	err := c.post(c.sessionPath("/load"), api.LoadRequest{Data: data, Snapshot: true}, &out)
+	err := c.retry(true, func(base string) error {
+		return c.post(base, c.sessionPath("/load"), api.LoadRequest{Data: data, Snapshot: true}, &out)
+	})
 	if err != nil {
 		return nil, err
 	}
+	c.observeEpoch(out.Epoch)
 	c.assignVector(out.Versions)
 	return &out, nil
 }
 
-// Status fetches the server-wide status snapshot.
+// Status fetches the server-wide status snapshot of the preferred
+// endpoint.
 func (c *Client) Status() (*api.StatusResponse, error) {
-	resp, err := c.hc.Get(c.base + "/v1/status")
+	resp, err := c.hc.Get(c.Base() + "/v1/status")
 	if err != nil {
 		return nil, err
 	}
@@ -197,12 +421,13 @@ func (c *Client) Status() (*api.StatusResponse, error) {
 	if err := decodeResponse(resp, &out); err != nil {
 		return nil, err
 	}
+	c.observeEpoch(out.Epoch)
 	return &out, nil
 }
 
 // SessionStatus fetches this session's status.
 func (c *Client) SessionStatus() (*api.SessionStatus, error) {
-	resp, err := c.hc.Get(c.base + c.sessionPath("/status"))
+	resp, err := c.hc.Get(c.Base() + c.sessionPath("/status"))
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +446,7 @@ func (c *Client) SessionStatus() (*api.SessionStatus, error) {
 // snapshot re-bootstrap — and the transport error otherwise.
 func (c *Client) TailWAL(ctx context.Context, from uint64, fn func(*store.Record) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+c.sessionPath(fmt.Sprintf("/wal?from=%d", from)), nil)
+		c.Base()+c.sessionPath(fmt.Sprintf("/wal?from=%d", from)), nil)
 	if err != nil {
 		return err
 	}
@@ -251,12 +476,12 @@ func (c *Client) TailWAL(ctx context.Context, from uint64, fn func(*store.Record
 	}
 }
 
-func (c *Client) post(path string, body, into any) error {
+func (c *Client) post(base, path string, body, into any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	resp, err := c.hc.Post(base+path, "application/json", bytes.NewReader(data))
 	if err != nil {
 		return err
 	}

@@ -86,7 +86,7 @@ var bootQueries = []string{"minus(proj(0, Orders), Payments)", "proj(1, Orders)"
 // returns the JSON-rendered resultsets, keyed by proc|query.
 func answers(t *testing.T, c *Client, session string, queries []string) map[string]string {
 	t.Helper()
-	cs := NewClient(c.base, session)
+	cs := NewClient(c.Base(), session)
 	out := map[string]string{}
 	for _, proc := range allProcs {
 		for _, q := range queries {
@@ -145,7 +145,7 @@ func TestCrashRecoveryMatchesReference(t *testing.T) {
 
 			for _, ld := range seq[:cut] {
 				for _, cl := range []*Client{c, refC} {
-					if _, err := NewClient(cl.base, ld.session).Load(ld.data, ld.app); err != nil {
+					if _, err := NewClient(cl.Base(), ld.session).Load(ld.data, ld.app); err != nil {
 						t.Fatalf("load: %v", err)
 					}
 				}
@@ -202,7 +202,7 @@ func TestConcurrentDurableLoads(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			cl := NewClient(c.base, "test")
+			cl := NewClient(c.Base(), "test")
 			for i := 0; i < 5; i++ {
 				// One null in the whole session (every append call
 				// allocates fresh nulls, and the exact certainty oracles
@@ -343,7 +343,7 @@ func TestSnapshotExportBootstrap(t *testing.T) {
 	}
 
 	// Unknown sessions 404.
-	resp, err := http.Get(c.base + "/v1/snapshot?session=nope")
+	resp, err := http.Get(c.Base() + "/v1/snapshot?session=nope")
 	if err != nil {
 		t.Fatalf("get: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -36,6 +37,13 @@ type replicator struct {
 	s       *Server
 	primary string
 
+	// cancel/wg stop the subsystem: promotion cancels the follow context
+	// and waits for discovery, every follow loop and every in-flight
+	// mirror fsync to finish, so the promoted server's logs are quiesced
+	// and fully durable before the epoch records commit.
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
 	mu       sync.Mutex
 	sessions map[string]*followState
 }
@@ -48,6 +56,11 @@ type followState struct {
 	bootstraps atomic.Uint64
 	frames     atomic.Uint64
 	lastErr    atomic.Value // string
+
+	// primarySeq is the primary's last known WAL position for this session
+	// (from discovery's status polls) — the best available caught-up bar
+	// when the primary is unreachable.
+	primarySeq atomic.Uint64
 
 	// The durable mirror's group-commit syncer: apply buffers the record
 	// and pokes syncCh; the syncer fsyncs the newest buffered sequence
@@ -66,12 +79,14 @@ var errDiverged = errors.New("server: replica diverged from primary log")
 // answers 403 read_only_replica. Discovery and the per-session follow
 // loops run until ctx is done.
 func (s *Server) StartFollow(ctx context.Context, primary string) {
+	fctx, cancel := context.WithCancel(ctx)
 	r := &replicator{
 		s:        s,
 		primary:  strings.TrimRight(primary, "/"),
+		cancel:   cancel,
 		sessions: map[string]*followState{},
 	}
-	s.repl = r
+	s.repl.Store(r)
 	// Sessions recovered from the replica's own data directory resume
 	// immediately; discovery adds the ones it has not seen yet.
 	s.mu.RLock()
@@ -81,28 +96,76 @@ func (s *Server) StartFollow(ctx context.Context, primary string) {
 	}
 	s.mu.RUnlock()
 	for _, name := range names {
-		r.ensureFollow(ctx, name)
+		r.ensureFollow(fctx, name)
 	}
-	go r.discover(ctx)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.discover(fctx)
+	}()
 }
 
 // Following returns the primary URL when this server is a replica, else "".
 func (s *Server) Following() string {
-	if s.repl == nil {
-		return ""
+	if r := s.repl.Load(); r != nil {
+		return r.primary
 	}
-	return s.repl.primary
+	return ""
 }
 
-// discover polls the primary's status for sessions to follow.
+// stop cancels replication and waits for every loop and in-flight mirror
+// fsync to finish — the drain step of promotion.
+func (r *replicator) stop() {
+	r.cancel()
+	r.wg.Wait()
+}
+
+// lag reports why this follower is not caught up with its primary, or ""
+// when it is — as far as a follower can tell: every session is tailing
+// (not bootstrapping or retrying) and has applied at least the primary's
+// last observed WAL position. With the primary dead that observation is
+// the last successful status poll; records the primary acknowledged but
+// never shipped are invisible here (promotion with force accepts their
+// loss).
+func (r *replicator) lag() string {
+	r.mu.Lock()
+	states := make([]*followState, 0, len(r.sessions))
+	for _, fs := range r.sessions {
+		states = append(states, fs)
+	}
+	r.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].name < states[j].name })
+	for _, fs := range states {
+		if st := fs.state.Load().(string); st != "tailing" {
+			return fmt.Sprintf("session %q is %s", fs.name, st)
+		}
+		if ps, ap := fs.primarySeq.Load(), fs.applied.Load(); ap < ps {
+			return fmt.Sprintf("session %q applied seq %d, primary reported %d", fs.name, ap, ps)
+		}
+	}
+	return ""
+}
+
+// discover polls the primary's status for sessions to follow, records each
+// one's primary-side WAL position (the caught-up bar promotion checks),
+// and adopts the primary's epoch.
 func (r *replicator) discover(ctx context.Context) {
 	c := NewClient(r.primary, "")
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
 	for {
 		if st, err := c.Status(); err == nil {
+			r.s.observeEpoch(st.Epoch)
 			for _, sess := range st.Sessions {
 				r.ensureFollow(ctx, sess.Name)
+				if sess.Durability != nil {
+					r.mu.Lock()
+					fs := r.sessions[sess.Name]
+					r.mu.Unlock()
+					if fs != nil {
+						fs.primarySeq.Store(sess.Durability.Seq)
+					}
+				}
 			}
 		}
 		select {
@@ -124,11 +187,18 @@ func (r *replicator) ensureFollow(ctx context.Context, name string) {
 	fs.state.Store("bootstrapping")
 	fs.lastErr.Store("")
 	r.sessions[name] = fs
-	go r.follow(ctx, fs)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.follow(ctx, fs)
+	}()
 }
 
 // follow is the per-session loop: follow the primary until ctx is done,
 // backing off on errors (200ms doubling to 3s; any progress resets it).
+// Each sleep is jittered to 50–150% of the nominal backoff: when a primary
+// restarts with many followers, pure exponential backoff would synchronize
+// their re-tails into thundering-herd waves.
 func (r *replicator) follow(ctx context.Context, fs *followState) {
 	backoff := 200 * time.Millisecond
 	for ctx.Err() == nil {
@@ -145,7 +215,7 @@ func (r *replicator) follow(ctx context.Context, fs *followState) {
 			backoff = 200 * time.Millisecond
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		case <-ctx.Done():
 			return
 		}
@@ -153,6 +223,14 @@ func (r *replicator) follow(ctx context.Context, fs *followState) {
 			backoff = 3 * time.Second
 		}
 	}
+}
+
+// jitter spreads a nominal delay uniformly over [d/2, 3d/2).
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + rand.N(d)
 }
 
 // followOnce runs one bootstrap-if-needed + tail cycle. A nil return means
@@ -215,6 +293,19 @@ func (r *replicator) bootstrap(ctx context.Context, c *Client, fs *followState, 
 	if err != nil {
 		return fmt.Errorf("bootstrap %q: %w", fs.name, err)
 	}
+	// Epoch fencing on the snapshot vector: a bootstrap snapshot from an
+	// epoch behind what this replica has already seen comes from a stale
+	// primary (e.g. a revived pre-promotion one) — installing it would
+	// rewind onto a superseded history.
+	localEpoch := r.s.epoch.Load()
+	if sess.log != nil {
+		localEpoch = sess.log.Epoch()
+	}
+	if snap.Epoch < localEpoch {
+		return fmt.Errorf("bootstrap %q: snapshot epoch %d is behind local epoch %d (stale primary?)",
+			fs.name, snap.Epoch, localEpoch)
+	}
+	r.s.observeEpoch(snap.Epoch)
 	sess.logMu.Lock()
 	sess.mu.Lock()
 	sess.db = db
@@ -282,10 +373,17 @@ func (r *replicator) apply(fs *followState, sess *session, rec *store.Record) er
 		fs.pending.Store(rec.Seq)
 		select {
 		case fs.syncCh <- struct{}{}:
-			go r.syncOne(fs, sess)
+			r.wg.Add(1)
+			go func() {
+				defer r.wg.Done()
+				r.syncOne(fs, sess)
+			}()
 		default: // a sync is already pending; it will cover this record
 		}
 	}
+	// The record's epoch is the primary's current epoch; adopt it (a
+	// promoted primary's epoch record travels the stream like any other).
+	r.s.observeEpoch(rec.Epoch)
 	sess.replSeq.Store(rec.Seq)
 	fs.applied.Store(rec.Seq)
 	fs.frames.Add(1)

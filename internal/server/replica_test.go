@@ -58,7 +58,7 @@ func TestReplicaConvergesByteIdentical(t *testing.T) {
 	_, phs, pc := newDurableServer(t, t.TempDir(), 0)
 	seq := loadSeq(rand.New(rand.NewSource(7)), 8)
 	for _, ld := range seq {
-		if _, err := NewClient(pc.base, ld.session).Load(ld.data, ld.app); err != nil {
+		if _, err := NewClient(pc.Base(), ld.session).Load(ld.data, ld.app); err != nil {
 			t.Fatalf("primary load: %v", err)
 		}
 	}
@@ -78,7 +78,7 @@ func TestReplicaConvergesByteIdentical(t *testing.T) {
 	}
 
 	// Replication is live: a later append on the primary shows up.
-	if _, err := NewClient(pc.base, "s1").Load("row P c9\n", true); err != nil {
+	if _, err := NewClient(pc.Base(), "s1").Load("row P c9\n", true); err != nil {
 		t.Fatalf("late append: %v", err)
 	}
 	waitCaughtUp(t, pc, rc)
@@ -88,7 +88,7 @@ func TestReplicaConvergesByteIdentical(t *testing.T) {
 	}
 
 	// The replica refuses mutations with the machine-readable code.
-	_, err := NewClient(rc.base, "s1").Load("row P c10\n", true)
+	_, err := NewClient(rc.Base(), "s1").Load("row P c10\n", true)
 	var aerr *api.Error
 	if !errors.As(err, &aerr) || aerr.Code != api.CodeReadOnlyReplica {
 		t.Fatalf("replica load error = %v, want code %s", err, api.CodeReadOnlyReplica)
@@ -226,7 +226,7 @@ func TestConsistencyToken(t *testing.T) {
 		if _, err := pc.Load(fmt.Sprintf("row Orders op%d c1\nrow Payments op%d\n", i, i), true); err != nil {
 			t.Fatalf("append %d: %v", i, err)
 		}
-		reader := NewClient(rc.base, "test")
+		reader := NewClient(rc.Base(), "test")
 		reader.SetVector(pc.Vector())
 		qr, err := reader.Query("proj(0, Orders)", "sql", false, 0)
 		if err != nil {
@@ -240,12 +240,12 @@ func TestConsistencyToken(t *testing.T) {
 	}
 
 	// An uncoverable token times out with the machine-readable code.
-	impatient := NewClient(rc.base, "test")
+	impatient := NewClient(rc.Base(), "test")
 	impatient.SetVector(map[string]uint64{"Orders": 1 << 30})
 	fast, _, fastC, _ := newFollower(t, phs.URL, "", Options{Workers: 1, StaleWait: 50 * time.Millisecond})
 	_ = fast
 	waitCaughtUp(t, pc, fastC)
-	impatient = NewClient(fastC.base, "test")
+	impatient = NewClient(fastC.Base(), "test")
 	impatient.SetVector(map[string]uint64{"Orders": 1 << 30})
 	_, err := impatient.Query("proj(0, Orders)", "sql", false, 0)
 	var aerr *api.Error
@@ -254,7 +254,7 @@ func TestConsistencyToken(t *testing.T) {
 	}
 
 	// On the primary an uncovered token is an immediate 412 (no wait).
-	onPrimary := NewClient(pc.base, "test")
+	onPrimary := NewClient(pc.Base(), "test")
 	onPrimary.SetVector(map[string]uint64{"Orders": 1 << 30})
 	start := time.Now()
 	_, err = onPrimary.Query("proj(0, Orders)", "sql", false, 0)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sort"
@@ -52,6 +53,11 @@ type Options struct {
 	// ShutdownGrace is how long ListenAndServe waits for in-flight
 	// requests after its context is canceled (0 = 5s).
 	ShutdownGrace time.Duration
+	// WriteTimeout bounds how long one response may take to write (0 =
+	// unlimited, the default: oracle queries may legitimately run long).
+	// The WAL streaming endpoint is exempt — it writes indefinitely by
+	// design and clears its own deadline.
+	WriteTimeout time.Duration
 }
 
 func (o Options) maxInFlight() int {
@@ -94,9 +100,25 @@ type Server struct {
 	st *store.Store
 
 	// repl is the replication subsystem; nil unless this server follows a
-	// primary. Set once by StartFollow before serving; a non-nil repl makes
-	// every load handler read-only.
-	repl *replicator
+	// primary. Set by StartFollow before serving — a non-nil repl makes
+	// every load handler read-only — and atomically cleared by a promotion,
+	// which flips the follower into a writable primary mid-serve.
+	repl atomic.Pointer[replicator]
+
+	// epoch is the server's replication epoch: the highest epoch it has
+	// written under, recovered, or observed. fenced latches when a server
+	// that believed itself primary observes a higher epoch (a promoted
+	// successor exists): it then refuses every write with
+	// fenced_stale_primary, so a revived old primary can never accept a
+	// divergent mutation. promoteMu serializes promotions.
+	epoch     atomic.Uint64
+	fenced    atomic.Bool
+	promoteMu sync.Mutex
+
+	// draining latches when graceful shutdown begins: new mutations are
+	// refused (shutting_down) while in-flight ones finish and the final
+	// fsync drain runs.
+	draining atomic.Bool
 
 	mu       sync.RWMutex
 	sessions map[string]*session
@@ -170,6 +192,9 @@ func New(opts Options) *Server {
 	})
 	s.mux.HandleFunc("GET /v1/sessions/{session}/wal", s.handleWAL)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	// Legacy flat routes (pre-PR-6 clients): thin shims that read the
 	// session name from the request body or query string and delegate to
 	// the same handlers.
@@ -224,10 +249,192 @@ func (s *Server) EnableDurability(dir string) error {
 		sess.warm.seed(rec.Warm)
 		s.sessions[rec.Name] = sess
 		s.warmSession(sess, rec.Warm)
-		log.Printf("server: recovered session %q (%d relations, wal seq %d) and warmed %d plan(s)",
-			rec.Name, len(rec.DB.Names()), rec.Log.Seq(), len(rec.Warm))
+		// Resume under the highest recovered epoch (direct store, not
+		// observeEpoch: our own history is not evidence of a successor).
+		if rec.Epoch > s.epoch.Load() {
+			s.epoch.Store(rec.Epoch)
+		}
+		log.Printf("server: recovered session %q (%d relations, wal seq %d, epoch %d) and warmed %d plan(s)",
+			rec.Name, len(rec.DB.Names()), rec.Log.Seq(), rec.Epoch, len(rec.Warm))
 	}
 	return nil
+}
+
+// Epoch returns the server's replication epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// role reports the server's failover role for status and probes.
+func (s *Server) role() string {
+	switch {
+	case s.repl.Load() != nil:
+		return api.RoleReplica
+	case s.fenced.Load():
+		return api.RoleFenced
+	default:
+		return api.RolePrimary
+	}
+}
+
+// raiseEpoch lifts the server's epoch without the fencing side effect —
+// for deliberate adoption, like an operator-directed snapshot restore.
+func (s *Server) raiseEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// observeEpoch folds an externally observed epoch into the server's. A
+// higher epoch than our own means another server has been promoted: a
+// replica simply adopts it (its new primary writes under it), but a server
+// that believed itself primary has been superseded and fences itself
+// read-only — the write-safety half of epoch fencing.
+func (s *Server) observeEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, e) {
+			if s.repl.Load() == nil {
+				s.fenced.Store(true)
+				log.Printf("server: observed epoch %d above own %d; fencing writes (a promoted primary exists)", e, cur)
+			}
+			return
+		}
+	}
+}
+
+// fenceCheck gates every mutation: it folds the client's observed epoch in
+// (which may fence us) and refuses if this server is a fenced stale
+// primary.
+func (s *Server) fenceCheck(reqEpoch uint64) *api.Error {
+	if reqEpoch > 0 {
+		s.observeEpoch(reqEpoch)
+	}
+	if s.fenced.Load() {
+		return api.Errorf(http.StatusConflict, api.CodeFencedStalePrimary,
+			"this server is fenced at epoch %d (a newer primary exists); write to the current primary", s.epoch.Load())
+	}
+	return nil
+}
+
+// handlePromote flips a caught-up follower into the writable primary at
+// epoch+1: replication is stopped and drained (every shipped record
+// applied and mirrored), then each session durably commits an OpEpoch
+// record under the new epoch — the promotion marker that replicates to any
+// future follower and fences the old primary's unwritten future.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req api.PromoteRequest
+	if err := decodeOptional(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.draining.Load() {
+		writeErr(w, api.Errorf(http.StatusServiceUnavailable, api.CodeShuttingDown,
+			"server is shutting down"))
+		return
+	}
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	repl := s.repl.Load()
+	if repl == nil {
+		if s.fenced.Load() {
+			writeErr(w, api.Errorf(http.StatusConflict, api.CodeFencedStalePrimary,
+				"this server is a fenced stale primary (epoch %d); its history may have diverged — re-follow the current primary instead of promoting it", s.epoch.Load()))
+			return
+		}
+		// Already primary: idempotent success at the current epoch.
+		writeJSON(w, http.StatusOK, api.PromoteResponse{Epoch: s.epoch.Load(), Sessions: map[string]uint64{}})
+		return
+	}
+	if !req.Force {
+		if lag := repl.lag(); lag != "" {
+			writeErr(w, api.Errorf(http.StatusConflict, api.CodeNotCaughtUp,
+				"not caught up with primary (%s); retry shortly or promote with force", lag))
+			return
+		}
+	}
+	// Stop replication and drain its tail: after stop() returns, no follow
+	// loop is applying records and every mirrored record's fsync has
+	// completed — the epoch records commit onto a quiesced log.
+	repl.stop()
+	newEpoch := s.epoch.Load() + 1
+	resp := api.PromoteResponse{Epoch: newEpoch, Sessions: map[string]uint64{}}
+	s.mu.RLock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.RUnlock()
+	for _, sess := range sessions {
+		seq, err := s.commitEpoch(sess, newEpoch)
+		if err != nil {
+			// The session's log refused (e.g. fail-stopped): promotion is
+			// aborted half-way — some sessions may already carry the new
+			// epoch, which is safe (epochs only fence the old primary) but
+			// this server stays a non-writable follower-without-a-feed until
+			// the operator resolves the log. Surface it.
+			writeErr(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+				"promote: session %q epoch record failed: %v", sess.name, err))
+			return
+		}
+		resp.Sessions[sess.name] = seq
+	}
+	s.epoch.Store(newEpoch)
+	s.fenced.Store(false)
+	s.repl.Store(nil)
+	log.Printf("server: promoted to primary at epoch %d (%d session(s))", newEpoch, len(sessions))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// commitEpoch durably writes one session's promotion marker: an OpEpoch
+// record carrying the new epoch and the session's current vector (so
+// replay's vector cross-check still holds at that position).
+func (s *Server) commitEpoch(sess *session, epoch uint64) (uint64, error) {
+	sess.logMu.Lock()
+	sess.mu.RLock()
+	versions := sess.db.Versions()
+	sess.mu.RUnlock()
+	if sess.log == nil {
+		sess.logMu.Unlock()
+		return 0, nil
+	}
+	sess.log.SetEpoch(epoch)
+	seq, err := sess.log.Buffer(store.OpEpoch, "", versions)
+	sess.logMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return seq, sess.log.Sync(seq)
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+// (Recovery runs before the listener opens, so a reachable server has
+// finished it.)
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.HealthResponse{Ok: true})
+}
+
+// handleReadyz is the readiness probe: 200 when this server should receive
+// traffic — recovery finished (implied by serving), not draining for
+// shutdown, and (on a follower) replication caught up with the primary as
+// far as it can tell. Load balancers and the failover client probe this
+// without deserializing full status.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, api.HealthResponse{Ok: false, Reason: "shutting down"})
+		return
+	}
+	if repl := s.repl.Load(); repl != nil {
+		if lag := repl.lag(); lag != "" {
+			writeJSON(w, http.StatusServiceUnavailable, api.HealthResponse{Ok: false, Reason: lag})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, api.HealthResponse{Ok: true})
 }
 
 // Close releases the durability subsystem's file handles (after serving
@@ -247,17 +454,22 @@ func (s *Server) Handler() http.Handler { return s.mux }
 const maxBodyBytes = 64 << 20
 
 // ListenAndServe serves until ctx is canceled, then shuts down gracefully:
-// the listener closes immediately, in-flight requests get ShutdownGrace to
-// finish. Header-read and idle timeouts guard against slow-client
-// connection exhaustion; there is deliberately no write timeout, since
-// oracle queries may legitimately run long and WAL tails stream
-// indefinitely.
+// new mutations are refused first (shutting_down — nothing new enters the
+// WAL while we leave), then the listener closes and in-flight requests get
+// ShutdownGrace to finish, then a final fsync drain makes every buffered
+// WAL record durable (replica mirrors fsync asynchronously, so records can
+// be buffered with no load handler waiting on them). Header-read and idle
+// timeouts guard against slow-client connection exhaustion; WriteTimeout
+// is off by default, since oracle queries may legitimately run long — when
+// enabled, the WAL streaming endpoint exempts itself (it writes
+// indefinitely by design).
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      s.opts.WriteTimeout,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
@@ -266,12 +478,34 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
+	s.draining.Store(true)
 	sctx, cancel := context.WithTimeout(context.Background(), s.opts.shutdownGrace())
 	defer cancel()
-	if err := hs.Shutdown(sctx); err != nil {
-		return fmt.Errorf("server: shutdown: %w", err)
+	serr := hs.Shutdown(sctx)
+	s.drainLogs()
+	if serr != nil {
+		return fmt.Errorf("server: shutdown: %w", serr)
 	}
 	return nil
+}
+
+// drainLogs fsyncs every session's buffered WAL records — the final drain
+// of graceful shutdown.
+func (s *Server) drainLogs() {
+	s.mu.RLock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.RUnlock()
+	for _, sess := range sessions {
+		if sess.log == nil {
+			continue
+		}
+		if err := sess.log.Sync(sess.log.Seq()); err != nil {
+			log.Printf("server: shutdown drain %q: %v", sess.name, err)
+		}
+	}
 }
 
 // acquire takes an evaluation slot, respecting the request context. A free
@@ -324,6 +558,9 @@ func (s *Server) ensureSession(name string) (*session, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A session born on a promoted (or recovered) server writes under
+		// the server's epoch from its first record.
+		l.SetEpoch(s.epoch.Load())
 		sess.log = l
 	}
 	s.sessions[name] = sess
@@ -362,9 +599,18 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string)
 		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "missing session name"))
 		return
 	}
-	if s.repl != nil {
+	if s.draining.Load() {
+		writeErr(w, api.Errorf(http.StatusServiceUnavailable, api.CodeShuttingDown,
+			"server is shutting down; load elsewhere"))
+		return
+	}
+	if aerr := s.fenceCheck(req.Epoch); aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	if repl := s.repl.Load(); repl != nil {
 		writeErr(w, api.Errorf(http.StatusForbidden, api.CodeReadOnlyReplica,
-			"this server follows %s; load data on the primary", s.repl.primary))
+			"this server follows %s; load data on the primary", repl.primary))
 		return
 	}
 	if req.Snapshot {
@@ -424,6 +670,13 @@ func (s *Server) handleRestore(w http.ResponseWriter, name string, req *api.Load
 		writeErr(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
 		return
 	}
+	// An explicit restore adopts the snapshot's epoch (deliberate operator
+	// action, not evidence of a concurrent successor — no fencing): the
+	// OpRestore record and everything after it write at or above it.
+	if sess.log != nil {
+		sess.log.SetEpoch(snap.Epoch)
+	}
+	s.raiseEpoch(snap.Epoch)
 	resp, aerr := s.commitReplace(sess, db, store.OpRestore, req.Data)
 	if aerr != nil {
 		writeErr(w, aerr)
@@ -452,7 +705,7 @@ func (s *Server) commitAppend(sess *session, data string) (api.LoadResponse, *ap
 		sess.logMu.Unlock()
 		return api.LoadResponse{}, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err)
 	}
-	resp := loadResponse(sess)
+	resp := s.loadResponse(sess)
 	sess.bumpVector()
 	sess.mu.Unlock()
 	seq, aerr := s.logBuffer(sess, store.OpAppend, data, resp.Versions)
@@ -481,7 +734,7 @@ func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op
 	sess.db = db
 	sess.prep = plan.NewPrepCache(s.opts.CacheCap)
 	sess.results = newResultCache(s.opts.ResultCacheCap)
-	resp := loadResponse(sess)
+	resp := s.loadResponse(sess)
 	sess.bumpVector()
 	sess.mu.Unlock()
 	seq, aerr := s.logBuffer(sess, op, data, resp.Versions)
@@ -555,14 +808,21 @@ func (s *Server) snapshotIfNeeded(sess *session) {
 // load can be mid-commit).
 func (s *Server) snapshotOf(sess *session) (*store.Snapshot, error) {
 	var seq uint64
+	epoch := s.epoch.Load()
 	if sess.log != nil {
 		seq = sess.log.Seq()
+		epoch = sess.log.Epoch()
 	} else {
 		seq = sess.replSeq.Load()
 	}
 	sess.mu.RLock()
 	defer sess.mu.RUnlock()
-	return store.TakeSnapshot(sess.name, sess.db, seq, sess.warm.snapshot())
+	snap, err := store.TakeSnapshot(sess.name, sess.db, seq, sess.warm.snapshot())
+	if err != nil {
+		return nil, err
+	}
+	snap.Epoch = epoch
+	return snap, nil
 }
 
 // handleSnapshot is the read-only snapshot export: the same encoding the
@@ -624,6 +884,10 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer tail.Close()
+	// The stream writes for as long as the follower tails; exempt it from
+	// any server-wide -write-timeout (best-effort — not every
+	// ResponseWriter supports deadlines).
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -680,7 +944,7 @@ func (s *Server) waitCovered(ctx context.Context, sess *session, want map[string
 		}
 		stale := api.Errorf(http.StatusPreconditionFailed, api.CodeStaleReplica,
 			"session vector %v does not cover consistency token %v", have, want)
-		if s.repl == nil {
+		if s.repl.Load() == nil {
 			return stale
 		}
 		select {
@@ -707,6 +971,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 		writeErr(w, errSessionNotFound(name))
 		return
 	}
+	// Reads are served even by a fenced server, but the client's observed
+	// epoch still folds in: a stale primary learns of its successor from
+	// the first request that has seen one.
+	s.observeEpoch(req.Epoch)
 	if aerr := s.waitCovered(r.Context(), sess, req.ReadAfter); aerr != nil {
 		writeErr(w, aerr)
 		return
@@ -732,6 +1000,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
 			Cached:    true,
 			Versions:  versions,
+			Epoch:     s.epoch.Load(),
 		})
 		return
 	}
@@ -765,6 +1034,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 		Results:   results,
 		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
 		Versions:  versions,
+		Epoch:     s.epoch.Load(),
 	})
 }
 
@@ -820,12 +1090,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Workers:       engine.Options{Workers: s.opts.Workers}.WorkerCount(),
 		MaxInFlight:   s.opts.maxInFlight(),
 		InFlight:      int(s.inflight.Load()),
+		Role:          s.role(),
+		Epoch:         s.epoch.Load(),
 	}
 	if s.st != nil {
 		resp.DataDir = s.st.Dir()
 	}
-	if s.repl != nil {
-		resp.Replication = s.repl.status()
+	if repl := s.repl.Load(); repl != nil {
+		resp.Replication = repl.status()
 	}
 	for _, sess := range sessions {
 		resp.Sessions = append(resp.Sessions, s.sessionStatusOf(sess))
@@ -865,11 +1137,12 @@ func (s *Server) sessionStatusOf(sess *session) api.SessionStatus {
 
 // loadResponse renders a load acknowledgement for the session's current
 // state; caller holds the session lock.
-func loadResponse(sess *session) api.LoadResponse {
+func (s *Server) loadResponse(sess *session) api.LoadResponse {
 	return api.LoadResponse{
 		Session:   sess.name,
 		Relations: relationStatuses(sess.db),
 		Versions:  sess.db.Versions(),
+		Epoch:     s.epoch.Load(),
 	}
 }
 
@@ -896,6 +1169,17 @@ func decode(w http.ResponseWriter, r *http.Request, into any) *api.Error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		return api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// decodeOptional is decode for requests whose body may be empty (e.g. a
+// bare POST /v1/promote): an absent body leaves into at its zero value.
+func decodeOptional(w http.ResponseWriter, r *http.Request, into any) *api.Error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil && err != io.EOF {
 		return api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 	}
 	return nil

@@ -35,9 +35,14 @@ type WarmKey struct {
 // files, the /v1/snapshot export endpoint and the snapshot-bootstrap load
 // path, so a replica restores byte-identical state from a running server.
 type Snapshot struct {
-	Format   string            `json:"format"`
-	Session  string            `json:"session"`
-	Seq      uint64            `json:"seq"`
+	Format  string `json:"format"`
+	Session string `json:"session"`
+	Seq     uint64 `json:"seq"`
+	// Epoch is the replication epoch the snapshot was taken under (absent
+	// in pre-epoch snapshots, which decode to 0). A server restoring or
+	// bootstrapping from a snapshot adopts its epoch; a replica refuses a
+	// bootstrap snapshot whose epoch is behind what it has already seen.
+	Epoch    uint64            `json:"epoch,omitempty"`
 	NextNull uint64            `json:"next_null"`
 	Versions map[string]uint64 `json:"versions"`
 	Warm     []WarmKey         `json:"warm,omitempty"`

@@ -132,6 +132,9 @@ type Recovered struct {
 	DB   *relation.Database
 	Warm []WarmKey
 	Log  *SessionLog
+	// Epoch is the highest replication epoch observed in the snapshot and
+	// replayed records — the epoch the session continues under.
+	Epoch uint64
 }
 
 // Recover scans the data directory and rebuilds every session: the latest
@@ -176,7 +179,7 @@ func (s *Store) recoverSession(name string) (*Recovered, error) {
 	dir := s.sessionDir(name)
 	db := relation.NewDatabase()
 	var warm []WarmKey
-	var snapSeq uint64
+	var snapSeq, epoch uint64
 
 	snapPath := filepath.Join(dir, snapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
@@ -189,7 +192,7 @@ func (s *Store) recoverSession(name string) (*Recovered, error) {
 		if derr != nil {
 			return nil, fmt.Errorf("snapshot %s: %w", snapPath, derr)
 		}
-		warm, snapSeq = snap.Warm, snap.Seq
+		warm, snapSeq, epoch = snap.Warm, snap.Seq, snap.Epoch
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
@@ -214,16 +217,19 @@ func (s *Store) recoverSession(name string) (*Recovered, error) {
 				rec.Seq, db.Versions(), rec.Versions)
 		}
 		seq = rec.Seq
+		if rec.Epoch > epoch {
+			epoch = rec.Epoch
+		}
 	}
 
-	l, err := openSessionLogAt(name, dir, seq, snapSeq)
+	l, err := openSessionLogAt(name, dir, seq, snapSeq, epoch)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	s.sessions[name] = l
 	s.mu.Unlock()
-	return &Recovered{Name: name, DB: db, Warm: warm, Log: l}, nil
+	return &Recovered{Name: name, DB: db, Warm: warm, Log: l, Epoch: epoch}, nil
 }
 
 // ApplyRecord replays one load mutation into db — the shared machinery of
@@ -252,6 +258,9 @@ func ApplyRecord(db *relation.Database, rec *Record) error {
 			return err
 		}
 		*db = *fresh
+		return nil
+	case OpEpoch:
+		// A promotion marker: raises the epoch, mutates nothing.
 		return nil
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)

@@ -30,11 +30,11 @@ var errFramePending = errors.New("store: frame pending")
 // compaction that removes records the tail has not yet delivered ends it
 // with ErrWALGap.
 type Tail struct {
-	log   *SessionLog
-	f     *os.File
-	off   int64
-	last  uint64 // last sequence number returned (or the starting position)
-	epoch uint64
+	log  *SessionLog
+	f    *os.File
+	off  int64
+	last uint64 // last sequence number returned (or the starting position)
+	gen  uint64
 }
 
 // TailFrom opens a tail over the records with sequence numbers strictly
@@ -43,7 +43,7 @@ type Tail struct {
 func (l *SessionLog) TailFrom(from uint64) (*Tail, error) {
 	// Record the epoch before checking snapSeq: if a compaction lands in
 	// between, Next sees the epoch change and re-checks.
-	epoch := l.walEpoch.Load()
+	gen := l.walGen.Load()
 	if from < l.snapSeq.Load() {
 		return nil, ErrWALGap
 	}
@@ -51,7 +51,7 @@ func (l *SessionLog) TailFrom(from uint64) (*Tail, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Tail{log: l, f: f, off: int64(len(walMagic)), last: from, epoch: epoch}, nil
+	return &Tail{log: l, f: f, off: int64(len(walMagic)), last: from, gen: gen}, nil
 }
 
 // Next returns the next durable record, both decoded and in its wire
@@ -60,7 +60,7 @@ func (l *SessionLog) TailFrom(from uint64) (*Tail, error) {
 // (ErrWALGap).
 func (t *Tail) Next(ctx context.Context) ([]byte, *Record, error) {
 	for {
-		if e := t.log.walEpoch.Load(); e != t.epoch {
+		if e := t.log.walGen.Load(); e != t.gen {
 			// The log was truncated under us. If we had delivered
 			// everything the snapshot covers, the new file simply continues
 			// where we were — re-base to its start. Otherwise records we
@@ -68,7 +68,7 @@ func (t *Tail) Next(ctx context.Context) ([]byte, *Record, error) {
 			if t.last < t.log.snapSeq.Load() {
 				return nil, nil, ErrWALGap
 			}
-			t.epoch = e
+			t.gen = e
 			t.off = int64(len(walMagic))
 		}
 		// Subscribe before inspecting the durable position: any change

@@ -19,8 +19,13 @@ const (
 
 	// walMagic opens every WAL file; a header shorter than this is a torn
 	// first write and resets the file, a different one is a foreign file
-	// and fails recovery rather than being silently wiped.
-	walMagic = "incdbwl1"
+	// and fails recovery rather than being silently wiped. Version 2
+	// introduced the replication epoch on records; decoding is versioned —
+	// v1 files (whose records carry no epoch and decode to epoch 0) still
+	// recover and continue under the v1 header, since the record framing is
+	// unchanged and the epoch field is additive.
+	walMagic   = "incdbwl2"
+	walMagicV1 = "incdbwl1"
 
 	// maxRecordBytes bounds one record's payload on replay: a longer length
 	// prefix is treated as corruption (the server caps request bodies well
@@ -41,15 +46,24 @@ const (
 	// OpRestore replaces the database with a decoded snapshot payload
 	// (the snapshot-bootstrap load path).
 	OpRestore Op = "restore"
+	// OpEpoch marks a promotion: the record mutates nothing (Data is
+	// empty) but raises the epoch every later record is written under.
+	// Shipping the bump as an ordinary WAL record makes it durable and
+	// replicated by the same machinery as any load.
+	OpEpoch Op = "epoch"
 )
 
 // Record is one acknowledged load mutation: the raparse (or snapshot)
 // payload and the version vector the database reported after applying it.
 // Replay re-applies Data and cross-checks Versions. The same frames travel
 // over the replication stream (GET /v1/sessions/{name}/wal), so a follower
-// applies exactly what the primary logged.
+// applies exactly what the primary logged. Epoch is the replication epoch
+// the record was written under; it never decreases within a log, and a
+// server that observes a record from a higher epoch than its own knows it
+// has been superseded (pre-epoch v1 records decode to epoch 0).
 type Record struct {
 	Seq      uint64            `json:"seq"`
+	Epoch    uint64            `json:"epoch,omitempty"`
 	Op       Op                `json:"op"`
 	Data     string            `json:"data"`
 	Versions map[string]uint64 `json:"versions"`
@@ -83,10 +97,11 @@ type SessionLog struct {
 	// single fsync.
 	syncMu sync.Mutex
 
-	seq      atomic.Uint64 // last assigned (buffered) record
-	durable  atomic.Uint64 // last fsync'd record
-	snapSeq  atomic.Uint64 // last record covered by the on-disk snapshot
-	walEpoch atomic.Uint64 // bumped on every truncation (tailers re-base)
+	seq     atomic.Uint64 // last assigned (buffered) record
+	durable atomic.Uint64 // last fsync'd record
+	snapSeq atomic.Uint64 // last record covered by the on-disk snapshot
+	walGen  atomic.Uint64 // bumped on every truncation (tailers re-base)
+	epoch   atomic.Uint64 // replication epoch stamped on new records
 
 	walBytes   atomic.Int64
 	walRecords atomic.Int64
@@ -120,10 +135,10 @@ func openSessionLog(name, dir string) (*SessionLog, error) {
 		if err != nil {
 			return nil, err
 		}
-		var seq, snapSeq uint64
+		var seq, snapSeq, epoch uint64
 		if f, err := os.Open(filepath.Join(dir, snapshotFile)); err == nil {
 			if snap, derr := DecodeSnapshot(f); derr == nil {
-				snapSeq = snap.Seq
+				snapSeq, epoch = snap.Seq, snap.Epoch
 			}
 			f.Close()
 		}
@@ -132,19 +147,22 @@ func openSessionLog(name, dir string) (*SessionLog, error) {
 			if r.Seq > seq {
 				seq = r.Seq
 			}
+			if r.Epoch > epoch {
+				epoch = r.Epoch
+			}
 		}
-		return openSessionLogAt(name, dir, seq, snapSeq)
+		return openSessionLogAt(name, dir, seq, snapSeq, epoch)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	syncDir(filepath.Dir(dir))
-	return openSessionLogAt(name, dir, 0, 0)
+	return openSessionLogAt(name, dir, 0, 0, 0)
 }
 
 // openSessionLogAt opens the WAL for appending with known sequence state;
 // replayWAL must already have run (it truncates any torn tail).
-func openSessionLogAt(name, dir string, seq, snapSeq uint64) (*SessionLog, error) {
+func openSessionLogAt(name, dir string, seq, snapSeq, epoch uint64) (*SessionLog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -176,6 +194,7 @@ func openSessionLogAt(name, dir string, seq, snapSeq uint64) (*SessionLog, error
 	l.seq.Store(seq)
 	l.durable.Store(seq)
 	l.snapSeq.Store(snapSeq)
+	l.epoch.Store(epoch)
 	return l, nil
 }
 
@@ -192,6 +211,22 @@ func (l *SessionLog) DurableSeq() uint64 { return l.durable.Load() }
 // SnapshotSeq returns the last sequence number covered by the on-disk
 // snapshot; WAL records at or below it have been compacted away.
 func (l *SessionLog) SnapshotSeq() uint64 { return l.snapSeq.Load() }
+
+// Epoch returns the replication epoch new records are stamped with.
+func (l *SessionLog) Epoch() uint64 { return l.epoch.Load() }
+
+// SetEpoch raises the epoch stamped on subsequent records. The epoch is
+// monotonic: a lower value is ignored. Durability of the bump comes from
+// the next record written under it (the server commits an OpEpoch record
+// when it promotes).
+func (l *SessionLog) SetEpoch(epoch uint64) {
+	for {
+		cur := l.epoch.Load()
+		if epoch <= cur || l.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
 
 // WalBytes returns the current WAL file size.
 func (l *SessionLog) WalBytes() int64 { return l.walBytes.Load() }
@@ -253,7 +288,7 @@ func (l *SessionLog) Buffer(op Op, data string, versions map[string]uint64) (uin
 	if l.failed.Load() {
 		return 0, fmt.Errorf("store: session %q wal failed earlier; refusing further appends (restart to recover)", l.name)
 	}
-	rec := Record{Seq: l.seqLocked + 1, Op: op, Data: data, Versions: versions}
+	rec := Record{Seq: l.seqLocked + 1, Epoch: l.epoch.Load(), Op: op, Data: data, Versions: versions}
 	frame, err := encodeFrame(&rec)
 	if err != nil {
 		return 0, err
@@ -278,6 +313,13 @@ func (l *SessionLog) BufferRecord(rec *Record) error {
 	if rec.Seq != l.seqLocked+1 {
 		return fmt.Errorf("store: session %q: mirrored record seq %d does not follow %d", l.name, rec.Seq, l.seqLocked)
 	}
+	if e := l.epoch.Load(); rec.Epoch < e {
+		// The primary this record came from writes at an epoch this log has
+		// already moved past: a fenced-off stale primary. Mirroring it would
+		// interleave two histories.
+		return fmt.Errorf("store: session %q: mirrored record seq %d has stale epoch %d (log is at epoch %d)",
+			l.name, rec.Seq, rec.Epoch, e)
+	}
 	frame, err := encodeFrame(rec)
 	if err != nil {
 		return err
@@ -286,6 +328,7 @@ func (l *SessionLog) BufferRecord(rec *Record) error {
 	l.bufRecords++
 	l.seqLocked = rec.Seq
 	l.seq.Store(rec.Seq)
+	l.SetEpoch(rec.Epoch)
 	return nil
 }
 
@@ -333,11 +376,11 @@ func (l *SessionLog) flush() error {
 	if len(buf) == 0 {
 		return nil
 	}
-	if _, err := l.f.Write(buf); err != nil {
+	if _, err := fpWrite(FpWALWrite, l.f, buf); err != nil {
 		l.failed.Store(true)
 		return fmt.Errorf("store: wal append: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := fpSync(FpWALSync, l.f); err != nil {
 		l.failed.Store(true)
 		return fmt.Errorf("store: wal sync: %w", err)
 	}
@@ -406,12 +449,17 @@ func (l *SessionLog) InstallSnapshot(snap *Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
-	if err := snap.EncodeTo(f); err != nil {
+	if err := func() error {
+		if err := fpErr(FpSnapshotWrite); err != nil {
+			return err
+		}
+		return snap.EncodeTo(f)
+	}(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := fpSync(FpSnapshotSync, f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("store: snapshot: %w", err)
@@ -420,13 +468,13 @@ func (l *SessionLog) InstallSnapshot(snap *Snapshot) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFile)); err != nil {
+	if err := fpRename(FpSnapshotRename, tmp, filepath.Join(l.dir, snapshotFile)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	syncDir(l.dir)
 	// The snapshot is durable; every record it covers is dead weight now.
-	if err := l.f.Truncate(int64(len(walMagic))); err != nil {
+	if err := fpTruncate(FpWALTruncate, l.f, int64(len(walMagic))); err != nil {
 		return fmt.Errorf("store: wal compact: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
@@ -445,8 +493,9 @@ func (l *SessionLog) InstallSnapshot(snap *Snapshot) error {
 	l.seq.Store(snap.Seq)
 	l.mu.Unlock()
 	l.durable.Store(snap.Seq)
+	l.SetEpoch(snap.Epoch)
 	l.lastSnap.Store(time.Now().UnixNano())
-	l.walEpoch.Add(1)
+	l.walGen.Add(1)
 	l.notify()
 	return nil
 }
@@ -459,6 +508,9 @@ type Durability struct {
 	Seq         uint64 `json:"seq"`
 	DurableSeq  uint64 `json:"durable_seq"`
 	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Epoch is the replication epoch new records are stamped with; it rises
+	// when this session's server is promoted (or follows a promoted one).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Syncs counts fsyncs issued; WalRecords/Syncs > 1 means group commit
 	// batched concurrent appends into shared fsyncs.
 	Syncs        int64  `json:"syncs"`
@@ -478,6 +530,7 @@ func (l *SessionLog) Stats() Durability {
 		Seq:         l.seq.Load(),
 		DurableSeq:  l.durable.Load(),
 		SnapshotSeq: l.snapSeq.Load(),
+		Epoch:       l.epoch.Load(),
 		Syncs:       l.syncs.Load(),
 		Failed:      l.failed.Load(),
 	}
@@ -516,13 +569,13 @@ func replayWAL(path string) ([]Record, error) {
 		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if string(header) != walMagic {
+	if string(header) != walMagic && string(header) != walMagicV1 {
 		return nil, fmt.Errorf("store: %s is not an incdb WAL (bad magic)", path)
 	}
 
 	var out []Record
 	good := int64(len(walMagic))
-	var lastSeq uint64
+	var lastSeq, lastEpoch uint64
 	frame := make([]byte, 8)
 	for {
 		if _, err := io.ReadFull(f, frame); err != nil {
@@ -550,7 +603,10 @@ func replayWAL(path string) ([]Record, error) {
 		if rec.Seq <= lastSeq {
 			break // sequence must be strictly monotonic
 		}
-		lastSeq = rec.Seq
+		if rec.Epoch < lastEpoch {
+			break // the epoch never decreases within a log
+		}
+		lastSeq, lastEpoch = rec.Seq, rec.Epoch
 		out = append(out, rec)
 		good += int64(8 + len(payload))
 	}

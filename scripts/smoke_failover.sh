@@ -1,0 +1,159 @@
+#!/usr/bin/env sh
+# smoke_failover.sh — end-to-end smoke of primary failover with real
+# processes and kill -9: start a durable primary and follower, append
+# acknowledged writes, SIGKILL the primary, promote the follower with
+# incdbctl promote, assert no acknowledged write was lost, that a
+# failover-aware multi-endpoint client routes writes to the new primary
+# without manual re-pointing, that the revived old primary is fenced
+# read-only by the new epoch (fenced_stale_primary), and that it rejoins
+# cleanly as a follower of the new primary, converging byte-identically.
+set -eu
+
+BIN="${BIN:-./bin}"
+ALL_ORDERS='proj(0, Orders)'
+UNPAID='proj(0, sel(not(in(0, Payments)), Orders))'
+
+mkdir -p "$BIN"
+go build -o "$BIN/incdbd" ./cmd/incdbd
+go build -o "$BIN/incdbctl" ./cmd/incdbctl
+
+PPORT="$(go run ./scripts/freeport)"
+RPORT="$(go run ./scripts/freeport)"
+PADDR="127.0.0.1:$PPORT"
+RADDR="127.0.0.1:$RPORT"
+PDATA="$(mktemp -d)"
+RDATA="$(mktemp -d)"
+PRIMARY=""
+FOLLOWER=""
+trap 'kill "$PRIMARY" "$FOLLOWER" 2>/dev/null || true; rm -rf "$PDATA" "$RDATA"' EXIT
+
+wait_up() {
+    i=0
+    while [ $i -lt 50 ]; do
+        if curl -fs "http://$1/v1/status" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+        i=$((i + 1))
+    done
+    echo "incdbd did not come up on $1" >&2
+    exit 1
+}
+
+PCTL="$BIN/incdbctl client -addr http://$PADDR -session smoke"
+RCTL="$BIN/incdbctl client -addr http://$RADDR -session smoke"
+# The failover-aware client: both endpoints, dead-primary-first, so every
+# write must classify the refusal and re-discover the primary by itself.
+FCTL="$BIN/incdbctl client -addr http://$PADDR,http://$RADDR -session smoke"
+
+wait_caught_up() {
+    want_rows="$($PCTL status | grep 'rows (version')"
+    i=0
+    while [ $i -lt 100 ]; do
+        if [ "$($RCTL status | grep 'rows (version' || true)" = "$want_rows" ]; then
+            return 0
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "follower never caught up with the primary" >&2
+    $RCTL status >&2 || true
+    exit 1
+}
+
+"$BIN/incdbd" -addr "$PADDR" -data-dir "$PDATA" &
+PRIMARY=$!
+wait_up "$PADDR"
+$PCTL load examples/data/orders.idb
+printf "row Orders o3 c2\nrow Payments o3\n" >"$PDATA/a1.idb"
+printf "row Orders o4 c3\n" >"$PDATA/a2.idb"
+$PCTL append "$PDATA/a1.idb"
+$PCTL append "$PDATA/a2.idb" # every append above was acknowledged
+
+echo "== follower tails the primary; liveness and readiness probes serve =="
+"$BIN/incdbd" -addr "$RADDR" -data-dir "$RDATA" -follow "http://$PADDR" -stale-wait 1s &
+FOLLOWER=$!
+wait_up "$RADDR"
+wait_caught_up
+curl -fs "http://$RADDR/v1/healthz" | grep -q '"ok":true' || {
+    echo "follower healthz not ok" >&2; exit 1; }
+curl -fs "http://$RADDR/v1/readyz" | grep -q '"ok":true' || {
+    echo "caught-up follower readyz not ok" >&2; exit 1; }
+
+echo "== SIGKILL the primary, promote the follower =="
+# The follower is caught up (asserted above), so promotion loses nothing;
+# -force skips the caught-up self-check, which cannot distinguish "primary
+# dead and I have everything" from "primary dead mid-ship".
+kill -9 "$PRIMARY"
+wait "$PRIMARY" 2>/dev/null || true
+out="$("$BIN/incdbctl" promote -addr "http://$RADDR" -force)"
+echo "$out"
+echo "$out" | grep -q "epoch 1" || {
+    echo "promotion did not reach epoch 1: $out" >&2; exit 1; }
+curl -fs "http://$RADDR/v1/status" | grep -q '"role":"primary"' || {
+    echo "promoted follower does not report role primary" >&2; exit 1; }
+
+echo "== no acknowledged write lost across the failover =="
+out="$($RCTL cert "$ALL_ORDERS")"
+for o in o1 o2 o3 o4; do
+    echo "$out" | grep -q "$o" || {
+        echo "acknowledged row $o lost across failover:" >&2
+        echo "$out" >&2; exit 1; }
+done
+
+echo "== the new primary accepts writes; failover client needs no re-pointing =="
+printf "row Orders o5 c1\nrow Payments o5\n" >"$RDATA/a3.idb"
+# FCTL still lists the dead primary first: the client must see the
+# connection failure, probe both endpoints for role+epoch, and land the
+# write on the promoted server.
+$FCTL append "$RDATA/a3.idb"
+$RCTL cert "$ALL_ORDERS" | grep -q o5 || {
+    echo "failover client's write did not reach the new primary" >&2; exit 1; }
+
+echo "== the revived old primary is fenced by the new epoch =="
+"$BIN/incdbd" -addr "$PADDR" -data-dir "$PDATA" &
+PRIMARY=$!
+wait_up "$PADDR"
+# A client that lived through the failover carries epoch 1 on its writes;
+# the revived server (still at epoch 0) must fence instead of diverging.
+body='{"data":"row Orders bad c9\n","append":true,"epoch":1}'
+if curl -fs -X POST "http://$PADDR/v1/sessions/smoke/load" -d "$body" >/dev/null 2>&1; then
+    echo "revived stale primary accepted an epoch-1 write" >&2
+    exit 1
+fi
+curl -s -X POST "http://$PADDR/v1/sessions/smoke/load" -d "$body" | grep -q fenced_stale_primary || {
+    echo "expected fenced_stale_primary from the revived primary" >&2; exit 1; }
+curl -fs "http://$PADDR/v1/status" | grep -q '"role":"fenced"' || {
+    echo "revived primary does not report role fenced" >&2; exit 1; }
+# Once fenced, even epochless writes are refused.
+if $PCTL append "$RDATA/a3.idb" >/dev/null 2>&1; then
+    echo "fenced primary accepted an epochless write" >&2
+    exit 1
+fi
+
+echo "== the old primary rejoins as a follower and converges =="
+kill -TERM "$PRIMARY"
+wait "$PRIMARY" 2>/dev/null || true
+"$BIN/incdbd" -addr "$PADDR" -data-dir "$PDATA" -follow "http://$RADDR" -stale-wait 1s &
+PRIMARY=$!
+wait_up "$PADDR"
+i=0
+while [ $i -lt 100 ]; do
+    if [ "$($PCTL status | grep 'rows (version' || true)" = "$($RCTL status | grep 'rows (version')" ]; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+p="$($PCTL cert "$UNPAID" | grep '^  ')"
+r="$($RCTL cert "$UNPAID" | grep '^  ')"
+[ "$p" = "$r" ] || {
+    echo "rejoined old primary diverges from the new primary:" >&2
+    echo "new primary: $r" >&2; echo "rejoined:    $p" >&2; exit 1; }
+$PCTL status | grep -q "epoch 1" || {
+    echo "rejoined follower did not adopt epoch 1" >&2
+    $PCTL status >&2; exit 1; }
+
+echo "== graceful shutdown =="
+kill -TERM "$FOLLOWER" "$PRIMARY"
+wait "$FOLLOWER" "$PRIMARY"
+trap 'rm -rf "$PDATA" "$RDATA"' EXIT
+echo "failover smoke OK"
