@@ -21,6 +21,7 @@ import (
 	"incdb/internal/fo"
 	"incdb/internal/gen"
 	"incdb/internal/logic"
+	"incdb/internal/plan"
 	"incdb/internal/prob"
 	"incdb/internal/relation"
 	"incdb/internal/tpch"
@@ -339,6 +340,30 @@ func BenchmarkE12PrecisionRecall(b *testing.B) {
 		if !res.SubsetOfSet(cert) {
 			b.Fatal("correctness violation")
 		}
+	}
+}
+
+// BenchmarkTPCHMultiJoin measures the star- and chain-shaped multi-join
+// queries end to end through the physical planner: cold pays compilation
+// plus one execution (no plan cache), warm re-executes a prepared plan the
+// way the oracles' per-world loops do. These queries are written with the
+// largest relation syntactically first, so their runtime is dominated by
+// how the planner orders the joins.
+func BenchmarkTPCHMultiJoin(b *testing.B) {
+	db := tpch.Dirty(tpch.Generate(tpch.BenchConfig()), 0.05, 0, 21)
+	for _, nq := range tpch.MultiJoinQueries() {
+		b.Run(nq.Name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan.Compile(nq.Q, db, algebra.ModeSQL).Exec(db)
+			}
+		})
+		b.Run(nq.Name+"/warm", func(b *testing.B) {
+			prep := plan.Compile(nq.Q, db, algebra.ModeSQL).Prepare(db)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prep.Exec(db)
+			}
+		})
 	}
 }
 

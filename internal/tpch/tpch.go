@@ -263,6 +263,59 @@ func Queries() []NamedQuery {
 	}
 }
 
+// MultiJoinQueries returns the star- and chain-shaped multi-join queries:
+// three to five relations with strongly skewed cardinalities (region ≪
+// nation ≪ customer ≪ orders ≪ lineitem), written with the largest
+// relation syntactically first — the adversarial order for a planner that
+// joins left-deep as written, and the benchmark for cost-based join
+// ordering. Column positions follow the schema order in Generate; the
+// product layout of each query is noted inline.
+func MultiJoinQueries() []NamedQuery {
+	customer := algebra.R("customer")
+	orders := algebra.R("orders")
+	lineitem := algebra.R("lineitem")
+	nation := algebra.R("nation")
+	region := algebra.R("region")
+
+	c := value.Const
+	return []NamedQuery{
+		{
+			Name: "Q10-lineitem-order-customer-chain",
+			Desc: "π_{c_name, l_extendedprice}(lineitem ⋈ orders ⋈ customer): three-way foreign-key chain, fact table first",
+			// Layout: lineitem 0–3, orders 4–7, customer 8–12.
+			Q: algebra.Proj(
+				algebra.Sel(
+					algebra.Times(algebra.Times(lineitem, orders), customer),
+					algebra.CAnd(algebra.CEq(0, 4), algebra.CEq(5, 8))),
+				9, 3),
+		},
+		{
+			Name: "Q11-customer-geo-star",
+			Desc: "π_{c_custkey, n_name}(σ_{r_name=REGION_0}(customer ⋈ nation ⋈ region)): selective dimension filter at the syntactic tail",
+			// Layout: customer 0–4, nation 5–7, region 8–9.
+			Q: algebra.Proj(
+				algebra.Sel(
+					algebra.Times(algebra.Times(customer, nation), region),
+					algebra.CAnd(algebra.CEq(2, 5),
+						algebra.CAnd(algebra.CEq(7, 8), algebra.CEqC(9, c("REGION_0"))))),
+				0, 6),
+		},
+		{
+			Name: "Q12-five-way-star",
+			Desc: "π_{c_name, l_extendedprice}(σ_{o_orderstatus=F}(lineitem ⋈ orders ⋈ customer ⋈ nation ⋈ region)): the full five-table star",
+			// Layout: lineitem 0–3, orders 4–7, customer 8–12, nation 13–15, region 16–17.
+			Q: algebra.Proj(
+				algebra.Sel(
+					algebra.Times(algebra.Times(algebra.Times(algebra.Times(lineitem, orders), customer), nation), region),
+					algebra.CAnd(algebra.CEq(0, 4),
+						algebra.CAnd(algebra.CEq(5, 8),
+							algebra.CAnd(algebra.CEq(10, 13),
+								algebra.CAnd(algebra.CEq(15, 16), algebra.CEqC(7, c("F"))))))),
+				9, 3),
+		},
+	}
+}
+
 // TotalTuples reports the database size (distinct tuples across relations).
 func TotalTuples(db *relation.Database) int {
 	total := 0
