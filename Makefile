@@ -34,9 +34,10 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Measure the working tree against the previous commit (or BASE=<ref>) and
-# report via benchstat when available. Non-blocking: regressions are
-# reported, never enforced; CI uploads the output as an artifact.
+# Measure the working tree against the previous commit (or BASE=<ref>),
+# report via benchstat when available, and emit BENCH_PR8.json. Fails when
+# a gated oracle microbenchmark (E1/E11) regresses more than 25%; CI
+# uploads the output as an artifact either way.
 BASE ?= HEAD~1
 bench-compare:
 	./scripts/bench_compare.sh $(BASE)

@@ -388,6 +388,185 @@ func TestPreparedMatchesPerWorldEval(t *testing.T) {
 	}
 }
 
+// skewedJoinDB builds n arity-2 relations J0..J(n-1) with deliberately
+// skewed cardinalities: most inputs are tiny, one or two are 10–40× larger.
+// The shared constant pool makes key equalities selective but non-empty, so
+// the cost-based order differs materially from the syntactic one.
+func skewedJoinDB(r *rand.Rand, n int) *relation.Database {
+	db := relation.NewDatabase()
+	big := r.Intn(n)
+	for i := 0; i < n; i++ {
+		cfg := gen.Config{MaxTuples: 1 + r.Intn(3), NullRate: 0.15, NullPool: 2, ConstPool: 6}
+		if i == big || r.Intn(n) == 0 {
+			cfg.MaxTuples = 10 + r.Intn(30)
+		}
+		db.Add(gen.Relation(r, "J"+string(rune('0'+i)), 2, cfg))
+	}
+	return db
+}
+
+// chainQuery joins J0..J(n-1) in a chain — each input's second column
+// equals the next input's first — as interleaved σ/× levels, how translated
+// queries arrive. The planner flattens the whole nest into one join cluster
+// and reorders it; the reference interpreter peels one hash join per level.
+func chainQuery(n int) algebra.Expr {
+	e := algebra.Expr(algebra.R("J0"))
+	for i := 1; i < n; i++ {
+		e = algebra.Sel(
+			algebra.Times(e, algebra.R("J"+string(rune('0'+i)))),
+			algebra.CEq(2*i-1, 2*i))
+	}
+	return e
+}
+
+// starQuery joins the k-ary center C against dimensions J1..Jk, center
+// column i-1 matching dimension i's key column. Dimensions append on the
+// right, so each link's column indices are stable as the star grows.
+func starQuery(k int) algebra.Expr {
+	e := algebra.Expr(algebra.R("C"))
+	for i := 1; i <= k; i++ {
+		e = algebra.Sel(
+			algebra.Times(e, algebra.R("J"+string(rune('0'+i)))),
+			algebra.CEq(i-1, k+2*(i-1)))
+	}
+	return e
+}
+
+// TestPlannerMatchesInterpreterChainJoins extends the equivalence corpus
+// with randomized 4–8-relation chain joins over skewed inputs: the
+// cost-based, column-pruned, batched plans must stay byte-identical to the
+// interpreter in every mode and semantics.
+func TestPlannerMatchesInterpreterChainJoins(t *testing.T) {
+	r := rand.New(rand.NewSource(8801))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(5)
+		db := skewedJoinDB(r, n)
+		q := chainQuery(n)
+		if r.Intn(2) == 0 {
+			// Half the trials project a few columns so pruning masks are
+			// narrow rather than full-width.
+			q = algebra.Proj(q, 0, 2*n-1)
+		}
+		mustEvalEqual(t, db, q, "chain join")
+	}
+}
+
+// TestPlannerMatchesInterpreterStarJoins does the same for star shapes: a
+// k-ary center joined to k dimension tables of wildly different sizes.
+func TestPlannerMatchesInterpreterStarJoins(t *testing.T) {
+	r := rand.New(rand.NewSource(8802))
+	for trial := 0; trial < 25; trial++ {
+		k := 3 + r.Intn(5) // 4–8 relations including the center
+		db := relation.NewDatabase()
+		ccfg := gen.Config{MaxTuples: 8 + r.Intn(20), NullRate: 0.1, NullPool: 2, ConstPool: 6}
+		db.Add(gen.Relation(r, "C", k, ccfg))
+		for i := 1; i <= k; i++ {
+			dcfg := gen.Config{MaxTuples: 1 + r.Intn(4), NullRate: 0.15, NullPool: 2, ConstPool: 6}
+			if r.Intn(3) == 0 {
+				dcfg.MaxTuples = 12 + r.Intn(24)
+			}
+			db.Add(gen.Relation(r, "J"+string(rune('0'+i)), 2, dcfg))
+		}
+		q := starQuery(k)
+		if r.Intn(2) == 0 {
+			q = algebra.Proj(q, r.Intn(k), k+1)
+		}
+		mustEvalEqual(t, db, q, "star join")
+	}
+}
+
+// TestPreparedChainJoinsPerWorld closes the loop on the oracle contract for
+// the new shapes: prepared chain-join plans executed per world must match
+// interpreting each world from scratch.
+func TestPreparedChainJoinsPerWorld(t *testing.T) {
+	r := rand.New(rand.NewSource(8803))
+	for trial := 0; trial < 6; trial++ {
+		n := 4 + r.Intn(3)
+		db := skewedJoinDB(r, n)
+		q := chainQuery(n)
+		space, err := certain.NewSpace(db, algebra.ConstsOf(q), certain.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []algebra.Mode{algebra.ModeNaive, algebra.ModeSQL} {
+			for _, bag := range []bool{false, true} {
+				var p *plan.Plan
+				if bag {
+					p = plan.CompileBag(q, db, mode)
+				} else {
+					p = plan.Compile(q, db, mode)
+				}
+				prep := p.Prepare(db)
+				worlds := 0
+				space.Each(func(v value.Valuation) bool {
+					world := db.Apply(v)
+					var want *relation.Relation
+					if bag {
+						want = algebra.EvalBagInterp(world, q, mode)
+					} else {
+						want = algebra.EvalInterp(world, q, mode)
+					}
+					if got := prep.Exec(world); !want.Equal(got) {
+						t.Fatalf("trial %d %v bag=%t: prepared chain join diverges on world %v\nQ = %s\ninterp = %v\nprepared = %v",
+							trial, mode, bag, v, q, want, got)
+					}
+					worlds++
+					return worlds < 16
+				})
+			}
+		}
+	}
+}
+
+// TestPlannerStaleStatsStillExact is the adversarial case: plans compiled
+// when the statistics said one thing keep executing against a database whose
+// cardinalities have inverted — estimates maximally wrong, join order
+// pessimal — and the answers must still be byte-identical to the
+// interpreter. Correctness must never depend on the cost model.
+func TestPlannerStaleStatsStillExact(t *testing.T) {
+	r := rand.New(rand.NewSource(8804))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + r.Intn(2)
+		db := skewedJoinDB(r, n)
+		q := chainQuery(n)
+		for _, mode := range []algebra.Mode{algebra.ModeNaive, algebra.ModeSQL} {
+			for _, bag := range []bool{false, true} {
+				var p *plan.Plan
+				if bag {
+					p = plan.CompileBag(q, db, mode)
+				} else {
+					p = plan.Compile(q, db, mode)
+				}
+				// Invert the skew after compilation: formerly-tiny inputs
+				// become the biggest, the big ones stay as they were. The
+				// compiled plan's order and build/probe choices are now
+				// maximally wrong for this data.
+				for i := 0; i < n; i++ {
+					rel := db.MustRelation("J" + string(rune('0'+i)))
+					if rel.Len() <= 4 {
+						for j := 0; j < 25; j++ {
+							rel.Add(value.T(
+								value.Const("c"+string(rune('0'+r.Intn(6)))),
+								value.Const("c"+string(rune('0'+r.Intn(6)))),
+							))
+						}
+					}
+				}
+				var want *relation.Relation
+				if bag {
+					want = algebra.EvalBagInterp(db, q, mode)
+				} else {
+					want = algebra.EvalInterp(db, q, mode)
+				}
+				if got := p.Exec(db); !want.Equal(got) {
+					t.Fatalf("trial %d %v bag=%t: stale-stats plan diverges\nQ = %s\ninterp = %v\nplanned = %v",
+						trial, mode, bag, q, want, got)
+				}
+			}
+		}
+	}
+}
+
 // TestRandomQueriesInternallyConsistent runs randomized gen queries end to
 // end and asserts the result relations agree with their own string-keyed
 // view — the whole-query version of the operator-level checks above.

@@ -64,6 +64,23 @@ func DB(r *rand.Rand, cfg Config) *relation.Database {
 	return db
 }
 
+// Relation generates one random relation of the given name and arity with
+// 1..MaxTuples rows drawn under cfg. Callers pass per-relation configs with
+// different MaxTuples to build skewed join inputs (the planner-equivalence
+// corpus uses this to make the cost-based join order actually matter).
+func Relation(r *rand.Rand, name string, arity int, cfg Config) *relation.Relation {
+	rel := relation.NewArity(name, arity)
+	n := 1 + r.Intn(cfg.MaxTuples)
+	for i := 0; i < n; i++ {
+		t := make(value.Tuple, arity)
+		for j := range t {
+			t[j] = randValue(r, cfg)
+		}
+		rel.Add(t)
+	}
+	return rel
+}
+
 func randValue(r *rand.Rand, cfg Config) value.Value {
 	if r.Float64() < cfg.NullRate && cfg.NullPool > 0 {
 		return value.Null(uint64(r.Intn(cfg.NullPool)) + 1)

@@ -83,7 +83,7 @@ func (c *PrepCache) Get(base *relation.Database, q algebra.Expr, mode algebra.Mo
 	if c == nil {
 		return PlanFor(q, base, mode, bag).Prepare(base)
 	}
-	key := cacheKey(q, base, mode, bag)
+	key := cacheKey(q, base, mode, bag, true)
 	c.mu.Lock()
 	if prep, ok := c.entries[key]; ok {
 		if prep.ValidFor(base) {

@@ -216,6 +216,72 @@ func TestPrepCacheConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// scanOrder returns the base-relation names in DFS order — for a left-deep
+// join tree, probe side first, then each build side in join order.
+func scanOrder(n pnode) []string {
+	if s, ok := n.(*pscan); ok {
+		return []string{s.name}
+	}
+	var out []string
+	for _, c := range n.children() {
+		out = append(out, scanOrder(c)...)
+	}
+	return out
+}
+
+// TestPlanCacheStatsEpochFlip proves the physical plan cache folds the
+// statistics epoch into its key: growth inside a log₂ cardinality class
+// reuses the cached plan, while growing a relation past a class boundary —
+// where the cost-based join order flips — compiles a fresh plan with the
+// new order. Relation names are unique to this test because the plan cache
+// is process-wide.
+func TestPlanCacheStatsEpochFlip(t *testing.T) {
+	db := relation.NewDatabase()
+	a := relation.New("EpochA", "k", "v")
+	a.Add(value.Consts("c0", "a0"))
+	a.Add(value.Consts("c1", "a1"))
+	db.Add(a)
+	b := relation.New("EpochB", "k", "v")
+	for i := 0; i < 40; i++ {
+		b.Add(value.T(value.Const("c"+string(rune('0'+i%4))), value.Int(i)))
+	}
+	db.Add(b)
+	q := algebra.Sel(algebra.Times(algebra.R("EpochA"), algebra.R("EpochB")), algebra.CEq(0, 2))
+
+	p1 := PlanFor(q, db, algebra.ModeNaive, false)
+	if p2 := PlanFor(q, db, algebra.ModeNaive, false); p2 != p1 {
+		t.Fatal("identical epoch did not reuse the cached plan")
+	}
+	if got := scanOrder(p1.root); len(got) != 2 || got[0] != "EpochB" || got[1] != "EpochA" {
+		t.Fatalf("initial plan should probe EpochB and build tiny EpochA, got scan order %v", got)
+	}
+
+	// Growth inside the log₂ class (2 → 3 rows, both epoch 2): same plan.
+	a.Add(value.Consts("c2", "a2"))
+	if p := PlanFor(q, db, algebra.ModeNaive, false); p != p1 {
+		t.Fatal("growth inside the epoch class recompiled the plan")
+	}
+
+	// Growth past the flip point: EpochA at 60 rows dwarfs EpochB, the
+	// epoch moves 2 → 6, and the fresh compile must flip build/probe.
+	for i := 0; i < 57; i++ {
+		a.Add(value.T(value.Const("c"+string(rune('0'+i%4))), value.Int(100+i)))
+	}
+	p3 := PlanFor(q, db, algebra.ModeNaive, false)
+	if p3 == p1 {
+		t.Fatal("growth past the epoch flip point reused the stale plan")
+	}
+	if got := scanOrder(p3.root); len(got) != 2 || got[0] != "EpochA" || got[1] != "EpochB" {
+		t.Fatalf("post-flip plan should probe EpochA and build EpochB, got scan order %v", got)
+	}
+
+	// Both plans remain exact on the grown database.
+	want := algebra.EvalInterp(db, q, algebra.ModeNaive)
+	if !p1.Exec(db).Equal(want) || !p3.Exec(db).Equal(want) {
+		t.Fatal("epoch-keyed plans diverge from the interpreter")
+	}
+}
+
 func TestNilPrepCache(t *testing.T) {
 	db := guardDB()
 	var c *PrepCache

@@ -4,14 +4,15 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"incdb/internal/algebra"
-	"incdb/internal/value"
 )
 
 // Plan is a physical query plan: compiled once from an algebra expression,
 // executable any number of times — concurrently — against databases over
-// the same schema. A Plan holds no per-execution state.
+// the same schema. A Plan holds no per-execution state; the buffer pool
+// only recycles per-execution batch buffers (batch.go).
 type Plan struct {
 	root  pnode
 	nodes []pnode // every node, indexed by its id (Prepared slots)
@@ -25,6 +26,9 @@ type Plan struct {
 	// attribute labels) when the query is a bare relation reference.
 	outName  string
 	outIsRel bool
+
+	// bufPool recycles per-execution batch buffer sets (batch.go).
+	bufPool sync.Pool
 }
 
 // Mode returns the evaluation mode the plan was compiled for.
@@ -61,28 +65,44 @@ func (a readSet) union(b readSet) readSet {
 }
 
 // pnode is one physical operator. Concrete nodes embed pbase and implement
-// run (streaming emission); callers go through the stream dispatcher in
+// run (batched emission); callers go through the stream dispatcher in
 // exec.go so that frozen results short-circuit uniformly.
 type pnode interface {
 	base() *pbase
-	run(x *exec, emit func(t value.Tuple, m int))
+	run(x *exec, emit func(*vbatch))
 	describe() string
 	children() []pnode
 }
 
+// pbase carries the per-node compile-time facts: identity, output width
+// (after column narrowing), read set, and the cost model's annotations —
+// est is the estimated output cardinality (-1 unknown) and colDist the
+// per-output-column distinct-value estimates (nil unknown). Estimates are
+// advisory: they steer join ordering and explain output, never results.
 type pbase struct {
 	id    int
 	width int
 	reads readSet
+
+	est     float64
+	colDist []float64
 }
 
 func (b *pbase) base() *pbase { return b }
 
 // Physical operators.
 
+// pscan reads one base relation. cols, when non-nil, is the pruned column
+// mask applied at the scan: only those columns (ascending) are emitted, so
+// every downstream condition and key is already re-indexed through it.
 type pscan struct {
 	pbase
 	name string
+	cols []int
+	// nullFrac holds per-emitted-column null fractions from the stats
+	// block, feeding IsNull/IsConst selectivities for filters directly
+	// above the scan.
+	nullFrac []float64
 }
 
 type pfilter struct {
@@ -101,12 +121,21 @@ type pproject struct {
 // left, the right input is built into a multi-key hash table (frozen across
 // executions when the right subtree is null-free). With no keys it
 // degenerates into the nested-loop cross product. residual conditions are
-// those decidable once left++right columns are available.
+// those decidable once left++right columns are available (indexed over the
+// full left++right concatenation). cost is the cost model's step cost
+// (estimated intermediate rows + build size; -1 unknown).
+//
+// outCols, when non-nil, is a projection folded into the join: instead of
+// emitting the full concatenation and paying a separate projection pass,
+// the join emits exactly those concatenation columns. width is then
+// len(outCols), not left+right.
 type pjoin struct {
 	pbase
 	left, right  pnode
 	lkeys, rkeys []int
 	residual     []pcond
+	outCols      []int
+	cost         float64
 }
 
 type punion struct {
@@ -177,7 +206,8 @@ func compile(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) *
 	p := &Plan{mode: mode, bag: bag, arity: algebra.Arity(e, cat)}
 	p.outName, p.outIsRel = rootName(e)
 	c := &compiler{p: p, top: p, cat: cat, subIdx: map[string]*Plan{}}
-	p.root = c.compile(OptimizedFor(e, cat))
+	c.stats, _ = cat.(statsProvider)
+	p.root = c.compile(OptimizedFor(e, cat), nil)
 	return p
 }
 
@@ -210,16 +240,17 @@ func rootName(e algebra.Expr) (string, bool) {
 }
 
 type compiler struct {
-	p   *Plan // plan whose node list this compiler fills
-	top *Plan // top-level plan: owns the flat subplan list
-	cat algebra.Catalog
+	p     *Plan // plan whose node list this compiler fills
+	top   *Plan // top-level plan: owns the flat subplan list
+	cat   algebra.Catalog
+	stats statsProvider // nil when the catalog carries no statistics
 	// subIdx deduplicates IN subqueries by rendering across all nesting
 	// levels, mirroring the interpreter's rendering-keyed subquery cache.
 	subIdx map[string]*Plan
 }
 
 func (c *compiler) newBase(width int, reads readSet) pbase {
-	return pbase{id: -1, width: width, reads: reads}
+	return pbase{id: -1, width: width, reads: reads, est: -1}
 }
 
 // register assigns the node its id and records it on the plan.
@@ -229,62 +260,294 @@ func (c *compiler) register(n pnode) pnode {
 	return n
 }
 
-func (c *compiler) compile(e algebra.Expr) pnode {
+// Column-mask helpers. A needed-column mask over an expression's syntactic
+// output is nil when every column is needed; compile's contract is that the
+// returned node emits exactly the needed columns in ascending syntactic
+// order.
+
+func isFullMask(need []bool) bool {
+	for _, b := range need {
+		if !b {
+			return false
+		}
+	}
+	return true
+}
+
+func keepCols(need []bool) []int {
+	var out []int
+	for i, b := range need {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// rankOf maps each syntactic column to its position in the narrowed output
+// (-1 when dropped).
+func rankOf(need []bool) []int {
+	out := make([]int, len(need))
+	k := 0
+	for i, b := range need {
+		if b {
+			out[i] = k
+			k++
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func isIdentity(cols []int) bool {
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
+	}
+	return true
+}
+
+// compile builds the physical node for e emitting exactly the columns of
+// need (nil: all) in ascending syntactic order. Masks propagate through
+// π, σ, ×, ∪ — the operators whose semantics are per-column — and stop at
+// the whole-tuple operators (−, ∩, ÷, ⋉⇑, Dom), whose inputs compile full
+// and whose output is narrowed above; that keeps multiplicities and
+// three-valued behaviour byte-identical to the interpreter under both
+// semantics, since narrowing never merges rows mid-stream (set-semantics
+// duplicates collapse only at materialization boundaries, as before).
+func (c *compiler) compile(e algebra.Expr, need []bool) pnode {
+	if need != nil && isFullMask(need) {
+		need = nil
+	}
 	switch e := e.(type) {
 	case algebra.Select, algebra.Product:
-		return c.compileCluster(e)
+		return c.compileCluster(e, need)
 	case algebra.Rel:
 		ar := c.cat.Arity(e.Name)
 		if ar < 0 {
 			panic("plan: unknown relation " + e.Name)
 		}
-		return c.register(&pscan{
-			pbase: c.newBase(ar, readSet{names: []string{e.Name}}),
-			name:  e.Name,
-		})
+		w := ar
+		var cols []int
+		if need != nil {
+			// Non-nil even when the mask is empty (an input joined only for
+			// its row count): nil cols means the full-width scan.
+			cols = make([]int, 0, w)
+			cols = append(cols, keepCols(need)...)
+			w = len(cols)
+		}
+		n := &pscan{
+			pbase: c.newBase(w, readSet{names: []string{e.Name}}),
+			name:  e.Name, cols: cols,
+		}
+		c.annotateScan(n, ar)
+		return c.register(n)
 	case algebra.Project:
-		in := c.compile(e.In)
-		return c.register(&pproject{
-			pbase: c.newBase(len(e.Cols), in.base().reads),
-			in:    in, cols: e.Cols,
-		})
+		inAr := algebra.Arity(e.In, c.cat)
+		childNeed := make([]bool, inAr)
+		for i, col := range e.Cols {
+			if need == nil || need[i] {
+				childNeed[col] = true
+			}
+		}
+		in := c.compile(e.In, childNeed)
+		rank := rankOf(childNeed)
+		cols := make([]int, 0, len(e.Cols))
+		for i, col := range e.Cols {
+			if need == nil || need[i] {
+				cols = append(cols, rank[col])
+			}
+		}
+		return c.project(in, cols)
 	case algebra.Union:
-		l, r := c.compile(e.L), c.compile(e.R)
-		return c.register(&punion{
+		l, r := c.compile(e.L, need), c.compile(e.R, need)
+		n := &punion{
 			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
 			l:     l, r: r,
-		})
+		}
+		lb, rb := l.base(), r.base()
+		if lb.est >= 0 && rb.est >= 0 && lb.colDist != nil && rb.colDist != nil {
+			n.est = lb.est + rb.est
+			d := make([]float64, len(lb.colDist))
+			for i := range d {
+				d[i] = lb.colDist[i] + rb.colDist[i]
+			}
+			n.colDist = capDist(d, n.est)
+		}
+		return c.register(n)
 	case algebra.Diff:
-		l, r := c.compile(e.L), c.compile(e.R)
-		return c.register(&pdiff{
+		l, r := c.compile(e.L, nil), c.compile(e.R, nil)
+		n := &pdiff{
 			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
 			l:     l, r: r,
-		})
+		}
+		c.annotateFromLeft(&n.pbase, l, l.base().width)
+		return c.narrow(c.register(n), need)
 	case algebra.Intersect:
-		l, r := c.compile(e.L), c.compile(e.R)
-		return c.register(&pinter{
+		l, r := c.compile(e.L, nil), c.compile(e.R, nil)
+		n := &pinter{
 			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
 			l:     l, r: r,
-		})
+		}
+		c.annotateFromLeft(&n.pbase, l, l.base().width)
+		if rb := r.base(); n.est >= 0 && rb.est >= 0 && rb.est < n.est {
+			n.est = rb.est
+			n.colDist = capDist(n.colDist, n.est)
+		}
+		return c.narrow(c.register(n), need)
 	case algebra.Divide:
-		l, r := c.compile(e.L), c.compile(e.R)
-		return c.register(&pdivide{
-			pbase: c.newBase(l.base().width-r.base().width, l.base().reads.union(r.base().reads)),
+		l, r := c.compile(e.L, nil), c.compile(e.R, nil)
+		w := l.base().width - r.base().width
+		n := &pdivide{
+			pbase: c.newBase(w, l.base().reads.union(r.base().reads)),
 			l:     l, r: r,
-		})
+		}
+		if lb, rb := l.base(), r.base(); lb.est >= 0 && rb.est >= 0 && lb.colDist != nil {
+			n.est = lb.est / maxf(rb.est, 1)
+			n.colDist = capDist(lb.colDist[:w], n.est)
+		}
+		return c.narrow(c.register(n), need)
 	case algebra.AntiUnify:
-		l, r := c.compile(e.L), c.compile(e.R)
-		return c.register(&pantiunify{
+		l, r := c.compile(e.L, nil), c.compile(e.R, nil)
+		n := &pantiunify{
 			pbase: c.newBase(l.base().width, l.base().reads.union(r.base().reads)),
 			l:     l, r: r,
-		})
+		}
+		c.annotateFromLeft(&n.pbase, l, l.base().width)
+		return c.narrow(c.register(n), need)
 	case algebra.Dom:
-		return c.register(&pdom{
+		n := &pdom{
 			pbase: c.newBase(e.K, readSet{dom: true}),
 			k:     e.K,
-		})
+		}
+		return c.narrow(c.register(n), need)
 	}
 	panic(fmt.Sprintf("plan: compile: unknown expression %T", e))
+}
+
+// annotateScan fills the scan's estimates from the relation's statistics
+// snapshot: exact counts for the stored relation (hence exact for every
+// frozen null-free input), upper bounds for anything a valuation can still
+// collapse.
+func (c *compiler) annotateScan(n *pscan, ar int) {
+	if c.stats == nil {
+		return
+	}
+	rel := c.stats.Relation(n.name)
+	if rel == nil {
+		return
+	}
+	st := rel.Stats()
+	n.est = float64(st.Size)
+	cols := n.cols
+	if cols == nil {
+		cols = make([]int, ar)
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	n.colDist = make([]float64, len(cols))
+	n.nullFrac = make([]float64, len(cols))
+	rows := maxf(float64(st.Rows), 1)
+	for i, col := range cols {
+		n.colDist[i] = maxf(float64(st.ColDistinct[col]), 1)
+		n.nullFrac[i] = float64(st.ColNulls[col]) / rows
+	}
+}
+
+// annotateFromLeft copies the left input's estimates onto a node whose
+// output is (a subset of) its left input — diff, intersect, anti-unify.
+func (c *compiler) annotateFromLeft(b *pbase, l pnode, w int) {
+	if lb := l.base(); lb.est >= 0 && lb.colDist != nil {
+		b.est = lb.est
+		b.colDist = capDist(lb.colDist[:w], b.est)
+	}
+}
+
+// project wraps in with a projection onto cols, eliding identities,
+// composing with a projection directly underneath (one copy pass instead of
+// two; the inner node stays registered but is never reached), and folding
+// into a join directly underneath (the join emits the projected columns
+// straight out of the probe/build tuples, skipping the full concatenation).
+func (c *compiler) project(in pnode, cols []int) pnode {
+	if ip, ok := in.(*pproject); ok {
+		composed := make([]int, len(cols))
+		for i, cc := range cols {
+			composed[i] = ip.cols[cc]
+		}
+		cols, in = composed, ip.in
+	}
+	if len(cols) == in.base().width && isIdentity(cols) {
+		return in
+	}
+	if j, ok := in.(*pjoin); ok {
+		b := j.base()
+		if b.colDist != nil {
+			d := make([]float64, len(cols))
+			for i, cc := range cols {
+				d[i] = b.colDist[cc]
+			}
+			b.colDist = d
+		}
+		if j.outCols != nil {
+			composed := make([]int, len(cols))
+			for i, cc := range cols {
+				composed[i] = j.outCols[cc]
+			}
+			j.outCols = composed
+		} else {
+			j.outCols = append([]int(nil), cols...)
+		}
+		b.width = len(cols)
+		return j
+	}
+	p := &pproject{
+		pbase: c.newBase(len(cols), in.base().reads),
+		in:    in, cols: cols,
+	}
+	if b := in.base(); b.est >= 0 && b.colDist != nil {
+		p.est = b.est
+		d := make([]float64, len(cols))
+		for i, cc := range cols {
+			d[i] = b.colDist[cc]
+		}
+		p.colDist = d
+	}
+	return c.register(p)
+}
+
+// narrow wraps a full-width node in a projection keeping only the needed
+// columns (ascending). Whole-tuple operators compile full and narrow here.
+func (c *compiler) narrow(n pnode, need []bool) pnode {
+	if need == nil {
+		return n
+	}
+	return c.project(n, keepCols(need))
+}
+
+// filterNode wraps in with the (already re-indexed) conditions, estimating
+// the result cardinality from the input's column statistics.
+func (c *compiler) filterNode(in pnode, conds []algebra.Cond) pnode {
+	pcs := make([]pcond, len(conds))
+	for i, cond := range conds {
+		pcs[i] = c.compileCond(cond)
+	}
+	n := &pfilter{
+		pbase: c.newBase(in.base().width, in.base().reads.union(condReads(pcs))),
+		in:    in, conds: pcs,
+	}
+	if b := in.base(); b.est >= 0 && b.colDist != nil {
+		sel := 1.0
+		dist, nulls := distOfNode(in), nullFracOfNode(in)
+		for _, cond := range conds {
+			sel *= selCond(cond, dist, nulls)
+		}
+		n.est = b.est * sel
+		n.colDist = capDist(b.colDist, n.est)
+	}
+	return c.register(n)
 }
 
 // conjunct is one selection conjunct positioned over the flattened join
@@ -299,12 +562,15 @@ type conjunct struct {
 // the cluster's product leaves become join inputs, its selection conjuncts
 // become join keys (cross-input equalities), input-local filters, or
 // residual conditions applied as soon as their columns are available.
-// Inputs are joined left-deep in syntactic order, so the output column
-// layout matches the original product exactly and no re-permutation is
-// needed.
-func (c *compiler) compileCluster(e algebra.Expr) pnode {
+// Inputs are narrowed to the columns the caller needs plus the columns any
+// conjunct reads, then joined left-deep in the cost model's order (the
+// syntactic order when estimates are unavailable); a final projection
+// restores the needed syntactic column order when the join order or the
+// conjunct-only columns perturbed it.
+func (c *compiler) compileCluster(e algebra.Expr, need []bool) pnode {
 	var inputs []algebra.Expr
 	var offsets []int
+	var widths []int
 	var conjs []conjunct
 	var flatten func(e algebra.Expr, off int) int // returns width
 	flatten = func(e algebra.Expr, off int) int {
@@ -323,60 +589,127 @@ func (c *compiler) compileCluster(e algebra.Expr) pnode {
 		default:
 			inputs = append(inputs, e)
 			offsets = append(offsets, off)
-			return algebra.Arity(e, c.cat)
+			w := algebra.Arity(e, c.cat)
+			widths = append(widths, w)
+			return w
 		}
 	}
 	width := flatten(e, 0)
 
-	// Compile each input, wrapping input-local conjuncts as filters below
-	// the join.
+	// The cluster-wide needed mask: the caller's needs plus every column a
+	// conjunct reads (conjunct-only columns are dropped again by the final
+	// projection).
+	clusterNeed := make([]bool, width)
+	if need == nil {
+		for i := range clusterNeed {
+			clusterNeed[i] = true
+		}
+	} else {
+		copy(clusterNeed, need)
+		for _, cj := range conjs {
+			for _, col := range cj.cols {
+				clusterNeed[col] = true
+			}
+		}
+	}
+
+	// Compile each input narrowed to its slice of the mask, wrapping
+	// input-local conjuncts — re-indexed through the mask — as filters
+	// below the join. ranks[i] maps an input-local syntactic column to its
+	// narrowed position; owner maps a global column to its input.
 	nodes := make([]pnode, len(inputs))
+	ranks := make([][]int, len(inputs))
+	owner := make([]int, width)
 	used := make([]bool, len(conjs))
 	for i, in := range inputs {
-		n := c.compile(in)
-		lo := offsets[i]
-		hi := lo + n.base().width
-		var local []pcond
+		lo, hi := offsets[i], offsets[i]+widths[i]
+		for g := lo; g < hi; g++ {
+			owner[g] = i
+		}
+		rank := rankOf(clusterNeed[lo:hi])
+		n := c.compile(in, clusterNeed[lo:hi])
+		var local []algebra.Cond
 		for j, cj := range conjs {
 			if used[j] || len(cj.cols) == 0 {
 				continue
 			}
 			if cj.cols[0] >= lo && cj.cols[len(cj.cols)-1] < hi {
-				local = append(local, c.compileCond(shiftCond(cj.cond, -lo)))
+				local = append(local, mapCond(cj.cond, func(g int) int { return rank[g-lo] }))
 				used[j] = true
 			}
 		}
 		if local != nil {
-			n = c.register(&pfilter{
-				pbase: c.newBase(n.base().width, n.base().reads.union(condReads(local))),
-				in:    n, conds: local,
-			})
+			n = c.filterNode(n, local)
 		}
 		nodes[i] = n
+		ranks[i] = rank
 	}
 
 	// Column-free conjuncts (False, constant comparisons after rewrites)
 	// apply at the first step.
-	var zeroCol []pcond
+	var zeroCol []algebra.Cond
 	for j, cj := range conjs {
 		if !used[j] && len(cj.cols) == 0 {
-			zeroCol = append(zeroCol, c.compileCond(cj.cond))
+			zeroCol = append(zeroCol, cj.cond)
 			used[j] = true
 		}
 	}
 
-	acc := nodes[0]
-	if zeroCol != nil {
-		acc = c.register(&pfilter{
-			pbase: c.newBase(acc.base().width, acc.base().reads.union(condReads(zeroCol))),
-			in:    acc, conds: zeroCol,
-		})
+	// Join ordering: cost-driven when every input carries estimates,
+	// syntactic otherwise. The order never changes results — only which
+	// intermediates exist and which sides build hash tables.
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
 	}
-	accWidth := nodes[0].base().width
-	for i := 1; i < len(nodes); i++ {
-		right := nodes[i]
+	var stepEst, stepCost []float64
+	if len(nodes) > 1 && costable(nodes) {
+		rows := make([]float64, len(nodes))
+		for i, n := range nodes {
+			rows[i] = n.base().est
+		}
+		distGlobal := func(g int) float64 {
+			i := owner[g]
+			return distOfNode(nodes[i])(ranks[i][g-offsets[i]])
+		}
+		var cross []crossConj
+		for j, cj := range conjs {
+			if used[j] {
+				continue
+			}
+			var m uint
+			for _, col := range cj.cols {
+				m |= uint(1) << owner[col]
+			}
+			cross = append(cross, crossConj{mask: m, sel: selCond(cj.cond, distGlobal, noNullFrac)})
+		}
+		order, stepEst, stepCost = orderJoins(rows, cross)
+	}
+
+	// Assemble the left-deep chain in the chosen order. pos maps a global
+	// syntactic column to its position in the accumulated output.
+	pos := make([]int, width)
+	for i := range pos {
+		pos[i] = -1
+	}
+	setPos := func(i, base int) {
 		lo := offsets[i]
-		hi := lo + right.base().width
+		for cc := 0; cc < widths[i]; cc++ {
+			if ranks[i][cc] >= 0 {
+				pos[lo+cc] = base + ranks[i][cc]
+			}
+		}
+	}
+	acc := nodes[order[0]]
+	setPos(order[0], 0)
+	if zeroCol != nil {
+		acc = c.filterNode(acc, zeroCol)
+	}
+	accWidth := acc.base().width
+	for s := 1; s < len(order); s++ {
+		i := order[s]
+		right := nodes[i]
+		lo, hi := offsets[i], offsets[i]+widths[i]
 		// Join keys: unused cross-input equalities with one side in the
 		// accumulated prefix and the other in this input. Several keys form
 		// one composite hash key — the multi-equality extension of the old
@@ -391,50 +724,82 @@ func (c *compiler) compileCluster(e algebra.Expr) pnode {
 				continue
 			}
 			li, ri := eq.I, eq.J
-			if li >= lo && li < hi && ri < accWidth {
+			if ri < lo || ri >= hi {
 				li, ri = ri, li
 			}
-			if li < accWidth && ri >= lo && ri < hi {
-				lkeys = append(lkeys, li)
-				rkeys = append(rkeys, ri-lo)
+			if pos[li] >= 0 && ri >= lo && ri < hi {
+				lkeys = append(lkeys, pos[li])
+				rkeys = append(rkeys, ranks[i][ri-lo])
 				used[j] = true
 			}
 		}
-		// Residuals: every remaining conjunct decidable on the joined
-		// prefix (its columns all below hi).
+		// Residuals: every remaining conjunct decidable once the prefix and
+		// this input's columns are concatenated.
 		var residual []pcond
 		for j, cj := range conjs {
-			if used[j] {
+			if used[j] || len(cj.cols) == 0 {
 				continue
 			}
-			if len(cj.cols) == 0 || cj.cols[len(cj.cols)-1] < hi {
-				residual = append(residual, c.compileCond(cj.cond))
-				used[j] = true
+			avail := true
+			for _, col := range cj.cols {
+				if pos[col] < 0 && (col < lo || col >= hi) {
+					avail = false
+					break
+				}
 			}
+			if !avail {
+				continue
+			}
+			re := mapCond(cj.cond, func(g int) int {
+				if p := pos[g]; p >= 0 {
+					return p
+				}
+				return accWidth + ranks[i][g-lo]
+			})
+			residual = append(residual, c.compileCond(re))
+			used[j] = true
 		}
 		reads := acc.base().reads.union(right.base().reads).union(condReads(residual))
-		acc = c.register(&pjoin{
+		j := &pjoin{
 			pbase: c.newBase(accWidth+right.base().width, reads),
 			left:  acc, right: right,
 			lkeys: lkeys, rkeys: rkeys,
 			residual: residual,
-		})
+			cost:     -1,
+		}
+		if stepEst != nil {
+			j.est = stepEst[s]
+			j.cost = stepCost[s]
+			if lb, rb := acc.base(), right.base(); lb.colDist != nil && rb.colDist != nil {
+				d := make([]float64, 0, j.width)
+				d = append(d, lb.colDist...)
+				d = append(d, rb.colDist...)
+				j.colDist = capDist(d, j.est)
+			}
+		}
+		acc = c.register(j)
+		setPos(i, accWidth)
 		accWidth += right.base().width
 	}
 	// Anything left (should be none) guards the top.
-	var top []pcond
+	var top []algebra.Cond
 	for j, cj := range conjs {
 		if !used[j] {
-			top = append(top, c.compileCond(cj.cond))
+			top = append(top, mapCond(cj.cond, func(g int) int { return pos[g] }))
 		}
 	}
 	if top != nil {
-		acc = c.register(&pfilter{
-			pbase: c.newBase(width, acc.base().reads.union(condReads(top))),
-			in:    acc, conds: top,
-		})
+		acc = c.filterNode(acc, top)
 	}
-	return acc
+	// Restore the needed syntactic column order, dropping conjunct-only
+	// columns; elided when the chain already emits it.
+	outCols := make([]int, 0, accWidth)
+	for g := 0; g < width; g++ {
+		if need == nil || need[g] {
+			outCols = append(outCols, pos[g])
+		}
+	}
+	return c.project(acc, outCols)
 }
 
 // condReads collects the read-sets of compiled conditions (IN subqueries
@@ -451,7 +816,8 @@ func condReads(cs []pcond) readSet {
 // Subqueries are compared set-wise by IN, so the subplan always uses set
 // semantics; textually identical subqueries share one subplan, mirroring
 // the interpreter's rendering-keyed cache. Nested subplans land on the
-// top-level plan's flat list so that Prepare can freeze them all.
+// top-level plan's flat list so that Prepare can freeze them all. The
+// subplan compiles with a full mask: IN probes every output column.
 func (c *compiler) subFor(e algebra.Expr) *Plan {
 	key := e.String()
 	if s, ok := c.subIdx[key]; ok {
@@ -461,8 +827,8 @@ func (c *compiler) subFor(e algebra.Expr) *Plan {
 	sub.outName, sub.outIsRel = "in", false
 	c.subIdx[key] = sub
 	c.top.subs = append(c.top.subs, sub)
-	sc := &compiler{p: sub, top: c.top, cat: c.cat, subIdx: c.subIdx}
-	inner := sc.compile(OptimizedFor(e, c.cat))
+	sc := &compiler{p: sub, top: c.top, cat: c.cat, stats: c.stats, subIdx: c.subIdx}
+	inner := sc.compile(OptimizedFor(e, c.cat), nil)
 	// Semi-join reduction: IN probes only set membership over the probed
 	// columns, so dedup the subplan's stream before any hash side is built
 	// from it (membership set, SQL null split, frozen materialization).
@@ -474,7 +840,16 @@ func (c *compiler) subFor(e algebra.Expr) *Plan {
 }
 
 // describe renders one operator for EXPLAIN output.
-func (n *pscan) describe() string { return "scan " + n.name }
+func (n *pscan) describe() string {
+	if n.cols == nil {
+		return "scan " + n.name
+	}
+	parts := make([]string, len(n.cols))
+	for i, c := range n.cols {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return "scan " + n.name + "[" + strings.Join(parts, ",") + "]"
+}
 func (n *pfilter) describe() string {
 	parts := make([]string, len(n.conds))
 	for i, c := range n.conds {
@@ -490,20 +865,30 @@ func (n *pproject) describe() string {
 	return "project [" + strings.Join(parts, ",") + "]"
 }
 func (n *pjoin) describe() string {
+	var s string
 	if len(n.lkeys) == 0 {
-		return "cross-join"
+		s = "cross-join"
+	} else {
+		lw := n.left.base().width
+		keys := make([]string, len(n.lkeys))
+		for i := range n.lkeys {
+			keys[i] = fmt.Sprintf("#%d=#%d", n.lkeys[i], lw+n.rkeys[i])
+		}
+		s = "hash-join " + strings.Join(keys, ",")
 	}
-	keys := make([]string, len(n.lkeys))
-	for i := range n.lkeys {
-		keys[i] = fmt.Sprintf("#%d=#%d", n.lkeys[i], n.base().width-n.right.base().width+n.rkeys[i])
-	}
-	s := "hash-join " + strings.Join(keys, ",")
 	if len(n.residual) > 0 {
 		parts := make([]string, len(n.residual))
 		for i, c := range n.residual {
 			parts[i] = c.String()
 		}
 		s += " residual " + strings.Join(parts, " ∧ ")
+	}
+	if n.outCols != nil {
+		parts := make([]string, len(n.outCols))
+		for i, c := range n.outCols {
+			parts[i] = fmt.Sprintf("%d", c)
+		}
+		s += " emit [" + strings.Join(parts, ",") + "]"
 	}
 	return s
 }

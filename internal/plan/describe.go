@@ -15,10 +15,17 @@ import (
 // whose build side alone is frozen. Children are always populated — text
 // rendering elides them below frozen nodes, JSON consumers see the full
 // tree.
+// EstRows is the cost model's estimated output cardinality (absent when the
+// catalog carries no statistics), Cost a join step's estimated cost
+// (intermediate rows plus hash-build size), and Columns the pruned column
+// mask a narrowed scan emits.
 type ExplainNode struct {
 	Op          string         `json:"op"`
 	Frozen      bool           `json:"frozen,omitempty"`
 	BuildFrozen bool           `json:"build_frozen,omitempty"`
+	EstRows     *float64       `json:"est_rows,omitempty"`
+	Cost        float64        `json:"cost,omitempty"`
+	Columns     []int          `json:"columns,omitempty"`
 	Children    []*ExplainNode `json:"children,omitempty"`
 }
 
@@ -93,6 +100,16 @@ func describeInfo(q algebra.Expr, cat algebra.Catalog, p *Plan, prep *Prepared) 
 
 func describeTree(q *Plan, n pnode, prep *Prepared) *ExplainNode {
 	out := &ExplainNode{Op: n.describe()}
+	if b := n.base(); b.est >= 0 {
+		est := b.est
+		out.EstRows = &est
+	}
+	if j, ok := n.(*pjoin); ok && j.cost >= 0 {
+		out.Cost = j.cost
+	}
+	if s, ok := n.(*pscan); ok {
+		out.Columns = s.cols
+	}
 	if prep != nil {
 		if fs := prep.frozen[q]; fs != nil {
 			if fs.rels[n.base().id] != nil {
@@ -141,11 +158,18 @@ func (info *ExplainInfo) Text() string {
 
 func textTree(b *strings.Builder, n *ExplainNode, depth int) {
 	marker := ""
+	if n.EstRows != nil {
+		marker = fmt.Sprintf("  (est≈%s", fmtEst(*n.EstRows))
+		if n.Cost > 0 {
+			marker += fmt.Sprintf(", cost≈%s", fmtEst(n.Cost))
+		}
+		marker += ")"
+	}
 	switch {
 	case n.Frozen:
-		marker = "  [frozen across worlds]"
+		marker += "  [frozen across worlds]"
 	case n.BuildFrozen:
-		marker = "  [build side frozen]"
+		marker += "  [build side frozen]"
 	}
 	fmt.Fprintf(b, "%s%s%s\n", strings.Repeat("  ", depth), n.Op, marker)
 	if n.Frozen {
@@ -154,4 +178,13 @@ func textTree(b *strings.Builder, n *ExplainNode, depth int) {
 	for _, c := range n.Children {
 		textTree(b, c, depth+1)
 	}
+}
+
+// fmtEst renders a cardinality estimate compactly: integral values without
+// a fraction, small fractional ones with one decimal.
+func fmtEst(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
 }

@@ -27,7 +27,7 @@ const planCacheCap = 1024
 
 // PlanFor returns the cached (or freshly compiled) plan for e.
 func PlanFor(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) *Plan {
-	key := cacheKey(e, cat, mode, bag)
+	key := cacheKey(e, cat, mode, bag, true)
 	if v, ok := planCache.Load(key); ok {
 		return v.(*Plan)
 	}
@@ -53,7 +53,7 @@ var (
 // OptimizedFor returns the cached (or freshly computed) logical
 // optimization of e over cat.
 func OptimizedFor(e algebra.Expr, cat algebra.Catalog) algebra.Expr {
-	key := cacheKey(e, cat, 0, false)
+	key := cacheKey(e, cat, 0, false, false)
 	if v, ok := optCache.Load(key); ok {
 		return v.(algebra.Expr)
 	}
@@ -66,13 +66,26 @@ func OptimizedFor(e algebra.Expr, cat algebra.Catalog) algebra.Expr {
 	return opt
 }
 
-func cacheKey(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool) string {
+// cacheKey renders the facts a cached artifact depends on. Logical rewrites
+// (withStats false) depend only on the query and the relation arities.
+// Physical plans (withStats true) additionally fold in each read relation's
+// statistics epoch — its log₂ cardinality class — so a plan compiled for one
+// data size is reused until a relation roughly doubles or halves, at which
+// point the cost-based join order may flip and the plan recompiles. The
+// coarse bucketing keeps per-row mutations from thrashing the cache.
+func cacheKey(e algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, withStats bool) string {
 	var b strings.Builder
 	b.WriteString(e.String())
 	fmt.Fprintf(&b, "|%d|%t", mode, bag)
 	names, _ := algebra.RelationsOf(e)
+	stats, _ := cat.(statsProvider)
 	for _, n := range names {
 		fmt.Fprintf(&b, "|%s:%d", n, cat.Arity(n))
+		if withStats && stats != nil {
+			if rel := stats.Relation(n); rel != nil {
+				fmt.Fprintf(&b, "@%d", rel.StatsEpoch())
+			}
+		}
 	}
 	return b.String()
 }

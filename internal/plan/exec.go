@@ -8,15 +8,16 @@ import (
 )
 
 // exec carries per-execution state: the target database, the optional
-// Prepared freeze, and the memo of uncorrelated IN-subquery results (one
-// evaluation each per execution, shared across nesting levels like the
-// interpreter's env caches).
+// Prepared freeze, the per-node batch buffers (batch.go), and the memo of
+// uncorrelated IN-subquery results (one evaluation each per execution,
+// shared across nesting levels like the interpreter's env caches).
 type exec struct {
 	db   *relation.Database
 	prep *Prepared
 	mode algebra.Mode
 	bag  bool
 	plan *Plan // plan currently executing (main plan or an IN subplan)
+	bufs []outBuf
 
 	subRels   map[*Plan]*relation.Relation
 	subSplits map[*Plan]*nullSplit
@@ -33,7 +34,10 @@ func (p *Plan) Exec(db *relation.Database) *relation.Relation {
 func (p *Plan) exec(db *relation.Database, prep *Prepared) *relation.Relation {
 	x := &exec{db: db, prep: prep, mode: p.mode, bag: p.bag, plan: p,
 		subRels: map[*Plan]*relation.Relation{}, subSplits: map[*Plan]*nullSplit{}}
-	return p.materializeRoot(x)
+	x.bufs = p.acquireBufs()
+	out := p.materializeRoot(x)
+	p.releaseBufs(x.bufs)
+	return out
 }
 
 func (p *Plan) materializeRoot(x *exec) *relation.Relation {
@@ -46,7 +50,7 @@ func (p *Plan) materializeRoot(x *exec) *relation.Relation {
 	if out == nil {
 		out = relation.NewArity(p.outName, p.arity)
 	}
-	stream(p.root, x, out.AddMult)
+	stream(p.root, x, relSink(out))
 	if !p.bag {
 		out.Normalize()
 	}
@@ -54,10 +58,15 @@ func (p *Plan) materializeRoot(x *exec) *relation.Relation {
 }
 
 // stream is the dispatcher every operator goes through: a node whose result
-// was frozen by Prepare short-circuits to the cached relation.
-func stream(n pnode, x *exec, emit func(t value.Tuple, m int)) {
+// was frozen by Prepare short-circuits to the cached relation, replayed in
+// batches through the node's own buffer.
+func stream(n pnode, x *exec, emit func(*vbatch)) {
 	if r := x.frozenRel(n); r != nil {
-		r.EachUnordered(emit)
+		o := x.out(n)
+		r.EachUnordered(func(t value.Tuple, m int) {
+			o.push(t, m, emit)
+		})
+		o.flush(emit)
 		return
 	}
 	n.run(x, emit)
@@ -74,17 +83,19 @@ func (x *exec) frozenRel(n pnode) *relation.Relation {
 }
 
 // matRel materializes a node into a consolidated relation (exact
-// multiplicities under bag semantics). Frozen nodes and base-relation scans
-// are returned without copying: all consumers are read-only.
+// multiplicities under bag semantics). Frozen nodes and full-width
+// base-relation scans are returned without copying: all consumers are
+// read-only. A narrowed scan cannot share the base relation — its output
+// tuples are a column subset — so it materializes like any other node.
 func matRel(n pnode, x *exec) *relation.Relation {
 	if r := x.frozenRel(n); r != nil {
 		return r
 	}
-	if s, ok := n.(*pscan); ok {
+	if s, ok := n.(*pscan); ok && s.cols == nil {
 		return x.source(s.name)
 	}
 	out := relation.NewArity("t", n.base().width)
-	n.run(x, out.AddMult)
+	n.run(x, relSink(out))
 	return out
 }
 
@@ -109,7 +120,9 @@ func (x *exec) subRel(sub *Plan) *relation.Relation {
 	}
 	sx := &exec{db: x.db, prep: x.prep, mode: sub.mode, bag: false, plan: sub,
 		subRels: x.subRels, subSplits: x.subSplits}
+	sx.bufs = sub.acquireBufs()
 	r := sub.materializeRoot(sx)
+	sub.releaseBufs(sx.bufs)
 	x.subRels[sub] = r
 	return r
 }
@@ -159,34 +172,64 @@ func (x *exec) multOf(m int) int {
 // every emission carries exact bag arithmetic; under set semantics
 // emissions may repeat tuples (set-insensitive consumers only probe
 // membership) and the root materialization normalizes once at the end.
+// Every operator flows batches (batch.go): rows accumulate in the node's
+// output buffer and flush to the consumer at BatchRows, amortizing the
+// per-row closure dispatch of the old tuple-at-a-time protocol.
 
-func (n *pscan) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pscan) run(x *exec, emit func(*vbatch)) {
 	src := x.source(n.name)
-	if x.bag {
-		src.EachUnordered(emit)
-		return
-	}
-	src.EachUnordered(func(t value.Tuple, _ int) { emit(t, 1) })
-}
-
-func (n *pfilter) run(x *exec, emit func(t value.Tuple, m int)) {
-	stream(n.in, x, func(t value.Tuple, m int) {
-		for _, c := range n.conds {
-			if c.eval(x, t) != logic.T {
-				return
+	o := x.out(n)
+	if n.cols == nil {
+		// Full-width scan: stored tuples stream through by reference.
+		src.EachUnordered(func(t value.Tuple, m int) {
+			o.push(t, x.multOf(m), emit)
+		})
+	} else {
+		// Pruned scan: emit narrowed tuples carved from the arena slab.
+		w := len(n.cols)
+		src.EachUnordered(func(t value.Tuple, m int) {
+			nt := o.alloc(w)
+			for i, c := range n.cols {
+				nt[i] = t[c]
 			}
+			o.push(nt, x.multOf(m), emit)
+		})
+	}
+	o.flush(emit)
+}
+
+func (n *pfilter) run(x *exec, emit func(*vbatch)) {
+	o := x.out(n)
+	stream(n.in, x, func(b *vbatch) {
+	rows:
+		for i, t := range b.rows {
+			for _, c := range n.conds {
+				if c.eval(x, t) != logic.T {
+					continue rows
+				}
+			}
+			o.push(t, b.mults[i], emit)
 		}
-		emit(t, m)
 	})
+	o.flush(emit)
 }
 
-func (n *pproject) run(x *exec, emit func(t value.Tuple, m int)) {
-	stream(n.in, x, func(t value.Tuple, m int) {
-		emit(t.Project(n.cols), m)
+func (n *pproject) run(x *exec, emit func(*vbatch)) {
+	o := x.out(n)
+	w := len(n.cols)
+	stream(n.in, x, func(b *vbatch) {
+		for i, t := range b.rows {
+			nt := o.alloc(w)
+			for j, c := range n.cols {
+				nt[j] = t[c]
+			}
+			o.push(nt, b.mults[i], emit)
+		}
 	})
+	o.flush(emit)
 }
 
-func (n *pjoin) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pjoin) run(x *exec, emit func(*vbatch)) {
 	var table *joinTable
 	if x.prep != nil {
 		if fs := x.prep.frozen[x.plan]; fs != nil {
@@ -194,56 +237,101 @@ func (n *pjoin) run(x *exec, emit func(t value.Tuple, m int)) {
 		}
 	}
 	if table == nil {
-		table = newJoinTable(n.rkeys)
-		stream(n.right, x, func(t value.Tuple, m int) {
-			table.add(t, m, x.mode)
+		table = newJoinTable(n.rkeys, int(n.right.base().est))
+		stream(n.right, x, func(b *vbatch) {
+			for i, t := range b.rows {
+				table.add(t, b.mults[i], x.mode)
+			}
 		})
 	}
 	sqlMode := x.mode == algebra.ModeSQL
-	stream(n.left, x, func(lt value.Tuple, lm int) {
-		if sqlMode {
-			for _, k := range n.lkeys {
-				if lt[k].IsNull() {
-					return // the key equality can never be t
+	o := x.out(n)
+	lw := n.left.base().width
+	full := lw + n.right.base().width
+	stream(n.left, x, func(b *vbatch) {
+	left:
+		for i, lt := range b.rows {
+			if sqlMode {
+				for _, k := range n.lkeys {
+					if lt[k].IsNull() {
+						continue left // the key equality can never be t
+					}
 				}
 			}
-		}
-		table.probe(lt, n.lkeys, func(rt value.Tuple, rm int) {
-			joined := lt.Concat(rt)
-			for _, c := range n.residual {
-				if c.eval(x, joined) != logic.T {
+			lm := b.mults[i]
+			table.probe(lt, n.lkeys, func(rt value.Tuple, rm int) {
+				if n.outCols == nil {
+					joined := o.alloc(full)
+					copy(joined, lt)
+					copy(joined[lw:], rt)
+					for _, c := range n.residual {
+						if c.eval(x, joined) != logic.T {
+							o.unalloc(full) // never emitted: reclaim the row
+							return
+						}
+					}
+					o.push(joined, lm*rm, emit)
 					return
 				}
-			}
-			emit(joined, lm*rm)
-		})
+				// Folded projection: the residual (if any) still sees the
+				// full concatenation via the reusable scratch tuple; emitted
+				// rows carry only the projected columns.
+				if n.residual != nil {
+					if cap(o.scratch) < full {
+						o.scratch = make(value.Tuple, full)
+					}
+					s := o.scratch[:full]
+					copy(s, lt)
+					copy(s[lw:], rt)
+					for _, c := range n.residual {
+						if c.eval(x, s) != logic.T {
+							return
+						}
+					}
+				}
+				outT := o.alloc(len(n.outCols))
+				for j, cc := range n.outCols {
+					if cc < lw {
+						outT[j] = lt[cc]
+					} else {
+						outT[j] = rt[cc-lw]
+					}
+				}
+				o.push(outT, lm*rm, emit)
+			})
+		}
 	})
+	o.flush(emit)
 }
 
-func (n *punion) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *punion) run(x *exec, emit func(*vbatch)) {
+	// Child batches forward zero-copy: a union adds no per-row work.
 	stream(n.l, x, emit)
 	stream(n.r, x, emit)
 }
 
-func (n *pdiff) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pdiff) run(x *exec, emit func(*vbatch)) {
 	l, r := matRel(n.l, x), matRel(n.r, x)
+	o := x.out(n)
 	if x.bag {
 		l.EachUnordered(func(t value.Tuple, m int) {
 			if rest := m - r.Mult(t); rest > 0 {
-				emit(t, rest)
+				o.push(t, rest, emit)
 			}
 		})
-		return
+	} else {
+		l.EachUnordered(func(t value.Tuple, _ int) {
+			if !r.Contains(t) {
+				o.push(t, 1, emit)
+			}
+		})
 	}
-	l.EachUnordered(func(t value.Tuple, _ int) {
-		if !r.Contains(t) {
-			emit(t, 1)
-		}
-	})
+	o.flush(emit)
 }
 
-func (n *pinter) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pinter) run(x *exec, emit func(*vbatch)) {
 	l, r := matRel(n.l, x), matRel(n.r, x)
+	o := x.out(n)
 	l.EachUnordered(func(t value.Tuple, m int) {
 		rm := r.Mult(t)
 		if rm == 0 {
@@ -253,22 +341,25 @@ func (n *pinter) run(x *exec, emit func(t value.Tuple, m int)) {
 			if rm < m {
 				m = rm
 			}
-			emit(t, m)
+			o.push(t, m, emit)
 		} else {
-			emit(t, 1)
+			o.push(t, 1, emit)
 		}
 	})
+	o.flush(emit)
 }
 
-func (n *pdivide) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pdivide) run(x *exec, emit func(*vbatch)) {
 	l, r := matRel(n.l, x), matRel(n.r, x)
 	w := n.base().width
+	o := x.out(n)
 	cands := relation.NewArity("c", w)
 	l.EachUnordered(func(t value.Tuple, _ int) { cands.Add(t[:w].Clone()) })
 	if r.Len() == 0 {
 		// ∀ over an empty set: every deduplicated projection of L
 		// qualifies (division divides the underlying sets).
-		cands.EachUnordered(func(a value.Tuple, _ int) { emit(a, 1) })
+		cands.EachUnordered(func(a value.Tuple, _ int) { o.push(a, 1, emit) })
+		o.flush(emit)
 		return
 	}
 	cands.EachUnordered(func(a value.Tuple, _ int) {
@@ -279,12 +370,13 @@ func (n *pdivide) run(x *exec, emit func(t value.Tuple, m int)) {
 			}
 		})
 		if ok {
-			emit(a, 1)
+			o.push(a, 1, emit)
 		}
 	})
+	o.flush(emit)
 }
 
-func (n *pantiunify) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pantiunify) run(x *exec, emit func(*vbatch)) {
 	var split *nullSplit
 	if x.prep != nil {
 		if fs := x.prep.frozen[x.plan]; fs != nil {
@@ -295,6 +387,7 @@ func (n *pantiunify) run(x *exec, emit func(t value.Tuple, m int)) {
 		split = splitNulls(matRel(n.r, x))
 	}
 	l := matRel(n.l, x)
+	o := x.out(n)
 	l.EachUnordered(func(t value.Tuple, m int) {
 		if t.HasNull() {
 			// Rare path: scan everything.
@@ -315,24 +408,31 @@ func (n *pantiunify) run(x *exec, emit func(t value.Tuple, m int)) {
 				return
 			}
 		}
-		emit(t, x.multOf(m))
+		o.push(t, x.multOf(m), emit)
 	})
+	o.flush(emit)
 }
 
-func (n *pdistinct) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pdistinct) run(x *exec, emit func(*vbatch)) {
 	var seen value.TupleMap[struct{}]
-	stream(n.in, x, func(t value.Tuple, _ int) {
-		if seen.Has(t) {
-			return
+	o := x.out(n)
+	stream(n.in, x, func(b *vbatch) {
+		for _, t := range b.rows {
+			if seen.Has(t) {
+				continue
+			}
+			seen.Put(t, struct{}{})
+			o.push(t, 1, emit)
 		}
-		seen.Put(t, struct{}{})
-		emit(t, 1)
 	})
+	o.flush(emit)
 }
 
-func (n *pdom) run(x *exec, emit func(t value.Tuple, m int)) {
+func (n *pdom) run(x *exec, emit func(*vbatch)) {
+	o := x.out(n)
 	if n.k == 0 {
-		emit(value.Tuple{}, 1)
+		o.push(value.Tuple{}, 1, emit)
+		o.flush(emit)
 		return
 	}
 	adom := x.db.ActiveDomain()
@@ -340,7 +440,9 @@ func (n *pdom) run(x *exec, emit func(t value.Tuple, m int)) {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == n.k {
-			emit(tuple.Clone(), 1)
+			nt := o.alloc(n.k)
+			copy(nt, tuple)
+			o.push(nt, 1, emit)
 			return
 		}
 		for _, v := range adom {
@@ -349,6 +451,7 @@ func (n *pdom) run(x *exec, emit func(t value.Tuple, m int)) {
 		}
 	}
 	rec(0)
+	o.flush(emit)
 }
 
 // joinTable is the multi-key hash table of one join step: rows bucketed by
@@ -365,10 +468,15 @@ type jrow struct {
 	m int
 }
 
-func newJoinTable(rkeys []int) *joinTable {
+// newJoinTable builds an empty table; sizeHint (estimated build rows, 0 when
+// unknown) presizes the bucket map so inserts skip incremental growth.
+func newJoinTable(rkeys []int, sizeHint int) *joinTable {
 	t := &joinTable{rkeys: rkeys}
 	if len(rkeys) > 0 {
-		t.keyed = map[uint64][]jrow{}
+		if sizeHint < 0 || sizeHint > 1<<20 {
+			sizeHint = 0
+		}
+		t.keyed = make(map[uint64][]jrow, sizeHint)
 	}
 	return t
 }

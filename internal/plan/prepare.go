@@ -159,7 +159,7 @@ func (prep *Prepared) freezeNodes(q *Plan) {
 		switch n := n.(type) {
 		case *pjoin:
 			if r := fs.rels[n.right.base().id]; r != nil {
-				tb := newJoinTable(n.rkeys)
+				tb := newJoinTable(n.rkeys, r.Len())
 				r.EachUnordered(func(t value.Tuple, m int) {
 					tb.add(t, m, q.mode)
 				})
@@ -179,13 +179,16 @@ func (prep *Prepared) freezeNodes(q *Plan) {
 func (prep *Prepared) run(q *Plan, n pnode) *relation.Relation {
 	x := &exec{db: prep.base, prep: prep, mode: q.mode, bag: q.bag, plan: q,
 		subRels: map[*Plan]*relation.Relation{}, subSplits: map[*Plan]*nullSplit{}}
-	if s, ok := n.(*pscan); ok {
-		// A static base relation is shared as-is: stored rows are immutable
-		// and every consumer is read-only.
+	if s, ok := n.(*pscan); ok && s.cols == nil {
+		// A static full-width base relation is shared as-is: stored rows are
+		// immutable and every consumer is read-only. A pruned scan emits
+		// narrowed tuples, so it materializes below like any other node.
 		return x.source(s.name)
 	}
+	x.bufs = q.acquireBufs()
 	out := relation.NewArity("t", n.base().width)
-	n.run(x, out.AddMult)
+	n.run(x, relSink(out))
+	q.releaseBufs(x.bufs)
 	return out
 }
 

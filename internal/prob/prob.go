@@ -43,6 +43,9 @@ type Options struct {
 	Prep   *plan.PrepCache
 }
 
+// worldEval returns the shared per-world evaluator; as in internal/certain,
+// the plan's batch buffers recycle per worker shard via its sync.Pool, so
+// the µᵏ counting loop pays for rows, not per-world allocations.
 func (o Options) worldEval(db *relation.Database, q algebra.Expr) func(*relation.Database) *relation.Relation {
 	return o.Prep.WorldEval(db, q, algebra.ModeNaive, false)
 }

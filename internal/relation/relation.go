@@ -48,6 +48,10 @@ type Relation struct {
 	// Atomic for the same reason as sorted: concurrent readers of a stable
 	// relation may race on the first computation, which is idempotent.
 	nullState atomic.Int32
+	// statsCache holds the lazily computed statistics snapshot (stats.go),
+	// keyed by the version it was computed at rather than invalidated
+	// eagerly — Normalize moves the version without calling invalidate.
+	statsCache atomic.Pointer[statsSnap]
 	// version counts content mutations: every Add/AddMult/SetMult/Normalize
 	// call bumps it (even when the call turns out to be a no-op — the
 	// counter over-approximates change, it never misses one). Long-lived

@@ -1,0 +1,64 @@
+package relation
+
+import (
+	"testing"
+
+	"incdb/internal/value"
+)
+
+func TestStatsCountsAndCaching(t *testing.T) {
+	r := New("R", "a", "b")
+	r.AddMult(value.T(value.Const("x"), value.Int(1)), 2)
+	r.Add(value.T(value.Const("x"), value.Int(2)))
+	r.Add(value.T(value.Const("y"), value.Null(7)))
+	r.Add(value.T(value.Null(7), value.Null(7)))
+
+	st := r.Stats()
+	if st.Rows != 4 || st.Size != 5 {
+		t.Fatalf("Rows=%d Size=%d, want 4 distinct / 5 occurrences", st.Rows, st.Size)
+	}
+	// Column a holds x, x, y, ⊥7 → 3 distinct (the null counts as itself).
+	if st.ColDistinct[0] != 3 || st.ColDistinct[1] != 3 {
+		t.Fatalf("ColDistinct=%v, want [3 3]", st.ColDistinct)
+	}
+	if st.ColNulls[0] != 1 || st.ColNulls[1] != 2 {
+		t.Fatalf("ColNulls=%v, want [1 2]", st.ColNulls)
+	}
+
+	// The snapshot is cached per mutation version: same version, same block;
+	// a mutation re-derives.
+	if again := r.Stats(); &again.ColDistinct[0] != &st.ColDistinct[0] {
+		t.Fatal("stable relation recomputed its stats snapshot")
+	}
+	r.Add(value.T(value.Const("z"), value.Int(9)))
+	st2 := r.Stats()
+	if st2.Rows != 5 || st2.ColDistinct[0] != 4 {
+		t.Fatalf("post-mutation stats stale: %+v", st2)
+	}
+}
+
+func TestStatsEpochBuckets(t *testing.T) {
+	r := NewArity("R", 1)
+	if e := r.StatsEpoch(); e != 0 {
+		t.Fatalf("empty relation epoch = %d, want 0", e)
+	}
+	prev := r.StatsEpoch()
+	flips := 0
+	for i := 0; i < 100; i++ {
+		r.Add(value.T(value.Int(i)))
+		if e := r.StatsEpoch(); e != prev {
+			if e != prev+1 {
+				t.Fatalf("epoch jumped %d → %d at %d rows", prev, e, r.Len())
+			}
+			// Epochs are log₂ classes: flips land exactly at powers of two.
+			if n := r.Len(); n&(n-1) != 0 {
+				t.Fatalf("epoch flipped at %d rows (not a power of two)", n)
+			}
+			prev = e
+			flips++
+		}
+	}
+	if flips != 7 { // 1, 2, 4, 8, 16, 32, 64
+		t.Fatalf("saw %d epoch flips over 100 rows, want 7", flips)
+	}
+}

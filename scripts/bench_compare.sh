@@ -20,17 +20,21 @@
 #
 # The base ref defaults to HEAD~1 (the previous commit), checked out into a
 # temporary git worktree so the working tree is never disturbed. Exit code
-# is zero unless the *measurement itself* fails: regressions are reported,
-# not enforced — CI runs this as a non-blocking artifact job.
+# is nonzero when the measurement itself fails OR when a gated oracle
+# microbenchmark (E1/E11) regresses more than GATE_PCT percent — the
+# benchjson gate enforces this from the same medians the JSON reports, so
+# it works offline; benchstat output, when available, is informational.
 set -eu
 
 BASE_REF="${1:-HEAD~1}"
-BENCH="${BENCH:-BenchmarkOperatorJoin|BenchmarkE5CTableStrategies|BenchmarkE1Figure1|BenchmarkE11NaiveEval|BenchmarkOperatorDifference|BenchmarkOperatorAntiUnify}"
+BENCH="${BENCH:-BenchmarkOperatorJoin|BenchmarkE5CTableStrategies|BenchmarkE1Figure1|BenchmarkE11NaiveEval|BenchmarkOperatorDifference|BenchmarkOperatorAntiUnify|BenchmarkTPCHMultiJoin}"
 BENCHTIME="${BENCHTIME:-0.2s}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-bench-compare-out}"
-PRNUM="${PRNUM:-3}"
-PRTITLE="${PRTITLE:-Compile-once query planner: pushdown, n-ary hash joins, and plan reuse across valuations}"
+PRNUM="${PRNUM:-8}"
+PRTITLE="${PRTITLE:-Cost-based join ordering, column-pruned scans, and batched execution}"
+GATE="${GATE:-BenchmarkE1Figure1|BenchmarkE11NaiveEval}"
+GATE_PCT="${GATE_PCT:-25}"
 
 mkdir -p "$OUT"
 
@@ -78,12 +82,12 @@ else
     } | tee -a "$OUT/benchstat.txt"
 fi
 
-echo "== JSON report =="
+echo "== JSON report and regression gate =="
 go run ./scripts/benchjson \
     -old "$OUT/old.txt" -new "$OUT/new.txt" \
     -out "BENCH_PR$PRNUM.json" -pr "$PRNUM" -title "$PRTITLE" \
     -method "go test -run='^\$' -bench='$BENCH' -benchmem -benchtime=$BENCHTIME -count=$COUNT; medians of $COUNT runs" \
     -before "$(git log -1 --format='%h (%s)' "$BASE_REF" | cut -c1-120)" \
-    || echo "benchjson failed; text report still available" >&2
+    -gate "$GATE" -fail-over "$GATE_PCT"
 
 echo "results in $OUT/ and BENCH_PR$PRNUM.json"

@@ -125,6 +125,8 @@ func main() {
 	title := flag.String("title", "", "PR title")
 	method := flag.String("method", "", "measurement method description")
 	before := flag.String("before", "", "base commit description")
+	gate := flag.String("gate", "", "regexp of benchmarks whose ns/op regression fails the run")
+	failOver := flag.Float64("fail-over", 25, "gate threshold: fail when median ns/op regresses more than this percent")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" || *out == "" {
 		flag.Usage()
@@ -165,4 +167,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+
+	// Regression gate: after the artifact is written (so a failing run still
+	// uploads its numbers), fail loudly when any gated benchmark's median
+	// ns/op regressed past the threshold. This is the offline counterpart of
+	// a benchstat check — medians of the same runs, no external tooling.
+	if *gate != "" {
+		re, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -gate regexp:", err)
+			os.Exit(1)
+		}
+		failed := false
+		names := make([]string, 0, len(rep.Benchmarks))
+		for name := range rep.Benchmarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := rep.Benchmarks[name]
+			if !re.MatchString(name) || c.Before.Ns == 0 {
+				continue
+			}
+			pct := (c.After.Ns - c.Before.Ns) / c.Before.Ns * 100
+			if pct > *failOver {
+				fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s regressed %.1f%% (median %.0f → %.0f ns/op, limit +%.0f%%)\n",
+					name, pct, c.Before.Ns, c.After.Ns, *failOver)
+				failed = true
+			} else {
+				fmt.Printf("gate ok: %s %+.1f%% (limit +%.0f%%)\n", name, pct, *failOver)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
 }
