@@ -17,7 +17,7 @@ const clientHelp = `commands:
   append <file>            append a file's rows into the session database
   <proc> <query>           evaluate (procs: sql naive cert inter plus poss ctable-*)
   <query>                  evaluate under sql
-  explain [sql] [bag] <query>   show the plan (as the server prepares it)
+  explain [sql] [bag] [analyze] <query>   show the plan (analyze: run it, show actual rows and time per node)
   status                   server sessions, versions, caches, durability, replication
   vector                   print the consistency token (for -read-after elsewhere)
   snapshot [file]          export a consistent session snapshot (stdout or file)
@@ -182,21 +182,23 @@ func clientLine(c *server.Client, line string, opts queryOpts) error {
 		}
 		return nil
 	case "explain":
-		sql, bag := false, false
+		sql, bag, analyze := false, false, false
 		for {
 			word, more, _ := strings.Cut(rest, " ")
 			if word == "sql" {
 				sql, rest = true, strings.TrimSpace(more)
 			} else if word == "bag" {
 				bag, rest = true, strings.TrimSpace(more)
+			} else if word == "analyze" {
+				analyze, rest = true, strings.TrimSpace(more)
 			} else {
 				break
 			}
 		}
 		if rest == "" {
-			return fmt.Errorf("usage: explain [sql] [bag] <query>")
+			return fmt.Errorf("usage: explain [sql] [bag] [analyze] <query>")
 		}
-		er, err := c.Explain(rest, sql, bag)
+		er, err := c.ExplainAnalyze(rest, sql, bag, analyze)
 		if err != nil {
 			return err
 		}

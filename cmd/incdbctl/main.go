@@ -15,7 +15,15 @@
 // marked) instead of evaluating; -format json emits the same structured
 // rendering the incdbd server's /v1/explain endpoint returns:
 //
-//	incdbctl explain -db data.idb [-sql] [-bag] [-format text|json] "minus(proj(0, Customers), proj(0, Payments))"
+//	incdbctl explain -db data.idb [-sql] [-bag] [-analyze] [-format text|json] "minus(proj(0, Customers), proj(0, Payments))"
+//
+// With -analyze the plan is also executed once with per-node tracing, so
+// every node shows its actual row count, batch count and wall time next to
+// the optimizer's estimates (EXPLAIN ANALYZE). The top subcommand scrapes
+// a server's /v1/metrics and prints an operator summary (query rates and
+// latency quantiles by procedure, cache hit rates, replication lag):
+//
+//	incdbctl top -addr http://localhost:8080
 //
 // The client subcommand speaks the incdbd HTTP/JSON protocol — one-shot or
 // as a REPL over a named server-side session (see runClient). -addr takes
@@ -71,6 +79,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "incdbctl top:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	dbPath := flag.String("db", "", "database file (raparse format)")
 	mode := flag.String("mode", "report", "evaluation mode")
 	maxWorlds := flag.Int("maxworlds", 0, "certainty oracle world bound (0 = default)")
@@ -94,6 +109,7 @@ func runExplain(args []string) error {
 	dbPath := fs.String("db", "", "database file (raparse format)")
 	sql := fs.Bool("sql", false, "plan for SQL three-valued evaluation instead of naive")
 	bag := fs.Bool("bag", false, "plan under bag semantics")
+	analyze := fs.Bool("analyze", false, "execute the plan once and show actual rows and wall time per node")
 	format := fs.String("format", "text", "output format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,7 +138,12 @@ func runExplain(args []string) error {
 	if *sql {
 		mode = algebra.ModeSQL
 	}
-	info := plan.Describe(q, db, mode, *bag, db)
+	var info *plan.ExplainInfo
+	if *analyze {
+		info = plan.DescribeAnalyze(q, db, mode, *bag, db, nil)
+	} else {
+		info = plan.Describe(q, db, mode, *bag, db)
+	}
 	switch *format {
 	case "text":
 		fmt.Print(info.Text())

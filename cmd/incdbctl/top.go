@@ -1,0 +1,266 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"incdb/internal/obs"
+	"incdb/internal/server"
+)
+
+// runTop runs the top subcommand: one scrape of the server's /v1/metrics,
+// rendered as an operator summary — query rates and latency quantiles by
+// procedure, cache hit rates, WAL group-commit behaviour and replication
+// lag. Rates are since server start (one scrape has no earlier point to
+// diff against); quantiles are interpolated from the histogram buckets.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "incdbd base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	text, err := server.NewClient(*addr, "").Metrics()
+	if err != nil {
+		return err
+	}
+	samples, err := obs.ParseProm(strings.NewReader(text))
+	if err != nil {
+		return fmt.Errorf("parsing %s/v1/metrics: %w", *addr, err)
+	}
+	printTop(*addr, samples)
+	return nil
+}
+
+// sumWhere sums the values of every sample with the given name whose
+// labels all match want (want values of "" match anything).
+func sumWhere(samples []obs.Sample, name string, want map[string]string) float64 {
+	total := 0.0
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if v != "" && s.Label(k) != v {
+				ok = false
+			}
+		}
+		if ok {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func gaugeOf(samples []obs.Sample, name string) float64 {
+	return sumWhere(samples, name, nil)
+}
+
+func printTop(addr string, samples []obs.Sample) {
+	role := "unknown"
+	for _, s := range samples {
+		if s.Name == "incdb_role" && s.Value == 1 {
+			role = s.Label("role")
+		}
+	}
+	uptime := gaugeOf(samples, "incdb_uptime_seconds")
+	fmt.Printf("incdbd %s — %s, epoch %.0f, up %s\n",
+		addr, role, gaugeOf(samples, "incdb_epoch"), fmtSeconds(uptime))
+	fmt.Printf("in-flight %.0f/%.0f (%.0f waiting)%s\n",
+		gaugeOf(samples, "incdb_inflight_requests"),
+		gaugeOf(samples, "incdb_max_in_flight"),
+		gaugeOf(samples, "incdb_admission_waiting"),
+		errorSummary(samples))
+
+	queries := sumWhere(samples, "incdb_queries_total", nil)
+	qps := 0.0
+	if uptime > 0 {
+		qps = queries / uptime
+	}
+	fmt.Printf("queries %.0f total (%.2f/s avg, %.0f slow); worlds %.0f, frozen reuse %.0f\n",
+		queries, qps, gaugeOf(samples, "incdb_slow_queries_total"),
+		gaugeOf(samples, "incdb_worlds_enumerated_total"),
+		gaugeOf(samples, "incdb_frozen_reuse_total"))
+
+	printProcTable(samples, uptime)
+	printCaches(samples)
+	printWAL(samples)
+	printReplication(samples)
+}
+
+func errorSummary(samples []obs.Sample) string {
+	var parts []string
+	for _, s := range samples {
+		if s.Name == "incdb_errors_total" && s.Value > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%.0f", s.Label("code"), s.Value))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	sort.Strings(parts)
+	return ", errors: " + strings.Join(parts, " ")
+}
+
+// printProcTable renders per-procedure counts and latency quantiles. The
+// query count includes result-cache hits; the latency histogram only sees
+// evaluated queries, so a proc answered mostly from cache shows few
+// observations behind its quantiles.
+type procStats struct {
+	queries float64
+	buckets obs.Buckets
+}
+
+func printProcTable(samples []obs.Sample, uptime float64) {
+	procs := map[string]*procStats{}
+	for _, s := range samples {
+		switch s.Name {
+		case "incdb_queries_total":
+			p := procRow(procs, s.Label("proc"))
+			p.queries += s.Value
+		case "incdb_query_seconds_bucket":
+			le, err := strconv.ParseFloat(s.Label("le"), 64)
+			if s.Label("le") == "+Inf" {
+				le, err = math.Inf(1), nil
+			}
+			if err == nil {
+				procRow(procs, s.Label("proc")).buckets.AddBucket(le, s.Value)
+			}
+		}
+	}
+	if len(procs) == 0 {
+		return
+	}
+	names := make([]string, 0, len(procs))
+	for name := range procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-14s %9s %9s %10s %10s\n", "proc", "queries", "qps", "p50", "p99")
+	for _, name := range names {
+		p := procs[name]
+		qps := 0.0
+		if uptime > 0 {
+			qps = p.queries / uptime
+		}
+		fmt.Printf("%-14s %9.0f %9.2f %10s %10s\n", name, p.queries, qps,
+			fmtQuantile(&p.buckets, 0.50), fmtQuantile(&p.buckets, 0.99))
+	}
+}
+
+func procRow(procs map[string]*procStats, name string) *procStats {
+	p, ok := procs[name]
+	if !ok {
+		p = &procStats{}
+		procs[name] = p
+	}
+	return p
+}
+
+func printCaches(samples []obs.Sample) {
+	prepHits := sumWhere(samples, "incdb_prep_cache_hits_total", nil)
+	prepMisses := sumWhere(samples, "incdb_prep_cache_misses_total", nil)
+	resHits := sumWhere(samples, "incdb_result_cache_hits_total", nil)
+	resMisses := sumWhere(samples, "incdb_result_cache_misses_total", nil)
+	fmt.Printf("\ncaches: plans %s (%.0f/%.0f), results %s (%.0f/%.0f)\n",
+		hitRate(prepHits, prepMisses), prepHits, prepHits+prepMisses,
+		hitRate(resHits, resMisses), resHits, resHits+resMisses)
+}
+
+func printWAL(samples []obs.Sample) {
+	syncs := sumWhere(samples, "incdb_wal_fsync_seconds_count", nil)
+	if syncs == 0 {
+		return
+	}
+	var fsync obs.Buckets
+	for _, s := range samples {
+		if s.Name != "incdb_wal_fsync_seconds_bucket" {
+			continue
+		}
+		le, err := strconv.ParseFloat(s.Label("le"), 64)
+		if s.Label("le") == "+Inf" {
+			le, err = math.Inf(1), nil
+		}
+		if err == nil {
+			fsync.AddBucket(le, s.Value)
+		}
+	}
+	perFsync := sumWhere(samples, "incdb_wal_records_per_fsync_sum", nil) /
+		math.Max(1, sumWhere(samples, "incdb_wal_records_per_fsync_count", nil))
+	fmt.Printf("wal: %.0f fsyncs, %.1f records/fsync, fsync p99 %s\n",
+		syncs, perFsync, fmtQuantile(&fsync, 0.99))
+}
+
+func printReplication(samples []obs.Sample) {
+	type lag struct{ applied, lagSeq, since float64 }
+	sessions := map[string]*lag{}
+	get := func(name string) *lag {
+		l, ok := sessions[name]
+		if !ok {
+			l = &lag{}
+			sessions[name] = l
+		}
+		return l
+	}
+	for _, s := range samples {
+		switch s.Name {
+		case "incdb_replica_applied_seq":
+			get(s.Label("session")).applied = s.Value
+		case "incdb_replica_lag_seq":
+			get(s.Label("session")).lagSeq = s.Value
+		case "incdb_replica_seconds_since_apply":
+			get(s.Label("session")).since = s.Value
+		}
+	}
+	if len(sessions) == 0 {
+		return
+	}
+	names := make([]string, 0, len(sessions))
+	for name := range sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("replication:")
+	for _, name := range names {
+		l := sessions[name]
+		fmt.Printf("  %s: applied seq %.0f, lag %.0f record(s), %s since last apply\n",
+			name, l.applied, l.lagSeq, fmtSeconds(l.since))
+	}
+}
+
+func hitRate(hits, misses float64) string {
+	if hits+misses == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%% hit", 100*hits/(hits+misses))
+}
+
+func fmtQuantile(b *obs.Buckets, q float64) string {
+	v := b.Quantile(q)
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmtSeconds(v)
+}
+
+func fmtSeconds(v float64) string {
+	switch {
+	case v < 0.001:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	case v < 120:
+		return fmt.Sprintf("%.1fs", v)
+	default:
+		return fmt.Sprintf("%.0fm%02.0fs", math.Floor(v/60), math.Mod(v, 60))
+	}
+}

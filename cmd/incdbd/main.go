@@ -40,6 +40,14 @@
 // `incdbctl promote` (POST /v1/promote); a revived stale primary fences
 // itself read-only on observing the higher epoch. GET /v1/healthz and
 // GET /v1/readyz serve liveness/readiness probes.
+//
+// Observability: GET /v1/metrics serves the Prometheus text format (query
+// latency and worlds-enumerated histograms, cache hit counters, WAL fsync
+// and group-commit histograms, replication lag — see the README's
+// Observability section). -slow-query logs evaluated queries over the
+// threshold with their plan summary; -pprof-addr serves net/http/pprof on
+// a separate listener; `incdbctl top` renders the metrics as a one-shot
+// summary.
 package main
 
 import (
@@ -47,6 +55,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,6 +77,8 @@ func main() {
 	follow := flag.String("follow", "", "primary URL to follow as a read replica (e.g. http://primary:8080)")
 	staleWait := flag.Duration("stale-wait", 0, "how long a replica holds a read for its consistency token (0 = 2s)")
 	writeTimeout := flag.Duration("write-timeout", 0, "HTTP response write deadline (0 = none; WAL streaming is exempt)")
+	slowQuery := flag.Duration("slow-query", 0, "log evaluated queries slower than this (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown window")
 	load := flag.String("load", "", "database file (raparse format) to preload")
 	session := flag.String("session", "default", "session name for -load")
@@ -81,8 +93,19 @@ func main() {
 		SnapshotBytes:  *snapshotBytes,
 		StaleWait:      *staleWait,
 		WriteTimeout:   *writeTimeout,
+		SlowQuery:      *slowQuery,
 		ShutdownGrace:  *grace,
 	})
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener so they are
+		// never exposed on the service address.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("incdbd: pprof: %v", err)
+			}
+		}()
+	}
 	if *dataDir != "" {
 		if err := srv.EnableDurability(*dataDir); err != nil {
 			log.Fatalf("incdbd: %v", err)

@@ -111,24 +111,35 @@ type Resultset struct {
 // procedures, certain+possible for the ctable strategies. Cached reports
 // that the oracle result cache answered without evaluating anything.
 // Versions is the version vector of the state that answered — the
-// consistency token for subsequent monotonic reads.
+// consistency token for subsequent monotonic reads. Worlds counts the plan
+// executions the evaluation spent (one per enumerated valuation for the
+// certainty oracles, typically 1 otherwise); FrozenReuse counts the
+// world-invariant subplan results served instead of recomputed. Both are 0
+// on cached answers and for the ctable strategies (which bypass the plan
+// executor).
 type QueryResponse struct {
-	Session   string            `json:"session"`
-	Proc      string            `json:"proc"`
-	Query     string            `json:"query"`
-	Results   []Resultset       `json:"results"`
-	ElapsedMs float64           `json:"elapsed_ms"`
-	Cached    bool              `json:"cached,omitempty"`
-	Versions  map[string]uint64 `json:"versions,omitempty"`
-	Epoch     uint64            `json:"epoch,omitempty"` // epoch of the answering state
+	Session     string            `json:"session"`
+	Proc        string            `json:"proc"`
+	Query       string            `json:"query"`
+	Results     []Resultset       `json:"results"`
+	ElapsedMs   float64           `json:"elapsed_ms"`
+	Cached      bool              `json:"cached,omitempty"`
+	Worlds      int64             `json:"worlds,omitempty"`
+	FrozenReuse int64             `json:"frozen_reuse,omitempty"`
+	Versions    map[string]uint64 `json:"versions,omitempty"`
+	Epoch       uint64            `json:"epoch,omitempty"` // epoch of the answering state
 }
 
 // ExplainRequest renders the plan for a query against a session database.
+// With Analyze true the plan is also executed once with per-node tracing:
+// the response carries actual row counts, batch counts and wall time next
+// to each node's estimates (EXPLAIN ANALYZE).
 type ExplainRequest struct {
 	Session string `json:"session,omitempty"` // legacy body-field routing
 	Query   string `json:"query"`
 	SQL     bool   `json:"sql,omitempty"` // plan for SQL three-valued evaluation
 	Bag     bool   `json:"bag,omitempty"`
+	Analyze bool   `json:"analyze,omitempty"`
 }
 
 // ExplainResponse returns the structured plan (the same plan.Describe

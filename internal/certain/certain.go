@@ -52,7 +52,14 @@ import (
 // *across* oracle invocations, guarded by the base relations' mutation
 // versions — the REPL/server reuse path.
 func (o Options) worldEval(db *relation.Database, q algebra.Expr, bag bool) func(*relation.Database) *relation.Relation {
-	return o.Prep.WorldEval(db, q, algebra.ModeNaive, bag)
+	prep := o.Prep.Get(db, q, algebra.ModeNaive, bag)
+	if o.Trace == nil {
+		return prep.Exec
+	}
+	tr := o.Trace
+	return func(w *relation.Database) *relation.Relation {
+		return prep.ExecTraced(w, tr)
+	}
 }
 
 // Options bounds the exhaustive enumeration and configures parallelism.
@@ -72,6 +79,12 @@ type Options struct {
 	// enumeration: 0 means one per CPU, 1 forces the serial reference
 	// path. Results are independent of the setting.
 	Workers int
+	// Trace, when non-nil, accumulates execution statistics across the
+	// oracle's whole valuation loop: Execs counts worlds enumerated (plus
+	// the candidate-producing base run), FrozenReuse counts frozen-subplan
+	// serves. Shared by all worker shards; adds two atomic increments per
+	// world. Results are identical with or without it.
+	Trace *plan.Trace
 	// Prep, when non-nil, supplies version-guarded prepared plans that
 	// survive across oracle invocations: repeated queries against an
 	// unchanged database skip re-materializing every frozen null-free

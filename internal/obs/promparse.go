@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one series value scraped from a Prometheus text exposition —
+// the consumer side of WritePrometheus, used by `incdbctl top` to turn a
+// /v1/metrics response back into numbers.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for key, or "".
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseProm parses the Prometheus text exposition format (0.0.4): comment
+// and HELP/TYPE lines are skipped, every other non-empty line yields one
+// Sample. It accepts exactly the dialect WritePrometheus emits (plus
+// whitespace variations); timestamps are not supported.
+func ParseProm(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		body, tail, err := splitLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		if err := parseLabels(body, s.Labels); err != nil {
+			return s, err
+		}
+		rest = tail
+	}
+	v, err := parsePromValue(strings.TrimSpace(rest))
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitLabels splits `{...} value` at the closing brace, honoring quoted
+// strings (a label value may contain '}').
+func splitLabels(rest string) (body, tail string, err error) {
+	inQuote, esc := false, false
+	for i := 1; i < len(rest); i++ {
+		c := rest[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\' && inQuote:
+			esc = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			return rest[1:i], rest[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label set in %q", rest)
+}
+
+func parseLabels(body string, into map[string]string) error {
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label in %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		body = strings.TrimSpace(body[eq+1:])
+		if !strings.HasPrefix(body, `"`) {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		var val strings.Builder
+		i, esc, done := 1, false, false
+		for ; i < len(body) && !done; i++ {
+			c := body[i]
+			switch {
+			case esc:
+				switch c {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(c)
+				}
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				done = true
+			default:
+				val.WriteByte(c)
+			}
+		}
+		if !done {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		into[key] = val.String()
+		body = strings.TrimLeft(body[i:], ", \t")
+	}
+	return nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Buckets accumulates `_bucket{le=...}` samples of one histogram (possibly
+// summed over label subsets) and answers quantile queries.
+type Buckets struct {
+	counts map[float64]float64 // le → cumulative count
+}
+
+// AddBucket folds one _bucket sample in: le is the bucket's upper bound
+// ("+Inf" already parsed to math.Inf(1)), n its cumulative count.
+func (b *Buckets) AddBucket(le, n float64) {
+	if b.counts == nil {
+		b.counts = map[float64]float64{}
+	}
+	b.counts[le] += n
+}
+
+// Count returns the histogram's total observation count (the +Inf bucket).
+func (b *Buckets) Count() float64 { return b.counts[math.Inf(1)] }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the cumulative
+// buckets by linear interpolation within the containing bucket, the same
+// estimate Prometheus's histogram_quantile computes. Returns NaN when the
+// histogram is empty.
+func (b *Buckets) Quantile(q float64) float64 {
+	total := b.Count()
+	if total == 0 || len(b.counts) == 0 {
+		return math.NaN()
+	}
+	les := make([]float64, 0, len(b.counts))
+	for le := range b.counts {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	rank := q * total
+	prevLe, prevCount := 0.0, 0.0
+	for _, le := range les {
+		c := b.counts[le]
+		if c >= rank {
+			if math.IsInf(le, 1) {
+				// The quantile falls in the overflow bucket: the best bound
+				// we have is the last finite upper edge.
+				return prevLe
+			}
+			if c == prevCount {
+				return le
+			}
+			return prevLe + (le-prevLe)*(rank-prevCount)/(c-prevCount)
+		}
+		prevLe, prevCount = le, c
+	}
+	return prevLe
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"incdb/internal/algebra"
 	"incdb/internal/relation"
@@ -26,6 +27,9 @@ type ExplainNode struct {
 	EstRows     *float64       `json:"est_rows,omitempty"`
 	Cost        float64        `json:"cost,omitempty"`
 	Columns     []int          `json:"columns,omitempty"`
+	ActualRows  *int64         `json:"actual_rows,omitempty"`
+	Batches     int64          `json:"batches,omitempty"`
+	WallMs      float64        `json:"wall_ms,omitempty"`
 	Children    []*ExplainNode `json:"children,omitempty"`
 }
 
@@ -40,6 +44,15 @@ type ExplainInfo struct {
 	Physical    *ExplainNode     `json:"physical"`
 	Subqueries  []*ExplainNode   `json:"subqueries,omitempty"`
 	UsedColumns map[string][]int `json:"used_columns,omitempty"`
+
+	// Analyze fields: populated by DescribeAnalyze after an instrumented
+	// execution. Actual per-node rows/batches/wall time land on the
+	// ExplainNodes; the totals below summarize the run.
+	Analyzed    bool    `json:"analyzed,omitempty"`
+	ResultRows  int64   `json:"result_rows,omitempty"`
+	TotalMs     float64 `json:"total_ms,omitempty"`
+	Execs       int64   `json:"execs,omitempty"`
+	FrozenReuse int64   `json:"frozen_reuse,omitempty"`
 }
 
 // Describe returns the structured explain information for q, compiled
@@ -55,7 +68,7 @@ func Describe(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, 
 	if base != nil {
 		prep = p.Prepare(base)
 	}
-	return describeInfo(q, cat, p, prep)
+	return describeInfo(q, cat, p, prep, nil)
 }
 
 // DescribeCached is Describe drawing the prepared state from a
@@ -65,10 +78,36 @@ func Describe(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, 
 // uses it with the session's cache.
 func DescribeCached(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, base *relation.Database, cache *PrepCache) *ExplainInfo {
 	prep := cache.Get(base, q, mode, bag)
-	return describeInfo(q, cat, prep.p, prep)
+	return describeInfo(q, cat, prep.p, prep, nil)
 }
 
-func describeInfo(q algebra.Expr, cat algebra.Catalog, p *Plan, prep *Prepared) *ExplainInfo {
+// DescribeAnalyze is EXPLAIN ANALYZE: it executes the prepared plan once
+// against base under detail tracing and reports per-node actual rows,
+// batches, and inclusive wall time alongside the cost model's estimates.
+// The traced execution streams exactly the batches an untraced run would
+// (trace.go), so the answer the operator inspects is the answer a query
+// would return. cache may be nil to freeze afresh.
+func DescribeAnalyze(q algebra.Expr, cat algebra.Catalog, mode algebra.Mode, bag bool, base *relation.Database, cache *PrepCache) *ExplainInfo {
+	var prep *Prepared
+	if cache != nil {
+		prep = cache.Get(base, q, mode, bag)
+	} else {
+		prep = PlanFor(q, cat, mode, bag).Prepare(base)
+	}
+	tr := NewTrace(true)
+	start := time.Now()
+	out := prep.ExecTraced(base, tr)
+	elapsed := time.Since(start)
+	info := describeInfo(q, cat, prep.p, prep, tr)
+	info.Analyzed = true
+	info.ResultRows = int64(out.Len())
+	info.TotalMs = float64(elapsed.Nanoseconds()) / 1e6
+	info.Execs = tr.Execs.Load()
+	info.FrozenReuse = tr.FrozenReuse.Load()
+	return info
+}
+
+func describeInfo(q algebra.Expr, cat algebra.Catalog, p *Plan, prep *Prepared, tr *Trace) *ExplainInfo {
 	info := &ExplainInfo{
 		Query:     q.String(),
 		Logical:   OptimizedFor(q, cat).String(),
@@ -78,9 +117,9 @@ func describeInfo(q algebra.Expr, cat algebra.Catalog, p *Plan, prep *Prepared) 
 	if p.bag {
 		info.Semantics = "bag"
 	}
-	info.Physical = describeTree(p, p.root, prep)
+	info.Physical = describeTree(p, p.root, prep, tr)
 	for _, sub := range p.subs {
-		info.Subqueries = append(info.Subqueries, describeTree(sub, sub.root, prep))
+		info.Subqueries = append(info.Subqueries, describeTree(sub, sub.root, prep, tr))
 	}
 	if usedExplainable(q) {
 		used := algebra.UsedColumns(q, cat)
@@ -98,7 +137,7 @@ func describeInfo(q algebra.Expr, cat algebra.Catalog, p *Plan, prep *Prepared) 
 	return info
 }
 
-func describeTree(q *Plan, n pnode, prep *Prepared) *ExplainNode {
+func describeTree(q *Plan, n pnode, prep *Prepared, tr *Trace) *ExplainNode {
 	out := &ExplainNode{Op: n.describe()}
 	if b := n.base(); b.est >= 0 {
 		est := b.est
@@ -119,8 +158,14 @@ func describeTree(q *Plan, n pnode, prep *Prepared) *ExplainNode {
 			}
 		}
 	}
+	if st := tr.stat(q, n.base().id); st != nil {
+		rows := st.Rows.Load()
+		out.ActualRows = &rows
+		out.Batches = st.Batches.Load()
+		out.WallMs = float64(st.WallNs.Load()) / 1e6
+	}
 	for _, c := range n.children() {
-		out.Children = append(out.Children, describeTree(q, c, prep))
+		out.Children = append(out.Children, describeTree(q, c, prep, tr))
 	}
 	return out
 }
@@ -132,6 +177,10 @@ func (info *ExplainInfo) Text() string {
 	fmt.Fprintf(&b, "query:    %s\n", info.Query)
 	fmt.Fprintf(&b, "logical:  %s\n", info.Logical)
 	fmt.Fprintf(&b, "mode:     %s, %s semantics\n", info.Mode, info.Semantics)
+	if info.Analyzed {
+		fmt.Fprintf(&b, "actual:   %d rows in %s (%d execution(s), %d frozen reuse(s))\n",
+			info.ResultRows, fmtMs(info.TotalMs), info.Execs, info.FrozenReuse)
+	}
 	b.WriteString("physical:\n")
 	textTree(&b, info.Physical, 1)
 	for i, sub := range info.Subqueries {
@@ -157,13 +206,20 @@ func (info *ExplainInfo) Text() string {
 }
 
 func textTree(b *strings.Builder, n *ExplainNode, depth int) {
-	marker := ""
+	var parts []string
 	if n.EstRows != nil {
-		marker = fmt.Sprintf("  (est≈%s", fmtEst(*n.EstRows))
+		parts = append(parts, fmt.Sprintf("est≈%s", fmtEst(*n.EstRows)))
 		if n.Cost > 0 {
-			marker += fmt.Sprintf(", cost≈%s", fmtEst(n.Cost))
+			parts = append(parts, fmt.Sprintf("cost≈%s", fmtEst(n.Cost)))
 		}
-		marker += ")"
+	}
+	if n.ActualRows != nil {
+		parts = append(parts, fmt.Sprintf("actual=%d rows", *n.ActualRows),
+			fmt.Sprintf("%d batches", n.Batches), fmtMs(n.WallMs))
+	}
+	marker := ""
+	if len(parts) > 0 {
+		marker = "  (" + strings.Join(parts, ", ") + ")"
 	}
 	switch {
 	case n.Frozen:
@@ -187,4 +243,13 @@ func fmtEst(v float64) string {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%.1f", v)
+}
+
+// fmtMs renders a duration in milliseconds with sub-millisecond precision
+// for the fast nodes EXPLAIN ANALYZE mostly reports.
+func fmtMs(ms float64) string {
+	if ms < 1 {
+		return fmt.Sprintf("%.3fms", ms)
+	}
+	return fmt.Sprintf("%.1fms", ms)
 }

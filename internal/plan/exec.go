@@ -19,6 +19,11 @@ type exec struct {
 	plan *Plan // plan currently executing (main plan or an IN subplan)
 	bufs []outBuf
 
+	// trace, when set, receives execution statistics (trace.go); tstats is
+	// the per-node slot slice for x.plan, non-nil only under detail tracing.
+	trace  *Trace
+	tstats []*NodeStat
+
 	subRels   map[*Plan]*relation.Relation
 	subSplits map[*Plan]*nullSplit
 }
@@ -28,12 +33,24 @@ type exec struct {
 // multiplicities under bag semantics). Safe for concurrent use: the plan is
 // immutable and all execution state lives here.
 func (p *Plan) Exec(db *relation.Database) *relation.Relation {
-	return p.exec(db, nil)
+	return p.exec(db, nil, nil)
 }
 
-func (p *Plan) exec(db *relation.Database, prep *Prepared) *relation.Relation {
-	x := &exec{db: db, prep: prep, mode: p.mode, bag: p.bag, plan: p,
+// ExecTraced is Exec accumulating execution statistics into tr (which may
+// be shared across concurrent executions — all Trace fields are atomics).
+func (p *Plan) ExecTraced(db *relation.Database, tr *Trace) *relation.Relation {
+	return p.exec(db, nil, tr)
+}
+
+func (p *Plan) exec(db *relation.Database, prep *Prepared, tr *Trace) *relation.Relation {
+	x := &exec{db: db, prep: prep, mode: p.mode, bag: p.bag, plan: p, trace: tr,
 		subRels: map[*Plan]*relation.Relation{}, subSplits: map[*Plan]*nullSplit{}}
+	if tr != nil {
+		tr.Execs.Add(1)
+		if tr.detail {
+			x.tstats = tr.planStats(p)
+		}
+	}
 	x.bufs = p.acquireBufs()
 	out := p.materializeRoot(x)
 	p.releaseBufs(x.bufs)
@@ -61,6 +78,10 @@ func (p *Plan) materializeRoot(x *exec) *relation.Relation {
 // was frozen by Prepare short-circuits to the cached relation, replayed in
 // batches through the node's own buffer.
 func stream(n pnode, x *exec, emit func(*vbatch)) {
+	if x.tstats != nil {
+		streamTraced(n, x, emit)
+		return
+	}
 	if r := x.frozenRel(n); r != nil {
 		o := x.out(n)
 		r.EachUnordered(func(t value.Tuple, m int) {
@@ -77,9 +98,19 @@ func (x *exec) frozenRel(n pnode) *relation.Relation {
 		return nil
 	}
 	if fs := x.prep.frozen[x.plan]; fs != nil {
-		return fs.rels[n.base().id]
+		if r := fs.rels[n.base().id]; r != nil {
+			x.frozenHit()
+			return r
+		}
 	}
 	return nil
+}
+
+// frozenHit records one frozen-subplan reuse on the attached trace.
+func (x *exec) frozenHit() {
+	if x.trace != nil {
+		x.trace.FrozenReuse.Add(1)
+	}
 }
 
 // matRel materializes a node into a consolidated relation (exact
@@ -91,11 +122,17 @@ func matRel(n pnode, x *exec) *relation.Relation {
 	if r := x.frozenRel(n); r != nil {
 		return r
 	}
-	if s, ok := n.(*pscan); ok && s.cols == nil {
+	if s, ok := n.(*pscan); ok && s.cols == nil && x.tstats == nil {
+		// Shared-source shortcut, skipped under detail tracing so the scan's
+		// actual rows are counted (materializing preserves the result).
 		return x.source(s.name)
 	}
 	out := relation.NewArity("t", n.base().width)
-	n.run(x, relSink(out))
+	if x.tstats != nil {
+		streamTraced(n, x, relSink(out))
+	} else {
+		n.run(x, relSink(out))
+	}
 	return out
 }
 
@@ -112,6 +149,7 @@ func (x *exec) source(name string) *relation.Relation {
 func (x *exec) subRel(sub *Plan) *relation.Relation {
 	if x.prep != nil {
 		if r := x.prep.subRels[sub]; r != nil {
+			x.frozenHit()
 			return r
 		}
 	}
@@ -119,7 +157,10 @@ func (x *exec) subRel(sub *Plan) *relation.Relation {
 		return r
 	}
 	sx := &exec{db: x.db, prep: x.prep, mode: sub.mode, bag: false, plan: sub,
-		subRels: x.subRels, subSplits: x.subSplits}
+		trace: x.trace, subRels: x.subRels, subSplits: x.subSplits}
+	if x.trace != nil && x.trace.detail {
+		sx.tstats = x.trace.planStats(sub)
+	}
 	sx.bufs = sub.acquireBufs()
 	r := sub.materializeRoot(sx)
 	sub.releaseBufs(sx.bufs)
@@ -150,6 +191,7 @@ func splitNulls(r *relation.Relation) *nullSplit {
 func (x *exec) subSplit(sub *Plan) *nullSplit {
 	if x.prep != nil {
 		if s := x.prep.subSplits[sub]; s != nil {
+			x.frozenHit()
 			return s
 		}
 	}
@@ -233,7 +275,9 @@ func (n *pjoin) run(x *exec, emit func(*vbatch)) {
 	var table *joinTable
 	if x.prep != nil {
 		if fs := x.prep.frozen[x.plan]; fs != nil {
-			table = fs.tables[n.base().id]
+			if table = fs.tables[n.base().id]; table != nil {
+				x.frozenHit()
+			}
 		}
 	}
 	if table == nil {
@@ -380,7 +424,9 @@ func (n *pantiunify) run(x *exec, emit func(*vbatch)) {
 	var split *nullSplit
 	if x.prep != nil {
 		if fs := x.prep.frozen[x.plan]; fs != nil {
-			split = fs.au[n.base().id]
+			if split = fs.au[n.base().id]; split != nil {
+				x.frozenHit()
+			}
 		}
 	}
 	if split == nil {

@@ -194,5 +194,14 @@ func (prep *Prepared) run(q *Plan, n pnode) *relation.Relation {
 
 // Exec evaluates the plan against a world derived from the prepared base.
 func (prep *Prepared) Exec(world *relation.Database) *relation.Relation {
-	return prep.p.exec(world, prep)
+	return prep.p.exec(world, prep, nil)
 }
+
+// ExecTraced is Exec accumulating execution statistics into tr. The oracle
+// worker pools share one trace across shards; all Trace fields are atomics.
+func (prep *Prepared) ExecTraced(world *relation.Database, tr *Trace) *relation.Relation {
+	return prep.p.exec(world, prep, tr)
+}
+
+// Plan returns the physical plan the prepared state was computed for.
+func (prep *Prepared) Plan() *Plan { return prep.p }

@@ -1,0 +1,108 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incdb/internal/value"
+)
+
+// Trace accumulates execution statistics across one or more plan
+// executions (an EXPLAIN ANALYZE run, or every per-world execution of one
+// oracle call — the oracle worker pools share a Trace across shards, so
+// all fields are atomics).
+//
+// Execs and FrozenReuse are always counted — two atomic adds per plan
+// execution, cheap enough that the server traces every query to report
+// worlds enumerated. Per-node statistics (rows, batches, wall time) are
+// collected only when the trace was created with detail=true: detail
+// tracing adds a wrapper closure per operator, so it is reserved for
+// EXPLAIN ANALYZE.
+//
+// The wrapper only observes batches on their way to the consumer — it
+// never reorders, copies, or buffers them — so a traced execution is
+// byte-identical to an untraced one.
+type Trace struct {
+	// Execs counts plan executions: for the oracles this is the number of
+	// worlds enumerated (plus any candidate-producing base runs).
+	Execs atomic.Int64
+	// FrozenReuse counts frozen-subplan reuses: per execution, the number
+	// of world-invariant materializations (relations, join build tables,
+	// anti-unify splits) served from the Prepared freeze instead of being
+	// recomputed.
+	FrozenReuse atomic.Int64
+
+	detail bool
+
+	mu    sync.Mutex
+	stats map[*Plan][]*NodeStat
+}
+
+// NodeStat holds one physical node's accumulated actuals. WallNs is
+// inclusive: a node's time contains its children's (they execute inside
+// its streaming pipeline).
+type NodeStat struct {
+	Rows    atomic.Int64
+	Batches atomic.Int64
+	WallNs  atomic.Int64
+}
+
+// NewTrace returns an empty trace; detail enables per-node statistics.
+func NewTrace(detail bool) *Trace {
+	return &Trace{detail: detail, stats: map[*Plan][]*NodeStat{}}
+}
+
+// planStats returns (allocating on first use) the per-node stat slots for
+// p, indexed by node id like the exec buffers.
+func (t *Trace) planStats(p *Plan) []*NodeStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.stats[p]
+	if !ok {
+		st = make([]*NodeStat, len(p.nodes))
+		for i := range st {
+			st[i] = &NodeStat{}
+		}
+		t.stats[p] = st
+	}
+	return st
+}
+
+// stat returns the accumulated stats for node id of p, or nil when the
+// trace is nil, not detailed, or never executed that plan.
+func (t *Trace) stat(p *Plan, id int) *NodeStat {
+	if t == nil || !t.detail {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[p]
+	if st == nil || id >= len(st) {
+		return nil
+	}
+	return st[id]
+}
+
+// streamTraced is the stream dispatcher under detail tracing: identical
+// batch flow, plus row/batch counts on every emission and inclusive wall
+// time around the node's execution.
+func streamTraced(n pnode, x *exec, emit func(*vbatch)) {
+	st := x.tstats[n.base().id]
+	counted := func(b *vbatch) {
+		st.Batches.Add(1)
+		st.Rows.Add(int64(len(b.rows)))
+		emit(b)
+	}
+	start := time.Now()
+	if r := x.frozenRel(n); r != nil {
+		o := x.out(n)
+		r.EachUnordered(func(t value.Tuple, m int) {
+			o.push(t, m, counted)
+		})
+		o.flush(counted)
+	} else {
+		n.run(x, counted)
+	}
+	st.WallNs.Add(time.Since(start).Nanoseconds())
+}

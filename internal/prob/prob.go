@@ -41,13 +41,25 @@ const MaxNulls = 8
 type Options struct {
 	Engine engine.Options
 	Prep   *plan.PrepCache
+	// Trace, when non-nil, accumulates execution statistics across the
+	// whole enumeration (Execs = worlds evaluated, FrozenReuse =
+	// frozen-subplan serves), exactly like certain.Options.Trace. Shared by
+	// all worker shards; results are identical with or without it.
+	Trace *plan.Trace
 }
 
 // worldEval returns the shared per-world evaluator; as in internal/certain,
 // the plan's batch buffers recycle per worker shard via its sync.Pool, so
 // the µᵏ counting loop pays for rows, not per-world allocations.
 func (o Options) worldEval(db *relation.Database, q algebra.Expr) func(*relation.Database) *relation.Relation {
-	return o.Prep.WorldEval(db, q, algebra.ModeNaive, false)
+	prep := o.Prep.Get(db, q, algebra.ModeNaive, false)
+	if o.Trace == nil {
+		return prep.Exec
+	}
+	tr := o.Trace
+	return func(w *relation.Database) *relation.Relation {
+		return prep.ExecTraced(w, tr)
+	}
 }
 
 // relevantConsts collects R = Const(D) ∪ consts(Q) ∪ consts(ā).

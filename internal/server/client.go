@@ -353,9 +353,17 @@ func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*api.QueryR
 
 // Explain renders the plan for a query.
 func (c *Client) Explain(query string, sql, bag bool) (*api.ExplainResponse, error) {
+	return c.ExplainAnalyze(query, sql, bag, false)
+}
+
+// ExplainAnalyze is Explain with the analyze switch: the server also
+// executes the plan once with per-node tracing, so the response carries
+// actual row counts and wall time next to the estimates.
+func (c *Client) ExplainAnalyze(query string, sql, bag, analyze bool) (*api.ExplainResponse, error) {
 	var out api.ExplainResponse
 	err := c.retry(false, func(base string) error {
-		return c.post(base, c.sessionPath("/explain"), api.ExplainRequest{Query: query, SQL: sql, Bag: bag}, &out)
+		return c.post(base, c.sessionPath("/explain"),
+			api.ExplainRequest{Query: query, SQL: sql, Bag: bag, Analyze: analyze}, &out)
 	})
 	if err != nil {
 		return nil, err
@@ -423,6 +431,24 @@ func (c *Client) Status() (*api.StatusResponse, error) {
 	}
 	c.observeEpoch(out.Epoch)
 	return &out, nil
+}
+
+// Metrics fetches the preferred endpoint's Prometheus text exposition
+// (GET /v1/metrics) verbatim; parse it with obs.ParseProm.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.Base() + "/v1/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metrics: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return string(data), nil
 }
 
 // SessionStatus fetches this session's status.

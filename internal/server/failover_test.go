@@ -401,6 +401,18 @@ func TestHealthzReadyzAndDraining(t *testing.T) {
 	if _, err := promoteURL(hs.URL, false); !errors.As(err, &aerr) || aerr.Code != api.CodeShuttingDown {
 		t.Fatalf("promote while draining: err = %v, want code %s", err, api.CodeShuttingDown)
 	}
+	// Shed requests are not silent: both refusals above are counted per
+	// code on the metrics registry and visible in the exposition.
+	if got := srv.obs.errors.With(api.CodeShuttingDown).Value(); got != 2 {
+		t.Fatalf("errors_total{shutting_down} = %d, want 2 (load + promote shed)", got)
+	}
+	if got := series(t, scrape(t, hs.URL), "incdb_errors_total",
+		map[string]string{"code": api.CodeShuttingDown}); got != 2 {
+		t.Fatalf("scraped errors_total{shutting_down} = %v, want 2", got)
+	}
+	if got := series(t, scrape(t, hs.URL), "incdb_draining", nil); got != 1 {
+		t.Fatalf("incdb_draining = %v, want 1 while draining", got)
+	}
 	// Reads keep working through the drain (in-flight clients finish).
 	if _, err := c.Query("proj(0, Orders)", "sql", false, 0); err != nil {
 		t.Fatalf("query while draining: %v", err)

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"incdb/internal/obs"
+)
+
+// scrape fetches and parses a server's /v1/metrics.
+func scrape(t *testing.T, base string) []obs.Sample {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics Content-Type = %q, want the 0.0.4 text exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	samples, err := obs.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("metrics exposition does not parse: %v\n%s", err, body)
+	}
+	return samples
+}
+
+// series returns the value of the sample with the given name whose labels
+// include want, failing if it is absent.
+func series(t *testing.T, samples []obs.Sample, name string, want map[string]string) float64 {
+	t.Helper()
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range want {
+			if s.Label(k) != v {
+				ok = false
+			}
+		}
+		if ok {
+			return s.Value
+		}
+	}
+	t.Fatalf("no series %s%v in scrape", name, want)
+	return 0
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the test's slog sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestMetricsEndpoint: /v1/metrics is valid Prometheus text; query,
+// latency, worlds, cache and error series exist and move with traffic; the
+// scrape agrees with /v1/status (one set of atomics behind both); slow
+// queries are counted and logged with request IDs.
+func TestMetricsEndpoint(t *testing.T) {
+	logbuf := &syncBuffer{}
+	srv := New(Options{
+		Workers:   2,
+		SlowQuery: time.Nanosecond, // everything is slow: exercise the log
+		Logger:    slog.New(slog.NewTextHandler(logbuf, nil)),
+	})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	c := NewClient(hs.URL, "test")
+
+	if _, err := c.Load(ordersData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := c.Query(unpaid, "cert", false, 0); err != nil {
+		t.Fatalf("cert query: %v", err)
+	}
+	qr, err := c.Query(unpaid, "cert", false, 0) // byte-identical: result-cache hit
+	if err != nil {
+		t.Fatalf("repeat query: %v", err)
+	}
+	if !qr.Cached {
+		t.Fatalf("repeat query not served from the result cache")
+	}
+	if _, err := c.Query("proj(0, Orders)", "sql", false, 0); err != nil {
+		t.Fatalf("sql query: %v", err)
+	}
+	if _, err := c.Query("proj(9, Orders)", "sql", false, 0); err == nil {
+		t.Fatalf("bad query unexpectedly succeeded")
+	}
+
+	samples := scrape(t, hs.URL)
+
+	if got := series(t, samples, "incdb_queries_total", map[string]string{"proc": "cert", "session": "test"}); got != 2 {
+		t.Errorf("cert queries_total = %v, want 2 (evaluation + cache hit)", got)
+	}
+	// The latency histogram sees only evaluated queries, not the cache hit.
+	if got := series(t, samples, "incdb_query_seconds_count", map[string]string{"proc": "cert", "session": "test"}); got != 1 {
+		t.Errorf("cert query_seconds_count = %v, want 1", got)
+	}
+	// The cert oracle enumerated multiple worlds for ⊥1.
+	if got := series(t, samples, "incdb_worlds_enumerated_total", nil); got <= 1 {
+		t.Errorf("worlds_enumerated_total = %v, want > 1", got)
+	}
+	if got := series(t, samples, "incdb_errors_total", map[string]string{"code": "bad_query"}); got < 1 {
+		t.Errorf("errors_total{bad_query} = %v, want >= 1", got)
+	}
+	if got := series(t, samples, "incdb_slow_queries_total", nil); got < 1 {
+		t.Errorf("slow_queries_total = %v, want >= 1", got)
+	}
+	if got := series(t, samples, "incdb_role", map[string]string{"role": "primary"}); got != 1 {
+		t.Errorf("role{primary} = %v, want 1", got)
+	}
+
+	// Satellite consistency: the scrape-time collectors read the same
+	// atomics /v1/status renders, so the two views must agree exactly.
+	ss := sessionStatus(t, c, "test")
+	if got := series(t, samples, "incdb_session_queries_total", map[string]string{"session": "test"}); got != float64(ss.Queries) {
+		t.Errorf("session_queries_total = %v, status says %d", got, ss.Queries)
+	}
+	if got := series(t, samples, "incdb_prep_cache_misses_total", map[string]string{"session": "test"}); got != float64(ss.Cache.Misses) {
+		t.Errorf("prep_cache_misses_total = %v, status says %d", got, ss.Cache.Misses)
+	}
+	if got := series(t, samples, "incdb_result_cache_hits_total", map[string]string{"session": "test"}); got != float64(ss.ResultCache.Hits) {
+		t.Errorf("result_cache_hits_total = %v, status says %d", got, ss.ResultCache.Hits)
+	}
+
+	// Traffic moves the counters: one more query, one higher.
+	before := series(t, samples, "incdb_queries_total", map[string]string{"proc": "sql", "session": "test"})
+	if _, err := c.Query("proj(1, Orders)", "sql", false, 0); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	after := series(t, scrape(t, hs.URL), "incdb_queries_total", map[string]string{"proc": "sql", "session": "test"})
+	if after != before+1 {
+		t.Errorf("sql queries_total went %v -> %v, want +1", before, after)
+	}
+
+	logs := logbuf.String()
+	if !strings.Contains(logs, "slow query") {
+		t.Errorf("no slow-query log line; logs:\n%s", logs)
+	}
+	if !strings.Contains(logs, "request_id=") || !strings.Contains(logs, "plan=") {
+		t.Errorf("slow-query log missing request_id/plan fields:\n%s", logs)
+	}
+}
+
+// TestRequestIDHeader: every response carries an X-Request-Id — the
+// client's own when it sent one, a generated one otherwise.
+func TestRequestIDHeader(t *testing.T) {
+	hs, _ := newTestServer(t)
+	resp, err := http.Get(hs.URL + "/v1/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatalf("response has no X-Request-Id")
+	}
+
+	req, _ := http.NewRequest("GET", hs.URL+"/v1/status", nil)
+	req.Header.Set("X-Request-Id", "caller-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-7" {
+		t.Fatalf("X-Request-Id = %q, want the caller's own", got)
+	}
+}
+
+// TestMetricsDurableAndFollower: a durable primary exposes WAL fsync and
+// group-commit histograms; its follower serves its own valid exposition
+// with role{replica}, per-session applied/lag gauges, and lag returning to
+// zero once caught up.
+func TestMetricsDurableAndFollower(t *testing.T) {
+	_, phs, pc := newDurableServer(t, t.TempDir(), 0)
+	if _, err := pc.Load(ordersData, false); err != nil {
+		t.Fatalf("primary load: %v", err)
+	}
+	if _, err := pc.Load("row Payments o2\n", true); err != nil {
+		t.Fatalf("primary append: %v", err)
+	}
+
+	ps := scrape(t, phs.URL)
+	if got := series(t, ps, "incdb_wal_fsync_seconds_count", nil); got < 2 {
+		t.Errorf("primary fsync count = %v, want >= 2 (two acknowledged loads)", got)
+	}
+	if got := series(t, ps, "incdb_wal_records_per_fsync_count", nil); got < 2 {
+		t.Errorf("records_per_fsync count = %v, want >= 2", got)
+	}
+	if got := series(t, ps, "incdb_wal_seq", map[string]string{"session": "test"}); got != 2 {
+		t.Errorf("wal_seq = %v, want 2", got)
+	}
+	if got := series(t, ps, "incdb_wal_durable_seq", map[string]string{"session": "test"}); got != 2 {
+		t.Errorf("wal_durable_seq = %v, want 2", got)
+	}
+
+	_, rhs, rc, _ := newFollower(t, phs.URL, t.TempDir(), Options{Workers: 1})
+	waitCaughtUp(t, pc, rc)
+
+	rs := scrape(t, rhs.URL)
+	if got := series(t, rs, "incdb_role", map[string]string{"role": "replica"}); got != 1 {
+		t.Errorf("follower role{replica} = %v, want 1", got)
+	}
+	if got := series(t, rs, "incdb_replica_applied_seq", map[string]string{"session": "test"}); got != 2 {
+		t.Errorf("replica_applied_seq = %v, want 2", got)
+	}
+	if got := series(t, rs, "incdb_replica_lag_seq", map[string]string{"session": "test"}); got != 0 {
+		t.Errorf("caught-up replica lag_seq = %v, want 0", got)
+	}
+	// A post-bootstrap append ships as a WAL frame: the frames counter and
+	// applied seq both move.
+	if _, err := pc.Load("row Customers c3 'Cyd'\n", true); err != nil {
+		t.Fatalf("primary append: %v", err)
+	}
+	waitCaughtUp(t, pc, rc)
+	rs = scrape(t, rhs.URL)
+	if got := series(t, rs, "incdb_replica_frames_total", map[string]string{"session": "test"}); got < 1 {
+		t.Errorf("replica_frames_total = %v, want >= 1", got)
+	}
+	if got := series(t, rs, "incdb_replica_applied_seq", map[string]string{"session": "test"}); got != 3 {
+		t.Errorf("replica_applied_seq after append = %v, want 3", got)
+	}
+	// The follower serves queries and counts them on its own registry.
+	if _, err := rc.Query(unpaid, "cert", false, 0); err != nil {
+		t.Fatalf("follower query: %v", err)
+	}
+	rs = scrape(t, rhs.URL)
+	if got := series(t, rs, "incdb_queries_total", map[string]string{"proc": "cert", "session": "test"}); got != 1 {
+		t.Errorf("follower cert queries_total = %v, want 1", got)
+	}
+}

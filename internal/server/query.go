@@ -55,8 +55,12 @@ func procName(proc string) string {
 // evaluate runs one query request against the session database. The caller
 // holds the session read lock; every path below is read-only on the
 // database and shares the session's prepared-plan cache, so concurrent
-// requests reuse each other's prepared state.
-func (s *Server) evaluate(sess *session, req *api.QueryRequest) ([]api.Resultset, error) {
+// requests reuse each other's prepared state. tr accumulates execution
+// counters (worlds enumerated, frozen-subplan reuse) across every plan the
+// request runs — the oracle paths hand it to their per-world evaluations
+// via Options.Trace; the ctable strategies keep their own machinery and
+// contribute nothing. Results are identical with tr nil.
+func (s *Server) evaluate(sess *session, req *api.QueryRequest, tr *plan.Trace) ([]api.Resultset, error) {
 	q, err := raparse.ParseQuery(req.Query)
 	if err != nil {
 		return nil, err
@@ -70,6 +74,7 @@ func (s *Server) evaluate(sess *session, req *api.QueryRequest) ([]api.Resultset
 		MaxWorlds: req.MaxWorlds,
 		Workers:   s.opts.Workers,
 		Prep:      sess.prep,
+		Trace:     tr,
 	}
 	if certOpts.MaxWorlds <= 0 {
 		certOpts.MaxWorlds = s.opts.MaxWorlds
@@ -83,7 +88,7 @@ func (s *Server) evaluate(sess *session, req *api.QueryRequest) ([]api.Resultset
 	// itself, so Prepared.Exec(db) matches a fresh evaluation while
 	// reusing every frozen null-free subplan across requests.
 	direct := func(e algebra.Expr, mode algebra.Mode, bag bool) *relation.Relation {
-		return sess.prep.Get(db, e, mode, bag).Exec(db)
+		return sess.prep.Get(db, e, mode, bag).ExecTraced(db, tr)
 	}
 
 	switch proc {
@@ -217,6 +222,9 @@ func (s *Server) explain(sess *session, req *api.ExplainRequest) (*plan.ExplainI
 	mode := algebra.ModeNaive
 	if req.SQL {
 		mode = algebra.ModeSQL
+	}
+	if req.Analyze {
+		return plan.DescribeAnalyze(q, sess.db, mode, req.Bag, sess.db, sess.prep), nil
 	}
 	return plan.DescribeCached(q, sess.db, mode, req.Bag, sess.db, sess.prep), nil
 }

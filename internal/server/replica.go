@@ -62,6 +62,12 @@ type followState struct {
 	// when the primary is unreachable.
 	primarySeq atomic.Uint64
 
+	// lastApplied is the unix-nano timestamp of the last applied record (or
+	// finished bootstrap) — the wall-clock half of the lag gauges: seq delta
+	// says how far behind, seconds-since-apply says for how long nothing
+	// has arrived.
+	lastApplied atomic.Int64
+
 	// The durable mirror's group-commit syncer: apply buffers the record
 	// and pokes syncCh; the syncer fsyncs the newest buffered sequence
 	// number, so one fsync covers every record applied while the previous
@@ -325,6 +331,7 @@ func (r *replicator) bootstrap(ctx context.Context, c *Client, fs *followState, 
 	sess.warm.seed(snap.Warm)
 	r.s.warmSession(sess, snap.Warm)
 	fs.applied.Store(snap.Seq)
+	fs.lastApplied.Store(time.Now().UnixNano())
 	fs.bootstraps.Add(1)
 	log.Printf("server: replica bootstrapped session %q at seq %d (%d relations)",
 		fs.name, snap.Seq, len(db.Names()))
@@ -386,6 +393,7 @@ func (r *replicator) apply(fs *followState, sess *session, rec *store.Record) er
 	r.s.observeEpoch(rec.Epoch)
 	sess.replSeq.Store(rec.Seq)
 	fs.applied.Store(rec.Seq)
+	fs.lastApplied.Store(time.Now().UnixNano())
 	fs.frames.Add(1)
 	return nil
 }

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"incdb/internal/api"
+	"incdb/internal/plan"
+	"incdb/internal/raparse"
+)
+
+// ridKey is the context key the request-ID middleware stores the ID under.
+type ridKey struct{}
+
+// withRequestID assigns every request an ID — the client's X-Request-Id
+// when it sent one, a server-generated one otherwise — echoes it on the
+// response, and threads it through the context so slow-query log lines can
+// be joined back to the client call that caused them.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("%x-%d", s.start.UnixNano()&0xffffff, s.reqID.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey{}, id)))
+	})
+}
+
+// requestID returns the request's ID, or "" outside the middleware (e.g.
+// a handler invoked directly in a test).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// logSlow emits one structured log line for an evaluated query that ran
+// past the -slow-query threshold: who asked (request ID, session), what
+// (proc, query text, optimized-plan summary), and where the time went
+// (elapsed, worlds enumerated, frozen reuse). Cache hits never get here —
+// they are O(1) by construction.
+func (s *Server) logSlow(r *http.Request, sess *session, req *api.QueryRequest,
+	elapsed time.Duration, worlds, frozen int64) {
+	if s.opts.SlowQuery <= 0 || elapsed < s.opts.SlowQuery {
+		return
+	}
+	s.obs.slowQueries.Inc()
+	// The plan summary is the optimized logical expression — one line,
+	// derived from the same cached rewriting evaluation used. Best effort:
+	// computed only now that we know the query was slow.
+	summary := ""
+	if q, err := raparse.ParseQuery(req.Query); err == nil {
+		sess.mu.RLock()
+		summary = plan.OptimizedFor(q, sess.db).String()
+		sess.mu.RUnlock()
+	}
+	s.logger.Warn("slow query",
+		"request_id", requestID(r.Context()),
+		"session", sess.name,
+		"proc", procName(req.Proc),
+		"elapsed_ms", float64(elapsed.Microseconds())/1000,
+		"worlds", worlds,
+		"frozen_reuse", frozen,
+		"query", req.Query,
+		"plan", summary,
+	)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -58,6 +59,13 @@ type Options struct {
 	// The WAL streaming endpoint is exempt — it writes indefinitely by
 	// design and clears its own deadline.
 	WriteTimeout time.Duration
+	// SlowQuery is the elapsed-time threshold above which an evaluated
+	// query is logged (query text, proc, worlds enumerated, plan summary)
+	// and counted in incdb_slow_queries_total. Zero disables the log.
+	SlowQuery time.Duration
+	// Logger receives the server's structured log records (slow queries,
+	// request-scoped warnings); nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) maxInFlight() int {
@@ -88,9 +96,17 @@ func (o Options) shutdownGrace() time.Duration {
 // see a consistent database and cache guards are checked under the same
 // read lock.
 type Server struct {
-	opts  Options
-	start time.Time
-	mux   *http.ServeMux
+	opts    Options
+	start   time.Time
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the request-ID middleware
+	logger  *slog.Logger
+
+	// obs is the server's metrics surface (see metrics.go); waiting counts
+	// requests blocked on admission, reqID numbers requests for the logs.
+	obs     *metrics
+	waiting atomic.Int64
+	reqID   atomic.Uint64
 
 	sem      chan struct{}
 	inflight atomic.Int64
@@ -174,7 +190,12 @@ func New(opts Options) *Server {
 		start:    time.Now(),
 		sessions: map[string]*session{},
 		sem:      make(chan struct{}, opts.maxInFlight()),
+		logger:   opts.Logger,
 	}
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	s.obs = newMetrics(s)
 	s.mux = http.NewServeMux()
 	// Session-scoped routes: the session name lives in the path.
 	s.mux.HandleFunc("POST /v1/sessions/{session}/load", func(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +213,7 @@ func New(opts Options) *Server {
 	})
 	s.mux.HandleFunc("GET /v1/sessions/{session}/wal", s.handleWAL)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
@@ -210,6 +232,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSnapshot(w, r, r.URL.Query().Get("session"))
 	})
+	s.handler = s.withRequestID(s.mux)
 	return s
 }
 
@@ -232,7 +255,7 @@ func (s *Server) newSession(name string) *session {
 // from the snapshot's warm keys — and every future load is written ahead
 // and fsync'd before it is acknowledged. Must be called before serving.
 func (s *Server) EnableDurability(dir string) error {
-	st, err := store.Open(dir, store.Options{SnapshotBytes: s.opts.SnapshotBytes})
+	st, err := store.Open(dir, store.Options{SnapshotBytes: s.opts.SnapshotBytes, Metrics: s.obs.wal})
 	if err != nil {
 		return err
 	}
@@ -329,11 +352,11 @@ func (s *Server) fenceCheck(reqEpoch uint64) *api.Error {
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	var req api.PromoteRequest
 	if err := decodeOptional(w, r, &req); err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	if s.draining.Load() {
-		writeErr(w, api.Errorf(http.StatusServiceUnavailable, api.CodeShuttingDown,
+		s.fail(w, api.Errorf(http.StatusServiceUnavailable, api.CodeShuttingDown,
 			"server is shutting down"))
 		return
 	}
@@ -342,7 +365,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	repl := s.repl.Load()
 	if repl == nil {
 		if s.fenced.Load() {
-			writeErr(w, api.Errorf(http.StatusConflict, api.CodeFencedStalePrimary,
+			s.fail(w, api.Errorf(http.StatusConflict, api.CodeFencedStalePrimary,
 				"this server is a fenced stale primary (epoch %d); its history may have diverged — re-follow the current primary instead of promoting it", s.epoch.Load()))
 			return
 		}
@@ -352,7 +375,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 	if !req.Force {
 		if lag := repl.lag(); lag != "" {
-			writeErr(w, api.Errorf(http.StatusConflict, api.CodeNotCaughtUp,
+			s.fail(w, api.Errorf(http.StatusConflict, api.CodeNotCaughtUp,
 				"not caught up with primary (%s); retry shortly or promote with force", lag))
 			return
 		}
@@ -377,7 +400,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 			// epoch, which is safe (epochs only fence the old primary) but
 			// this server stays a non-writable follower-without-a-feed until
 			// the operator resolves the log. Surface it.
-			writeErr(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+			s.fail(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
 				"promote: session %q epoch record failed: %v", sess.name, err))
 			return
 		}
@@ -447,7 +470,7 @@ func (s *Server) Close() error {
 }
 
 // Handler returns the HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // maxBodyBytes caps request bodies (load payloads dominate); beyond it
 // the JSON decoder fails with a 400 instead of buffering without bound.
@@ -466,7 +489,7 @@ const maxBodyBytes = 64 << 20
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	hs := &http.Server{
 		Addr:              addr,
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 		WriteTimeout:      s.opts.WriteTimeout,
@@ -520,6 +543,8 @@ func (s *Server) acquire(ctx context.Context) *api.Error {
 		return nil
 	default:
 	}
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		s.inflight.Add(1)
@@ -589,27 +614,27 @@ func (s *Server) Preload(session, data string) (int, error) {
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string) {
 	var req api.LoadRequest
 	if err := decode(w, r, &req); err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	if name == "" {
 		name = req.Session
 	}
 	if name == "" {
-		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "missing session name"))
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "missing session name"))
 		return
 	}
 	if s.draining.Load() {
-		writeErr(w, api.Errorf(http.StatusServiceUnavailable, api.CodeShuttingDown,
+		s.fail(w, api.Errorf(http.StatusServiceUnavailable, api.CodeShuttingDown,
 			"server is shutting down; load elsewhere"))
 		return
 	}
 	if aerr := s.fenceCheck(req.Epoch); aerr != nil {
-		writeErr(w, aerr)
+		s.fail(w, aerr)
 		return
 	}
 	if repl := s.repl.Load(); repl != nil {
-		writeErr(w, api.Errorf(http.StatusForbidden, api.CodeReadOnlyReplica,
+		s.fail(w, api.Errorf(http.StatusForbidden, api.CodeReadOnlyReplica,
 			"this server follows %s; load data on the primary", repl.primary))
 		return
 	}
@@ -621,7 +646,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string)
 		if sess := s.sessionFor(name); sess != nil {
 			resp, aerr := s.commitAppend(sess, req.Data)
 			if aerr != nil {
-				writeErr(w, aerr)
+				s.fail(w, aerr)
 				return
 			}
 			writeJSON(w, http.StatusOK, resp)
@@ -634,17 +659,17 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string)
 	// behind and a failed replace leaves the old database untouched.
 	db, err := raparse.ParseDatabase(strings.NewReader(req.Data))
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
 		return
 	}
 	sess, err := s.ensureSession(name)
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
+		s.fail(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
 		return
 	}
 	resp, aerr := s.commitReplace(sess, db, store.OpReplace, req.Data)
 	if aerr != nil {
-		writeErr(w, aerr)
+		s.fail(w, aerr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -657,17 +682,17 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string)
 func (s *Server) handleRestore(w http.ResponseWriter, name string, req *api.LoadRequest) {
 	snap, err := store.DecodeSnapshot(strings.NewReader(req.Data))
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
 		return
 	}
 	db, err := snap.Database()
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
 		return
 	}
 	sess, err := s.ensureSession(name)
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
+		s.fail(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
 		return
 	}
 	// An explicit restore adopts the snapshot's epoch (deliberate operator
@@ -679,7 +704,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, name string, req *api.Load
 	s.raiseEpoch(snap.Epoch)
 	resp, aerr := s.commitReplace(sess, db, store.OpRestore, req.Data)
 	if aerr != nil {
-		writeErr(w, aerr)
+		s.fail(w, aerr)
 		return
 	}
 	sess.warm.seed(snap.Warm)
@@ -832,14 +857,14 @@ func (s *Server) snapshotOf(sess *session) (*store.Snapshot, error) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, name string) {
 	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, errSessionNotFound(name))
+		s.fail(w, errSessionNotFound(name))
 		return
 	}
 	sess.logMu.Lock()
 	snap, err := s.snapshotOf(sess)
 	sess.logMu.Unlock()
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeInternal, "%v", err))
+		s.fail(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeInternal, "%v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -859,11 +884,11 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("session")
 	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, errSessionNotFound(name))
+		s.fail(w, errSessionNotFound(name))
 		return
 	}
 	if sess.log == nil {
-		writeErr(w, api.Errorf(http.StatusConflict, api.CodeNotDurable,
+		s.fail(w, api.Errorf(http.StatusConflict, api.CodeNotDurable,
 			"session %q has no write-ahead log (server is memory-only); replication needs -data-dir", name))
 		return
 	}
@@ -871,14 +896,14 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeErr(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad from=%q: %v", v, err))
+			s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "bad from=%q: %v", v, err))
 			return
 		}
 		from = n
 	}
 	tail, err := sess.log.TailFrom(from)
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusGone, api.CodeWALGap,
+		s.fail(w, api.Errorf(http.StatusGone, api.CodeWALGap,
 			"wal position %d compacted away (snapshot covers seq %d); re-bootstrap from the snapshot",
 			from, sess.log.SnapshotSeq()))
 		return
@@ -960,7 +985,7 @@ func (s *Server) waitCovered(ctx context.Context, sess *session, want map[string
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string) {
 	var req api.QueryRequest
 	if err := decode(w, r, &req); err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	if name == "" {
@@ -968,7 +993,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	}
 	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, errSessionNotFound(name))
+		s.fail(w, errSessionNotFound(name))
 		return
 	}
 	// Reads are served even by a fenced server, but the client's observed
@@ -976,7 +1001,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	// the first request that has seen one.
 	s.observeEpoch(req.Epoch)
 	if aerr := s.waitCovered(r.Context(), sess, req.ReadAfter); aerr != nil {
-		writeErr(w, aerr)
+		s.fail(w, aerr)
 		return
 	}
 	start := time.Now()
@@ -991,6 +1016,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	sess.mu.RUnlock()
 	if hit {
 		sess.queries.Add(1)
+		s.obs.queries.With(procName(req.Proc), name).Inc()
 		s.recordWarm(sess, &req)
 		writeJSON(w, http.StatusOK, api.QueryResponse{
 			Session:   name,
@@ -1006,42 +1032,58 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	}
 
 	if aerr := s.acquire(r.Context()); aerr != nil {
-		writeErr(w, aerr)
+		s.fail(w, aerr)
 		return
 	}
 	defer s.release()
 
+	// The trace rides along every evaluation: its counters (worlds
+	// enumerated, frozen-subplan reuse) are two atomic adds per plan
+	// execution, cheap enough to keep always on. Per-node detail stays off —
+	// that is EXPLAIN ANALYZE's job.
+	tr := plan.NewTrace(false)
 	sess.mu.RLock()
 	// Re-key under the same lock as the evaluation: the vector may have
 	// moved between the fast path and acquiring a slot.
 	key = resultKey(&req, sess.db)
 	versions = sess.db.Versions()
-	results, err := s.evaluate(sess, &req)
+	results, err := s.evaluate(sess, &req, tr)
 	if err == nil {
 		sess.results.put(key, results)
 	}
 	sess.mu.RUnlock()
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeBadQuery, "%v", err))
+		s.fail(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeBadQuery, "%v", err))
 		return
 	}
 	sess.queries.Add(1)
 	s.recordWarm(sess, &req)
+	elapsed := time.Since(start)
+	proc := procName(req.Proc)
+	worlds, frozen := tr.Execs.Load(), tr.FrozenReuse.Load()
+	s.obs.queries.With(proc, name).Inc()
+	s.obs.queryLatency.With(proc, name).Observe(elapsed.Seconds())
+	s.obs.queryWorlds.Observe(float64(worlds))
+	s.obs.worlds.Add(uint64(worlds))
+	s.obs.frozenReuse.Add(uint64(frozen))
+	s.logSlow(r, sess, &req, elapsed, worlds, frozen)
 	writeJSON(w, http.StatusOK, api.QueryResponse{
-		Session:   name,
-		Proc:      procName(req.Proc),
-		Query:     req.Query,
-		Results:   results,
-		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
-		Versions:  versions,
-		Epoch:     s.epoch.Load(),
+		Session:     name,
+		Proc:        proc,
+		Query:       req.Query,
+		Results:     results,
+		ElapsedMs:   float64(elapsed.Microseconds()) / 1000,
+		Worlds:      worlds,
+		FrozenReuse: frozen,
+		Versions:    versions,
+		Epoch:       s.epoch.Load(),
 	})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name string) {
 	var req api.ExplainRequest
 	if err := decode(w, r, &req); err != nil {
-		writeErr(w, err)
+		s.fail(w, err)
 		return
 	}
 	if name == "" {
@@ -1049,11 +1091,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 	}
 	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, errSessionNotFound(name))
+		s.fail(w, errSessionNotFound(name))
 		return
 	}
 	if aerr := s.acquire(r.Context()); aerr != nil {
-		writeErr(w, aerr)
+		s.fail(w, aerr)
 		return
 	}
 	defer s.release()
@@ -1062,7 +1104,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, name stri
 	info, err := s.explain(sess, &req)
 	sess.mu.RUnlock()
 	if err != nil {
-		writeErr(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeBadQuery, "%v", err))
+		s.fail(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeBadQuery, "%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, api.ExplainResponse{
@@ -1110,7 +1152,7 @@ func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("session")
 	sess := s.sessionFor(name)
 	if sess == nil {
-		writeErr(w, errSessionNotFound(name))
+		s.fail(w, errSessionNotFound(name))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.sessionStatusOf(sess))

@@ -1,0 +1,34 @@
+package store
+
+import "incdb/internal/obs"
+
+// WALMetrics carries the durability subsystem's instrumentation hooks.
+// Every field is optional (a nil histogram is skipped), and the whole
+// struct may be nil — the store then runs exactly as before, paying
+// nothing. The server constructs one from its obs.Registry and passes it
+// through Options; every SessionLog of the store shares it, so the
+// histograms aggregate across sessions (per-session sequence state is
+// exported separately via scrape-time collectors over Stats()).
+type WALMetrics struct {
+	// AppendSeconds observes one group-commit flush end to end (write +
+	// fsync): the latency a load pays when it leads the flush.
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds observes the fsync alone — the floor group commit
+	// amortizes.
+	FsyncSeconds *obs.Histogram
+	// RecordsPerFsync observes how many buffered records one fsync made
+	// durable: the group-commit batch size.
+	RecordsPerFsync *obs.Histogram
+	// FlushBytes observes the byte size of one flushed batch.
+	FlushBytes *obs.Histogram
+	// SnapshotSeconds observes a snapshot install end to end (encode,
+	// fsync, rename, WAL truncation) — the compaction pause.
+	SnapshotSeconds *obs.Histogram
+}
+
+// observe is the nil-safe recording helper shared by the hook sites.
+func observe(h *obs.Histogram, v float64) {
+	if h != nil {
+		h.Observe(v)
+	}
+}

@@ -49,6 +49,9 @@ type Options struct {
 	// SnapshotBytes is the WAL size beyond which the server takes a
 	// snapshot and compacts the log (<= 0 means DefaultSnapshotBytes).
 	SnapshotBytes int64
+	// Metrics, when non-nil, receives WAL and snapshot latency
+	// observations from every session log of this store.
+	Metrics *WALMetrics
 }
 
 // DefaultSnapshotBytes is the default WAL-size snapshot threshold.
@@ -101,6 +104,7 @@ func (s *Store) Session(name string) (*SessionLog, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.metrics = s.opts.Metrics
 	s.sessions[name] = l
 	return l, nil
 }
@@ -226,6 +230,7 @@ func (s *Store) recoverSession(name string) (*Recovered, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.metrics = s.opts.Metrics
 	s.mu.Lock()
 	s.sessions[name] = l
 	s.mu.Unlock()

@@ -109,6 +109,10 @@ type SessionLog struct {
 	lastSync   atomic.Int64 // unix nanos of the last fsync'd append
 	lastSnap   atomic.Int64 // unix nanos of the last snapshot install
 
+	// metrics, when non-nil, receives flush/snapshot latency observations
+	// (shared across the store's sessions; set once before first use).
+	metrics *WALMetrics
+
 	// noteMu/note broadcast "the durable state changed" to WAL tailers:
 	// note is closed and replaced after every flush and every truncation.
 	noteMu sync.Mutex
@@ -376,13 +380,22 @@ func (l *SessionLog) flush() error {
 	if len(buf) == 0 {
 		return nil
 	}
+	start := time.Now()
 	if _, err := fpWrite(FpWALWrite, l.f, buf); err != nil {
 		l.failed.Store(true)
 		return fmt.Errorf("store: wal append: %w", err)
 	}
+	preSync := time.Now()
 	if err := fpSync(FpWALSync, l.f); err != nil {
 		l.failed.Store(true)
 		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	if m := l.metrics; m != nil {
+		done := time.Now()
+		observe(m.AppendSeconds, done.Sub(start).Seconds())
+		observe(m.FsyncSeconds, done.Sub(preSync).Seconds())
+		observe(m.RecordsPerFsync, float64(n))
+		observe(m.FlushBytes, float64(len(buf)))
 	}
 	l.walBytes.Add(int64(len(buf)))
 	l.walRecords.Add(n)
@@ -441,6 +454,10 @@ func (l *SessionLog) InstallSnapshot(snap *Snapshot) error {
 	}
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
+	if m := l.metrics; m != nil {
+		start := time.Now()
+		defer func() { observe(m.SnapshotSeconds, time.Since(start).Seconds()) }()
+	}
 	if err := l.flush(); err != nil {
 		return err
 	}

@@ -16,8 +16,15 @@
 # clients. A fixed iteration count (DURABLE_BENCHTIME) keeps the database
 # growth identical across concurrency levels so the runs are comparable.
 #
+# A third pass (BENCH_PR9.json) runs a fixed query workload against a live
+# durable incdbd and snapshots its /v1/metrics into the report: per-query
+# latency from the incdb_query_seconds histogram, worlds enumerated, WAL
+# fsync latency and group-commit batch size — the observability surface
+# measuring itself.
+#
 # Environment: BENCHTIME (default 0.5s), DURABLE_BENCHTIME (default
-# 1500x), COUNT (default 5), OUT (default bench-compare-out).
+# 1500x), COUNT (default 5), OUT (default bench-compare-out),
+# METRIC_QUERIES (default 30).
 set -eu
 
 BENCHTIME="${BENCHTIME:-0.5s}"
@@ -82,4 +89,65 @@ END {
 }' "$OUT/durable.txt" >BENCH_PR6.json
 cat BENCH_PR6.json
 
-echo "results in $OUT/ and BENCH_PR4.json, BENCH_PR6.json"
+echo "== snapshotting /v1/metrics under a fixed live workload =="
+METRIC_QUERIES="${METRIC_QUERIES:-30}"
+BIN="${BIN:-./bin}"
+mkdir -p "$BIN"
+go build -o "$BIN/incdbd" ./cmd/incdbd
+go build -o "$BIN/incdbctl" ./cmd/incdbctl
+PORT="$(go run ./scripts/freeport)"
+ADDR="127.0.0.1:$PORT"
+DATA_DIR="$(mktemp -d)"
+trap 'kill "$SRV" 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
+"$BIN/incdbd" -addr "$ADDR" -data-dir "$DATA_DIR" &
+SRV=$!
+i=0
+while ! curl -fs "http://$ADDR/v1/status" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || { echo "incdbd did not come up on $ADDR" >&2; exit 1; }
+    sleep 0.2
+done
+CTL="$BIN/incdbctl client -addr http://$ADDR -session bench"
+$CTL load examples/data/orders.idb >/dev/null
+
+# Each iteration respells the query with i spaces: plan-cache-equal but
+# byte-distinct, so every request is a real evaluation (the byte-exact
+# result cache never absorbs it) and lands in the latency histogram.
+i=0
+pad=""
+while [ $i -lt "$METRIC_QUERIES" ]; do
+    $CTL cert "proj(0,$pad sel(not(in(0, Payments)), Orders))" >/dev/null
+    pad="$pad "
+    i=$((i + 1))
+done
+
+curl -fs "http://$ADDR/v1/metrics" >"$OUT/metrics.prom"
+kill "$SRV" && wait "$SRV" 2>/dev/null || true
+trap 'rm -rf "$DATA_DIR"' EXIT
+
+awk -v queries="$METRIC_QUERIES" '
+function val(series) { return series in v ? v[series] : 0 }
+!/^#/ { v[$1] = $2 }
+END {
+    qc = val("incdb_query_seconds_count{proc=\"cert\",session=\"bench\"}")
+    qs = val("incdb_query_seconds_sum{proc=\"cert\",session=\"bench\"}")
+    fc = val("incdb_wal_fsync_seconds_count")
+    fs = val("incdb_wal_fsync_seconds_sum")
+    rc = val("incdb_wal_records_per_fsync_count")
+    rs = val("incdb_wal_records_per_fsync_sum")
+    printf "{\n  \"pr\": 9,\n"
+    printf "  \"title\": \"incdbd observability: /v1/metrics snapshot under a fixed certain-query workload\",\n"
+    printf "  \"method\": \"%d plan-cache-equal, byte-distinct cert queries against a durable incdbd; values scraped from /v1/metrics\",\n", queries
+    printf "  \"metrics\": {\n"
+    printf "    \"queries_total\": %d,\n", val("incdb_queries_total{proc=\"cert\",session=\"bench\"}")
+    printf "    \"query_mean_ms\": %.3f,\n", qc ? 1000 * qs / qc : 0
+    printf "    \"worlds_enumerated_total\": %d,\n", val("incdb_worlds_enumerated_total")
+    printf "    \"prep_cache_hits\": %d,\n", val("incdb_prep_cache_hits_total{session=\"bench\"}")
+    printf "    \"wal_fsyncs\": %d,\n", fc
+    printf "    \"wal_fsync_mean_ms\": %.3f,\n", fc ? 1000 * fs / fc : 0
+    printf "    \"wal_records_per_fsync_mean\": %.2f\n", rc ? rs / rc : 0
+    printf "  }\n}\n"
+}' "$OUT/metrics.prom" >BENCH_PR9.json
+cat BENCH_PR9.json
+
+echo "results in $OUT/ and BENCH_PR4.json, BENCH_PR6.json, BENCH_PR9.json"

@@ -4,8 +4,9 @@
 # data through the incdbctl client, assert a certain answer plus the
 # prepared-plan and result cache hits, then SIGKILL the server
 # mid-load-sequence, restart it on the same data directory and assert that
-# every answer and version vector matches the pre-kill state. Ends with a
-# graceful-shutdown check.
+# every answer and version vector matches the pre-kill state. Along the way
+# /v1/metrics is scraped and key series are asserted to exist and to move
+# with traffic. Ends with a graceful-shutdown check.
 set -eu
 
 BIN="${BIN:-./bin}"
@@ -59,6 +60,26 @@ $CTL cert "$QUERY_RESPELLED" >/dev/null
 status=$($CTL status)
 echo "$status" | grep 'results' | grep -q "1 hits" || {
     echo "repeated query did not hit the result cache" >&2; exit 1; }
+
+echo "== /v1/metrics: valid exposition, series present and moving =="
+# One series value from a fresh scrape (counters render as integers).
+metric() {
+    curl -fs "http://$ADDR/v1/metrics" | awk -v s="$1" '$1 == s { print $2 }'
+}
+curl -fs "http://$ADDR/v1/metrics" | grep -q '^# TYPE incdb_queries_total counter' || {
+    echo "/v1/metrics is not serving the exposition format" >&2; exit 1; }
+before="$(metric 'incdb_queries_total{proc="cert",session="smoke"}')"
+[ -n "$before" ] || { echo "no incdb_queries_total series for the smoke session" >&2; exit 1; }
+fsyncs="$(metric 'incdb_wal_fsync_seconds_count')"
+[ "${fsyncs:-0}" -ge 1 ] || {
+    echo "durable server reports no WAL fsyncs (incdb_wal_fsync_seconds_count=$fsyncs)" >&2; exit 1; }
+[ "$(metric 'incdb_role{role="primary"}')" = "1" ] || {
+    echo "incdb_role{role=primary} != 1 on a standalone server" >&2; exit 1; }
+$CTL cert "$QUERY" >/dev/null
+after="$(metric 'incdb_queries_total{proc="cert",session="smoke"}')"
+[ "$after" -gt "$before" ] || {
+    echo "incdb_queries_total did not move with traffic ($before -> $after)" >&2; exit 1; }
+echo "metrics move with traffic: cert queries $before -> $after, $fsyncs fsyncs"
 
 echo "== crash recovery: append, SIGKILL mid-sequence, restart, compare =="
 APPEND_FILE="$DATA_DIR/append.idb"

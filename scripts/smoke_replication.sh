@@ -6,6 +6,8 @@
 # servers via the consistency token, 412 stale_replica on an uncoverable
 # token, 403 read_only_replica on follower loads, and a SIGKILL'd follower
 # restarted on its data directory resuming without a snapshot re-bootstrap.
+# Both servers' /v1/metrics are scraped: roles, applied seq, and follower
+# lag returning to zero once caught up.
 set -eu
 
 BIN="${BIN:-./bin}"
@@ -77,6 +79,23 @@ FOLLOWER=$!
 wait_up "$RADDR"
 wait_caught_up
 
+metric() {
+    curl -fs "http://$1/v1/metrics" | awk -v s="$2" '$1 == s { print $2 }'
+}
+
+echo "== metrics: roles on both servers, follower lag back to zero =="
+[ "$(metric "$PADDR" 'incdb_role{role="primary"}')" = "1" ] || {
+    echo "primary does not report incdb_role{role=primary} 1" >&2; exit 1; }
+[ "$(metric "$RADDR" 'incdb_role{role="replica"}')" = "1" ] || {
+    echo "follower does not report incdb_role{role=replica} 1" >&2; exit 1; }
+applied="$(metric "$RADDR" 'incdb_replica_applied_seq{session="smoke"}')"
+[ "${applied:-0}" -ge 2 ] || {
+    echo "follower applied_seq = $applied, want >= 2 (load + append)" >&2; exit 1; }
+lag="$(metric "$RADDR" 'incdb_replica_lag_seq{session="smoke"}')"
+[ "$lag" = "0" ] || {
+    echo "caught-up follower reports lag_seq = $lag, want 0" >&2; exit 1; }
+echo "follower applied seq $applied, lag 0"
+
 echo "== byte-identical answers (certain, c-tables with null identities) =="
 for q in "$UNPAID" "$ALL_ORDERS"; do
     p="$($PCTL cert "$q" | grep '^  ')"
@@ -137,6 +156,9 @@ r="$($RCTL cert "$UNPAID" | grep '^  ')"
 [ "$p" = "$r" ] || {
     echo "answers diverge after follower restart:" >&2
     echo "primary:  $p" >&2; echo "follower: $r" >&2; exit 1; }
+lag="$(metric "$RADDR" 'incdb_replica_lag_seq{session="smoke"}')"
+[ "$lag" = "0" ] || {
+    echo "restarted follower reports lag_seq = $lag, want 0 after catch-up" >&2; exit 1; }
 
 echo "== graceful shutdown =="
 kill -TERM "$FOLLOWER" "$PRIMARY"
