@@ -25,6 +25,15 @@
 //
 //	incdbctl top -addr http://localhost:8080
 //
+// The trace subcommand reads a server's distributed traces (GET
+// /v1/traces): without an ID it lists recent root spans, with one it
+// renders that trace's span tree with durations and attributes — run it
+// against the primary and each replica to see both sides of a
+// replicated write:
+//
+//	incdbctl trace -addr http://localhost:8080
+//	incdbctl trace -addr http://localhost:8080 4bf92f3577b34da6a3ce929d0e0e4736
+//
 // The client subcommand speaks the incdbd HTTP/JSON protocol — one-shot or
 // as a REPL over a named server-side session (see runClient). -addr takes
 // a comma-separated endpoint list; with more than one the client is
@@ -82,6 +91,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "top" {
 		if err := runTop(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "incdbctl top:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "incdbctl trace:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"incdb/internal/obs"
+	"incdb/internal/server"
+)
+
+// runTrace runs the trace subcommand: without an argument it lists the
+// server's recently finished root spans (GET /v1/traces); with a trace ID
+// it fetches that trace's spans (GET /v1/traces/{id}) and renders them as
+// an indented tree with durations and attributes. Each server keeps its
+// own span ring, so a replicated write is inspected by running the same
+// ID against the primary (root, wal.commit, wal.fsync) and each replica
+// (replica.apply).
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "incdbd base URL")
+	limit := fs.Int("limit", 20, "root spans to list (without a trace ID)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	c := server.NewClient(*addr, "")
+	if fs.NArg() == 0 {
+		resp, err := c.Traces(*limit)
+		if err != nil {
+			return err
+		}
+		if len(resp.Spans) == 0 {
+			fmt.Println("no traces recorded (is tracing enabled? see -trace-sample)")
+			return nil
+		}
+		fmt.Printf("%-32s  %10s  %-6s  %s\n", "TRACE", "DURATION", "STATUS", "NAME")
+		for _, sp := range resp.Spans {
+			status := "ok"
+			if sp.Error != "" {
+				status = "error"
+			}
+			fmt.Printf("%-32s  %10s  %-6s  %s\n",
+				sp.TraceID, fmtSeconds(float64(sp.DurationUs)/1e6), status, sp.Name)
+		}
+		return nil
+	}
+	resp, err := c.Trace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s  (%d spans on %s)\n", resp.TraceID, len(resp.Spans), *addr)
+	printSpanTree(resp.Spans)
+	return nil
+}
+
+// printSpanTree renders spans as an indented tree: children under their
+// parent ordered by start time, spans whose parent is absent from this
+// server's ring (remote parents, evicted spans) at top level.
+func printSpanTree(spans []obs.SpanData) {
+	children := map[string][]obs.SpanData{}
+	ids := map[string]bool{}
+	for _, sp := range spans {
+		ids[sp.SpanID] = true
+	}
+	var roots []obs.SpanData
+	for _, sp := range spans {
+		if sp.ParentID != "" && ids[sp.ParentID] {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	byStart := func(s []obs.SpanData) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+	}
+	byStart(roots)
+	var render func(sp obs.SpanData, depth int)
+	render = func(sp obs.SpanData, depth int) {
+		printSpanLine(sp, depth)
+		kids := children[sp.SpanID]
+		byStart(kids)
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		render(sp, 0)
+	}
+}
+
+func printSpanLine(sp obs.SpanData, depth int) {
+	name := sp.Name
+	if sp.Remote {
+		// The parent span lives on another server (or in the client).
+		name += " ←remote"
+	}
+	line := fmt.Sprintf("%s%-*s %10s", strings.Repeat("  ", depth), 40-2*depth, name,
+		fmtSeconds(time.Duration(sp.DurationUs*1000).Seconds()))
+	if sp.Error != "" {
+		line += "  error=" + sp.Error
+	}
+	if len(sp.Attrs) > 0 {
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+sp.Attrs[k])
+		}
+		line += "  {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Println(line)
+}

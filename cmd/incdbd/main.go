@@ -48,6 +48,16 @@
 // threshold with their plan summary; -pprof-addr serves net/http/pprof on
 // a separate listener; `incdbctl top` renders the metrics as a one-shot
 // summary.
+//
+// Tracing: every request gets a distributed-trace span tree — client →
+// admission → evaluation → WAL fsync, linked across the replication
+// stream to each follower's apply span. An incoming W3C traceparent
+// header joins the caller's trace; -trace-sample sets the head-sampling
+// rate for fresh traces (1.0 by default — every trace is kept in the
+// bounded in-memory ring; 0 disables tracing entirely). Slow and failed
+// requests are always kept. GET /v1/traces lists recent root spans,
+// GET /v1/traces/{id} returns one trace's spans, and `incdbctl trace`
+// renders the tree.
 package main
 
 import (
@@ -79,6 +89,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "HTTP response write deadline (0 = none; WAL streaming is exempt)")
 	slowQuery := flag.Duration("slow-query", 0, "log evaluated queries slower than this (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+	traceSample := flag.Float64("trace-sample", 1.0, "distributed-trace head-sampling rate in [0,1] (0 = tracing off; slow/failed requests always kept)")
+	traceCap := flag.Int("trace-cap", 0, "in-memory span ring capacity for /v1/traces (0 = default)")
 	grace := flag.Duration("grace", 5*time.Second, "graceful shutdown window")
 	load := flag.String("load", "", "database file (raparse format) to preload")
 	session := flag.String("session", "default", "session name for -load")
@@ -95,6 +107,8 @@ func main() {
 		WriteTimeout:   *writeTimeout,
 		SlowQuery:      *slowQuery,
 		ShutdownGrace:  *grace,
+		TraceSample:    *traceSample,
+		TraceCap:       *traceCap,
 	})
 	if *pprofAddr != "" {
 		// The profiling endpoints live on their own listener so they are

@@ -1,0 +1,187 @@
+// Command incdbload drives sustained mixed load against an incdbd server:
+// N workers issue a fixed blend of appends and queries against one session
+// for a wall-clock duration, then report sustained throughput and latency
+// quantiles as one JSON object — the numbers the bench harness records in
+// BENCH_PR10.json.
+//
+//	incdbload -addr http://localhost:8080 -duration 10s -concurrency 8 -write-pct 10
+//
+// Unlike the per-query microbenchmarks (go test -bench), this measures the
+// server as a system under steady concurrent pressure: admission control,
+// the result cache being continuously invalidated by interleaved writes,
+// WAL group commit under concurrency, and the latency clients actually
+// observe end to end. -addr takes a comma-separated endpoint list; with
+// more than one the workers are failover-aware, so the harness also
+// exercises promotion under load.
+//
+// Each worker cycles a fixed query list (cert oracle and SQL shapes over
+// the built-in orders schema); every write appends a fresh row to a
+// dedicated LoadRows relation, which bumps the session's version vector
+// and forces the next queries to re-evaluate — a realistic cache hit/miss
+// blend rather than a 100% warm cache. Unless -no-init, the session is
+// first replaced with the built-in dataset so runs are reproducible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"incdb/internal/server"
+)
+
+// initData is the session's starting state: the orders schema the repo's
+// examples and benchmarks use, plus an empty LoadRows relation the write
+// mix appends into.
+const initData = `
+rel Customers cid name
+rel Orders oid cid
+rel Payments oid
+rel LoadRows k v
+row Customers c1 'Ann'
+row Customers c2 'Bob'
+row Orders o1 c1
+row Orders o2 _1
+row Payments o1
+`
+
+// queries is the read mix: certain-answer oracle work (the expensive
+// shape), its SQL counterpart, and two cheap scans. Workers cycle through
+// it round-robin from staggered offsets.
+var queries = []struct{ query, proc string }{
+	{"proj(0, sel(not(in(0, Payments)), Orders))", "cert"},
+	{"proj(0, sel(not(in(0, Payments)), Orders))", "sql"},
+	{"minus(proj(0, Customers), proj(1, Orders))", "cert"},
+	{"proj(0, Orders)", "sql"},
+	{"times(Orders, Payments)", "sql"},
+}
+
+// opResult is one completed operation: which kind, how long, and whether
+// it failed.
+type opResult struct {
+	write bool
+	d     time.Duration
+	err   bool
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "incdbd base URL(s), comma-separated for failover awareness")
+	sessionName := flag.String("session", "bench", "session to drive")
+	duration := flag.Duration("duration", 10*time.Second, "how long to sustain the load")
+	concurrency := flag.Int("concurrency", 8, "concurrent workers")
+	writePct := flag.Int("write-pct", 10, "percentage of operations that are appends (0-100)")
+	noInit := flag.Bool("no-init", false, "skip replacing the session with the built-in dataset first")
+	flag.Parse()
+	if *concurrency < 1 || *writePct < 0 || *writePct > 100 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	endpoints := strings.Split(*addr, ",")
+
+	if !*noInit {
+		c := server.NewFailoverClient(endpoints, *sessionName)
+		if _, err := c.Load(initData, false); err != nil {
+			fmt.Fprintln(os.Stderr, "incdbload: init load:", err)
+			os.Exit(1)
+		}
+	}
+
+	results := make([][]opResult, *concurrency)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns a client: its own consistency token, so its
+			// reads are monotonic, and its own failover state.
+			c := server.NewFailoverClient(endpoints, *sessionName)
+			var ops []opResult
+			for i := 0; time.Now().Before(deadline); i++ {
+				// Deterministic blend, no RNG: exactly write-pct of every
+				// 100 consecutive operations are writes, evenly spread
+				// (multiples of writePct mod 100 land below writePct exactly
+				// writePct times per cycle), staggered across workers.
+				write := ((i+w)*(*writePct))%100 < *writePct && *writePct > 0
+				start := time.Now()
+				var err error
+				if write {
+					_, err = c.Load(fmt.Sprintf("row LoadRows k%d_%d v\n", w, i), true)
+				} else {
+					q := queries[(i+w)%len(queries)]
+					_, err = c.Query(q.query, q.proc, false, 0)
+				}
+				ops = append(ops, opResult{write: write, d: time.Since(start), err: err != nil})
+			}
+			results[w] = ops
+		}(w)
+	}
+	wg.Wait()
+
+	var all []opResult
+	for _, ops := range results {
+		all = append(all, ops...)
+	}
+	report(os.Stdout, *duration, *concurrency, *writePct, all)
+}
+
+// latencyStats are the per-operation-kind numbers of the report.
+type latencyStats struct {
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	Errors int     `json:"errors"`
+}
+
+func stats(ops []opResult, write bool) latencyStats {
+	var ds []time.Duration
+	st := latencyStats{}
+	for _, op := range ops {
+		if op.write != write {
+			continue
+		}
+		st.Count++
+		if op.err {
+			st.Errors++
+			continue
+		}
+		ds = append(ds, op.d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(p float64) float64 {
+		if len(ds) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(ds)-1))
+		return float64(ds[i].Microseconds()) / 1000
+	}
+	st.P50Ms, st.P95Ms, st.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	return st
+}
+
+func report(out *os.File, d time.Duration, concurrency, writePct int, all []opResult) {
+	errors := 0
+	for _, op := range all {
+		if op.err {
+			errors++
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"duration_s":  d.Seconds(),
+		"concurrency": concurrency,
+		"write_pct":   writePct,
+		"total_ops":   len(all),
+		"rps":         float64(len(all)) / d.Seconds(),
+		"errors":      errors,
+		"query":       stats(all, false),
+		"append":      stats(all, true),
+	})
+}

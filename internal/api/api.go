@@ -16,6 +16,8 @@
 //	POST /v1/promote                   promote a follower to primary
 //	GET  /v1/healthz                   liveness probe
 //	GET  /v1/readyz                    readiness probe
+//	GET  /v1/traces                    recent sampled root spans
+//	GET  /v1/traces/{id}               every stored span of one trace
 //
 // The pre-PR-6 flat routes (POST /v1/load|query|explain with the session
 // name in the body, GET /v1/snapshot?session=) survive as thin delegating
@@ -31,6 +33,7 @@
 package api
 
 import (
+	"incdb/internal/obs"
 	"incdb/internal/plan"
 	"incdb/internal/store"
 )
@@ -95,6 +98,11 @@ type QueryRequest struct {
 	MaxWorlds int               `json:"max_worlds,omitempty"`
 	ReadAfter map[string]uint64 `json:"read_after,omitempty"`
 	Epoch     uint64            `json:"epoch,omitempty"`
+	// TraceDetail asks for per-plan-node child spans on this request's
+	// trace (only honored when the request's trace is sampled). The
+	// per-batch counting it enables never changes results — only adds
+	// spans — but costs a little, so it is opt-in per request.
+	TraceDetail bool `json:"trace_detail,omitempty"`
 }
 
 // Resultset is one relation of answers. Rows are rendered in the
@@ -128,6 +136,10 @@ type QueryResponse struct {
 	FrozenReuse int64             `json:"frozen_reuse,omitempty"`
 	Versions    map[string]uint64 `json:"versions,omitempty"`
 	Epoch       uint64            `json:"epoch,omitempty"` // epoch of the answering state
+	// TraceID is the hex trace ID of the request's sampled trace, usable
+	// with GET /v1/traces/{id} and `incdbctl trace`; empty when the
+	// request was not sampled or tracing is off.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ExplainRequest renders the plan for a query against a session database.
@@ -233,6 +245,21 @@ type ResultCacheStats struct {
 type ReplicationStatus struct {
 	Primary  string           `json:"primary"`
 	Sessions []ReplicaSession `json:"sessions"`
+}
+
+// TracesResponse is the body of GET /v1/traces: recently finished root
+// spans (request tops and remote-parented apply spans), newest first.
+type TracesResponse struct {
+	Spans []obs.SpanData `json:"spans"`
+}
+
+// TraceResponse is the body of GET /v1/traces/{id}: every span this
+// server holds for one trace, ordered by start time. Each server keeps
+// its own ring — a distributed trace is read by querying the same ID on
+// the primary and its replicas.
+type TraceResponse struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []obs.SpanData `json:"spans"`
 }
 
 // ReplicaSession is the replication state of one followed session.

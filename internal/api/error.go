@@ -17,6 +17,10 @@ const (
 	// CodeSessionNotFound: the named session does not exist (load data
 	// first).
 	CodeSessionNotFound = "session_not_found"
+	// CodeNotFound: the addressed resource does not exist (e.g. no stored
+	// spans for the requested trace ID — it was never sampled, or the ring
+	// evicted it).
+	CodeNotFound = "not_found"
 	// CodeOverloaded: no evaluation slot became free while the client was
 	// willing to wait.
 	CodeOverloaded = "overloaded"

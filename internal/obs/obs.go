@@ -71,6 +71,14 @@ type Histogram struct {
 	counts []atomic.Uint64
 	sum    atomic.Uint64 // float64 bits
 	count  atomic.Uint64
+
+	// Exemplar state: the slowest observation that carried a trace ID,
+	// rendered as an OpenMetrics-style exemplar on its bucket line so an
+	// operator can jump from a histogram tail to the trace behind it.
+	exMu  sync.Mutex
+	exSet bool
+	exVal float64
+	exID  string
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -82,6 +90,28 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
 	addFloat(&h.sum, v)
 	h.count.Add(1)
+}
+
+// ObserveExemplar records v like Observe and, when traceID is non-empty
+// and v is the largest such observation so far, remembers the trace ID
+// as the histogram's exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exMu.Lock()
+	if !h.exSet || v > h.exVal {
+		h.exSet, h.exVal, h.exID = true, v, traceID
+	}
+	h.exMu.Unlock()
+}
+
+// exemplar returns the recorded exemplar, if any.
+func (h *Histogram) exemplar() (v float64, traceID string, ok bool) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exVal, h.exID, h.exSet
 }
 
 // Sum returns the sum of all observed values.
@@ -300,18 +330,32 @@ func (f *family) write(w io.Writer) {
 		case *Gauge:
 			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, vals, "", ""), fmtValue(c.Value()))
 		case *Histogram:
+			exVal, exID, exOK := c.exemplar()
 			cum := uint64(0)
 			for bi, bound := range c.bounds {
 				cum += c.counts[bi].Load()
-				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-					labelString(f.labels, vals, "le", fmtValue(bound)), cum)
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+					labelString(f.labels, vals, "le", fmtValue(bound)), cum,
+					exemplarSuffix(exOK && exVal <= bound && (bi == 0 || exVal > c.bounds[bi-1]), exID, exVal))
 			}
 			cum += c.counts[len(c.bounds)].Load()
-			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, vals, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, labelString(f.labels, vals, "le", "+Inf"), cum,
+				exemplarSuffix(exOK && len(c.bounds) > 0 && exVal > c.bounds[len(c.bounds)-1], exID, exVal))
 			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, vals, "", ""), fmtValue(c.Sum()))
 			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, vals, "", ""), c.Count())
 		}
 	}
+}
+
+// exemplarSuffix renders the OpenMetrics exemplar trailer for the one
+// bucket line that contains the exemplar observation, "" elsewhere.
+// Parsers of the 0.0.4 text format that split on whitespace still read
+// the sample value unchanged (it stays field two).
+func exemplarSuffix(on bool, traceID string, v float64) string {
+	if !on {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s", escapeLabel(traceID), fmtValue(v))
 }
 
 // labelString renders {a="x",b="y"} (plus an optional extra label, for

@@ -68,6 +68,11 @@ func parsePromLine(line string) (Sample, error) {
 		}
 		rest = tail
 	}
+	// Bucket lines may trail an OpenMetrics exemplar (" # {...} value");
+	// only the sample value before it matters here.
+	if i := strings.Index(rest, " # "); i >= 0 {
+		rest = rest[:i]
+	}
 	v, err := parsePromValue(strings.TrimSpace(rest))
 	if err != nil {
 		return s, fmt.Errorf("bad value in %q: %w", line, err)

@@ -1,0 +1,494 @@
+package obs
+
+// trace.go is the zero-dependency distributed-tracing kernel: W3C
+// traceparent-style context propagation, spans with parent links and
+// attributes, deterministic head sampling, and a bounded in-memory ring
+// of finished spans served by GET /v1/traces. Nothing here imports
+// outside the standard library; the server wires it to HTTP middleware
+// and the store wires it to WAL flushes.
+//
+// Sampling is decided by hashing the trace ID alone, so a primary and
+// its replicas make the same keep/drop decision for one trace without
+// coordination — the flag carried in the traceparent and in WAL records
+// merely confirms what each server would have computed. Slow and failed
+// requests are force-published even when the coin said drop.
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across servers.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+func (t TraceID) IsZero() bool   { return t == TraceID{} }
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+func (s SpanID) IsZero() bool   { return s == SpanID{} }
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated part of a span: enough for a child on
+// another server to link back to it.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// TraceParent renders the context in W3C trace-context form:
+// "00-<32 hex trace id>-<16 hex span id>-<2 hex flags>", or "" for an
+// invalid context.
+func (sc SpanContext) TraceParent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceParent parses a W3C traceparent header. Unknown versions and
+// malformed fields are rejected rather than guessed at.
+func ParseTraceParent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(parts[1])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(parts[2])); err != nil {
+		return SpanContext{}, false
+	}
+	flags, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&1 == 1
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// NewSpanContext mints a fresh root context with random IDs — how a
+// client originates a trace before any server has seen it.
+func NewSpanContext(sampled bool) SpanContext {
+	return SpanContext{TraceID: randTraceID(), SpanID: randSpanID(), Sampled: sampled}
+}
+
+func randTraceID() (t TraceID) {
+	binary.BigEndian.PutUint64(t[:8], rand.Uint64())
+	binary.BigEndian.PutUint64(t[8:], rand.Uint64())
+	if t.IsZero() {
+		t[15] = 1
+	}
+	return t
+}
+
+func randSpanID() (s SpanID) {
+	binary.BigEndian.PutUint64(s[:], rand.Uint64())
+	if s.IsZero() {
+		s[7] = 1
+	}
+	return s
+}
+
+// sampleTrace is the deterministic head-sampling coin: keep iff the
+// first eight bytes of the trace ID, read as a uint64, fall below
+// rate·2⁶⁴. Every server hashing the same trace ID gets the same answer.
+func sampleTrace(id TraceID, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	return float64(binary.BigEndian.Uint64(id[:8])) < math.Ldexp(rate, 64)
+}
+
+// SpanData is the immutable record of a finished span, as stored in the
+// ring and served by GET /v1/traces/{id}.
+type SpanData struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Remote     bool              `json:"remote_parent,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUs int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// Tracer samples traces and holds the server's bounded span ring. A nil
+// *Tracer is valid and disables tracing entirely: StartRoot and
+// StartLinked return nil spans, whose methods are all no-ops.
+type Tracer struct {
+	rate  float64
+	store spanStore
+}
+
+// DefaultSpanCap bounds the span ring when the caller passes 0.
+const DefaultSpanCap = 4096
+
+// NewTracer builds a tracer sampling the given fraction of fresh traces
+// and retaining at most capacity finished spans (0 means
+// DefaultSpanCap).
+func NewTracer(rate float64, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &Tracer{rate: rate, store: spanStore{buf: make([]SpanData, capacity)}}
+}
+
+// spanBuf collects a root span's subtree until the root ends and the
+// publish decision is made. Children ending after that go straight to
+// the ring (if published) or are dropped (if not).
+type spanBuf struct {
+	mu      sync.Mutex
+	spans   []SpanData
+	done    bool
+	publish bool
+	force   bool
+}
+
+// Span is one timed operation in a trace. All methods are safe on a nil
+// receiver, so call sites never need to guard on tracing being enabled.
+type Span struct {
+	tracer *Tracer
+	buf    *spanBuf // nil for linked (detached) spans
+	sc     SpanContext
+	parent SpanID
+	remote bool
+	name   string
+
+	mu    sync.Mutex
+	start time.Time
+	attrs map[string]string
+	err   string
+	ended bool
+}
+
+// StartRoot opens the root span of a request. A valid parent context
+// (from an incoming traceparent) is adopted — same trace ID, carried
+// sampling flag, remote parent link; otherwise a fresh trace is minted
+// and the sampling coin flipped. The span is created even when the coin
+// says drop, so slow/error requests can still be force-published at End.
+func (t *Tracer) StartRoot(name string, parent SpanContext) *Span {
+	if t == nil {
+		return nil
+	}
+	sc := SpanContext{SpanID: randSpanID()}
+	sp := &Span{tracer: t, buf: &spanBuf{}, name: name, start: time.Now()}
+	if parent.Valid() {
+		sc.TraceID, sc.Sampled = parent.TraceID, parent.Sampled
+		sp.parent, sp.remote = parent.SpanID, true
+	} else {
+		sc.TraceID = randTraceID()
+		sc.Sampled = sampleTrace(sc.TraceID, t.rate)
+	}
+	sp.sc = sc
+	return sp
+}
+
+// StartLinked opens a span whose parent lives outside this span tree —
+// possibly on another server (remote=true, e.g. a replica applying a
+// primary's write). It publishes directly to the ring at End, and only
+// exists at all when the carried context says the trace is sampled.
+func (t *Tracer) StartLinked(name string, parent SpanContext, remote bool) *Span {
+	if t == nil || !parent.Valid() || !parent.Sampled {
+		return nil
+	}
+	return &Span{
+		tracer: t,
+		sc:     SpanContext{TraceID: parent.TraceID, SpanID: randSpanID(), Sampled: true},
+		parent: parent.SpanID,
+		remote: remote,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// StartChild opens a child span under s, sharing its trace and buffer.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer: s.tracer,
+		buf:    s.buf,
+		sc:     SpanContext{TraceID: s.sc.TraceID, SpanID: randSpanID(), Sampled: s.sc.Sampled},
+		parent: s.sc.SpanID,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Context returns the span's propagatable context (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the hex trace ID, "" for nil spans.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceID.String()
+}
+
+// Sampled reports whether the span's trace passed head sampling.
+func (s *Span) Sampled() bool { return s != nil && s.sc.Sampled }
+
+// ExemplarRef returns the trace ID for use as a metrics exemplar — only
+// for sampled spans, so exemplars always point at retrievable traces.
+func (s *Span) ExemplarRef() string {
+	if s == nil || !s.sc.Sampled {
+		return ""
+	}
+	return s.sc.TraceID.String()
+}
+
+// Attr attaches a key/value attribute to the span.
+func (s *Span) Attr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+	s.mu.Unlock()
+}
+
+// SetError marks the span failed. A failed root span is always
+// published, regardless of the sampling decision.
+func (s *Span) SetError(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = msg
+	s.mu.Unlock()
+}
+
+// Force marks the span's trace for publication even if unsampled — how
+// slow requests are always captured.
+func (s *Span) Force() {
+	if s == nil || s.buf == nil {
+		return
+	}
+	s.buf.mu.Lock()
+	s.buf.force = true
+	s.buf.mu.Unlock()
+}
+
+// SetStart overrides the span's start time — for spans synthesized
+// after the fact (plan-node spans, WAL flush spans).
+func (s *Span) SetStart(at time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.start = at
+	s.mu.Unlock()
+}
+
+// End finishes the span with its measured wall time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	d := time.Since(s.start)
+	s.mu.Unlock()
+	s.EndWithDuration(d)
+}
+
+// EndWithDuration finishes the span with an explicit duration — for
+// spans whose time was measured elsewhere (plan NodeStats, WAL fsyncs).
+func (s *Span) EndWithDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	data := SpanData{
+		TraceID:    s.sc.TraceID.String(),
+		SpanID:     s.sc.SpanID.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationUs: d.Microseconds(),
+		Attrs:      s.attrs,
+		Error:      s.err,
+		Remote:     s.remote,
+	}
+	if !s.parent.IsZero() {
+		data.ParentID = s.parent.String()
+	}
+	isRoot := s.buf != nil && (s.parent.IsZero() || s.remote)
+	s.mu.Unlock()
+
+	if s.buf == nil {
+		// Linked span: StartLinked only returns non-nil when sampled.
+		s.tracer.store.add(data)
+		return
+	}
+	b := s.buf
+	b.mu.Lock()
+	switch {
+	case isRoot && !b.done:
+		b.done = true
+		b.publish = s.sc.Sampled || b.force || data.Error != ""
+		if b.publish {
+			spans := append(b.spans, data)
+			b.spans = nil
+			b.mu.Unlock()
+			s.tracer.store.addAll(spans)
+			return
+		}
+		b.spans = nil
+	case b.done && b.publish:
+		b.mu.Unlock()
+		s.tracer.store.add(data)
+		return
+	case !b.done:
+		b.spans = append(b.spans, data)
+	}
+	b.mu.Unlock()
+}
+
+// Recent returns up to n recently finished root spans, newest first. A
+// root is a span with no parent here: the top of a request on this
+// server, or a remote-parented span applied from another server's write.
+func (t *Tracer) Recent(n int) []SpanData {
+	if t == nil {
+		return nil
+	}
+	return t.store.recentRoots(n)
+}
+
+// Trace returns every stored span of one trace (hex ID), ordered by
+// start time. Empty when the trace is unknown or has been evicted.
+func (t *Tracer) Trace(id string) []SpanData {
+	if t == nil {
+		return nil
+	}
+	return t.store.trace(id)
+}
+
+// spanStore is the bounded ring of finished spans. Old spans are
+// overwritten in arrival order once the ring wraps.
+type spanStore struct {
+	mu   sync.Mutex
+	buf  []SpanData
+	next int
+	size int
+}
+
+func (st *spanStore) add(d SpanData) {
+	st.mu.Lock()
+	st.addLocked(d)
+	st.mu.Unlock()
+}
+
+func (st *spanStore) addAll(ds []SpanData) {
+	st.mu.Lock()
+	for _, d := range ds {
+		st.addLocked(d)
+	}
+	st.mu.Unlock()
+}
+
+func (st *spanStore) addLocked(d SpanData) {
+	st.buf[st.next] = d
+	st.next = (st.next + 1) % len(st.buf)
+	if st.size < len(st.buf) {
+		st.size++
+	}
+}
+
+// each visits stored spans from newest to oldest.
+func (st *spanStore) each(visit func(d SpanData) bool) {
+	for i := 1; i <= st.size; i++ {
+		idx := (st.next - i + len(st.buf)) % len(st.buf)
+		if !visit(st.buf[idx]) {
+			return
+		}
+	}
+}
+
+func (st *spanStore) recentRoots(n int) []SpanData {
+	if n <= 0 {
+		n = 20
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []SpanData
+	st.each(func(d SpanData) bool {
+		if d.ParentID == "" || d.Remote {
+			out = append(out, d)
+		}
+		return len(out) < n
+	})
+	return out
+}
+
+func (st *spanStore) trace(id string) []SpanData {
+	st.mu.Lock()
+	var out []SpanData
+	st.each(func(d SpanData) bool {
+		if d.TraceID == id {
+			out = append(out, d)
+		}
+		return true
+	})
+	st.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// spanCtxKey carries the request's root span through a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}

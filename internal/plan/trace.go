@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,60 @@ func (t *Trace) stat(p *Plan, id int) *NodeStat {
 		return nil
 	}
 	return st[id]
+}
+
+// NodeActual is one physical node's measured execution, flattened from a
+// detail trace for consumers outside the package — the server turns them
+// into per-node child spans of a traced query. For oracle procedures the
+// numbers accumulate across every enumerated world, so WallNs is the
+// node's total time over the whole oracle call.
+type NodeActual struct {
+	Depth   int
+	Op      string
+	Rows    int64
+	Batches int64
+	WallNs  int64
+}
+
+// NodeActuals flattens every plan this trace observed into pre-order
+// node listings, slowest plan first (deterministic despite the map).
+// Empty when the trace is nil or was not created with detail.
+func (t *Trace) NodeActuals() []NodeActual {
+	if t == nil || !t.detail {
+		return nil
+	}
+	t.mu.Lock()
+	plans := make([]*Plan, 0, len(t.stats))
+	for p := range t.stats {
+		plans = append(plans, p)
+	}
+	t.mu.Unlock()
+	sort.Slice(plans, func(i, j int) bool { return t.rootWall(plans[i]) > t.rootWall(plans[j]) })
+	var out []NodeActual
+	for _, p := range plans {
+		t.flatten(p, p.root, 0, &out)
+	}
+	return out
+}
+
+func (t *Trace) rootWall(p *Plan) int64 {
+	if st := t.stat(p, p.root.base().id); st != nil {
+		return st.WallNs.Load()
+	}
+	return 0
+}
+
+func (t *Trace) flatten(p *Plan, n pnode, depth int, out *[]NodeActual) {
+	na := NodeActual{Depth: depth, Op: n.describe()}
+	if st := t.stat(p, n.base().id); st != nil {
+		na.Rows = st.Rows.Load()
+		na.Batches = st.Batches.Load()
+		na.WallNs = st.WallNs.Load()
+	}
+	*out = append(*out, na)
+	for _, c := range n.children() {
+		t.flatten(p, c, depth+1, out)
+	}
 }
 
 // streamTraced is the stream dispatcher under detail tracing: identical

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"incdb/internal/api"
+	"incdb/internal/obs"
 	"incdb/internal/store"
 )
 
@@ -50,10 +51,12 @@ type Client struct {
 	// retryable failure before surfacing it.
 	retryWindow time.Duration
 
-	mu    sync.Mutex
-	vec   map[string]uint64
-	epoch uint64 // highest epoch observed in any response
-	cur   int    // preferred endpoint index
+	mu     sync.Mutex
+	vec    map[string]uint64
+	epoch  uint64 // highest epoch observed in any response
+	cur    int    // preferred endpoint index
+	trace  string // traceparent header sent with every mutation/query, "" = none
+	detail bool   // ask for per-plan-node spans on traced queries
 }
 
 // NewClient returns a client for the single server at base (e.g.
@@ -174,6 +177,50 @@ func (c *Client) assignVector(vec map[string]uint64) {
 
 func (c *Client) sessionPath(suffix string) string {
 	return "/v1/sessions/" + url.PathEscape(c.session) + suffix
+}
+
+// SetTraceParent installs a W3C traceparent the client sends with every
+// load/query/explain request, so server-side spans join the caller's
+// distributed trace ("" stops propagating). Most callers want NewTrace
+// instead.
+func (c *Client) SetTraceParent(tp string) {
+	c.mu.Lock()
+	c.trace = tp
+	c.mu.Unlock()
+}
+
+// NewTrace mints a fresh always-sampled trace context, installs it as the
+// client's traceparent, and returns the trace ID — afterwards the spans of
+// every request this client sends can be fetched with Trace(id) (on each
+// server of the fleet; the sampled flag travels with the requests and
+// their WAL records, so primaries and replicas all keep their spans).
+func (c *Client) NewTrace() string {
+	sc := obs.NewSpanContext(true)
+	c.SetTraceParent(sc.TraceParent())
+	return sc.TraceID.String()
+}
+
+// traceParent returns the installed traceparent ("" = none).
+func (c *Client) traceParent() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trace
+}
+
+// SetTraceDetail asks for per-plan-node child spans on every traced query
+// this client sends (api.QueryRequest.TraceDetail) — the trace-tree view
+// of EXPLAIN ANALYZE's actuals. Ignored by the server unless the
+// request's trace is sampled.
+func (c *Client) SetTraceDetail(on bool) {
+	c.mu.Lock()
+	c.detail = on
+	c.mu.Unlock()
+}
+
+func (c *Client) traceDetail() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.detail
 }
 
 // retryable classifies an error: can another attempt (possibly against
@@ -340,7 +387,7 @@ func (c *Client) Query(query, proc string, bag bool, maxWorlds int) (*api.QueryR
 	err := c.retry(false, func(base string) error {
 		return c.post(base, c.sessionPath("/query"), api.QueryRequest{
 			Query: query, Proc: proc, Bag: bag, MaxWorlds: maxWorlds,
-			ReadAfter: c.Vector(), Epoch: c.Epoch(),
+			ReadAfter: c.Vector(), Epoch: c.Epoch(), TraceDetail: c.traceDetail(),
 		}, &out)
 	})
 	if err != nil {
@@ -502,12 +549,53 @@ func (c *Client) TailWAL(ctx context.Context, from uint64, fn func(*store.Record
 	}
 }
 
+// Traces fetches the preferred endpoint's recently finished root spans
+// (GET /v1/traces); limit <= 0 means the server default.
+func (c *Client) Traces(limit int) (*api.TracesResponse, error) {
+	path := "/v1/traces"
+	if limit > 0 {
+		path += fmt.Sprintf("?limit=%d", limit)
+	}
+	resp, err := c.hc.Get(c.Base() + path)
+	if err != nil {
+		return nil, err
+	}
+	var out api.TracesResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Trace fetches every span the preferred endpoint holds for one trace ID
+// (GET /v1/traces/{id}). A distributed trace is assembled by calling this
+// on the primary and each replica and merging the span lists.
+func (c *Client) Trace(id string) (*api.TraceResponse, error) {
+	resp, err := c.hc.Get(c.Base() + "/v1/traces/" + url.PathEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	var out api.TraceResponse
+	if err := decodeResponse(resp, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 func (c *Client) post(base, path string, body, into any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.hc.Post(base+path, "application/json", bytes.NewReader(data))
+	req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tp := c.traceParent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}

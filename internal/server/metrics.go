@@ -35,7 +35,7 @@ type metrics struct {
 	reg *obs.Registry
 
 	queries      *obs.CounterVec   // incdb_queries_total{proc,session}
-	queryLatency *obs.HistogramVec // incdb_query_seconds{proc,session} (evaluated, not cache hits)
+	queryLatency *obs.HistogramVec // incdb_query_seconds{proc,session,cache} (hit = served from result cache)
 	queryWorlds  *obs.Histogram    // incdb_query_worlds (worlds per evaluated query)
 	worlds       *obs.Counter      // incdb_worlds_enumerated_total
 	frozenReuse  *obs.Counter      // incdb_frozen_reuse_total
@@ -52,7 +52,8 @@ func newMetrics(s *Server) *metrics {
 		queries: reg.CounterVec("incdb_queries_total",
 			"Queries served, including result-cache hits.", "proc", "session"),
 		queryLatency: reg.HistogramVec("incdb_query_seconds",
-			"Evaluated query latency (result-cache hits excluded).", obs.LatencyBuckets, "proc", "session"),
+			"Query latency as served; cache=hit for result-cache answers, miss for evaluated ones.",
+			obs.LatencyBuckets, "proc", "session", "cache"),
 		queryWorlds: reg.Histogram("incdb_query_worlds",
 			"Worlds enumerated per evaluated query (plan executions; 1 for non-oracle procs).", worldBuckets),
 		worlds: reg.Counter("incdb_worlds_enumerated_total",

@@ -119,9 +119,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := series(t, samples, "incdb_queries_total", map[string]string{"proc": "cert", "session": "test"}); got != 2 {
 		t.Errorf("cert queries_total = %v, want 2 (evaluation + cache hit)", got)
 	}
-	// The latency histogram sees only evaluated queries, not the cache hit.
-	if got := series(t, samples, "incdb_query_seconds_count", map[string]string{"proc": "cert", "session": "test"}); got != 1 {
-		t.Errorf("cert query_seconds_count = %v, want 1", got)
+	// The latency histogram sees everything served, split by cache outcome:
+	// the evaluation lands under cache="miss", the byte-identical repeat
+	// under cache="hit" — so `incdbctl top` quantiles reflect real served
+	// latency, not just evaluation cost.
+	if got := series(t, samples, "incdb_query_seconds_count", map[string]string{"proc": "cert", "session": "test", "cache": "miss"}); got != 1 {
+		t.Errorf("cert query_seconds_count{cache=miss} = %v, want 1", got)
+	}
+	if got := series(t, samples, "incdb_query_seconds_count", map[string]string{"proc": "cert", "session": "test", "cache": "hit"}); got != 1 {
+		t.Errorf("cert query_seconds_count{cache=hit} = %v, want 1", got)
 	}
 	// The cert oracle enumerated multiple worlds for ⊥1.
 	if got := series(t, samples, "incdb_worlds_enumerated_total", nil); got <= 1 {

@@ -7,12 +7,14 @@ import (
 	"log"
 	"math/rand/v2"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"incdb/internal/api"
+	"incdb/internal/obs"
 	"incdb/internal/plan"
 	"incdb/internal/store"
 )
@@ -353,6 +355,21 @@ func (r *replicator) apply(fs *followState, sess *session, rec *store.Record) er
 	if rec.Seq != last+1 {
 		return fmt.Errorf("%w: got seq %d after %d", errDiverged, rec.Seq, last)
 	}
+	// A record carrying trace context gets its apply recorded as a span in
+	// this follower's own ring, parented on the primary's wal.commit span —
+	// the cross-server link of a distributed trace. Only sampled traces
+	// travel (the primary propagates its flag), so an unsampled fleet pays
+	// one string comparison per record.
+	var sp *obs.Span
+	if rec.Trace != "" && r.s.tracer != nil {
+		if sc, ok := obs.ParseTraceParent(rec.Trace); ok {
+			sp = r.s.tracer.StartLinked("replica.apply", sc, true)
+			sp.Attr("seq", strconv.FormatUint(rec.Seq, 10))
+			sp.Attr("op", string(rec.Op))
+			sp.Attr("session", sess.name)
+		}
+	}
+	defer sp.End()
 	sess.mu.Lock()
 	if err := store.ApplyRecord(sess.db, rec); err != nil {
 		sess.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 
 	"incdb/internal/api"
 	"incdb/internal/engine"
+	"incdb/internal/obs"
 	"incdb/internal/plan"
 	"incdb/internal/raparse"
 	"incdb/internal/relation"
@@ -66,6 +68,17 @@ type Options struct {
 	// Logger receives the server's structured log records (slow queries,
 	// request-scoped warnings); nil means slog.Default().
 	Logger *slog.Logger
+	// TraceSample is the distributed-tracing head-sampling rate in [0, 1]:
+	// the fraction of fresh traces kept. Zero disables tracing entirely
+	// (the default for embedded servers; incdbd passes 1.0 unless
+	// -trace-sample says otherwise). While tracing is enabled, slow and
+	// failed requests are always captured regardless of the rate, and a
+	// request arriving with a traceparent header keeps its carried
+	// sampling decision — every server of a fleet agrees on one trace.
+	TraceSample float64
+	// TraceCap bounds the in-memory span ring GET /v1/traces serves from
+	// (spans, not traces; 0 = obs.DefaultSpanCap).
+	TraceCap int
 }
 
 func (o Options) maxInFlight() int {
@@ -107,6 +120,11 @@ type Server struct {
 	obs     *metrics
 	waiting atomic.Int64
 	reqID   atomic.Uint64
+
+	// tracer samples and stores distributed-trace spans (see trace.go);
+	// nil when Options.TraceSample is zero — every span call site is
+	// nil-safe, so a tracing-off server pays nothing.
+	tracer *obs.Tracer
 
 	sem      chan struct{}
 	inflight atomic.Int64
@@ -195,6 +213,9 @@ func New(opts Options) *Server {
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
+	if opts.TraceSample > 0 {
+		s.tracer = obs.NewTracer(opts.TraceSample, opts.TraceCap)
+	}
 	s.obs = newMetrics(s)
 	s.mux = http.NewServeMux()
 	// Session-scoped routes: the session name lives in the path.
@@ -214,6 +235,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{session}/wal", s.handleWAL)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
@@ -255,7 +278,7 @@ func (s *Server) newSession(name string) *session {
 // from the snapshot's warm keys — and every future load is written ahead
 // and fsync'd before it is acknowledged. Must be called before serving.
 func (s *Server) EnableDurability(dir string) error {
-	st, err := store.Open(dir, store.Options{SnapshotBytes: s.opts.SnapshotBytes, Metrics: s.obs.wal})
+	st, err := store.Open(dir, store.Options{SnapshotBytes: s.opts.SnapshotBytes, Metrics: s.obs.wal, Trace: s.walTrace()})
 	if err != nil {
 		return err
 	}
@@ -604,7 +627,7 @@ func (s *Server) Preload(session, data string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, aerr := s.commitReplace(sess, db, store.OpReplace, data)
+	resp, aerr := s.commitReplace(sess, db, store.OpReplace, data, nil)
 	if aerr != nil {
 		return 0, aerr
 	}
@@ -639,12 +662,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string)
 		return
 	}
 	if req.Snapshot {
-		s.handleRestore(w, name, &req)
+		s.handleRestore(w, r, name, &req)
 		return
 	}
 	if req.Append {
 		if sess := s.sessionFor(name); sess != nil {
-			resp, aerr := s.commitAppend(sess, req.Data)
+			resp, aerr := s.commitAppend(sess, req.Data, obs.SpanFromContext(r.Context()))
 			if aerr != nil {
 				s.fail(w, aerr)
 				return
@@ -667,7 +690,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string)
 		s.fail(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal, "%v", err))
 		return
 	}
-	resp, aerr := s.commitReplace(sess, db, store.OpReplace, req.Data)
+	resp, aerr := s.commitReplace(sess, db, store.OpReplace, req.Data, obs.SpanFromContext(r.Context()))
 	if aerr != nil {
 		s.fail(w, aerr)
 		return
@@ -679,7 +702,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request, name string)
 // the payload a snapshot endpoint (possibly of another server) produced.
 // Null identifiers and the version vector are preserved, and the
 // snapshot's warm keys re-prepare the working set.
-func (s *Server) handleRestore(w http.ResponseWriter, name string, req *api.LoadRequest) {
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, name string, req *api.LoadRequest) {
 	snap, err := store.DecodeSnapshot(strings.NewReader(req.Data))
 	if err != nil {
 		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err))
@@ -702,7 +725,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, name string, req *api.Load
 		sess.log.SetEpoch(snap.Epoch)
 	}
 	s.raiseEpoch(snap.Epoch)
-	resp, aerr := s.commitReplace(sess, db, store.OpRestore, req.Data)
+	resp, aerr := s.commitReplace(sess, db, store.OpRestore, req.Data, obs.SpanFromContext(r.Context()))
 	if aerr != nil {
 		s.fail(w, aerr)
 		return
@@ -718,7 +741,8 @@ func (s *Server) handleRestore(w http.ResponseWriter, name string, req *api.Load
 // both locks — appends that arrive while the fsync is in flight buffer
 // behind it and ride the next one together, and concurrent queries are
 // never blocked on the disk.
-func (s *Server) commitAppend(sess *session, data string) (api.LoadResponse, *api.Error) {
+func (s *Server) commitAppend(sess *session, data string, sp *obs.Span) (api.LoadResponse, *api.Error) {
+	asp := sp.StartChild("load.apply")
 	sess.logMu.Lock()
 	sess.mu.Lock()
 	// Parse into the live database (atomic: a payload error leaves it
@@ -728,26 +752,37 @@ func (s *Server) commitAppend(sess *session, data string) (api.LoadResponse, *ap
 	if err := raparse.ParseDatabaseInto(strings.NewReader(data), sess.db); err != nil {
 		sess.mu.Unlock()
 		sess.logMu.Unlock()
+		asp.SetError(err.Error())
+		asp.End()
 		return api.LoadResponse{}, api.Errorf(http.StatusBadRequest, api.CodeBadQuery, "%v", err)
 	}
 	resp := s.loadResponse(sess)
 	sess.bumpVector()
 	sess.mu.Unlock()
-	seq, aerr := s.logBuffer(sess, store.OpAppend, data, resp.Versions)
+	asp.End()
+	wsp := sp.StartChild("wal.commit")
+	seq, aerr := s.logBuffer(sess, store.OpAppend, data, resp.Versions, wsp)
 	sess.logMu.Unlock()
 	if aerr != nil {
+		wsp.SetError(aerr.Message)
+		wsp.End()
 		return api.LoadResponse{}, aerr
 	}
 	if aerr := s.logSync(sess, seq); aerr != nil {
+		wsp.SetError(aerr.Message)
+		wsp.End()
 		return api.LoadResponse{}, aerr
 	}
+	wsp.Attr("seq", strconv.FormatUint(seq, 10))
+	wsp.End()
 	s.snapshotIfNeeded(sess)
 	return resp, nil
 }
 
 // commitReplace installs db as the session database (replace and
 // snapshot-restore loads, and Preload) and makes the mutation durable.
-func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op, data string) (api.LoadResponse, *api.Error) {
+func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op, data string, sp *obs.Span) (api.LoadResponse, *api.Error) {
+	asp := sp.StartChild("load.apply")
 	sess.logMu.Lock()
 	sess.mu.Lock()
 	// Replacing the database wholesale replaces every relation object, so
@@ -762,25 +797,42 @@ func (s *Server) commitReplace(sess *session, db *relation.Database, op store.Op
 	resp := s.loadResponse(sess)
 	sess.bumpVector()
 	sess.mu.Unlock()
-	seq, aerr := s.logBuffer(sess, op, data, resp.Versions)
+	asp.End()
+	wsp := sp.StartChild("wal.commit")
+	seq, aerr := s.logBuffer(sess, op, data, resp.Versions, wsp)
 	sess.logMu.Unlock()
 	if aerr != nil {
+		wsp.SetError(aerr.Message)
+		wsp.End()
 		return api.LoadResponse{}, aerr
 	}
 	if aerr := s.logSync(sess, seq); aerr != nil {
+		wsp.SetError(aerr.Message)
+		wsp.End()
 		return api.LoadResponse{}, aerr
 	}
+	wsp.Attr("seq", strconv.FormatUint(seq, 10))
+	wsp.End()
 	s.snapshotIfNeeded(sess)
 	return resp, nil
 }
 
 // logBuffer assigns the applied mutation its WAL record (no-op on a
-// memory-only server). Caller holds logMu.
-func (s *Server) logBuffer(sess *session, op store.Op, data string, versions map[string]uint64) (uint64, *api.Error) {
+// memory-only server). Caller holds logMu. The committing request's
+// wal.commit span context rides in the record: replicas parent their
+// apply spans on it, and the flush leader reports the fsync against it.
+// Only sampled traces travel — replicas drop unsampled contexts anyway
+// (StartLinked gates on the flag), so unsampled requests ship no
+// traceparent bytes in their durable records.
+func (s *Server) logBuffer(sess *session, op store.Op, data string, versions map[string]uint64, wsp *obs.Span) (uint64, *api.Error) {
 	if sess.log == nil {
 		return 0, nil
 	}
-	seq, err := sess.log.Buffer(op, data, versions)
+	trace := ""
+	if wsp.Sampled() {
+		trace = wsp.Context().TraceParent()
+	}
+	seq, err := sess.log.BufferTrace(op, data, versions, trace)
 	if err != nil {
 		// The mutation is applied in memory but not durable; surface that
 		// honestly — the client must not treat this load as acknowledged.
@@ -1005,33 +1057,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 		return
 	}
 	start := time.Now()
+	sp := obs.SpanFromContext(r.Context())
 
 	// Result-cache fast path: a byte-identical repeated request against an
 	// unchanged version vector is answered without taking an evaluation
 	// slot — O(1) regardless of what the query costs to evaluate.
+	csp := sp.StartChild("result_cache.lookup")
 	sess.mu.RLock()
 	key := resultKey(&req, sess.db)
 	versions := sess.db.Versions()
 	cached, hit := sess.results.get(key)
 	sess.mu.RUnlock()
+	csp.Attr("hit", strconv.FormatBool(hit))
+	csp.End()
 	if hit {
 		sess.queries.Add(1)
-		s.obs.queries.With(procName(req.Proc), name).Inc()
+		elapsed := time.Since(start)
+		proc := procName(req.Proc)
+		s.obs.queries.With(proc, name).Inc()
+		// Cache hits are real served latency: they land in the histogram
+		// under cache="hit" so `incdbctl top` quantiles reflect what
+		// clients actually experienced, not just evaluation cost.
+		s.obs.queryLatency.With(proc, name, "hit").ObserveExemplar(elapsed.Seconds(), sp.ExemplarRef())
 		s.recordWarm(sess, &req)
 		writeJSON(w, http.StatusOK, api.QueryResponse{
 			Session:   name,
-			Proc:      procName(req.Proc),
+			Proc:      proc,
 			Query:     req.Query,
 			Results:   cached,
-			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
 			Cached:    true,
 			Versions:  versions,
 			Epoch:     s.epoch.Load(),
+			TraceID:   sp.ExemplarRef(),
 		})
 		return
 	}
 
-	if aerr := s.acquire(r.Context()); aerr != nil {
+	wsp := sp.StartChild("admission.wait")
+	aerr := s.acquire(r.Context())
+	wsp.End()
+	if aerr != nil {
 		s.fail(w, aerr)
 		return
 	}
@@ -1039,20 +1105,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 
 	// The trace rides along every evaluation: its counters (worlds
 	// enumerated, frozen-subplan reuse) are two atomic adds per plan
-	// execution, cheap enough to keep always on. Per-node detail stays off —
-	// that is EXPLAIN ANALYZE's job.
-	tr := plan.NewTrace(false)
+	// execution, cheap enough to keep always on. Per-node detail is
+	// opt-in per request (trace_detail on a sampled trace): the traced
+	// stream never reorders or buffers batches, so results are
+	// byte-identical either way.
+	detail := req.TraceDetail && sp.Sampled()
+	tr := plan.NewTrace(detail)
+	esp := sp.StartChild("evaluate")
+	esp.Attr("proc", procName(req.Proc))
+	evalStart := time.Now()
+	var results []api.Resultset
+	var err error
 	sess.mu.RLock()
 	// Re-key under the same lock as the evaluation: the vector may have
 	// moved between the fast path and acquiring a slot.
 	key = resultKey(&req, sess.db)
 	versions = sess.db.Versions()
-	results, err := s.evaluate(sess, &req, tr)
+	// pprof labels segment -pprof-addr CPU profiles by workload; the
+	// trace ID lets a profile sample be joined back to its trace.
+	pprof.Do(r.Context(), pprof.Labels("session", name, "proc", procName(req.Proc), "trace_id", sp.TraceID()),
+		func(context.Context) {
+			results, err = s.evaluate(sess, &req, tr)
+		})
 	if err == nil {
 		sess.results.put(key, results)
 	}
 	sess.mu.RUnlock()
 	if err != nil {
+		esp.SetError(err.Error())
+		esp.End()
 		s.fail(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeBadQuery, "%v", err))
 		return
 	}
@@ -1061,8 +1142,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 	elapsed := time.Since(start)
 	proc := procName(req.Proc)
 	worlds, frozen := tr.Execs.Load(), tr.FrozenReuse.Load()
+	esp.Attr("worlds", strconv.FormatInt(worlds, 10))
+	s.spanPlanNodes(esp, tr, evalStart)
+	esp.End()
 	s.obs.queries.With(proc, name).Inc()
-	s.obs.queryLatency.With(proc, name).Observe(elapsed.Seconds())
+	s.obs.queryLatency.With(proc, name, "miss").ObserveExemplar(elapsed.Seconds(), sp.ExemplarRef())
 	s.obs.queryWorlds.Observe(float64(worlds))
 	s.obs.worlds.Add(uint64(worlds))
 	s.obs.frozenReuse.Add(uint64(frozen))
@@ -1077,6 +1161,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, name string
 		FrozenReuse: frozen,
 		Versions:    versions,
 		Epoch:       s.epoch.Load(),
+		TraceID:     sp.ExemplarRef(),
 	})
 }
 

@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"incdb/internal/api"
+	"incdb/internal/obs"
+)
+
+const traceTestData = `rel Customers cid name
+rel Orders oid cid
+rel Payments oid
+row Customers c1 'Ann'
+row Customers c2 'Bob'
+row Orders o1 c1
+row Orders o2 _1
+row Payments o1
+`
+
+// newTracedServer builds a durable server with tracing fully on (every
+// fresh trace sampled), mirroring incdbd's defaults.
+func newTracedServer(t *testing.T, dir string) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	srv := New(Options{Workers: 1, TraceSample: 1})
+	if err := srv.EnableDurability(dir); err != nil {
+		t.Fatalf("enable durability: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Close() })
+	return srv, hs, NewClient(hs.URL, "test")
+}
+
+// spansNamed returns the spans with the given name.
+func spansNamed(spans []obs.SpanData, name string) []obs.SpanData {
+	var out []obs.SpanData
+	for _, sp := range spans {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func oneSpan(t *testing.T, spans []obs.SpanData, name string) obs.SpanData {
+	t.Helper()
+	got := spansNamed(spans, name)
+	if len(got) != 1 {
+		t.Fatalf("want exactly one %q span, got %d (spans: %v)", name, len(got), spanNames(spans))
+	}
+	return got[0]
+}
+
+func spanNames(spans []obs.SpanData) []string {
+	names := make([]string, len(spans))
+	for i, sp := range spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// TestTracedRequestSpansEndToEnd is the single-server half of the
+// acceptance criterion: one client-originated trace ID retrieved from
+// GET /v1/traces/{id} holds the client-propagated roots of a durable
+// write (load.apply, wal.commit, the linked wal.fsync) and of a detailed
+// query (admission.wait, result-cache lookup, evaluate with per-plan-node
+// children), plus the exemplar in /v1/metrics pointing back at it.
+func TestTracedRequestSpansEndToEnd(t *testing.T) {
+	_, _, c := newTracedServer(t, t.TempDir())
+	id := c.NewTrace()
+	c.SetTraceDetail(true)
+	if _, err := c.Load(traceTestData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	qr, err := c.Query("proj(0, sel(not(in(0, Payments)), Orders))", "cert", false, 0)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if qr.TraceID != id {
+		t.Fatalf("QueryResponse.TraceID = %q, want the client's minted trace %q", qr.TraceID, id)
+	}
+
+	tr, err := c.Trace(id)
+	if err != nil {
+		t.Fatalf("fetch trace: %v", err)
+	}
+	spans := tr.Spans
+
+	// The client's minted context is the remote parent of both roots.
+	loadRoot := oneSpan(t, spans, "POST /v1/sessions/test/load")
+	queryRoot := oneSpan(t, spans, "POST /v1/sessions/test/query")
+	for _, root := range []obs.SpanData{loadRoot, queryRoot} {
+		if !root.Remote || root.ParentID == "" {
+			t.Errorf("root %q: want remote client parent, got remote=%v parent=%q",
+				root.Name, root.Remote, root.ParentID)
+		}
+		if root.TraceID != id {
+			t.Errorf("root %q trace = %q, want %q", root.Name, root.TraceID, id)
+		}
+	}
+
+	// Write side: apply + wal.commit under the load root, the group-commit
+	// fsync linked onto wal.commit.
+	apply := oneSpan(t, spans, "load.apply")
+	commit := oneSpan(t, spans, "wal.commit")
+	fsync := oneSpan(t, spans, "wal.fsync")
+	if apply.ParentID != loadRoot.SpanID || commit.ParentID != loadRoot.SpanID {
+		t.Errorf("load.apply/wal.commit parents = %q/%q, want load root %q",
+			apply.ParentID, commit.ParentID, loadRoot.SpanID)
+	}
+	if fsync.ParentID != commit.SpanID {
+		t.Errorf("wal.fsync parent = %q, want wal.commit %q", fsync.ParentID, commit.SpanID)
+	}
+	if fsync.Attrs["records"] == "" {
+		t.Errorf("wal.fsync span lacks a records attr: %v", fsync.Attrs)
+	}
+
+	// Read side: admission wait, cache lookup (miss), evaluation with
+	// per-plan-node children (trace detail was on).
+	lookup := oneSpan(t, spans, "result_cache.lookup")
+	if lookup.Attrs["hit"] != "false" {
+		t.Errorf("first query's cache lookup hit = %q, want false", lookup.Attrs["hit"])
+	}
+	oneSpan(t, spans, "admission.wait")
+	eval := oneSpan(t, spans, "evaluate")
+	if eval.ParentID != queryRoot.SpanID {
+		t.Errorf("evaluate parent = %q, want query root %q", eval.ParentID, queryRoot.SpanID)
+	}
+	if eval.Attrs["worlds"] == "" || eval.Attrs["proc"] != "cert" {
+		t.Errorf("evaluate attrs = %v, want worlds and proc=cert", eval.Attrs)
+	}
+	var planSpans int
+	for _, sp := range spans {
+		if strings.HasPrefix(sp.Name, "plan.") {
+			planSpans++
+			if sp.ParentID != eval.SpanID {
+				t.Errorf("%s parent = %q, want evaluate %q", sp.Name, sp.ParentID, eval.SpanID)
+			}
+		}
+	}
+	if planSpans == 0 {
+		t.Errorf("trace_detail query produced no plan.* spans: %v", spanNames(spans))
+	}
+
+	// A byte-identical repeat is served from the result cache — its trace
+	// records the hit instead of an evaluation.
+	if _, err := c.Query("proj(0, sel(not(in(0, Payments)), Orders))", "cert", false, 0); err != nil {
+		t.Fatalf("repeat query: %v", err)
+	}
+	tr, err = c.Trace(id)
+	if err != nil {
+		t.Fatalf("re-fetch trace: %v", err)
+	}
+	var hits int
+	for _, sp := range spansNamed(tr.Spans, "result_cache.lookup") {
+		if sp.Attrs["hit"] == "true" {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("want one cache-hit lookup span after the repeat, got %d", hits)
+	}
+
+	// The slowest-bucket exemplar points back at a retrievable trace.
+	prom, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(prom, `# {trace_id="`+id+`"}`) {
+		t.Errorf("/v1/metrics carries no exemplar for trace %s", id)
+	}
+}
+
+// TestReplicaApplyLinksToPrimaryWrite is the cross-process half of the
+// acceptance criterion: the WAL record of a traced write carries the
+// committing wal.commit span's context, so the follower's replica.apply
+// span — in the follower's own ring — is parented on it, remote.
+func TestReplicaApplyLinksToPrimaryWrite(t *testing.T) {
+	_, phs, pc := newTracedServer(t, t.TempDir())
+	if _, err := pc.Load(traceTestData, false); err != nil {
+		t.Fatalf("seed load: %v", err)
+	}
+	_, _, rc, _ := newFollower(t, phs.URL, t.TempDir(), Options{Workers: 1, TraceSample: 1})
+	waitCaughtUp(t, pc, rc)
+
+	id := pc.NewTrace()
+	if _, err := pc.Load("row Orders o3 c2\n", true); err != nil {
+		t.Fatalf("traced append: %v", err)
+	}
+	waitCaughtUp(t, pc, rc)
+
+	commit := oneSpan(t, fetchTrace(t, pc, id), "wal.commit")
+
+	// The apply span is published just after the version vector becomes
+	// visible (deferred End), so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rtr, err := rc.Trace(id)
+		if err == nil {
+			if applies := spansNamed(rtr.Spans, "replica.apply"); len(applies) == 1 {
+				ap := applies[0]
+				if ap.ParentID != commit.SpanID {
+					t.Fatalf("replica.apply parent = %q, want the primary's wal.commit %q",
+						ap.ParentID, commit.SpanID)
+				}
+				if !ap.Remote {
+					t.Fatalf("replica.apply should mark its parent remote")
+				}
+				if ap.Attrs["session"] != "test" || ap.Attrs["seq"] == "" {
+					t.Fatalf("replica.apply attrs = %v, want session and seq", ap.Attrs)
+				}
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never published a replica.apply span for trace %s (err %v)", id, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func fetchTrace(t *testing.T, c *Client, id string) []obs.SpanData {
+	t.Helper()
+	tr, err := c.Trace(id)
+	if err != nil {
+		t.Fatalf("fetch trace %s: %v", id, err)
+	}
+	return tr.Spans
+}
+
+// TestTracePropagationAcrossFailover: one client trace spans writes on
+// both sides of a promotion — the pre-failover write's apply span and the
+// post-failover write's root land in the promoted server's ring under the
+// same trace ID.
+func TestTracePropagationAcrossFailover(t *testing.T) {
+	_, phs, pc := newTracedServer(t, t.TempDir())
+	if _, err := pc.Load(traceTestData, false); err != nil {
+		t.Fatalf("seed load: %v", err)
+	}
+	_, rhs, rc, _ := newFollower(t, phs.URL, t.TempDir(), Options{Workers: 1, TraceSample: 1})
+	waitCaughtUp(t, pc, rc)
+
+	fc := NewFailoverClient([]string{phs.URL, rhs.URL}, "test")
+	fc.SetRetryWindow(10 * time.Second)
+	id := fc.NewTrace()
+	if _, err := fc.Load("row Orders o3 c2\n", true); err != nil {
+		t.Fatalf("pre-failover append: %v", err)
+	}
+	waitCaughtUp(t, pc, rc)
+
+	// Fail the primary over: kill its listener, promote the follower, and
+	// land the next traced write through the same client.
+	killServer(phs)
+	if _, err := promoteURL(rhs.URL, true); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if _, err := fc.Load("row Orders o4 c1\n", true); err != nil {
+		t.Fatalf("post-failover append: %v", err)
+	}
+
+	// The promoted server's ring holds both sides of the trace: the apply
+	// of the old primary's shipped write and the root of the new write.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		spans, err := rc.Trace(id)
+		if err == nil &&
+			len(spansNamed(spans.Spans, "replica.apply")) >= 1 &&
+			len(spansNamed(spans.Spans, "POST /v1/sessions/test/load")) >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				t.Fatalf("trace %s on promoted server: %v", id, err)
+			}
+			t.Fatalf("promoted server's trace %s = %v, want a replica.apply and a load root",
+				id, spanNames(spans.Spans))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTracedQueryByteIdentical extends PR 9's equivalence guarantee to the
+// span layer: the same queries against a tracing-off server, a traced
+// server, and a traced server with per-node detail return identical
+// results.
+func TestTracedQueryByteIdentical(t *testing.T) {
+	plain := httptest.NewServer(New(Options{Workers: 2}).Handler())
+	t.Cleanup(plain.Close)
+	traced := httptest.NewServer(New(Options{Workers: 2, TraceSample: 1}).Handler())
+	t.Cleanup(traced.Close)
+
+	pcl := NewClient(plain.URL, "test")
+	tcl := NewClient(traced.URL, "test")
+	tcl.NewTrace()
+	for _, c := range []*Client{pcl, tcl} {
+		if _, err := c.Load(traceTestData, false); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	}
+	queries := []struct{ query, proc string }{
+		{"proj(0, sel(not(in(0, Payments)), Orders))", "cert"},
+		{"minus(proj(0, Orders), Payments)", "poss"},
+		{"minus(proj(0, Customers), proj(1, Orders))", "cert"},
+		{"times(Orders, Payments)", "sql"},
+		{"proj(1, Orders)", "ctable-eager"},
+	}
+	for _, detail := range []bool{false, true} {
+		tcl.SetTraceDetail(detail)
+		for _, q := range queries {
+			want, err := pcl.Query(q.query, q.proc, false, 0)
+			if err != nil {
+				t.Fatalf("untraced %s %s: %v", q.proc, q.query, err)
+			}
+			got, err := tcl.Query(q.query, q.proc, false, 0)
+			if err != nil {
+				t.Fatalf("traced(detail=%v) %s %s: %v", detail, q.proc, q.query, err)
+			}
+			if !reflect.DeepEqual(want.Results, got.Results) {
+				t.Errorf("results diverge for %s %s (detail=%v):\nuntraced: %+v\ntraced:   %+v",
+					q.proc, q.query, detail, want.Results, got.Results)
+			}
+		}
+	}
+}
+
+// TestErrorTraceForcedDespiteSampling: at a vanishing sample rate a failed
+// request's trace is still published (error force), while a successful
+// request's is dropped — and the X-Trace-Id header names both.
+func TestErrorTraceForcedDespiteSampling(t *testing.T) {
+	srv := httptest.NewServer(New(Options{Workers: 1, TraceSample: 1e-12}).Handler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL, "test")
+	if _, err := c.Load(traceTestData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	post := func(body string) (traceID string, status int) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/sessions/test/query", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer resp.Body.Close()
+		var drain any
+		_ = json.NewDecoder(resp.Body).Decode(&drain)
+		return resp.Header.Get("X-Trace-Id"), resp.StatusCode
+	}
+
+	errID, status := post(`{"query": "proj(9, Orders)", "proc": "cert"}`)
+	if status < 400 {
+		t.Fatalf("bad query answered %d, want an error", status)
+	}
+	if errID == "" {
+		t.Fatalf("error response carries no X-Trace-Id")
+	}
+	tr, err := c.Trace(errID)
+	if err != nil {
+		t.Fatalf("failed request's trace %s not retrievable: %v", errID, err)
+	}
+	root := oneSpan(t, tr.Spans, "POST /v1/sessions/test/query")
+	if root.Error == "" {
+		t.Errorf("force-published root has no error, attrs %v", root.Attrs)
+	}
+
+	okID, status := post(`{"query": "proj(0, Orders)", "proc": "sql"}`)
+	if status != http.StatusOK {
+		t.Fatalf("good query answered %d", status)
+	}
+	if okID == "" {
+		t.Fatalf("response carries no X-Trace-Id")
+	}
+	if _, err := c.Trace(okID); err == nil {
+		t.Errorf("unsampled successful trace %s should not have been kept", okID)
+	} else if ae := (*api.Error)(nil); !(errorAs(err, &ae) && ae.Code == api.CodeNotFound) {
+		t.Errorf("want not_found fetching dropped trace, got %v", err)
+	}
+}
+
+// errorAs is errors.As without the import dance in assertions above.
+func errorAs(err error, target **api.Error) bool {
+	for err != nil {
+		if ae, ok := err.(*api.Error); ok {
+			*target = ae
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestTracingOffIsInert: without TraceSample the server mints no spans,
+// sets no trace headers, and serves an empty /v1/traces.
+func TestTracingOffIsInert(t *testing.T) {
+	srv := httptest.NewServer(New(Options{Workers: 1}).Handler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL, "test")
+	c.NewTrace() // propagated, but the server has no tracer to honor it
+	if _, err := c.Load(traceTestData, false); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	qr, err := c.Query("proj(0, Orders)", "sql", false, 0)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if qr.TraceID != "" {
+		t.Errorf("tracing-off server reported trace %q", qr.TraceID)
+	}
+	resp, err := http.Get(srv.URL + "/v1/traces")
+	if err != nil {
+		t.Fatalf("traces: %v", err)
+	}
+	defer resp.Body.Close()
+	var out api.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out.Spans) != 0 {
+		t.Errorf("tracing-off server stored %d spans", len(out.Spans))
+	}
+}

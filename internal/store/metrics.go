@@ -1,6 +1,10 @@
 package store
 
-import "incdb/internal/obs"
+import (
+	"time"
+
+	"incdb/internal/obs"
+)
 
 // WALMetrics carries the durability subsystem's instrumentation hooks.
 // Every field is optional (a nil histogram is skipped), and the whole
@@ -24,6 +28,19 @@ type WALMetrics struct {
 	// SnapshotSeconds observes a snapshot install end to end (encode,
 	// fsync, rename, WAL truncation) — the compaction pause.
 	SnapshotSeconds *obs.Histogram
+}
+
+// WALTrace is WALMetrics' tracing sibling: optional callbacks the store
+// invokes for distributed-trace spans. The callback — or the whole
+// struct — may be nil; the store then runs exactly as before, paying
+// nothing on the durability path.
+type WALTrace struct {
+	// Flush is called by the group-commit flush leader once per traced
+	// record in a durable batch, after the fsync: the record's carried
+	// traceparent, the batch it rode in (records, bytes), the fsync start
+	// time and its duration. The server turns each call into a wal.fsync
+	// span parented on the committing request's span.
+	Flush func(traceparent string, records, bytes int, start time.Time, d time.Duration)
 }
 
 // observe is the nil-safe recording helper shared by the hook sites.

@@ -52,6 +52,10 @@ type Options struct {
 	// Metrics, when non-nil, receives WAL and snapshot latency
 	// observations from every session log of this store.
 	Metrics *WALMetrics
+	// Trace, when non-nil, receives per-traced-record flush callbacks
+	// from every session log of this store — the distributed-tracing
+	// sibling of Metrics.
+	Trace *WALTrace
 }
 
 // DefaultSnapshotBytes is the default WAL-size snapshot threshold.
@@ -105,6 +109,7 @@ func (s *Store) Session(name string) (*SessionLog, error) {
 		return nil, err
 	}
 	l.metrics = s.opts.Metrics
+	l.trace = s.opts.Trace
 	s.sessions[name] = l
 	return l, nil
 }
@@ -231,6 +236,7 @@ func (s *Store) recoverSession(name string) (*Recovered, error) {
 		return nil, err
 	}
 	l.metrics = s.opts.Metrics
+	l.trace = s.opts.Trace
 	s.mu.Lock()
 	s.sessions[name] = l
 	s.mu.Unlock()

@@ -67,6 +67,12 @@ type Record struct {
 	Op       Op                `json:"op"`
 	Data     string            `json:"data"`
 	Versions map[string]uint64 `json:"versions"`
+	// Trace is the W3C traceparent of the span that committed this record
+	// on the primary, "" when the request was untraced. It travels in the
+	// frame (and so over the replication stream) so a replica's apply span
+	// can link back to the originating write. Like Epoch, it is an
+	// additive JSON field: v1/v2 logs without it decode with Trace == "".
+	Trace string `json:"trace,omitempty"`
 }
 
 // SessionLog is the durable state of one session: its write-ahead log file
@@ -112,6 +118,13 @@ type SessionLog struct {
 	// metrics, when non-nil, receives flush/snapshot latency observations
 	// (shared across the store's sessions; set once before first use).
 	metrics *WALMetrics
+
+	// trace, when non-nil, is told about each traced record a group-commit
+	// flush made durable (set once before first use). pendingTrace holds
+	// the traceparents of buffered-but-not-yet-flushed records, guarded by
+	// mu alongside the batch they describe.
+	trace        *WALTrace
+	pendingTrace []string
 
 	// noteMu/note broadcast "the durable state changed" to WAL tailers:
 	// note is closed and replaced after every flush and every truncation.
@@ -287,12 +300,19 @@ func ReadFrame(r io.Reader) (*Record, error) {
 // spans the in-memory apply and the Buffer, so log order is apply order);
 // Sync may then be called concurrently.
 func (l *SessionLog) Buffer(op Op, data string, versions map[string]uint64) (uint64, error) {
+	return l.BufferTrace(op, data, versions, "")
+}
+
+// BufferTrace is Buffer carrying the committing request's traceparent:
+// the record ships it to replicas, and the flush leader reports it to the
+// log's WALTrace observer once the record is durable.
+func (l *SessionLog) BufferTrace(op Op, data string, versions map[string]uint64, trace string) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed.Load() {
 		return 0, fmt.Errorf("store: session %q wal failed earlier; refusing further appends (restart to recover)", l.name)
 	}
-	rec := Record{Seq: l.seqLocked + 1, Epoch: l.epoch.Load(), Op: op, Data: data, Versions: versions}
+	rec := Record{Seq: l.seqLocked + 1, Epoch: l.epoch.Load(), Op: op, Data: data, Versions: versions, Trace: trace}
 	frame, err := encodeFrame(&rec)
 	if err != nil {
 		return 0, err
@@ -301,6 +321,9 @@ func (l *SessionLog) Buffer(op Op, data string, versions map[string]uint64) (uin
 	l.bufRecords++
 	l.seqLocked = rec.Seq
 	l.seq.Store(rec.Seq)
+	if trace != "" && l.trace != nil {
+		l.pendingTrace = append(l.pendingTrace, trace)
+	}
 	return rec.Seq, nil
 }
 
@@ -333,6 +356,9 @@ func (l *SessionLog) BufferRecord(rec *Record) error {
 	l.seqLocked = rec.Seq
 	l.seq.Store(rec.Seq)
 	l.SetEpoch(rec.Epoch)
+	if rec.Trace != "" && l.trace != nil {
+		l.pendingTrace = append(l.pendingTrace, rec.Trace)
+	}
 	return nil
 }
 
@@ -375,7 +401,8 @@ func (l *SessionLog) Sync(seq uint64) error {
 func (l *SessionLog) flush() error {
 	l.mu.Lock()
 	buf, n, end := l.buf, l.bufRecords, l.seqLocked
-	l.buf, l.bufRecords = nil, 0
+	traced := l.pendingTrace
+	l.buf, l.bufRecords, l.pendingTrace = nil, 0, nil
 	l.mu.Unlock()
 	if len(buf) == 0 {
 		return nil
@@ -396,6 +423,12 @@ func (l *SessionLog) flush() error {
 		observe(m.FsyncSeconds, done.Sub(preSync).Seconds())
 		observe(m.RecordsPerFsync, float64(n))
 		observe(m.FlushBytes, float64(len(buf)))
+	}
+	if t := l.trace; t != nil && t.Flush != nil {
+		d := time.Since(preSync)
+		for _, tp := range traced {
+			t.Flush(tp, int(n), len(buf), preSync, d)
+		}
 	}
 	l.walBytes.Add(int64(len(buf)))
 	l.walRecords.Add(n)

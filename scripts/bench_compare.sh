@@ -31,8 +31,8 @@ BENCH="${BENCH:-BenchmarkOperatorJoin|BenchmarkE5CTableStrategies|BenchmarkE1Fig
 BENCHTIME="${BENCHTIME:-0.2s}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-bench-compare-out}"
-PRNUM="${PRNUM:-8}"
-PRTITLE="${PRTITLE:-Cost-based join ordering, column-pruned scans, and batched execution}"
+PRNUM="${PRNUM:-10}"
+PRTITLE="${PRTITLE:-Distributed request tracing across client → primary → WAL → replica}"
 GATE="${GATE:-BenchmarkE1Figure1|BenchmarkE11NaiveEval}"
 GATE_PCT="${GATE_PCT:-25}"
 

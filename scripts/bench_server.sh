@@ -22,9 +22,18 @@
 # fsync latency and group-commit batch size — the observability surface
 # measuring itself.
 #
+# A fourth pass (BENCH_PR10.json) is the sustained-load harness: cmd/
+# incdbload replays a mixed append/query blend at fixed concurrency for a
+# wall-clock duration against a live durable incdbd — once with tracing
+# off (-trace-sample 0) and once with every request traced (-trace-sample
+# 1) — and the report records sustained RPS plus p50/p95/p99 latency for
+# both, so the tracing tax is measured where it would be paid, not
+# guessed at.
+#
 # Environment: BENCHTIME (default 0.5s), DURABLE_BENCHTIME (default
 # 1500x), COUNT (default 5), OUT (default bench-compare-out),
-# METRIC_QUERIES (default 30).
+# METRIC_QUERIES (default 30), LOAD_DURATION (default 5s),
+# LOAD_CONCURRENCY (default 8), LOAD_WRITE_PCT (default 10).
 set -eu
 
 BENCHTIME="${BENCHTIME:-0.5s}"
@@ -150,4 +159,48 @@ END {
 }' "$OUT/metrics.prom" >BENCH_PR9.json
 cat BENCH_PR9.json
 
-echo "results in $OUT/ and BENCH_PR4.json, BENCH_PR6.json, BENCH_PR9.json"
+echo "== sustained load: mixed traffic, tracing off vs every request traced =="
+LOAD_DURATION="${LOAD_DURATION:-5s}"
+LOAD_CONCURRENCY="${LOAD_CONCURRENCY:-8}"
+LOAD_WRITE_PCT="${LOAD_WRITE_PCT:-10}"
+go build -o "$BIN/incdbload" ./cmd/incdbload
+
+# One fresh durable server per tracing mode, so the two runs start from
+# identical state and the span ring never carries over.
+sustain() { # $1 = -trace-sample value, $2 = output file
+    SPORT="$(go run ./scripts/freeport)"
+    SADDR="127.0.0.1:$SPORT"
+    SDATA="$(mktemp -d)"
+    "$BIN/incdbd" -addr "$SADDR" -data-dir "$SDATA" -trace-sample "$1" &
+    SSRV=$!
+    i=0
+    while ! curl -fs "http://$SADDR/v1/status" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -lt 50 ] || { echo "incdbd did not come up on $SADDR" >&2; exit 1; }
+        sleep 0.2
+    done
+    "$BIN/incdbload" -addr "http://$SADDR" -session bench \
+        -duration "$LOAD_DURATION" -concurrency "$LOAD_CONCURRENCY" \
+        -write-pct "$LOAD_WRITE_PCT" >"$2"
+    kill "$SSRV" && wait "$SSRV" 2>/dev/null || true
+    rm -rf "$SDATA"
+}
+sustain 0 "$OUT/sustained-off.json"
+sustain 1 "$OUT/sustained-on.json"
+
+{
+    printf '{\n  "pr": 10,\n'
+    printf '  "title": "incdbd under sustained mixed load: RPS and latency quantiles, tracing off vs on",\n'
+    printf '  "method": "cmd/incdbload: %s workers, %s%% appends / rest mixed cert+sql queries, %s against a fresh durable incdbd per mode; latency measured client-side end to end",\n' \
+        "$LOAD_CONCURRENCY" "$LOAD_WRITE_PCT" "$LOAD_DURATION"
+    printf '  "trace_off": '
+    sed 's/^/  /' "$OUT/sustained-off.json" | sed '1s/^  //'
+    printf ',\n  "trace_on": '
+    sed 's/^/  /' "$OUT/sustained-on.json" | sed '1s/^  //'
+    awk 'FNR == 1 { f++ } /"rps"/ { gsub(/[^0-9.]/, "", $2); rps[f] = $2 }
+        END { printf ",\n  \"trace_on_rps_ratio\": %.3f\n}\n", rps[1] ? rps[2] / rps[1] : 0 }' \
+        "$OUT/sustained-off.json" "$OUT/sustained-on.json"
+} >BENCH_PR10.json
+cat BENCH_PR10.json
+
+echo "results in $OUT/ and BENCH_PR4.json, BENCH_PR6.json, BENCH_PR9.json, BENCH_PR10.json"

@@ -6,7 +6,9 @@
 # mid-load-sequence, restart it on the same data directory and assert that
 # every answer and version vector matches the pre-kill state. Along the way
 # /v1/metrics is scraped and key series are asserted to exist and to move
-# with traffic. Ends with a graceful-shutdown check.
+# with traffic, and `incdbctl trace` is exercised against the default-on
+# distributed tracing (list recent roots, render one query's span tree).
+# Ends with a graceful-shutdown check.
 set -eu
 
 BIN="${BIN:-./bin}"
@@ -80,6 +82,27 @@ after="$(metric 'incdb_queries_total{proc="cert",session="smoke"}')"
 [ "$after" -gt "$before" ] || {
     echo "incdb_queries_total did not move with traffic ($before -> $after)" >&2; exit 1; }
 echo "metrics move with traffic: cert queries $before -> $after, $fsyncs fsyncs"
+
+echo "== distributed tracing: incdbctl trace lists roots and renders a tree =="
+# Tracing is on by default (-trace-sample 1.0): the queries above are all
+# in the span ring. A fresh traced query returns its trace ID in the
+# response; the list view must include it and the tree view must show the
+# request's inner spans.
+TRACED=$(curl -fs -X POST "http://$ADDR/v1/sessions/smoke/query" \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "minus(proj(0, Customers), proj(1, Orders))", "proc": "cert", "trace_detail": true}')
+TRACE_ID=$(printf '%s' "$TRACED" | sed -n 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/p')
+[ -n "$TRACE_ID" ] || {
+    echo "traced query returned no trace_id: $TRACED" >&2; exit 1; }
+"$BIN/incdbctl" trace -addr "http://$ADDR" | grep -q "$TRACE_ID" || {
+    echo "incdbctl trace does not list trace $TRACE_ID" >&2; exit 1; }
+tree=$("$BIN/incdbctl" trace -addr "http://$ADDR" "$TRACE_ID")
+echo "$tree"
+for span in "POST /v1/sessions/smoke/query" "result_cache.lookup" "evaluate" "plan."; do
+    echo "$tree" | grep -qF "$span" || {
+        echo "trace tree is missing a $span span" >&2; exit 1; }
+done
+echo "trace $TRACE_ID renders with evaluation and plan-node spans"
 
 echo "== crash recovery: append, SIGKILL mid-sequence, restart, compare =="
 APPEND_FILE="$DATA_DIR/append.idb"

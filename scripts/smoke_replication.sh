@@ -7,7 +7,10 @@
 # token, 403 read_only_replica on follower loads, and a SIGKILL'd follower
 # restarted on its data directory resuming without a snapshot re-bootstrap.
 # Both servers' /v1/metrics are scraped: roles, applied seq, and follower
-# lag returning to zero once caught up.
+# lag returning to zero once caught up. One write is issued with a client
+# traceparent and its distributed trace is asserted end to end: root,
+# wal.commit and wal.fsync spans on the primary, the linked replica.apply
+# span on the follower — the same trace ID on both servers.
 set -eu
 
 BIN="${BIN:-./bin}"
@@ -136,6 +139,36 @@ if out="$($RCTL append "$PDATA/a2.idb" 2>&1)"; then
 fi
 echo "$out" | grep -q "read_only_replica" || {
     echo "expected read_only_replica, got: $out" >&2; exit 1; }
+
+echo "== distributed trace: one write's spans on primary AND follower =="
+# A client-minted trace context (sampled flag set) rides the append; the
+# primary's WAL record carries it to the follower, whose apply span links
+# back to the primary's wal.commit span.
+TRACE_ID="4bf92f3577b34da6a3ce929d0e0e4736"
+curl -fs -H "traceparent: 00-$TRACE_ID-00f067aa0ba902b7-01" \
+    -H 'Content-Type: application/json' \
+    -d '{"data": "row Orders o6 c1\n", "append": true}' \
+    "http://$PADDR/v1/sessions/smoke/load" >/dev/null
+wait_caught_up
+ptrace=$(curl -fs "http://$PADDR/v1/traces/$TRACE_ID")
+for span in "POST /v1/sessions/smoke/load" "load.apply" "wal.commit" "wal.fsync"; do
+    printf '%s' "$ptrace" | grep -qF "\"name\":\"$span\"" || {
+        echo "primary trace $TRACE_ID is missing a $span span:" >&2
+        printf '%s\n' "$ptrace" >&2; exit 1; }
+done
+# The apply span is published just after the version vector advances, so
+# allow it a moment.
+i=0
+while ! curl -fs "http://$RADDR/v1/traces/$TRACE_ID" 2>/dev/null | grep -qF '"name":"replica.apply"'; do
+    i=$((i + 1))
+    [ $i -lt 50 ] || {
+        echo "follower never published a replica.apply span for trace $TRACE_ID" >&2
+        curl -fs "http://$RADDR/v1/traces/$TRACE_ID" >&2 || true; exit 1; }
+    sleep 0.1
+done
+"$BIN/incdbctl" trace -addr "http://$PADDR" "$TRACE_ID" | grep -qF "wal.fsync" || {
+    echo "incdbctl trace does not render the primary's wal.fsync span" >&2; exit 1; }
+echo "trace $TRACE_ID spans both servers: primary write + follower apply"
 
 echo "== SIGKILL'd follower restarts on its data dir and resumes, no re-bootstrap =="
 kill -9 "$FOLLOWER"
